@@ -1,0 +1,187 @@
+//! Memcomparable key encoding.
+//!
+//! B-Tree keys are byte strings compared with `memcmp`; this module encodes
+//! (composite) typed values such that byte order equals logical order:
+//!
+//! * `U64` → big-endian;
+//! * `I64` → big-endian with the sign bit flipped;
+//! * `F64` → IEEE bits, negatives bit-inverted, positives sign-flipped;
+//! * `Str`/`Bytes` → `0x00` escaped as `0x00 0xFF`, terminated `0x00 0x00`,
+//!   so prefixes sort first and embedded zeroes are preserved;
+//! * `Null` sorts before every value (presence byte).
+
+use crate::value::Value;
+use rewind_common::{Error, Result};
+
+/// Append the memcomparable encoding of `v` to `out`.
+pub fn encode_value(out: &mut Vec<u8>, v: &Value) -> Result<()> {
+    match v {
+        Value::Null => out.push(0x00),
+        Value::U64(x) => {
+            out.push(0x01);
+            out.extend_from_slice(&x.to_be_bytes());
+        }
+        Value::I64(x) => {
+            out.push(0x01);
+            out.extend_from_slice(&((*x as u64) ^ (1 << 63)).to_be_bytes());
+        }
+        Value::F64(x) => {
+            out.push(0x01);
+            let bits = x.to_bits();
+            let ordered = if bits & (1 << 63) != 0 { !bits } else { bits | (1 << 63) };
+            out.extend_from_slice(&ordered.to_be_bytes());
+        }
+        Value::Str(s) => {
+            out.push(0x01);
+            encode_bytes(out, s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            out.push(0x01);
+            encode_bytes(out, b);
+        }
+        Value::Bool(b) => {
+            out.push(0x01);
+            out.push(*b as u8);
+        }
+    }
+    Ok(())
+}
+
+fn encode_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    for &byte in b {
+        if byte == 0x00 {
+            out.push(0x00);
+            out.push(0xFF);
+        } else {
+            out.push(byte);
+        }
+    }
+    out.push(0x00);
+    out.push(0x00);
+}
+
+/// Encode a composite key from `values`.
+pub fn encode_key(values: &[&Value]) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(values.len() * 9);
+    for v in values {
+        encode_value(&mut out, v)?;
+    }
+    if out.is_empty() {
+        return Err(Error::InvalidArg("empty key".into()));
+    }
+    Ok(out)
+}
+
+/// Encode a composite key from owned values.
+pub fn encode_key_owned(values: &[Value]) -> Result<Vec<u8>> {
+    let refs: Vec<&Value> = values.iter().collect();
+    encode_key(&refs)
+}
+
+/// The smallest key strictly greater than every key having `prefix` —
+/// i.e. `prefix` followed by `0xFF` padding. Used for prefix range scans.
+pub fn prefix_upper_bound(prefix: &[u8]) -> Vec<u8> {
+    let mut hi = prefix.to_vec();
+    hi.extend_from_slice(&[0xFF; 9]);
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enc1(v: &Value) -> Vec<u8> {
+        encode_key(&[v]).unwrap()
+    }
+
+    #[test]
+    fn u64_ordering() {
+        let vals = [0u64, 1, 255, 256, 1 << 32, u64::MAX];
+        for w in vals.windows(2) {
+            assert!(enc1(&Value::U64(w[0])) < enc1(&Value::U64(w[1])), "{} < {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn i64_ordering_across_zero() {
+        let vals = [i64::MIN, -100, -1, 0, 1, 100, i64::MAX];
+        for w in vals.windows(2) {
+            assert!(enc1(&Value::I64(w[0])) < enc1(&Value::I64(w[1])), "{} < {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn f64_ordering() {
+        let vals = [f64::NEG_INFINITY, -1e10, -1.5, -0.0, 0.5, 2.0, 1e300, f64::INFINITY];
+        for w in vals.windows(2) {
+            assert!(enc1(&Value::F64(w[0])) <= enc1(&Value::F64(w[1])), "{} <= {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn string_ordering_with_embedded_nulls_and_prefixes() {
+        let cases = [
+            ("", "a"),
+            ("a", "aa"),
+            ("a", "b"),
+            ("ab", "b"),
+            ("a\0", "a\0\0"),
+            ("a\0b", "a\x01"),
+            ("BAR", "BARR"),
+        ];
+        for (a, b) in cases {
+            assert!(
+                enc1(&Value::str(a)) < enc1(&Value::str(b)),
+                "{a:?} < {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        assert!(enc1(&Value::Null) < enc1(&Value::U64(0)));
+        assert!(enc1(&Value::Null) < enc1(&Value::str("")));
+        assert!(enc1(&Value::Null) < enc1(&Value::I64(i64::MIN)));
+    }
+
+    #[test]
+    fn composite_component_order_dominates() {
+        let a = encode_key(&[&Value::U64(1), &Value::U64(999)]).unwrap();
+        let b = encode_key(&[&Value::U64(2), &Value::U64(0)]).unwrap();
+        assert!(a < b);
+        // string component doesn't bleed into the next
+        let c = encode_key(&[&Value::str("ab"), &Value::U64(1)]).unwrap();
+        let d = encode_key(&[&Value::str("a"), &Value::U64(255)]).unwrap();
+        assert!(d < c);
+    }
+
+    #[test]
+    fn prefix_upper_bound_captures_prefix_range() {
+        let p = encode_key(&[&Value::U64(5)]).unwrap();
+        let lo = {
+            let mut k = p.clone();
+            k.extend(enc1(&Value::U64(0)));
+            k
+        };
+        let hi_real = {
+            let mut k = p.clone();
+            k.extend(enc1(&Value::U64(u64::MAX)));
+            k
+        };
+        let ub = prefix_upper_bound(&p);
+        assert!(lo >= p);
+        assert!(hi_real < ub);
+        let outside = encode_key(&[&Value::U64(6)]).unwrap();
+        assert!(outside > ub);
+    }
+
+    #[test]
+    fn empty_key_rejected() {
+        assert!(encode_key(&[]).is_err());
+    }
+
+    #[test]
+    fn bool_ordering() {
+        assert!(enc1(&Value::Bool(false)) < enc1(&Value::Bool(true)));
+    }
+}

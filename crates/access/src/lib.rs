@@ -1,0 +1,29 @@
+//! Access methods: logged B-Trees, heaps, the allocation manager and the
+//! row/key codecs.
+//!
+//! Everything here is written against the [`Store`] abstraction — "give me a
+//! latched page" / "apply this logged modification" — rather than against
+//! the live engine directly. That is the paper's architectural point (§3,
+//! §5.3): because as-of snapshots implement the same page-access interface
+//! (side file → primary file → `PreparePageAsOf`), *all* access methods,
+//! including the system catalog and allocation maps, work unchanged on a
+//! snapshot. "To them snapshot database appears like a regular read-only
+//! database."
+//!
+//! Structure modifications (page splits) are logged as nested top actions:
+//! their records carry full undo information — including the deletes
+//! (§4.2-3) — and are terminated by a CLR whose `undo_next` jumps over them,
+//! so rollback never unpicks a completed split while a crash mid-split is
+//! physically undone.
+
+pub mod allocator;
+pub mod btree;
+pub mod heap;
+pub mod keys;
+pub mod store;
+pub mod value;
+
+pub use btree::BTree;
+pub use heap::Heap;
+pub use store::{ModKind, Store};
+pub use value::{Column, DataType, Row, Schema, Value};

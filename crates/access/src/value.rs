@@ -1,0 +1,358 @@
+//! Typed values, schemas and the row codec.
+//!
+//! Rows are self-describing byte strings (a type tag per value), so decoding
+//! never needs the schema — which matters when reading catalog rows from an
+//! as-of snapshot whose schema is itself part of the unwound state.
+
+use rewind_common::codec::{ByteReader, ByteWriter};
+use rewind_common::{Error, Result};
+use std::fmt;
+
+/// A dynamically-typed column value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Unsigned 64-bit integer.
+    U64(u64),
+    /// Signed 64-bit integer.
+    I64(i64),
+    /// IEEE-754 double.
+    F64(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Shorthand: string value from a `&str`.
+    pub fn str(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+
+    /// The value's type, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        Some(match self {
+            Value::Null => return None,
+            Value::U64(_) => DataType::U64,
+            Value::I64(_) => DataType::I64,
+            Value::F64(_) => DataType::F64,
+            Value::Str(_) => DataType::Str,
+            Value::Bytes(_) => DataType::Bytes,
+            Value::Bool(_) => DataType::Bool,
+        })
+    }
+
+    /// Extract a u64, failing on other types.
+    pub fn as_u64(&self) -> Result<u64> {
+        match self {
+            Value::U64(v) => Ok(*v),
+            other => Err(Error::InvalidArg(format!("expected u64, got {other:?}"))),
+        }
+    }
+
+    /// Extract an i64, failing on other types.
+    pub fn as_i64(&self) -> Result<i64> {
+        match self {
+            Value::I64(v) => Ok(*v),
+            other => Err(Error::InvalidArg(format!("expected i64, got {other:?}"))),
+        }
+    }
+
+    /// Extract an f64, failing on other types.
+    pub fn as_f64(&self) -> Result<f64> {
+        match self {
+            Value::F64(v) => Ok(*v),
+            other => Err(Error::InvalidArg(format!("expected f64, got {other:?}"))),
+        }
+    }
+
+    /// Extract a string slice, failing on other types.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(v) => Ok(v),
+            other => Err(Error::InvalidArg(format!("expected str, got {other:?}"))),
+        }
+    }
+
+    /// Extract a bool, failing on other types.
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Value::Bool(v) => Ok(*v),
+            other => Err(Error::InvalidArg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "'{v}'"),
+            Value::Bytes(v) => write!(f, "x'{}'", v.len()),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A column's declared type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum DataType {
+    /// Unsigned 64-bit integer.
+    U64 = 1,
+    /// Signed 64-bit integer.
+    I64 = 2,
+    /// IEEE-754 double.
+    F64 = 3,
+    /// UTF-8 string.
+    Str = 4,
+    /// Raw bytes.
+    Bytes = 5,
+    /// Boolean.
+    Bool = 6,
+}
+
+impl DataType {
+    /// Decode from the on-disk tag.
+    pub fn from_u8(v: u8) -> Result<DataType> {
+        Ok(match v {
+            1 => DataType::U64,
+            2 => DataType::I64,
+            3 => DataType::F64,
+            4 => DataType::Str,
+            5 => DataType::Bytes,
+            6 => DataType::Bool,
+            other => return Err(Error::Corruption(format!("unknown data type tag {other}"))),
+        })
+    }
+}
+
+/// A column definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Column {
+    /// Column name.
+    pub name: String,
+    /// Declared type.
+    pub ty: DataType,
+}
+
+impl Column {
+    /// Convenience constructor.
+    pub fn new(name: &str, ty: DataType) -> Column {
+        Column { name: name.to_string(), ty }
+    }
+}
+
+/// A table schema: ordered columns plus the indices of the primary-key
+/// columns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schema {
+    /// All columns, in storage order.
+    pub columns: Vec<Column>,
+    /// Indices (into `columns`) of the primary-key columns, in key order.
+    pub key: Vec<usize>,
+}
+
+impl Schema {
+    /// Build a schema; `key` columns are named.
+    pub fn new(columns: Vec<Column>, key_names: &[&str]) -> Result<Schema> {
+        let mut key = Vec::with_capacity(key_names.len());
+        for kn in key_names {
+            let idx = columns
+                .iter()
+                .position(|c| c.name == *kn)
+                .ok_or_else(|| Error::InvalidArg(format!("key column '{kn}' not in schema")))?;
+            key.push(idx);
+        }
+        if key.is_empty() {
+            return Err(Error::InvalidArg("schema needs at least one key column".into()));
+        }
+        Ok(Schema { columns, key })
+    }
+
+    /// Index of a named column.
+    pub fn column_index(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| Error::InvalidArg(format!("no column '{name}'")))
+    }
+
+    /// Extract the key values from a full row.
+    pub fn key_values<'a>(&self, row: &'a [Value]) -> Result<Vec<&'a Value>> {
+        if row.len() != self.columns.len() {
+            return Err(Error::InvalidArg(format!(
+                "row has {} values, schema has {} columns",
+                row.len(),
+                self.columns.len()
+            )));
+        }
+        Ok(self.key.iter().map(|&i| &row[i]).collect())
+    }
+
+    /// Check a row's types against the schema.
+    pub fn check_row(&self, row: &[Value]) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(Error::InvalidArg(format!(
+                "row has {} values, schema has {} columns",
+                row.len(),
+                self.columns.len()
+            )));
+        }
+        for (v, c) in row.iter().zip(&self.columns) {
+            if let Some(ty) = v.data_type() {
+                if ty != c.ty {
+                    return Err(Error::InvalidArg(format!(
+                        "column '{}' expects {:?}, got {v:?}",
+                        c.name, c.ty
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A decoded row.
+pub type Row = Vec<Value>;
+
+/// Encode a row as self-describing bytes.
+pub fn encode_row(row: &[Value]) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(16 + row.len() * 8);
+    w.put_u16(row.len() as u16);
+    for v in row {
+        match v {
+            Value::Null => w.put_u8(0),
+            Value::U64(x) => {
+                w.put_u8(1);
+                w.put_u64(*x);
+            }
+            Value::I64(x) => {
+                w.put_u8(2);
+                w.put_i64(*x);
+            }
+            Value::F64(x) => {
+                w.put_u8(3);
+                w.put_f64(*x);
+            }
+            Value::Str(s) => {
+                w.put_u8(4);
+                w.put_str(s);
+            }
+            Value::Bytes(b) => {
+                w.put_u8(5);
+                w.put_bytes(b);
+            }
+            Value::Bool(b) => {
+                w.put_u8(6);
+                w.put_u8(*b as u8);
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decode a row previously encoded with [`encode_row`].
+pub fn decode_row(bytes: &[u8]) -> Result<Row> {
+    let mut r = ByteReader::new(bytes);
+    let n = r.get_u16()? as usize;
+    let mut row = Vec::with_capacity(n);
+    for _ in 0..n {
+        let tag = r.get_u8()?;
+        row.push(match tag {
+            0 => Value::Null,
+            1 => Value::U64(r.get_u64()?),
+            2 => Value::I64(r.get_i64()?),
+            3 => Value::F64(r.get_f64()?),
+            4 => Value::Str(r.get_str()?.to_string()),
+            5 => Value::Bytes(r.get_bytes()?.to_vec()),
+            6 => Value::Bool(r.get_u8()? != 0),
+            other => return Err(Error::Corruption(format!("unknown value tag {other}"))),
+        });
+    }
+    Ok(row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_row() -> Row {
+        vec![
+            Value::U64(42),
+            Value::I64(-7),
+            Value::F64(2.75),
+            Value::str("hello"),
+            Value::Bytes(vec![1, 2, 3]),
+            Value::Bool(true),
+            Value::Null,
+        ]
+    }
+
+    #[test]
+    fn row_roundtrip() {
+        let row = sample_row();
+        let bytes = encode_row(&row);
+        assert_eq!(decode_row(&bytes).unwrap(), row);
+        assert_eq!(decode_row(&encode_row(&[])).unwrap(), Vec::<Value>::new());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_row(&[9, 9, 9]).is_err());
+        let mut bytes = encode_row(&sample_row());
+        bytes.truncate(bytes.len() - 1);
+        assert!(decode_row(&bytes).is_err());
+    }
+
+    #[test]
+    fn schema_key_extraction() {
+        let schema = Schema::new(
+            vec![
+                Column::new("w_id", DataType::U64),
+                Column::new("d_id", DataType::U64),
+                Column::new("name", DataType::Str),
+            ],
+            &["w_id", "d_id"],
+        )
+        .unwrap();
+        let row = vec![Value::U64(3), Value::U64(9), Value::str("x")];
+        let keys = schema.key_values(&row).unwrap();
+        assert_eq!(keys, vec![&Value::U64(3), &Value::U64(9)]);
+        schema.check_row(&row).unwrap();
+        // wrong arity
+        assert!(schema.check_row(&row[..2]).is_err());
+        // wrong type
+        let bad = vec![Value::U64(3), Value::str("nope"), Value::str("x")];
+        assert!(schema.check_row(&bad).is_err());
+        // nulls pass type checks
+        let with_null = vec![Value::U64(3), Value::U64(9), Value::Null];
+        schema.check_row(&with_null).unwrap();
+    }
+
+    #[test]
+    fn schema_rejects_unknown_key() {
+        let err = Schema::new(vec![Column::new("a", DataType::U64)], &["b"]);
+        assert!(err.is_err());
+        let err = Schema::new(vec![Column::new("a", DataType::U64)], &[]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::U64(5).as_u64().unwrap(), 5);
+        assert!(Value::U64(5).as_str().is_err());
+        assert_eq!(Value::str("s").as_str().unwrap(), "s");
+        assert!(Value::Bool(true).as_bool().unwrap());
+        assert_eq!(Value::I64(-2).as_i64().unwrap(), -2);
+        assert_eq!(Value::F64(1.5).as_f64().unwrap(), 1.5);
+        assert_eq!(Value::Null.data_type(), None);
+    }
+}

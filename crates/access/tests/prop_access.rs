@@ -1,0 +1,167 @@
+//! Property tests for the access layer: memcomparable encoding as an order
+//! homomorphism, row-codec roundtrips, and the B-Tree against a `BTreeMap`
+//! under arbitrary operation sequences.
+
+use proptest::prelude::*;
+use rewind_access::keys::{encode_key, encode_key_owned, prefix_upper_bound};
+use rewind_access::store::MemStore;
+use rewind_access::value::{decode_row, encode_row};
+use rewind_access::{BTree, Value};
+use rewind_common::{Error, ObjectId};
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<u64>().prop_map(Value::U64),
+        any::<i64>().prop_map(Value::I64),
+        any::<bool>().prop_map(Value::Bool),
+        "[a-z\\x00]{0,12}".prop_map(Value::Str),
+        proptest::collection::vec(any::<u8>(), 0..16).prop_map(Value::Bytes),
+        Just(Value::Null),
+    ]
+}
+
+/// Total order on same-variant values, Null first (mirrors the encoding's
+/// documented semantics).
+fn logical_cmp(a: &Value, b: &Value) -> Option<Ordering> {
+    use Value::*;
+    match (a, b) {
+        (Null, Null) => Some(Ordering::Equal),
+        (Null, _) => Some(Ordering::Less),
+        (_, Null) => Some(Ordering::Greater),
+        (U64(x), U64(y)) => Some(x.cmp(y)),
+        (I64(x), I64(y)) => Some(x.cmp(y)),
+        (Bool(x), Bool(y)) => Some(x.cmp(y)),
+        (Str(x), Str(y)) => Some(x.cmp(y)),
+        (Bytes(x), Bytes(y)) => Some(x.cmp(y)),
+        _ => None, // mixed types: schema prevents this
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, .. ProptestConfig::default() })]
+
+    #[test]
+    fn memcmp_encoding_preserves_order(a in value_strategy(), b in value_strategy()) {
+        if let Some(expect) = logical_cmp(&a, &b) {
+            let ka = encode_key(&[&a]);
+            let kb = encode_key(&[&b]);
+            match (ka, kb) {
+                (Ok(ka), Ok(kb)) => prop_assert_eq!(ka.cmp(&kb), expect, "{:?} vs {:?}", a, b),
+                // only the single-NULL key can fail (empty encoding is rejected)
+                _ => prop_assert!(matches!(a, Value::Null) || matches!(b, Value::Null)),
+            }
+        }
+    }
+
+    #[test]
+    fn composite_keys_order_lexicographically(
+        a1 in any::<u64>(), a2 in "[a-z]{0,6}", b1 in any::<u64>(), b2 in "[a-z]{0,6}"
+    ) {
+        let ka = encode_key_owned(&[Value::U64(a1), Value::Str(a2.clone())]).unwrap();
+        let kb = encode_key_owned(&[Value::U64(b1), Value::Str(b2.clone())]).unwrap();
+        let expect = (a1, a2).cmp(&(b1, b2));
+        prop_assert_eq!(ka.cmp(&kb), expect);
+    }
+
+    #[test]
+    fn prefix_upper_bound_is_tight(p in any::<u64>(), suffix in "[a-z]{0,8}") {
+        let prefix = encode_key_owned(&[Value::U64(p)]).unwrap();
+        let inside = encode_key_owned(&[Value::U64(p), Value::Str(suffix)]).unwrap();
+        let ub = prefix_upper_bound(&prefix);
+        prop_assert!(inside < ub);
+        if p < u64::MAX {
+            let outside = encode_key_owned(&[Value::U64(p + 1)]).unwrap();
+            prop_assert!(outside > ub);
+        }
+    }
+
+    #[test]
+    fn row_codec_roundtrips(row in proptest::collection::vec(value_strategy(), 0..12)) {
+        let bytes = encode_row(&row);
+        let back = decode_row(&bytes).unwrap();
+        prop_assert_eq!(back, row);
+    }
+}
+
+#[derive(Clone, Debug)]
+enum TreeOp {
+    Insert(u16, u8),
+    Delete(u16),
+    Update(u16, u8),
+    Get(u16),
+    Scan(u16, u16),
+}
+
+fn tree_op() -> impl Strategy<Value = TreeOp> {
+    prop_oneof![
+        (any::<u16>(), any::<u8>()).prop_map(|(k, v)| TreeOp::Insert(k, v)),
+        any::<u16>().prop_map(TreeOp::Delete),
+        (any::<u16>(), any::<u8>()).prop_map(|(k, v)| TreeOp::Update(k, v)),
+        any::<u16>().prop_map(TreeOp::Get),
+        (any::<u16>(), any::<u16>()).prop_map(|(a, b)| TreeOp::Scan(a, b)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn btree_matches_btreemap(ops in proptest::collection::vec(tree_op(), 1..400)) {
+        let store = MemStore::new(2);
+        let tree = BTree::create(&store, ObjectId(1)).unwrap();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for op in ops {
+            match op {
+                TreeOp::Insert(k, v) => {
+                    let key = k.to_be_bytes().to_vec();
+                    let val = vec![v; (v as usize % 64) + 1];
+                    match tree.insert(&store, &key, &val) {
+                        Ok(()) => { prop_assert!(model.insert(key, val).is_none()); }
+                        Err(Error::DuplicateKey) => prop_assert!(model.contains_key(&key)),
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                TreeOp::Delete(k) => {
+                    let key = k.to_be_bytes().to_vec();
+                    match tree.delete(&store, &key) {
+                        Ok(()) => { prop_assert!(model.remove(&key).is_some()); }
+                        Err(Error::KeyNotFound) => prop_assert!(!model.contains_key(&key)),
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                TreeOp::Update(k, v) => {
+                    let key = k.to_be_bytes().to_vec();
+                    let val = vec![v; (v as usize % 900) + 1];
+                    match tree.update(&store, &key, &val) {
+                        Ok(()) => { prop_assert!(model.insert(key, val).is_some()); }
+                        Err(Error::KeyNotFound) => prop_assert!(!model.contains_key(&key)),
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                TreeOp::Get(k) => {
+                    let key = k.to_be_bytes().to_vec();
+                    prop_assert_eq!(tree.get(&store, &key).unwrap(), model.get(&key).cloned());
+                }
+                TreeOp::Scan(a, b) => {
+                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                    let lo_k = lo.to_be_bytes().to_vec();
+                    let hi_k = hi.to_be_bytes().to_vec();
+                    let mut got = Vec::new();
+                    tree.scan(&store, Bound::Included(&lo_k[..]), Bound::Included(&hi_k[..]), |k, v| {
+                        got.push((k.to_vec(), v.to_vec()));
+                        Ok(true)
+                    }).unwrap();
+                    let expect: Vec<_> = model
+                        .range(lo_k..=hi_k)
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect();
+                    prop_assert_eq!(got, expect);
+                }
+            }
+        }
+        prop_assert_eq!(tree.verify(&store).unwrap(), model.len());
+    }
+}

@@ -1,0 +1,189 @@
+//! Criterion micro-benchmarks for the engine's hot paths: slotted pages,
+//! codecs, B-Tree operations, log append, and — the core of the paper —
+//! `PreparePageAsOf` with and without the FPI skip (§6.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rewind_access::store::{MemStore, ModKind};
+use rewind_access::BTree;
+use rewind_common::{Lsn, ObjectId, PageId, TxnId};
+use rewind_pagestore::{Page, PageType};
+use rewind_recovery::prepare_page_as_of;
+use rewind_wal::{LogConfig, LogManager, LogPayload, LogRecord};
+use std::hint::black_box;
+
+fn bench_page_ops(c: &mut Criterion) {
+    c.bench_function("page/insert_delete_64B", |b| {
+        let mut p = Page::formatted(PageId(1), ObjectId(1), PageType::Heap);
+        let rec = vec![7u8; 64];
+        b.iter(|| {
+            p.insert_record(0, &rec).unwrap();
+            p.delete_record(0).unwrap();
+        });
+    });
+    c.bench_function("page/checksum", |b| {
+        let mut p = Page::formatted(PageId(1), ObjectId(1), PageType::Heap);
+        p.insert_record(0, &vec![3u8; 1000]).unwrap();
+        b.iter(|| black_box(p.compute_checksum()));
+    });
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    use rewind_access::keys::encode_key;
+    use rewind_access::value::{decode_row, encode_row};
+    use rewind_access::Value;
+    let row = vec![
+        Value::U64(42),
+        Value::U64(7),
+        Value::str("a customer name"),
+        Value::F64(123.45),
+        Value::I64(-9),
+    ];
+    c.bench_function("codec/encode_row", |b| b.iter(|| black_box(encode_row(&row))));
+    let bytes = encode_row(&row);
+    c.bench_function("codec/decode_row", |b| b.iter(|| black_box(decode_row(&bytes).unwrap())));
+    c.bench_function("codec/memcmp_key", |b| {
+        b.iter(|| {
+            let refs: Vec<&Value> = row.iter().collect();
+            black_box(encode_key(&refs).unwrap())
+        })
+    });
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let store = MemStore::new(2);
+    let tree = BTree::create(&store, ObjectId(1)).unwrap();
+    for i in 0..10_000u64 {
+        tree.insert(&store, &i.to_be_bytes(), b"value-bytes-here").unwrap();
+    }
+    c.bench_function("btree/get_10k", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 10_000;
+            black_box(tree.get(&store, &i.to_be_bytes()).unwrap())
+        });
+    });
+    c.bench_function("btree/insert_delete", |b| {
+        let k = 999_999u64.to_be_bytes();
+        b.iter(|| {
+            tree.insert(&store, &k, b"v").unwrap();
+            tree.delete(&store, &k).unwrap();
+        });
+    });
+}
+
+fn bench_log_append(c: &mut Criterion) {
+    let log = LogManager::new(LogConfig::default());
+    let rec = LogRecord {
+        lsn: Lsn::NULL,
+        txn: TxnId(1),
+        prev_lsn: Lsn::NULL,
+        page: PageId(1),
+        prev_page_lsn: Lsn::NULL,
+        object: ObjectId(1),
+        undo_next: Lsn::NULL,
+        flags: 0,
+        payload: LogPayload::InsertRecord { slot: 0, bytes: vec![0u8; 100] },
+    };
+    c.bench_function("log/append_100B", |b| b.iter(|| black_box(log.append(&rec))));
+}
+
+/// The paper's core primitive: rewind a page with N modifications on its
+/// chain, with FPIs off and on (the §6.1 skip).
+fn bench_prepare_page(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prepare_page_as_of");
+    for &(mods, fpi) in &[(64u32, 0u32), (64, 8), (512, 0), (512, 8)] {
+        let log = LogManager::new(LogConfig::default());
+        let pid = PageId(5);
+        let mut page = Page::formatted(pid, ObjectId(1), PageType::BTreeLeaf);
+        page.insert_record(0, b"base").unwrap();
+        let mut since_fpi = 0u32;
+        let mut first_lsn = Lsn::NULL;
+        for i in 0..mods {
+            let payload = LogPayload::UpdateRecord {
+                slot: 0,
+                old: page.record(0).unwrap().to_vec(),
+                new: format!("value-{i}").into_bytes(),
+            };
+            let rec = LogRecord {
+                lsn: Lsn::NULL,
+                txn: TxnId(1),
+                prev_lsn: Lsn::NULL,
+                page: pid,
+                prev_page_lsn: page.page_lsn(),
+                object: ObjectId(1),
+                undo_next: Lsn::NULL,
+                flags: 0,
+                payload: payload.clone(),
+            };
+            let lsn = log.append(&rec);
+            if first_lsn.is_null() {
+                first_lsn = lsn;
+            }
+            payload.redo(&mut page, pid, lsn).unwrap();
+            if fpi > 0 {
+                since_fpi += 1;
+                if since_fpi >= fpi {
+                    since_fpi = 0;
+                    let fp = LogPayload::FullPageImage {
+                        prev_fpi_lsn: page.last_fpi_lsn(),
+                        image: Box::new(*page.image()),
+                    };
+                    let rec = LogRecord {
+                        lsn: Lsn::NULL,
+                        txn: TxnId::NONE,
+                        prev_lsn: Lsn::NULL,
+                        page: pid,
+                        prev_page_lsn: page.page_lsn(),
+                        object: ObjectId(1),
+                        undo_next: Lsn::NULL,
+                        flags: 0,
+                        payload: fp.clone(),
+                    };
+                    let lsn = log.append(&rec);
+                    fp.redo(&mut page, pid, lsn).unwrap();
+                }
+            }
+        }
+        group.bench_with_input(
+            BenchmarkId::new(format!("fpi_{fpi}"), mods),
+            &(page, first_lsn),
+            |b, (page, first_lsn)| {
+                b.iter(|| {
+                    let mut p = page.clone();
+                    black_box(prepare_page_as_of(&log, &mut p, pid, *first_lsn).unwrap())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    c.bench_function("alloc/allocate_free_cycle", |b| {
+        let store = MemStore::new(4);
+        b.iter(|| {
+            let pid = rewind_access::allocator::allocate_page(
+                &store,
+                ObjectId(1),
+                PageType::Heap,
+                0,
+                PageId::INVALID,
+                PageId::INVALID,
+                ModKind::User,
+            )
+            .unwrap();
+            rewind_access::allocator::free_page(&store, pid, ModKind::User).unwrap();
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_page_ops,
+    bench_codecs,
+    bench_btree,
+    bench_log_append,
+    bench_prepare_page,
+    bench_allocator
+);
+criterion_main!(benches);

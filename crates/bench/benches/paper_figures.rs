@@ -1,0 +1,36 @@
+//! Criterion wrappers over the paper-figure experiments, at quick effort,
+//! so `cargo bench` exercises every evaluation code path. The full tables
+//! come from the `figures` binary (`cargo run --release --bin figures`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rewind_bench::{
+    fig5_fig6, fig7_to_fig11, prepare_asof_experiment, sec64_crossover, Effort,
+};
+use std::hint::black_box;
+
+fn bench_fig5_6(c: &mut Criterion) {
+    let effort = Effort::quick();
+    let mut group = c.benchmark_group("paper");
+    group.sample_size(10);
+    group.bench_function("fig5_6_logging_overhead", |b| {
+        b.iter(|| black_box(fig5_fig6(&effort, false).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_fig7_11(c: &mut Criterion) {
+    let effort = Effort::quick();
+    let exp = prepare_asof_experiment(&effort, 16).unwrap();
+    let mut group = c.benchmark_group("paper");
+    group.sample_size(10);
+    group.bench_function("fig7_11_asof_vs_restore", |b| {
+        b.iter(|| black_box(fig7_to_fig11(&exp, &[1, 2]).unwrap()));
+    });
+    group.bench_function("sec64_crossover", |b| {
+        b.iter(|| black_box(sec64_crossover(&exp, &[1, 4]).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5_6, bench_fig7_11);
+criterion_main!(benches);

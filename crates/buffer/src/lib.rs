@@ -1,0 +1,449 @@
+//! The buffer manager.
+//!
+//! Pages are fetched into fixed frames, latched shared or exclusive for the
+//! duration of an access (paper §2.1: "the buffer manager latches the page
+//! in shared or exclusive mode based on the intended access"), and written
+//! back under the WAL rule: before a dirty page goes to disk, the log is
+//! forced up to its `pageLSN`.
+//!
+//! The pool also supports the recovery-side needs of the engine: the dirty
+//! page table for fuzzy checkpoints, `flush_all` for snapshot creation
+//! ("perform a checkpoint to make sure that all pages with LSNs less than or
+//! equal to SplitLSN are durable", §5.1), and `drop_cache` to simulate a
+//! crash (volatile state vanishes, file + log survive).
+
+use parking_lot::{Mutex, RwLock};
+use rewind_common::{Error, Lsn, PageId, Result};
+use rewind_pagestore::{FileManager, Page};
+use rewind_wal::{DptEntry, LogManager};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct FrameState {
+    pid: PageId,
+    page: Page,
+    dirty: bool,
+    /// Earliest LSN whose effect may not be on disk (ARIES recLSN).
+    rec_lsn: Lsn,
+    /// Modifications since the last full-page-image record (paper §6.1
+    /// cadence counter; volatile by design — a restart merely delays the
+    /// next FPI).
+    mods_since_fpi: u32,
+}
+
+struct Frame {
+    state: RwLock<FrameState>,
+    pins: AtomicU32,
+    used: AtomicBool,
+}
+
+/// A mutable view of a latched frame, handed to `with_page_mut` closures.
+pub struct FrameView<'a> {
+    state: &'a mut FrameState,
+}
+
+impl FrameView<'_> {
+    /// The page, immutably.
+    pub fn page(&self) -> &Page {
+        &self.state.page
+    }
+
+    /// The page, mutably. Callers must log before modifying (WAL).
+    pub fn page_mut(&mut self) -> &mut Page {
+        &mut self.state.page
+    }
+
+    /// Mark the frame dirty; `lsn` is the record that dirtied it (recLSN is
+    /// kept at the *first* such record since the page was last clean).
+    pub fn mark_dirty(&mut self, lsn: Lsn) {
+        if !self.state.dirty {
+            self.state.dirty = true;
+            self.state.rec_lsn = lsn;
+        }
+    }
+
+    /// Bump and read the FPI cadence counter.
+    pub fn bump_fpi_counter(&mut self) -> u32 {
+        self.state.mods_since_fpi += 1;
+        self.state.mods_since_fpi
+    }
+
+    /// Reset the FPI cadence counter (after an FPI was logged).
+    pub fn reset_fpi_counter(&mut self) {
+        self.state.mods_since_fpi = 0;
+    }
+}
+
+/// The buffer pool. Thread-safe; shared via `Arc`.
+pub struct BufferPool {
+    frames: Vec<Frame>,
+    map: Mutex<HashMap<u64, usize>>,
+    hand: AtomicUsize,
+    fm: Arc<dyn FileManager>,
+    log: Arc<LogManager>,
+}
+
+impl BufferPool {
+    /// A pool of `capacity` frames over `fm`, flushing through `log` (WAL
+    /// rule).
+    pub fn new(fm: Arc<dyn FileManager>, log: Arc<LogManager>, capacity: usize) -> Self {
+        assert!(capacity >= 4, "buffer pool needs at least 4 frames");
+        let frames = (0..capacity)
+            .map(|_| Frame {
+                state: RwLock::new(FrameState {
+                    pid: PageId::INVALID,
+                    page: Page::zeroed(),
+                    dirty: false,
+                    rec_lsn: Lsn::NULL,
+                    mods_since_fpi: 0,
+                }),
+                pins: AtomicU32::new(0),
+                used: AtomicBool::new(false),
+            })
+            .collect();
+        BufferPool { frames, map: Mutex::new(HashMap::new()), hand: AtomicUsize::new(0), fm, log }
+    }
+
+    /// Number of frames.
+    pub fn capacity(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// The underlying file manager.
+    pub fn file_manager(&self) -> &Arc<dyn FileManager> {
+        &self.fm
+    }
+
+    /// The log manager used for WAL-rule flushes.
+    pub fn log_manager(&self) -> &Arc<LogManager> {
+        &self.log
+    }
+
+    /// Pin the frame holding `pid`, loading (and possibly evicting) as
+    /// needed. The caller must unpin.
+    fn fetch_pin(&self, pid: PageId) -> Result<usize> {
+        if !pid.is_valid() {
+            return Err(Error::InvalidPage(pid));
+        }
+        let mut map = self.map.lock();
+        if let Some(&idx) = map.get(&pid.0) {
+            self.frames[idx].pins.fetch_add(1, Ordering::AcqRel);
+            self.frames[idx].used.store(true, Ordering::Relaxed);
+            return Ok(idx);
+        }
+        // Miss: pick a victim with the clock algorithm.
+        let idx = self.find_victim()?;
+        {
+            // Exclusive access is guaranteed: pins == 0 and we hold the map
+            // lock, so no one can find this frame.
+            let mut st = self.frames[idx].state.write();
+            if st.dirty {
+                self.log.flush_to(st.page.page_lsn());
+                self.fm.write_page(st.pid, &st.page)?;
+                st.dirty = false;
+            }
+            if st.pid.is_valid() {
+                map.remove(&st.pid.0);
+            }
+            st.page = self.fm.read_page(pid)?;
+            st.pid = pid;
+            st.rec_lsn = Lsn::NULL;
+            st.mods_since_fpi = 0;
+        }
+        map.insert(pid.0, idx);
+        self.frames[idx].pins.fetch_add(1, Ordering::AcqRel);
+        self.frames[idx].used.store(true, Ordering::Relaxed);
+        Ok(idx)
+    }
+
+    fn find_victim(&self) -> Result<usize> {
+        let n = self.frames.len();
+        // Up to two full sweeps: the first clears used bits, the second takes
+        // any unpinned frame.
+        for _ in 0..2 * n + 1 {
+            let i = self.hand.fetch_add(1, Ordering::Relaxed) % n;
+            let f = &self.frames[i];
+            if f.pins.load(Ordering::Acquire) != 0 {
+                continue;
+            }
+            if f.used.swap(false, Ordering::Relaxed) {
+                continue;
+            }
+            // pins==0 under the map lock means nobody can be latching it, but
+            // be defensive against latch holders.
+            if f.state.try_write().is_some() {
+                return Ok(i);
+            }
+        }
+        Err(Error::Internal("buffer pool exhausted: all frames pinned".into()))
+    }
+
+    fn unpin(&self, idx: usize) {
+        self.frames[idx].pins.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Run `f` with a shared latch on page `pid`.
+    pub fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&Page) -> Result<R>) -> Result<R> {
+        let idx = self.fetch_pin(pid)?;
+        let res = {
+            let st = self.frames[idx].state.read();
+            debug_assert_eq!(st.pid, pid);
+            f(&st.page)
+        };
+        self.unpin(idx);
+        res
+    }
+
+    /// Run `f` with an exclusive latch on page `pid`.
+    pub fn with_page_mut<R>(
+        &self,
+        pid: PageId,
+        f: impl FnOnce(&mut FrameView<'_>) -> Result<R>,
+    ) -> Result<R> {
+        let idx = self.fetch_pin(pid)?;
+        let res = {
+            let mut st = self.frames[idx].state.write();
+            debug_assert_eq!(st.pid, pid);
+            f(&mut FrameView { state: &mut st })
+        };
+        self.unpin(idx);
+        res
+    }
+
+    /// Whether `pid` is currently resident.
+    pub fn contains(&self, pid: PageId) -> bool {
+        self.map.lock().contains_key(&pid.0)
+    }
+
+    /// Flush one page if resident and dirty.
+    pub fn flush_page(&self, pid: PageId) -> Result<()> {
+        let idx = {
+            let map = self.map.lock();
+            match map.get(&pid.0) {
+                Some(&i) => i,
+                None => return Ok(()),
+            }
+        };
+        let mut st = self.frames[idx].state.write();
+        if st.pid == pid && st.dirty {
+            self.log.flush_to(st.page.page_lsn());
+            self.fm.write_page(st.pid, &st.page)?;
+            st.dirty = false;
+            st.rec_lsn = Lsn::NULL;
+        }
+        Ok(())
+    }
+
+    /// Flush every dirty page (blocking on in-flight latches). After this,
+    /// every logged change up to the flush point is durable in the file —
+    /// the property as-of snapshot creation needs (§5.1).
+    pub fn flush_all(&self) -> Result<()> {
+        for frame in &self.frames {
+            let mut st = frame.state.write();
+            if st.pid.is_valid() && st.dirty {
+                self.log.flush_to(st.page.page_lsn());
+                self.fm.write_page(st.pid, &st.page)?;
+                st.dirty = false;
+                st.rec_lsn = Lsn::NULL;
+            }
+        }
+        Ok(())
+    }
+
+    /// The ARIES dirty-page table: (page, recLSN) for every dirty frame.
+    pub fn dirty_page_table(&self) -> Vec<DptEntry> {
+        let mut dpt = Vec::new();
+        for frame in &self.frames {
+            let st = frame.state.read();
+            if st.pid.is_valid() && st.dirty {
+                dpt.push(DptEntry { page: st.pid, rec_lsn: st.rec_lsn });
+            }
+        }
+        dpt.sort_by_key(|e| e.page);
+        dpt
+    }
+
+    /// Throw away all cached state *without* flushing — simulates a crash:
+    /// buffer contents are volatile; the file and the flushed log survive.
+    pub fn drop_cache(&self) {
+        let mut map = self.map.lock();
+        map.clear();
+        for frame in &self.frames {
+            let mut st = frame.state.write();
+            st.pid = PageId::INVALID;
+            st.page = Page::zeroed();
+            st.dirty = false;
+            st.rec_lsn = Lsn::NULL;
+            st.mods_since_fpi = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rewind_common::{ObjectId, TxnId};
+    use rewind_pagestore::{MemFileManager, PageType};
+    use rewind_wal::{LogConfig, LogPayload, LogRecord};
+
+    fn setup(cap: usize) -> (Arc<MemFileManager>, Arc<LogManager>, BufferPool) {
+        let fm = Arc::new(MemFileManager::new());
+        let log = Arc::new(LogManager::new(LogConfig::default()));
+        let pool = BufferPool::new(fm.clone(), log.clone(), cap);
+        (fm, log, pool)
+    }
+
+    fn format_on(pool: &BufferPool, pid: PageId, lsn: Lsn) {
+        pool.with_page_mut(pid, |v| {
+            v.page_mut().format(pid, ObjectId(1), PageType::Heap);
+            v.page_mut().set_page_lsn(lsn);
+            v.mark_dirty(lsn);
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn read_through_and_write_back() {
+        let (fm, _log, pool) = setup(8);
+        format_on(&pool, PageId(3), Lsn(10));
+        pool.with_page(PageId(3), |p| {
+            assert_eq!(p.page_type(), PageType::Heap);
+            Ok(())
+        })
+        .unwrap();
+        // not yet on disk
+        assert_eq!(fm.read_page(PageId(3)).unwrap().page_type(), PageType::Free);
+        pool.flush_all().unwrap();
+        assert_eq!(fm.read_page(PageId(3)).unwrap().page_type(), PageType::Heap);
+    }
+
+    #[test]
+    fn wal_rule_forces_log_before_page_write() {
+        let (_fm, log, pool) = setup(8);
+        // Append a record but do not flush the log.
+        let lsn = log.append(&LogRecord {
+            lsn: Lsn::NULL,
+            txn: TxnId(1),
+            prev_lsn: Lsn::NULL,
+            page: PageId(3),
+            prev_page_lsn: Lsn::NULL,
+            object: ObjectId(1),
+            undo_next: Lsn::NULL,
+            flags: 0,
+            payload: LogPayload::InsertRecord { slot: 0, bytes: vec![1] },
+        });
+        assert!(log.flushed_lsn() <= lsn);
+        format_on(&pool, PageId(3), lsn);
+        pool.flush_page(PageId(3)).unwrap();
+        assert!(log.flushed_lsn() > lsn, "log must be forced up to pageLSN before page write");
+    }
+
+    #[test]
+    fn eviction_respects_capacity_and_persists_dirty_pages() {
+        let (fm, _log, pool) = setup(4);
+        for i in 1..=20u64 {
+            format_on(&pool, PageId(i), Lsn(i));
+        }
+        // every page readable back with its content (dirty evictions flushed)
+        for i in 1..=20u64 {
+            pool.with_page(PageId(i), |p| {
+                assert_eq!(p.page_id(), PageId(i));
+                assert_eq!(p.page_type(), PageType::Heap);
+                Ok(())
+            })
+            .unwrap();
+        }
+        assert!(fm.page_count() >= 20);
+    }
+
+    #[test]
+    fn dirty_page_table_tracks_first_dirtier() {
+        let (_fm, _log, pool) = setup(8);
+        format_on(&pool, PageId(2), Lsn(5));
+        // second modification must not advance recLSN
+        pool.with_page_mut(PageId(2), |v| {
+            v.page_mut().set_page_lsn(Lsn(9));
+            v.mark_dirty(Lsn(9));
+            Ok(())
+        })
+        .unwrap();
+        let dpt = pool.dirty_page_table();
+        assert_eq!(dpt.len(), 1);
+        assert_eq!(dpt[0].page, PageId(2));
+        assert_eq!(dpt[0].rec_lsn, Lsn(5));
+        pool.flush_all().unwrap();
+        assert!(pool.dirty_page_table().is_empty());
+    }
+
+    #[test]
+    fn drop_cache_loses_unflushed_state() {
+        let (fm, _log, pool) = setup(8);
+        format_on(&pool, PageId(7), Lsn(3));
+        pool.drop_cache();
+        assert!(!pool.contains(PageId(7)));
+        // the file never saw the page
+        assert_eq!(fm.read_page(PageId(7)).unwrap().page_type(), PageType::Free);
+        // and a fresh read loads the (empty) disk version
+        pool.with_page(PageId(7), |p| {
+            assert_eq!(p.page_type(), PageType::Free);
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn fpi_counter_is_per_frame() {
+        let (_fm, _log, pool) = setup(8);
+        format_on(&pool, PageId(1), Lsn(1));
+        pool.with_page_mut(PageId(1), |v| {
+            assert_eq!(v.bump_fpi_counter(), 1);
+            assert_eq!(v.bump_fpi_counter(), 2);
+            v.reset_fpi_counter();
+            assert_eq!(v.bump_fpi_counter(), 1);
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let (_fm, _log, pool) = setup(16);
+        let pool = Arc::new(pool);
+        for i in 1..=8u64 {
+            format_on(&pool, PageId(i), Lsn(i));
+        }
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let pool = pool.clone();
+                s.spawn(move || {
+                    for round in 0..200u64 {
+                        let pid = PageId(1 + (t as u64 + round) % 8);
+                        if round % 3 == 0 {
+                            pool.with_page_mut(pid, |v| {
+                                let lsn = Lsn(1000 + round);
+                                v.page_mut().set_page_lsn(lsn);
+                                v.mark_dirty(lsn);
+                                Ok(())
+                            })
+                            .unwrap();
+                        } else {
+                            pool.with_page(pid, |p| {
+                                assert_eq!(p.page_id(), pid);
+                                Ok(())
+                            })
+                            .unwrap();
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn invalid_page_rejected() {
+        let (_fm, _log, pool) = setup(4);
+        assert!(pool.with_page(PageId::INVALID, |_| Ok(())).is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! Engine-wide error and result types.
+
+use crate::ids::{Lsn, ObjectId, PageId, TxnId};
+use crate::Timestamp;
+use std::fmt;
+
+/// The engine-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Every failure the engine can surface.
+///
+/// The variants are deliberately specific: callers (the TPC-C driver, the
+/// snapshot machinery, tests) dispatch on them — e.g. a driver retries on
+/// [`Error::Deadlock`] but aborts the run on [`Error::Corruption`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A row or key was not found where one was required.
+    KeyNotFound,
+    /// An insert collided with an existing key in a unique index.
+    DuplicateKey,
+    /// A record did not fit in a page and could not be split further
+    /// (e.g. a single row larger than a page).
+    RecordTooLarge { size: usize, max: usize },
+    /// The named table does not exist in the catalog.
+    TableNotFound(String),
+    /// An object id present in a reference was missing from the catalog.
+    ObjectNotFound(ObjectId),
+    /// The transaction was chosen as a deadlock victim and rolled back.
+    Deadlock(TxnId),
+    /// A lock could not be acquired within the configured timeout.
+    LockTimeout(TxnId),
+    /// The transaction has already been aborted; no further work is allowed.
+    TxnAborted(TxnId),
+    /// The transaction handle was used after commit/rollback.
+    TxnFinished(TxnId),
+    /// An as-of time fell outside the configured retention period, or the
+    /// log needed for undo has been truncated.
+    RetentionExceeded {
+        /// Requested point in time.
+        requested: Timestamp,
+        /// Earliest recoverable point.
+        earliest: Timestamp,
+    },
+    /// A log record needed for undo/redo has been truncated away.
+    LogTruncated(Lsn),
+    /// A write was attempted against a read-only database (e.g. a snapshot).
+    ReadOnly,
+    /// The page image failed an integrity check (checksum, id mismatch,
+    /// structural invariant).
+    Corruption(String),
+    /// A page id was out of the database's range or otherwise invalid.
+    InvalidPage(PageId),
+    /// An argument or configuration value was rejected.
+    InvalidArg(String),
+    /// The underlying (real or simulated) storage failed.
+    Io(String),
+    /// The requested snapshot does not exist or was dropped.
+    SnapshotNotFound(String),
+    /// Catch-all for internal invariant violations; always a bug.
+    Internal(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::KeyNotFound => write!(f, "key not found"),
+            Error::DuplicateKey => write!(f, "duplicate key"),
+            Error::RecordTooLarge { size, max } => {
+                write!(f, "record of {size} bytes exceeds page capacity of {max} bytes")
+            }
+            Error::TableNotFound(name) => write!(f, "table '{name}' not found"),
+            Error::ObjectNotFound(id) => write!(f, "object {id} not found in catalog"),
+            Error::Deadlock(t) => write!(f, "transaction {t} was chosen as deadlock victim"),
+            Error::LockTimeout(t) => write!(f, "transaction {t} timed out waiting for a lock"),
+            Error::TxnAborted(t) => write!(f, "transaction {t} is aborted"),
+            Error::TxnFinished(t) => write!(f, "transaction {t} has already finished"),
+            Error::RetentionExceeded { requested, earliest } => write!(
+                f,
+                "requested time {requested} is outside the retention period (earliest {earliest})"
+            ),
+            Error::LogTruncated(lsn) => {
+                write!(f, "log record at {lsn} has been truncated away")
+            }
+            Error::ReadOnly => write!(f, "database is read-only"),
+            Error::Corruption(msg) => write!(f, "corruption detected: {msg}"),
+            Error::InvalidPage(p) => write!(f, "invalid page id {p}"),
+            Error::InvalidArg(msg) => write!(f, "invalid argument: {msg}"),
+            Error::Io(msg) => write!(f, "i/o error: {msg}"),
+            Error::SnapshotNotFound(name) => write!(f, "snapshot '{name}' not found"),
+            Error::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::RetentionExceeded {
+            requested: Timestamp::from_micros(1_000_000),
+            earliest: Timestamp::from_micros(2_000_000),
+        };
+        let s = e.to_string();
+        assert!(s.contains("retention"));
+        assert!(Error::Deadlock(TxnId(3)).to_string().contains("T3"));
+        assert!(Error::TableNotFound("orders".into()).to_string().contains("orders"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::other("boom");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+    }
+}

@@ -1,0 +1,24 @@
+//! Shared foundation types for the `rewind` engine.
+//!
+//! This crate hosts everything that every other layer of the system needs but
+//! that does not itself contain any storage-engine logic:
+//!
+//! * strongly-typed identifiers ([`Lsn`], [`PageId`], [`TxnId`], [`ObjectId`]),
+//! * the engine-wide [`Error`]/[`Result`] types,
+//! * the simulated wall clock ([`SimClock`]) that gives the engine a
+//!   deterministic time axis (commit and checkpoint records are stamped with
+//!   it, and as-of snapshot creation maps wall-clock time back to an LSN),
+//! * device models ([`MediaModel`]) and I/O accounting ([`IoStats`]) used to
+//!   reproduce the paper's SSD-vs-SAS experiments on arbitrary hardware,
+//! * small binary codec helpers shared by the log and row formats.
+
+pub mod clock;
+pub mod codec;
+pub mod error;
+pub mod ids;
+pub mod media;
+
+pub use clock::{SimClock, Timestamp};
+pub use error::{Error, Result};
+pub use ids::{Lsn, ObjectId, PageId, SlotId, TxnId};
+pub use media::{IoSnapshot, IoStats, MediaModel};

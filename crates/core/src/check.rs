@@ -1,0 +1,194 @@
+//! Whole-database consistency checking (the `DBCC CHECKDB` analogue).
+//!
+//! Verifies, against any [`Store`] — so it runs identically on the live
+//! database and on as-of snapshots:
+//!
+//! * boot-page sanity and catalog readability;
+//! * every table and index B-Tree: key order, separator bounds, sibling
+//!   links, level consistency (via `BTree::verify`), heap chains;
+//! * **allocation agreement**: every page reachable from the catalog is
+//!   allocated, no page is owned by two objects, and the allocation-map
+//!   count matches the reachable count (no leaks, no double use);
+//! * **index agreement**: every base row has exactly its index entries and
+//!   every index entry resolves to a base row.
+//!
+//! Because this runs on snapshots too, it double-checks the paper's central
+//! claim: the *rewound* database is a well-formed database.
+
+use crate::boot::read_boot;
+use crate::catalog::{self, SysTrees, TableInfo, TableKind};
+use crate::database::Database;
+use crate::snapdb::SnapshotDb;
+use rewind_access::store::Store;
+use rewind_access::value::decode_row;
+use rewind_common::{Error, PageId, Result};
+use std::collections::HashMap;
+use std::ops::Bound;
+
+/// Summary of a successful consistency check.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckReport {
+    /// User tables checked.
+    pub tables: usize,
+    /// Secondary indexes checked.
+    pub indexes: usize,
+    /// Total rows across all tables.
+    pub rows: usize,
+    /// Pages reachable from the catalog (incl. system trees).
+    pub reachable_pages: usize,
+    /// Pages the allocation maps say are allocated (incl. boot + maps).
+    pub allocated_pages: usize,
+}
+
+/// Run the full consistency check through `store`.
+pub fn check_consistency<S: Store>(store: &S) -> Result<CheckReport> {
+    let boot = read_boot(store)?;
+    let sys = SysTrees::from_boot(&boot);
+    let mut report = CheckReport::default();
+    let mut owner_of: HashMap<PageId, rewind_common::ObjectId> = HashMap::new();
+
+    // System catalog trees are ordinary trees: verify + claim their pages.
+    for tree in [sys.tables, sys.columns, sys.indexes] {
+        tree.verify(store)?;
+        claim_pages(store, &mut owner_of, tree.object, tree.collect_pages(store)?)?;
+    }
+
+    let tables = catalog::list_tables(store, &sys)?;
+    for info in &tables {
+        report.tables += 1;
+        report.rows += check_table(store, info, &mut owner_of)?;
+        report.indexes += info.indexes.len();
+    }
+
+    // Allocation agreement.
+    report.reachable_pages = owner_of.len() + 2; // + boot page and first map page
+    report.allocated_pages = rewind_access::allocator::allocated_count(store)?;
+    // Each region's map page is allocated but not "reachable" from the
+    // catalog; region 0's is accounted above. Allow for extra regions.
+    if report.allocated_pages < report.reachable_pages {
+        return Err(Error::Corruption(format!(
+            "allocation map says {} pages allocated but {} are reachable",
+            report.allocated_pages, report.reachable_pages
+        )));
+    }
+    let leaked = report.allocated_pages - report.reachable_pages;
+    // every non-region-0 map page accounts for at most one extra
+    let max_extra_maps = 8;
+    if leaked > max_extra_maps {
+        return Err(Error::Corruption(format!(
+            "{leaked} allocated pages are unreachable from the catalog (leak)"
+        )));
+    }
+    Ok(report)
+}
+
+fn claim_pages<S: Store>(
+    store: &S,
+    owner_of: &mut HashMap<PageId, rewind_common::ObjectId>,
+    object: rewind_common::ObjectId,
+    pages: Vec<PageId>,
+) -> Result<()> {
+    for pid in pages {
+        if let Some(prev) = owner_of.insert(pid, object) {
+            return Err(Error::Corruption(format!(
+                "page {pid:?} owned by both {prev:?} and {object:?}"
+            )));
+        }
+        if !rewind_access::allocator::is_allocated(store, pid)? {
+            return Err(Error::Corruption(format!(
+                "page {pid:?} of {object:?} is reachable but not allocated"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn check_table<S: Store>(
+    store: &S,
+    info: &TableInfo,
+    owner_of: &mut HashMap<PageId, rewind_common::ObjectId>,
+) -> Result<usize> {
+    let rows = match info.kind {
+        TableKind::Tree => {
+            let tree = info.tree()?;
+            let n = tree.verify(store)?;
+            claim_pages(store, owner_of, info.id, tree.collect_pages(store)?)?;
+
+            // Index agreement: base -> index and index -> base.
+            for idx in &info.indexes {
+                let itree = idx.tree();
+                itree.verify(store)?;
+                claim_pages(store, owner_of, idx.id, itree.collect_pages(store)?)?;
+
+                let mut expected: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+                tree.scan(store, Bound::Unbounded, Bound::Unbounded, |k, v| {
+                    let row = decode_row(v)?;
+                    expected.insert(info.index_key_bytes(idx, &row)?, k.to_vec());
+                    Ok(true)
+                })?;
+                let mut seen = 0usize;
+                let mut err: Option<String> = None;
+                itree.scan(store, Bound::Unbounded, Bound::Unbounded, |ik, pk| {
+                    seen += 1;
+                    match expected.get(ik) {
+                        Some(expect_pk) if expect_pk == pk => {}
+                        Some(_) => {
+                            err = Some(format!(
+                                "index '{}' entry points at the wrong base row",
+                                idx.name
+                            ));
+                            return Ok(false);
+                        }
+                        None => {
+                            err = Some(format!("index '{}' has an orphan entry", idx.name));
+                            return Ok(false);
+                        }
+                    }
+                    Ok(true)
+                })?;
+                if let Some(msg) = err {
+                    return Err(Error::Corruption(msg));
+                }
+                if seen != expected.len() {
+                    return Err(Error::Corruption(format!(
+                        "index '{}' has {seen} entries for {} base rows",
+                        idx.name,
+                        expected.len()
+                    )));
+                }
+            }
+            n
+        }
+        TableKind::Heap => {
+            let heap = info.heap()?;
+            let n = heap.count(store)?;
+            claim_pages(store, owner_of, info.id, heap.collect_pages(store)?)?;
+            // every live row decodes
+            heap.scan(store, |_, bytes| {
+                decode_row(bytes)?;
+                Ok(true)
+            })?;
+            n
+        }
+    };
+    Ok(rows)
+}
+
+impl Database {
+    /// Run the full consistency check on the live database.
+    pub fn check_consistency(&self) -> Result<CheckReport> {
+        let txn = self.begin();
+        let store = self.store(&txn);
+        let r = check_consistency(&store);
+        self.txns.finish(txn.id());
+        r
+    }
+}
+
+impl SnapshotDb {
+    /// Run the full consistency check *as of the snapshot time*: the
+    /// rewound database must be structurally sound too.
+    pub fn check_consistency(&self) -> Result<CheckReport> {
+        check_consistency(&self.raw().store())
+    }
+}

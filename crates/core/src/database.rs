@@ -1,0 +1,830 @@
+//! The [`Database`] facade: lifecycle, transactions, DDL, checkpoints,
+//! retention and snapshots.
+
+use crate::boot::{self, BootInfo};
+use crate::catalog::{self, IndexInfo, SysTrees, TableInfo, TableKind};
+use crate::snapdb::SnapshotDb;
+use parking_lot::{Mutex, RwLock};
+use rewind_access::store::{ModKind, Store};
+use rewind_access::{BTree, Heap, Schema};
+use rewind_buffer::BufferPool;
+use rewind_common::{
+    Error, IoSnapshot, Lsn, ObjectId, PageId, Result, SimClock, Timestamp, TxnId,
+};
+use rewind_pagestore::{FileManager, MemFileManager, PageType};
+use rewind_recovery::{
+    analyze, redo_pass, rollback::undo_record, take_checkpoint, AccessKind, EngineParts,
+    EngineStore,
+};
+use rewind_snapshot::AsOfSnapshot;
+use rewind_txn::{LockKey, LockManager, LockMode, ObjectLatches, TxnManager, TxnShared, TxnState};
+use rewind_wal::{LogConfig, LogManager, LogPayload, LogRecord};
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct DbConfig {
+    /// Buffer pool size in 8 KiB frames.
+    pub buffer_pages: usize,
+    /// Full-page-image interval N (paper §6.1); 0 disables FPIs.
+    pub fpi_interval: u32,
+    /// Lock wait timeout.
+    pub lock_timeout: Duration,
+    /// Take a checkpoint after this many log bytes (0 = manual only). The
+    /// paper's "target recovery interval" expressed in log volume.
+    pub checkpoint_interval_bytes: u64,
+    /// Log manager tuning.
+    pub log: LogConfig,
+    /// Initial retention period in microseconds (paper §4.3); 0 retains
+    /// everything until configured otherwise.
+    pub retention_micros: u64,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            buffer_pages: 4096,
+            fpi_interval: 0,
+            lock_timeout: Duration::from_secs(5),
+            checkpoint_interval_bytes: 8 << 20,
+            log: LogConfig::default(),
+            retention_micros: 0,
+        }
+    }
+}
+
+/// A transaction handle. Obtain with [`Database::begin`]; finish with
+/// [`Database::commit`] or [`Database::rollback`]. Dropping an unfinished
+/// handle leaks its locks until rolled back by id.
+pub struct Txn {
+    pub(crate) shared: Arc<TxnShared>,
+}
+
+impl Txn {
+    /// The transaction's id.
+    pub fn id(&self) -> TxnId {
+        self.shared.id
+    }
+
+    /// LSN of the transaction's most recent log record.
+    pub fn last_lsn(&self) -> Lsn {
+        self.shared.last_lsn()
+    }
+}
+
+/// Counters describing current database state.
+#[derive(Clone, Copy, Debug)]
+pub struct DbStats {
+    /// Pages currently allocated.
+    pub allocated_pages: usize,
+    /// Total log bytes ever written.
+    pub log_bytes: u64,
+    /// Log bytes still retained.
+    pub log_retained_bytes: u64,
+    /// Active transactions.
+    pub active_txns: usize,
+}
+
+/// What survives a crash: the database file, the durable log, and the clock.
+pub struct CrashArtifacts {
+    /// The database file.
+    pub fm: Arc<dyn FileManager>,
+    /// In-memory backend handle, when applicable (backup support).
+    pub fm_mem: Option<Arc<MemFileManager>>,
+    /// The write-ahead log (its unflushed tail is discarded by recovery).
+    pub log: Arc<LogManager>,
+    /// The simulated wall clock.
+    pub clock: SimClock,
+    /// Configuration to reopen with.
+    pub config: DbConfig,
+}
+
+/// An embedded database instance.
+pub struct Database {
+    pub(crate) parts: Arc<EngineParts>,
+    fm_mem: Option<Arc<MemFileManager>>,
+    pub(crate) txns: Arc<TxnManager>,
+    pub(crate) locks: Arc<LockManager>,
+    pub(crate) clock: SimClock,
+    config: DbConfig,
+    pub(crate) sys: SysTrees,
+    table_cache: RwLock<HashMap<u64, Arc<TableInfo>>>,
+    name_cache: RwLock<HashMap<String, u64>>,
+    retention_micros: AtomicU64,
+    commit_stamp: Mutex<()>,
+    snapshots: Mutex<HashMap<String, Arc<AsOfSnapshot>>>,
+}
+
+impl Database {
+    /// Create a fresh in-memory database.
+    pub fn create(config: DbConfig) -> Result<Database> {
+        Self::create_with_clock(config, SimClock::new())
+    }
+
+    /// Create a fresh in-memory database sharing an external clock.
+    pub fn create_with_clock(config: DbConfig, clock: SimClock) -> Result<Database> {
+        let fm_mem = Arc::new(MemFileManager::new());
+        let fm: Arc<dyn FileManager> = fm_mem.clone();
+        let log = Arc::new(LogManager::new(config.log.clone()));
+        let db = Self::assemble(fm, Some(fm_mem), log, clock, config, true)?;
+        Ok(db)
+    }
+
+    /// Open a database over an already-consistent file and log (no
+    /// recovery). Used by backup/restore, which rebuilds the file itself.
+    pub fn open_existing(
+        fm_mem: Arc<MemFileManager>,
+        log: Arc<LogManager>,
+        clock: SimClock,
+        config: DbConfig,
+    ) -> Result<Database> {
+        let fm: Arc<dyn FileManager> = fm_mem.clone();
+        Self::assemble(fm, Some(fm_mem), log, clock, config, false)
+    }
+
+    fn make_parts(
+        fm: Arc<dyn FileManager>,
+        log: Arc<LogManager>,
+        config: &DbConfig,
+    ) -> Arc<EngineParts> {
+        let pool = Arc::new(BufferPool::new(fm, log.clone(), config.buffer_pages));
+        Arc::new(EngineParts {
+            pool,
+            log,
+            latches: Arc::new(ObjectLatches::new()),
+            alloc_lock: Mutex::new(()),
+            mod_gate: RwLock::new(()),
+            cow_sinks: RwLock::new(Vec::new()),
+            cow_token: AtomicU64::new(1),
+            fpi_interval: config.fpi_interval,
+        })
+    }
+
+    fn assemble(
+        fm: Arc<dyn FileManager>,
+        fm_mem: Option<Arc<MemFileManager>>,
+        log: Arc<LogManager>,
+        clock: SimClock,
+        config: DbConfig,
+        bootstrap: bool,
+    ) -> Result<Database> {
+        let parts = Self::make_parts(fm, log, &config);
+        Self::assemble_from_parts(parts, fm_mem, clock, config, bootstrap)
+    }
+
+    fn assemble_from_parts(
+        parts: Arc<EngineParts>,
+        fm_mem: Option<Arc<MemFileManager>>,
+        clock: SimClock,
+        config: DbConfig,
+        bootstrap: bool,
+    ) -> Result<Database> {
+        let txns = Arc::new(TxnManager::new());
+        let locks = Arc::new(LockManager::new(config.lock_timeout));
+        let retention = AtomicU64::new(config.retention_micros);
+
+        let sys = if bootstrap {
+            // Bootstrap: system trees + boot page, all logged in one txn.
+            let txn = txns.begin();
+            let store = EngineStore::new(&parts, &txn);
+            let tables = BTree::create(&store, ObjectId::SYS_TABLES)?;
+            let columns = BTree::create(&store, ObjectId::SYS_COLUMNS)?;
+            let indexes = BTree::create(&store, ObjectId::SYS_INDEXES)?;
+            boot::initialize_boot(
+                &store,
+                &BootInfo {
+                    sys_tables_root: tables.root,
+                    sys_columns_root: columns.root,
+                    sys_indexes_root: indexes.root,
+                    next_object_id: ObjectId::FIRST_USER.0,
+                    fpi_interval: config.fpi_interval,
+                    retention_micros: config.retention_micros,
+                },
+            )?;
+            let commit = LogRecord {
+                lsn: Lsn::NULL,
+                txn: txn.id,
+                prev_lsn: txn.last_lsn(),
+                page: PageId::INVALID,
+                prev_page_lsn: Lsn::NULL,
+                object: ObjectId::NONE,
+                undo_next: Lsn::NULL,
+                flags: 0,
+                payload: LogPayload::Commit { at: clock.now() },
+            };
+            let lsn = parts.log.append(&commit);
+            parts.log.flush_to(lsn);
+            txns.finish(txn.id);
+            SysTrees { tables, columns, indexes }
+        } else {
+            let txn = txns.begin();
+            let store = EngineStore::new(&parts, &txn);
+            let boot = boot::read_boot(&store)?;
+            // durable settings win over construction defaults
+            retention.store(boot.retention_micros, Ordering::Release);
+            let sys = SysTrees::from_boot(&boot);
+            txns.finish(txn.id);
+            sys
+        };
+
+        let db = Database {
+            parts,
+            fm_mem,
+            txns,
+            locks,
+            clock,
+            config,
+            sys,
+            table_cache: RwLock::new(HashMap::new()),
+            name_cache: RwLock::new(HashMap::new()),
+            retention_micros: retention,
+            commit_stamp: Mutex::new(()),
+            snapshots: Mutex::new(HashMap::new()),
+        };
+        if bootstrap {
+            db.checkpoint()?;
+        }
+        Ok(db)
+    }
+
+    // ---- accessors -----------------------------------------------------------
+
+    /// The simulated wall clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Shared engine internals (used by snapshots, backup and benches).
+    pub fn parts(&self) -> &Arc<EngineParts> {
+        &self.parts
+    }
+
+    /// The write-ahead log.
+    pub fn log(&self) -> &Arc<LogManager> {
+        &self.parts.log
+    }
+
+    /// The in-memory file backend, when applicable (backup support).
+    pub fn mem_file(&self) -> Option<&Arc<MemFileManager>> {
+        self.fm_mem.as_ref()
+    }
+
+    /// Data-file I/O counters.
+    pub fn data_io(&self) -> IoSnapshot {
+        self.parts.pool.file_manager().io_stats().snapshot()
+    }
+
+    /// Log I/O counters.
+    pub fn log_io(&self) -> IoSnapshot {
+        self.parts.log.io_stats().snapshot()
+    }
+
+    /// Current engine statistics.
+    pub fn stats(&self) -> Result<DbStats> {
+        let txn = self.txns.begin();
+        let store = EngineStore::new(&self.parts, &txn);
+        let allocated = rewind_access::allocator::allocated_count(&store)?;
+        self.txns.finish(txn.id);
+        Ok(DbStats {
+            allocated_pages: allocated,
+            log_bytes: self.parts.log.total_bytes(),
+            log_retained_bytes: self.parts.log.retained_bytes(),
+            active_txns: self.txns.active_count(),
+        })
+    }
+
+    // ---- transactions ---------------------------------------------------------
+
+    /// Begin a transaction.
+    pub fn begin(&self) -> Txn {
+        Txn { shared: self.txns.begin() }
+    }
+
+    /// The live-engine store bound to `txn`.
+    pub fn store<'a>(&'a self, txn: &'a Txn) -> EngineStore<'a> {
+        EngineStore::new(&self.parts, &txn.shared)
+    }
+
+    /// Commit: append the commit record stamped with the wall clock (the
+    /// stamp SplitLSN search keys on, §5.1), force the log, release locks.
+    pub fn commit(&self, txn: Txn) -> Result<()> {
+        let shared = txn.shared;
+        if shared.state() != TxnState::Active {
+            return Err(Error::TxnFinished(shared.id));
+        }
+        if shared.last_lsn().is_valid() {
+            // Stamp+append atomically so commit timestamps are monotone in
+            // LSN order.
+            let lsn = {
+                let _stamp = self.commit_stamp.lock();
+                let rec = LogRecord {
+                    lsn: Lsn::NULL,
+                    txn: shared.id,
+                    prev_lsn: shared.last_lsn(),
+                    page: PageId::INVALID,
+                    prev_page_lsn: Lsn::NULL,
+                    object: ObjectId::NONE,
+                    undo_next: Lsn::NULL,
+                    flags: 0,
+                    payload: LogPayload::Commit { at: self.clock.now() },
+                };
+                let lsn = self.parts.log.append(&rec);
+                shared.record_logged(lsn);
+                lsn
+            };
+            self.parts.log.flush_to(lsn);
+        }
+        shared.set_state(TxnState::Committed);
+        self.locks.release_all(shared.id);
+        self.txns.finish(shared.id);
+        self.maybe_checkpoint()?;
+        Ok(())
+    }
+
+    /// Roll the transaction back: walk its chain writing CLRs (§4.2-2),
+    /// then release locks.
+    pub fn rollback(&self, txn: Txn) -> Result<()> {
+        let shared = txn.shared;
+        if shared.state() != TxnState::Active {
+            return Err(Error::TxnFinished(shared.id));
+        }
+        if shared.last_lsn().is_valid() {
+            self.append_marker(&shared, LogPayload::Abort);
+            let store = EngineStore::new(&self.parts, &shared);
+            let resolver = |obj: ObjectId| self.resolve_access_uncached(obj);
+            rewind_recovery::rollback_chain(
+                &store,
+                &self.parts.log,
+                shared.last_lsn(),
+                &resolver,
+            )?;
+            self.append_marker(&shared, LogPayload::End);
+            self.parts.log.flush_to(self.parts.log.tail_lsn());
+        }
+        shared.set_state(TxnState::Aborted);
+        self.locks.release_all(shared.id);
+        self.txns.finish(shared.id);
+        // DDL may have been undone; drop caches wholesale.
+        self.invalidate_catalog();
+        Ok(())
+    }
+
+    fn append_marker(&self, shared: &TxnShared, payload: LogPayload) -> Lsn {
+        let rec = LogRecord {
+            lsn: Lsn::NULL,
+            txn: shared.id,
+            prev_lsn: shared.last_lsn(),
+            page: PageId::INVALID,
+            prev_page_lsn: Lsn::NULL,
+            object: ObjectId::NONE,
+            undo_next: Lsn::NULL,
+            flags: 0,
+            payload,
+        };
+        let lsn = self.parts.log.append(&rec);
+        shared.record_logged(lsn);
+        lsn
+    }
+
+    /// Run `f` inside a fresh transaction, committing on success and rolling
+    /// back on error.
+    pub fn with_txn<R>(&self, f: impl FnOnce(&Txn) -> Result<R>) -> Result<R> {
+        let txn = self.begin();
+        match f(&txn) {
+            Ok(r) => {
+                self.commit(txn)?;
+                Ok(r)
+            }
+            Err(e) => {
+                let _ = self.rollback(txn);
+                Err(e)
+            }
+        }
+    }
+
+    // ---- catalog / DDL ---------------------------------------------------------
+
+    /// Look up a table by name (cached).
+    pub fn table(&self, name: &str) -> Result<Arc<TableInfo>> {
+        if let Some(&id) = self.name_cache.read().get(name) {
+            if let Some(info) = self.table_cache.read().get(&id) {
+                return Ok(info.clone());
+            }
+        }
+        let txn = self.begin();
+        let store = self.store(&txn);
+        let found = catalog::read_table_by_name(&store, &self.sys, name)?;
+        self.txns.finish(txn.shared.id);
+        match found {
+            Some(info) => {
+                let info = Arc::new(info);
+                self.name_cache.write().insert(name.to_string(), info.id.0);
+                self.table_cache.write().insert(info.id.0, info.clone());
+                Ok(info)
+            }
+            None => Err(Error::TableNotFound(name.to_string())),
+        }
+    }
+
+    /// List all user tables.
+    pub fn list_tables(&self) -> Result<Vec<TableInfo>> {
+        let txn = self.begin();
+        let store = self.store(&txn);
+        let out = catalog::list_tables(&store, &self.sys)?;
+        self.txns.finish(txn.shared.id);
+        Ok(out)
+    }
+
+    pub(crate) fn invalidate_catalog(&self) {
+        self.table_cache.write().clear();
+        self.name_cache.write().clear();
+    }
+
+    /// Create a B-Tree table.
+    pub fn create_table(&self, txn: &Txn, name: &str, schema: Schema) -> Result<ObjectId> {
+        self.create_table_kind(txn, name, schema, TableKind::Tree)
+    }
+
+    /// Create a heap table.
+    pub fn create_heap_table(&self, txn: &Txn, name: &str, schema: Schema) -> Result<ObjectId> {
+        self.create_table_kind(txn, name, schema, TableKind::Heap)
+    }
+
+    fn create_table_kind(
+        &self,
+        txn: &Txn,
+        name: &str,
+        schema: Schema,
+        kind: TableKind,
+    ) -> Result<ObjectId> {
+        let store = self.store(txn);
+        // DDL serializes on the catalog.
+        self.locks.acquire(txn.id(), &LockKey::table(ObjectId::SYS_TABLES), LockMode::X)?;
+        if catalog::read_table_by_name(&store, &self.sys, name)?.is_some() {
+            return Err(Error::InvalidArg(format!("table '{name}' already exists")));
+        }
+        let id = ObjectId(boot::allocate_object_id(&store)?);
+        let root = match kind {
+            TableKind::Tree => BTree::create(&store, id)?.root,
+            TableKind::Heap => Heap::create(&store, id)?.first,
+        };
+        let info = TableInfo {
+            id,
+            name: name.to_string(),
+            kind,
+            root,
+            schema: schema.clone(),
+            indexes: Vec::new(),
+        };
+        self.sys.tables.insert(&store, &catalog::table_key(id), &catalog::table_row(&info))?;
+        for (ord, col) in schema.columns.iter().enumerate() {
+            let key_pos = schema.key.iter().position(|&k| k == ord);
+            self.sys.columns.insert(
+                &store,
+                &catalog::column_key(id, ord),
+                &catalog::column_row(id, ord, col, key_pos),
+            )?;
+        }
+        self.invalidate_catalog();
+        Ok(id)
+    }
+
+    /// Create a secondary index over named columns of a B-Tree table.
+    pub fn create_index(
+        &self,
+        txn: &Txn,
+        table_name: &str,
+        index_name: &str,
+        cols: &[&str],
+    ) -> Result<ObjectId> {
+        let store = self.store(txn);
+        self.locks.acquire(txn.id(), &LockKey::table(ObjectId::SYS_TABLES), LockMode::X)?;
+        let info = catalog::read_table_by_name(&store, &self.sys, table_name)?
+            .ok_or_else(|| Error::TableNotFound(table_name.to_string()))?;
+        if info.indexes.iter().any(|i| i.name == index_name) {
+            return Err(Error::InvalidArg(format!("index '{index_name}' already exists")));
+        }
+        // Block concurrent writers while building.
+        self.locks.acquire(txn.id(), &LockKey::table(info.id), LockMode::X)?;
+        let col_ords: Vec<usize> = cols
+            .iter()
+            .map(|c| info.schema.column_index(c))
+            .collect::<Result<_>>()?;
+        let id = ObjectId(boot::allocate_object_id(&store)?);
+        let tree = BTree::create(&store, id)?;
+        let idx = IndexInfo { id, name: index_name.to_string(), root: tree.root, cols: col_ords };
+        // Backfill from existing rows: index entries map
+        // (indexed cols + pk) -> pk bytes so base rows can be fetched.
+        let base = info.tree()?;
+        let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        base.scan(&store, std::ops::Bound::Unbounded, std::ops::Bound::Unbounded, |k, v| {
+            let row = rewind_access::value::decode_row(v)?;
+            entries.push((info.index_key_bytes(&idx, &row)?, k.to_vec()));
+            Ok(true)
+        })?;
+        for (ikey, pk) in entries {
+            tree.insert(&store, &ikey, &pk)?;
+        }
+        self.sys.indexes.insert(&store, &catalog::index_key(id), &catalog::index_row(info.id, &idx))?;
+        self.invalidate_catalog();
+        Ok(id)
+    }
+
+    /// Drop a secondary index: delete its catalog row and deallocate its
+    /// pages (content left in place, so it too is recoverable as-of).
+    pub fn drop_index(&self, txn: &Txn, table_name: &str, index_name: &str) -> Result<()> {
+        let store = self.store(txn);
+        self.locks.acquire(txn.id(), &LockKey::table(ObjectId::SYS_TABLES), LockMode::X)?;
+        let info = catalog::read_table_by_name(&store, &self.sys, table_name)?
+            .ok_or_else(|| Error::TableNotFound(table_name.to_string()))?;
+        let idx = info.index(index_name)?.clone();
+        self.locks.acquire(txn.id(), &LockKey::table(info.id), LockMode::X)?;
+        let pages = idx.tree().collect_pages(&store)?;
+        self.sys.indexes.delete(&store, &catalog::index_key(idx.id))?;
+        for pid in pages {
+            store.free_page(pid, ModKind::User)?;
+        }
+        self.invalidate_catalog();
+        Ok(())
+    }
+
+    /// Drop a table: delete its catalog rows and deallocate its pages. Page
+    /// *content* is left untouched (§4.2-1), which is exactly what makes the
+    /// dropped table recoverable through an as-of snapshot.
+    pub fn drop_table(&self, txn: &Txn, name: &str) -> Result<()> {
+        let store = self.store(txn);
+        self.locks.acquire(txn.id(), &LockKey::table(ObjectId::SYS_TABLES), LockMode::X)?;
+        let info = catalog::read_table_by_name(&store, &self.sys, name)?
+            .ok_or_else(|| Error::TableNotFound(name.to_string()))?;
+        self.locks.acquire(txn.id(), &LockKey::table(info.id), LockMode::X)?;
+
+        // Collect every page first (catalog rows must still be readable).
+        let mut pages: Vec<PageId> = Vec::new();
+        match info.kind {
+            TableKind::Tree => pages.extend(info.tree()?.collect_pages(&store)?),
+            TableKind::Heap => pages.extend(info.heap()?.collect_pages(&store)?),
+        }
+        for idx in &info.indexes {
+            pages.extend(idx.tree().collect_pages(&store)?);
+            self.sys.indexes.delete(&store, &catalog::index_key(idx.id))?;
+        }
+        self.sys.tables.delete(&store, &catalog::table_key(info.id))?;
+        for ord in 0..info.schema.columns.len() {
+            self.sys.columns.delete(&store, &catalog::column_key(info.id, ord))?;
+        }
+        for pid in pages {
+            store.free_page(pid, ModKind::User)?;
+        }
+        self.invalidate_catalog();
+        Ok(())
+    }
+
+    /// Truncate a B-Tree table: deallocate everything but the root and
+    /// reformat the root as an empty leaf (old image logged as undo info).
+    pub fn truncate_table(&self, txn: &Txn, name: &str) -> Result<()> {
+        let store = self.store(txn);
+        let info = self.table(name)?;
+        self.locks.acquire(txn.id(), &LockKey::table(info.id), LockMode::X)?;
+        let tree = info.tree()?;
+        let pages = tree.collect_pages(&store)?;
+        let root_image = store.with_page(tree.root, |p| Ok(Box::new(*p.image())))?;
+        store.modify(
+            tree.root,
+            LogPayload::Reformat {
+                object: info.id,
+                ty: PageType::BTreeLeaf,
+                level: 0,
+                prev_image: root_image,
+            },
+            ModKind::User,
+        )?;
+        for pid in pages {
+            if pid != tree.root {
+                store.free_page(pid, ModKind::User)?;
+            }
+        }
+        Ok(())
+    }
+
+    // ---- object resolution (rollback, recovery) --------------------------------
+
+    /// Resolve an object id to its access method, reading the catalog fresh
+    /// (rollback may be restoring the catalog rows it needs, so caches are
+    /// not trusted).
+    pub fn resolve_access_uncached(&self, obj: ObjectId) -> Result<AccessKind> {
+        if obj == ObjectId::SYS_TABLES {
+            return Ok(AccessKind::Tree(self.sys.tables));
+        }
+        if obj == ObjectId::SYS_COLUMNS {
+            return Ok(AccessKind::Tree(self.sys.columns));
+        }
+        if obj == ObjectId::SYS_INDEXES {
+            return Ok(AccessKind::Tree(self.sys.indexes));
+        }
+        let txn = self.txns.begin();
+        let store = EngineStore::new(&self.parts, &txn);
+        let result = (|| {
+            if let Some(t) = catalog::read_table_by_id(&store, &self.sys, obj)? {
+                return Ok(match t.kind {
+                    TableKind::Tree => AccessKind::Tree(t.tree()?),
+                    TableKind::Heap => AccessKind::Heap(t.heap()?),
+                });
+            }
+            if let Some((_, idx)) = catalog::read_index_by_id(&store, &self.sys, obj)? {
+                return Ok(AccessKind::Tree(idx.tree()));
+            }
+            Err(Error::ObjectNotFound(obj))
+        })();
+        self.txns.finish(txn.id);
+        result
+    }
+
+    // ---- checkpoints & retention ------------------------------------------------
+
+    /// Take a fuzzy checkpoint now.
+    pub fn checkpoint(&self) -> Result<Lsn> {
+        take_checkpoint(&self.parts.log, &self.txns, &self.parts.pool, self.clock.now())
+    }
+
+    /// Take a checkpoint if enough log accumulated since the last one; also
+    /// enforces the retention policy.
+    pub fn maybe_checkpoint(&self) -> Result<()> {
+        let interval = self.config.checkpoint_interval_bytes;
+        if interval == 0 {
+            return Ok(());
+        }
+        let last = self
+            .parts
+            .log
+            .checkpoint_before(Lsn::MAX)
+            .map(|c| c.end_lsn)
+            .unwrap_or(Lsn::FIRST);
+        if self.parts.log.tail_lsn().bytes_since(last) >= interval {
+            self.checkpoint()?;
+            self.enforce_retention();
+        }
+        Ok(())
+    }
+
+    /// `ALTER DATABASE SET UNDO_INTERVAL` (paper §4.3): retain enough log to
+    /// rewind `interval` into the past. Durable (logged on the boot page).
+    pub fn set_undo_interval(&self, interval: Duration) -> Result<()> {
+        let micros = interval.as_micros() as u64;
+        self.with_txn(|txn| {
+            let store = self.store(txn);
+            boot::set_retention(&store, micros)
+        })?;
+        self.retention_micros.store(micros, Ordering::Release);
+        Ok(())
+    }
+
+    /// The configured retention period.
+    pub fn undo_interval(&self) -> Duration {
+        Duration::from_micros(self.retention_micros.load(Ordering::Acquire))
+    }
+
+    /// Truncate log that is older than the retention period and not needed
+    /// by crash recovery, active transactions or open snapshots.
+    pub fn enforce_retention(&self) {
+        let retention = self.retention_micros.load(Ordering::Acquire);
+        if retention == 0 {
+            return;
+        }
+        let floor_t = self.clock.now().minus_micros(retention);
+        let Some(ck) = self.parts.log.checkpoint_before_time(floor_t) else {
+            return;
+        };
+        let mut cut = ck.begin_lsn;
+        if let Some(l) = self.txns.oldest_active_first_lsn() {
+            cut = cut.min(l);
+        }
+        for e in self.parts.pool.dirty_page_table() {
+            cut = cut.min(e.rec_lsn);
+        }
+        for snap in self.snapshots.lock().values() {
+            cut = cut.min(snap.min_needed_lsn());
+        }
+        self.parts.log.truncate_before(cut);
+    }
+
+    // ---- snapshots ----------------------------------------------------------------
+
+    /// `CREATE DATABASE <name> AS SNAPSHOT OF <db> AS OF '<t>'` (paper §5.1):
+    /// build an as-of snapshot and start its background undo. The snapshot
+    /// is queryable immediately.
+    pub fn create_snapshot_asof(&self, name: &str, t: Timestamp) -> Result<SnapshotDb> {
+        let snap = AsOfSnapshot::create(name, &self.parts, t)?;
+        self.finish_snapshot_setup(name, snap)
+    }
+
+    /// A regular (copy-on-write) snapshot of the current state (§2.2).
+    pub fn create_snapshot(&self, name: &str) -> Result<SnapshotDb> {
+        let snap = AsOfSnapshot::create_regular(name, &self.parts, self.clock.now())?;
+        self.finish_snapshot_setup(name, snap)
+    }
+
+    fn finish_snapshot_setup(&self, name: &str, snap: Arc<AsOfSnapshot>) -> Result<SnapshotDb> {
+        {
+            let mut snaps = self.snapshots.lock();
+            if snaps.contains_key(name) {
+                snap.detach(&self.parts);
+                return Err(Error::InvalidArg(format!("snapshot '{name}' already exists")));
+            }
+            snaps.insert(name.to_string(), snap.clone());
+        }
+        // Background logical undo (§5.2): resolve objects through the
+        // *snapshot's own* catalog (as of the SplitLSN).
+        let undo_snap = snap.clone();
+        snap.spawn_undo(Box::new(move |obj| SnapshotDb::resolve_on(&undo_snap, obj)));
+        SnapshotDb::open(snap)
+    }
+
+    /// Retrieve an open snapshot by name.
+    pub fn snapshot(&self, name: &str) -> Result<SnapshotDb> {
+        let snap = self
+            .snapshots
+            .lock()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::SnapshotNotFound(name.to_string()))?;
+        SnapshotDb::open(snap)
+    }
+
+    /// Drop a snapshot: detach its COW sink and release its log pin.
+    pub fn drop_snapshot(&self, name: &str) -> Result<()> {
+        let snap = self
+            .snapshots
+            .lock()
+            .remove(name)
+            .ok_or_else(|| Error::SnapshotNotFound(name.to_string()))?;
+        snap.detach(&self.parts);
+        Ok(())
+    }
+
+    // ---- crash simulation & restart recovery ---------------------------------------
+
+    /// Tear the instance down as a crash would: volatile state (buffer pool,
+    /// lock tables, unflushed log tail) is lost; the file, the durable log
+    /// and the clock survive.
+    pub fn simulate_crash(self) -> CrashArtifacts {
+        self.parts.pool.drop_cache();
+        self.parts.log.discard_unflushed();
+        CrashArtifacts {
+            fm: self.parts.pool.file_manager().clone(),
+            fm_mem: self.fm_mem.clone(),
+            log: self.parts.log.clone(),
+            clock: self.clock.clone(),
+            config: self.config.clone(),
+        }
+    }
+
+    /// ARIES restart: analysis, redo, undo (with CLRs), then reopen.
+    pub fn recover(artifacts: CrashArtifacts) -> Result<Database> {
+        let CrashArtifacts { fm, fm_mem, log, clock, config } = artifacts;
+        log.discard_unflushed();
+        // Repeat history before touching any structure (the boot page itself
+        // may only exist in the log).
+        let parts = Self::make_parts(fm, log, &config);
+        let analysis = analyze(&parts.log, Lsn::MAX)?;
+        redo_pass(&parts.log, &parts.pool, &analysis.dpt, analysis.redo_start, Lsn::MAX)?;
+
+        let db = Self::assemble_from_parts(parts, fm_mem, clock, config, false)?;
+        db.txns.bump_next_id(analysis.max_txn_id);
+
+        // Undo losers in a single merged descending-LSN sweep (CLRs logged
+        // per transaction).
+        let mut shared: HashMap<u64, Arc<TxnShared>> = HashMap::new();
+        let mut heap: BinaryHeap<(Lsn, TxnId)> = BinaryHeap::new();
+        for loser in &analysis.losers {
+            shared.insert(loser.id.0, db.txns.adopt(loser.id, loser.last_lsn));
+            heap.push((loser.last_lsn, loser.id));
+        }
+        let resolver = |obj: ObjectId| db.resolve_access_uncached(obj);
+        while let Some((lsn, txn)) = heap.pop() {
+            let rec = db.parts.log.get_record(lsn)?;
+            let sh = shared[&txn.0].clone();
+            let next = if rec.is_clr() {
+                rec.undo_next
+            } else {
+                let store = EngineStore::new(&db.parts, &sh);
+                // Position the store's chain at this record so CLRs chain
+                // correctly even across restarts.
+                sh.set_last_lsn(lsn);
+                undo_record(&store, &rec, &resolver)?;
+                rec.prev_lsn
+            };
+            if next.is_valid() {
+                heap.push((next, txn));
+            } else {
+                db.append_marker(&sh, LogPayload::End);
+                db.txns.finish(txn);
+            }
+        }
+        db.parts.log.flush_to(db.parts.log.tail_lsn());
+        db.checkpoint()?;
+        Ok(db)
+    }
+}

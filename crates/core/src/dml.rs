@@ -1,0 +1,323 @@
+//! DML and queries on the live database, with strict 2PL row locking.
+//!
+//! The locking protocol follows paper §2.1: intent locks at table
+//! granularity, shared/exclusive row locks held to commit. Scans collect
+//! candidates under the structure latch without locks, then lock and
+//! re-validate each row — latches are never held while waiting for locks.
+
+use crate::catalog::{TableInfo, TableKind};
+use crate::database::{Database, Txn};
+use rewind_access::heap::Rid;
+use rewind_access::keys::{encode_key, prefix_upper_bound};
+use rewind_access::value::{decode_row, encode_row};
+use rewind_access::{Row, Value};
+use rewind_common::{Error, Result};
+use rewind_txn::{LockKey, LockMode};
+use std::ops::Bound;
+use std::sync::Arc;
+
+impl Database {
+    fn key_bytes_of(info: &TableInfo, key: &[Value]) -> Result<Vec<u8>> {
+        if key.len() != info.schema.key.len() {
+            return Err(Error::InvalidArg(format!(
+                "table '{}' has a {}-column key, got {} values",
+                info.name,
+                info.schema.key.len(),
+                key.len()
+            )));
+        }
+        let refs: Vec<&Value> = key.iter().collect();
+        encode_key(&refs)
+    }
+
+    fn rid_lock_bytes(rid: Rid) -> Vec<u8> {
+        let mut b = rid.page.0.to_be_bytes().to_vec();
+        b.extend_from_slice(&rid.slot.to_be_bytes());
+        b
+    }
+
+    /// Insert a full row into `table`.
+    pub fn insert(&self, txn: &Txn, table: &str, row: &[Value]) -> Result<()> {
+        let info = self.table(table)?;
+        info.schema.check_row(row)?;
+        let store = self.store(txn);
+        self.locks.acquire(txn.id(), &LockKey::table(info.id), LockMode::IX)?;
+        match info.kind {
+            TableKind::Tree => {
+                let key = info.key_bytes(row)?;
+                self.locks.acquire(txn.id(), &LockKey::row(info.id, &key), LockMode::X)?;
+                info.tree()?.insert(&store, &key, &encode_row(row))?;
+                for idx in &info.indexes {
+                    let ikey = info.index_key_bytes(idx, row)?;
+                    idx.tree().insert(&store, &ikey, &key)?;
+                }
+            }
+            TableKind::Heap => {
+                let rid = info.heap()?.insert(&store, &encode_row(row))?;
+                self.locks.acquire(
+                    txn.id(),
+                    &LockKey::row(info.id, &Self::rid_lock_bytes(rid)),
+                    LockMode::X,
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    fn get_locked(
+        &self,
+        txn: &Txn,
+        info: &TableInfo,
+        key: &[Value],
+        mode: LockMode,
+        table_mode: LockMode,
+    ) -> Result<Option<Row>> {
+        let key_bytes = Self::key_bytes_of(info, key)?;
+        self.locks.acquire(txn.id(), &LockKey::table(info.id), table_mode)?;
+        self.locks.acquire(txn.id(), &LockKey::row(info.id, &key_bytes), mode)?;
+        let store = self.store(txn);
+        match info.tree()?.get(&store, &key_bytes)? {
+            Some(v) => Ok(Some(decode_row(&v)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Point lookup with a shared lock.
+    pub fn get(&self, txn: &Txn, table: &str, key: &[Value]) -> Result<Option<Row>> {
+        let info = self.table(table)?;
+        self.get_locked(txn, &info, key, LockMode::S, LockMode::IS)
+    }
+
+    /// Point lookup with an exclusive lock (read-modify-write).
+    pub fn get_for_update(&self, txn: &Txn, table: &str, key: &[Value]) -> Result<Option<Row>> {
+        let info = self.table(table)?;
+        self.get_locked(txn, &info, key, LockMode::X, LockMode::IX)
+    }
+
+    /// Replace the row whose primary key matches `row`'s key columns.
+    pub fn update(&self, txn: &Txn, table: &str, row: &[Value]) -> Result<()> {
+        let info = self.table(table)?;
+        info.schema.check_row(row)?;
+        let key = info.key_bytes(row)?;
+        self.locks.acquire(txn.id(), &LockKey::table(info.id), LockMode::IX)?;
+        self.locks.acquire(txn.id(), &LockKey::row(info.id, &key), LockMode::X)?;
+        let store = self.store(txn);
+        let tree = info.tree()?;
+        let old = tree.get(&store, &key)?.ok_or(Error::KeyNotFound)?;
+        tree.update(&store, &key, &encode_row(row))?;
+        if !info.indexes.is_empty() {
+            let old_row = decode_row(&old)?;
+            for idx in &info.indexes {
+                let old_ikey = info.index_key_bytes(idx, &old_row)?;
+                let new_ikey = info.index_key_bytes(idx, row)?;
+                if old_ikey != new_ikey {
+                    idx.tree().delete(&store, &old_ikey)?;
+                    idx.tree().insert(&store, &new_ikey, &key)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Delete the row with primary key `key`.
+    pub fn delete(&self, txn: &Txn, table: &str, key: &[Value]) -> Result<()> {
+        let info = self.table(table)?;
+        let key_bytes = Self::key_bytes_of(&info, key)?;
+        self.locks.acquire(txn.id(), &LockKey::table(info.id), LockMode::IX)?;
+        self.locks.acquire(txn.id(), &LockKey::row(info.id, &key_bytes), LockMode::X)?;
+        let store = self.store(txn);
+        let tree = info.tree()?;
+        let old = tree.get(&store, &key_bytes)?.ok_or(Error::KeyNotFound)?;
+        tree.delete(&store, &key_bytes)?;
+        if !info.indexes.is_empty() {
+            let old_row = decode_row(&old)?;
+            for idx in &info.indexes {
+                let ikey = info.index_key_bytes(idx, &old_row)?;
+                idx.tree().delete(&store, &ikey)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Collect `(key, row)` pairs in a key range without locks, then lock
+    /// and re-validate each.
+    fn scan_tree_locked(
+        &self,
+        txn: &Txn,
+        info: &TableInfo,
+        lo: Bound<&[u8]>,
+        hi: Bound<&[u8]>,
+        limit: usize,
+    ) -> Result<Vec<Row>> {
+        self.locks.acquire(txn.id(), &LockKey::table(info.id), LockMode::IS)?;
+        let store = self.store(txn);
+        let tree = info.tree()?;
+        let mut candidates: Vec<Vec<u8>> = Vec::new();
+        tree.scan(&store, lo, hi, |k, _| {
+            candidates.push(k.to_vec());
+            Ok(candidates.len() < limit)
+        })?;
+        let mut out = Vec::with_capacity(candidates.len());
+        for key in candidates {
+            self.locks.acquire(txn.id(), &LockKey::row(info.id, &key), LockMode::S)?;
+            // Re-read after locking: the row may have changed or vanished
+            // between collection and lock grant.
+            if let Some(v) = tree.get(&store, &key)? {
+                out.push(decode_row(&v)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// All rows whose key starts with `prefix` (a prefix of the key
+    /// columns), ascending.
+    pub fn scan_prefix(&self, txn: &Txn, table: &str, prefix: &[Value]) -> Result<Vec<Row>> {
+        let info = self.table(table)?;
+        match info.kind {
+            TableKind::Tree => {
+                let refs: Vec<&Value> = prefix.iter().collect();
+                if refs.is_empty() {
+                    return self.scan_all(txn, table);
+                }
+                let lo = encode_key(&refs)?;
+                let hi = prefix_upper_bound(&lo);
+                self.scan_tree_locked(
+                    txn,
+                    &info,
+                    Bound::Included(&lo),
+                    Bound::Excluded(&hi),
+                    usize::MAX,
+                )
+            }
+            TableKind::Heap => Err(Error::InvalidArg("heap tables have no key order".into())),
+        }
+    }
+
+    /// All rows with `lo <= key <= hi` (values for a prefix of the key).
+    pub fn scan_between(
+        &self,
+        txn: &Txn,
+        table: &str,
+        lo: &[Value],
+        hi: &[Value],
+    ) -> Result<Vec<Row>> {
+        let info = self.table(table)?;
+        let lo_refs: Vec<&Value> = lo.iter().collect();
+        let hi_refs: Vec<&Value> = hi.iter().collect();
+        let lo_b = encode_key(&lo_refs)?;
+        let hi_b = prefix_upper_bound(&encode_key(&hi_refs)?);
+        self.scan_tree_locked(txn, &info, Bound::Included(&lo_b), Bound::Excluded(&hi_b), usize::MAX)
+    }
+
+    /// Every row of the table.
+    pub fn scan_all(&self, txn: &Txn, table: &str) -> Result<Vec<Row>> {
+        let info = self.table(table)?;
+        match info.kind {
+            TableKind::Tree => {
+                self.scan_tree_locked(txn, &info, Bound::Unbounded, Bound::Unbounded, usize::MAX)
+            }
+            TableKind::Heap => {
+                // Heap scans take a shared table lock.
+                self.locks.acquire(txn.id(), &LockKey::table(info.id), LockMode::S)?;
+                let store = self.store(txn);
+                let mut out = Vec::new();
+                info.heap()?.scan(&store, |_, bytes| {
+                    out.push(decode_row(bytes)?);
+                    Ok(true)
+                })?;
+                Ok(out)
+            }
+        }
+    }
+
+    /// Rows matched through a secondary index by prefix of the indexed
+    /// columns, ascending, up to `limit`.
+    pub fn scan_index_prefix(
+        &self,
+        txn: &Txn,
+        table: &str,
+        index: &str,
+        prefix: &[Value],
+        limit: usize,
+    ) -> Result<Vec<Row>> {
+        let info = self.table(table)?;
+        let idx = info.index(index)?;
+        self.locks.acquire(txn.id(), &LockKey::table(info.id), LockMode::IS)?;
+        let store = self.store(txn);
+        let refs: Vec<&Value> = prefix.iter().collect();
+        let lo = encode_key(&refs)?;
+        let hi = prefix_upper_bound(&lo);
+        let mut pks: Vec<Vec<u8>> = Vec::new();
+        idx.tree().scan(&store, Bound::Included(&lo), Bound::Excluded(&hi), |_, pk| {
+            pks.push(pk.to_vec());
+            Ok(pks.len() < limit)
+        })?;
+        let tree = info.tree()?;
+        let mut out = Vec::with_capacity(pks.len());
+        for pk in pks {
+            self.locks.acquire(txn.id(), &LockKey::row(info.id, &pk), LockMode::S)?;
+            if let Some(v) = tree.get(&store, &pk)? {
+                out.push(decode_row(&v)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The row with the *largest* index key under `prefix` (e.g. "the
+    /// customer's most recent order").
+    pub fn last_by_index_prefix(
+        &self,
+        txn: &Txn,
+        table: &str,
+        index: &str,
+        prefix: &[Value],
+    ) -> Result<Option<Row>> {
+        let info = self.table(table)?;
+        let idx = info.index(index)?;
+        self.locks.acquire(txn.id(), &LockKey::table(info.id), LockMode::IS)?;
+        let store = self.store(txn);
+        let refs: Vec<&Value> = prefix.iter().collect();
+        let lo = encode_key(&refs)?;
+        let hi = prefix_upper_bound(&lo);
+        let mut pk: Option<Vec<u8>> = None;
+        idx.tree().scan_desc(&store, Bound::Included(&lo), Bound::Excluded(&hi), |_, v| {
+            pk = Some(v.to_vec());
+            Ok(false)
+        })?;
+        match pk {
+            Some(pk) => {
+                self.locks.acquire(txn.id(), &LockKey::row(info.id, &pk), LockMode::S)?;
+                match info.tree()?.get(&store, &pk)? {
+                    Some(v) => Ok(Some(decode_row(&v)?)),
+                    None => Ok(None),
+                }
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Number of rows (unlocked estimate; used by monitoring and tests).
+    pub fn count_approx(&self, table: &str) -> Result<usize> {
+        let info = self.table(table)?;
+        let txn = self.begin();
+        let store = self.store(&txn);
+        let n = match info.kind {
+            TableKind::Tree => {
+                let mut n = 0usize;
+                info.tree()?.scan(&store, Bound::Unbounded, Bound::Unbounded, |_, _| {
+                    n += 1;
+                    Ok(true)
+                })?;
+                n
+            }
+            TableKind::Heap => info.heap()?.count(&store)?,
+        };
+        self.txns.finish(txn.id());
+        Ok(n)
+    }
+
+    /// Cached table info by name (public convenience re-export).
+    pub fn table_info(&self, name: &str) -> Result<Arc<TableInfo>> {
+        self.table(name)
+    }
+}

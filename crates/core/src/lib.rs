@@ -1,0 +1,39 @@
+//! `rewind-core`: the database facade.
+//!
+//! [`Database`] ties the substrates together into the system the paper
+//! describes: an ARIES storage engine (buffer pool, WAL, 2PL transactions,
+//! logged B-Trees/heaps, a relational system catalog stored in B-Trees) that
+//! can be **queried as of any time in the past** within a configured
+//! retention period (paper §4.3/§5) and recovers user errors by snapshotting
+//! the past and reconciling (§1):
+//!
+//! ```text
+//! let db = Database::create(DbConfig::default())?;
+//! // ... workload ...
+//! db.set_undo_interval(Duration from hours(24));          // §4.3
+//! let snap = db.create_snapshot_asof("before_oops", t)?;  // §5.1
+//! let rows = snap.scan_all(&snap.table("orders")?)?;      // §5.3
+//! restore_table_from_snapshot(&db, &snap, "orders", "orders_recovered")?;
+//! ```
+//!
+//! Metadata is ordinary data: `sys_tables` / `sys_columns` / `sys_indexes`
+//! are B-Trees like any other, so dropped tables are recoverable through the
+//! same page-oriented undo (§3, §7.2).
+
+pub mod boot;
+pub mod catalog;
+pub mod check;
+pub mod database;
+pub mod dml;
+pub mod snapdb;
+
+pub use catalog::{IndexInfo, TableInfo, TableKind};
+pub use check::{check_consistency, CheckReport};
+pub use database::{CrashArtifacts, Database, DbConfig, DbStats, Txn};
+pub use snapdb::{restore_table_from_snapshot, SnapshotDb};
+
+// Re-export the vocabulary types users need.
+pub use rewind_access::{Column, DataType, Row, Schema, Value};
+pub use rewind_common::{
+    Error, IoSnapshot, Lsn, MediaModel, ObjectId, PageId, Result, SimClock, Timestamp, TxnId,
+};

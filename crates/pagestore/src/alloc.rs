@@ -1,0 +1,230 @@
+//! Allocation-map page layout.
+//!
+//! Allocation state is stored *in data pages* (paper §3: "Allocation maps are
+//! also stored in data pages and updates are logged as regular page
+//! modifications"), which is precisely what lets as-of snapshots unwind
+//! allocation state with the same physical undo used for everything else.
+//!
+//! Each allocation-map page covers a fixed region of the database file with
+//! two bits per page:
+//!
+//! * **allocated** — the page currently belongs to some object;
+//! * **ever-allocated** — the page has been allocated at least once in its
+//!   lifetime. Paper §4.2: first allocations of virgin pages skip the
+//!   preformat record (nothing useful to preserve), re-allocations must log
+//!   one to splice the old per-page chain to the new one.
+//!
+//! The map for region `r` (pages `[r·R, (r+1)·R)`, `R =` [`REGION_SIZE`])
+//! lives at page `r·R`, except region 0 whose map lives at page 1 because
+//! page 0 is the boot page. Map pages and the boot page are marked allocated
+//! in their own bitmaps at format time.
+
+use crate::page::{Page, PageType, HEADER_SIZE, PAGE_SIZE};
+use rewind_common::{Error, ObjectId, PageId, Result};
+
+/// Number of page-state bit-pairs that fit in one allocation-map page body.
+pub const MAP_CAPACITY: usize = (PAGE_SIZE - HEADER_SIZE) * 4;
+
+/// Pages per allocation region: one map page + the pages it covers
+/// (including itself).
+pub const REGION_SIZE: u64 = MAP_CAPACITY as u64;
+
+/// Allocation state of one page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageState {
+    /// Page currently allocated to an object.
+    pub allocated: bool,
+    /// Page has been allocated at least once (never cleared).
+    pub ever_allocated: bool,
+}
+
+impl PageState {
+    /// The state of a virgin page.
+    pub const FREE: PageState = PageState { allocated: false, ever_allocated: false };
+
+    /// Pack into the two-bit on-page representation.
+    pub fn to_bits(self) -> u8 {
+        (self.allocated as u8) | ((self.ever_allocated as u8) << 1)
+    }
+
+    /// Unpack from the two-bit on-page representation.
+    pub fn from_bits(b: u8) -> PageState {
+        PageState { allocated: b & 1 != 0, ever_allocated: b & 2 != 0 }
+    }
+}
+
+/// The allocation-map page that covers `pid`, or `None` for map pages and the
+/// boot page themselves (their state lives in their own region's map).
+pub fn map_page_for(pid: PageId) -> PageId {
+    let r = pid.0 / REGION_SIZE;
+    if r == 0 {
+        PageId(1)
+    } else {
+        PageId(r * REGION_SIZE)
+    }
+}
+
+/// Whether `pid` is an allocation-map page.
+pub fn is_map_page(pid: PageId) -> bool {
+    pid.0 == 1 || (pid.0 != 0 && pid.0.is_multiple_of(REGION_SIZE))
+}
+
+/// Index of `pid`'s bit-pair within its covering map page.
+pub fn bit_index(pid: PageId) -> usize {
+    (pid.0 % REGION_SIZE) as usize
+}
+
+/// First page id of the region covered by map page `map_pid`.
+pub fn region_base(map_pid: PageId) -> u64 {
+    if map_pid.0 == 1 {
+        0
+    } else {
+        map_pid.0
+    }
+}
+
+/// Read the state bit-pair at `index` from a map page.
+pub fn get_state(map: &Page, index: usize) -> Result<PageState> {
+    check_map(map, index)?;
+    let byte = map.body()[index / 4];
+    Ok(PageState::from_bits((byte >> ((index % 4) * 2)) & 0b11))
+}
+
+/// Write the state bit-pair at `index` on a map page.
+pub fn set_state(map: &mut Page, index: usize, st: PageState) -> Result<()> {
+    check_map(map, index)?;
+    let shift = (index % 4) * 2;
+    let b = &mut map.body_mut()[index / 4];
+    *b = (*b & !(0b11 << shift)) | (st.to_bits() << shift);
+    Ok(())
+}
+
+/// Find the first free bit-pair at or after `from`, if any.
+pub fn find_free(map: &Page, from: usize) -> Option<usize> {
+    if map.page_type() != PageType::AllocMap {
+        return None;
+    }
+    let body = map.body();
+    for index in from..MAP_CAPACITY {
+        let byte = body[index / 4];
+        if byte == 0xFF {
+            // all four pairs at least have the `allocated` bit or `ever` bit
+            // set; check the allocated bits only.
+            if byte & 0b0101_0101 == 0b0101_0101 {
+                continue;
+            }
+        }
+        if byte >> ((index % 4) * 2) & 1 == 0 {
+            return Some(index);
+        }
+    }
+    None
+}
+
+/// Count pages currently allocated in the map.
+pub fn count_allocated(map: &Page) -> usize {
+    map.body().iter().map(|b| ((b & 0b0101_0101).count_ones()) as usize).sum()
+}
+
+/// Format a fresh allocation-map page for the region containing `map_pid`,
+/// pre-marking the map page itself (and the boot page, for region 0) as
+/// allocated.
+pub fn format_map_page(map_pid: PageId) -> Page {
+    let mut p = Page::formatted(map_pid, ObjectId::NONE, PageType::AllocMap);
+    let perm = PageState { allocated: true, ever_allocated: true };
+    if map_pid.0 == 1 {
+        set_state(&mut p, 0, perm).unwrap(); // boot page
+        set_state(&mut p, 1, perm).unwrap(); // the map itself
+    } else {
+        set_state(&mut p, 0, perm).unwrap(); // the map itself
+    }
+    p
+}
+
+fn check_map(map: &Page, index: usize) -> Result<()> {
+    if map.page_type() != PageType::AllocMap {
+        return Err(Error::Corruption(format!(
+            "page {:?} is not an allocation map (type {:?})",
+            map.page_id(),
+            map.page_type()
+        )));
+    }
+    if index >= MAP_CAPACITY {
+        return Err(Error::Internal(format!("alloc bit index {index} out of range")));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        assert_eq!(map_page_for(PageId(0)), PageId(1));
+        assert_eq!(map_page_for(PageId(2)), PageId(1));
+        assert_eq!(map_page_for(PageId(REGION_SIZE - 1)), PageId(1));
+        assert_eq!(map_page_for(PageId(REGION_SIZE)), PageId(REGION_SIZE));
+        assert_eq!(map_page_for(PageId(REGION_SIZE + 5)), PageId(REGION_SIZE));
+        assert!(is_map_page(PageId(1)));
+        assert!(is_map_page(PageId(REGION_SIZE)));
+        assert!(!is_map_page(PageId(0)));
+        assert!(!is_map_page(PageId(2)));
+        assert_eq!(bit_index(PageId(2)), 2);
+        assert_eq!(bit_index(PageId(REGION_SIZE + 7)), 7);
+    }
+
+    #[test]
+    fn state_bits_roundtrip() {
+        for (a, e) in [(false, false), (true, false), (false, true), (true, true)] {
+            let st = PageState { allocated: a, ever_allocated: e };
+            assert_eq!(PageState::from_bits(st.to_bits()), st);
+        }
+    }
+
+    #[test]
+    fn set_get_find_free() {
+        let mut m = format_map_page(PageId(1));
+        // boot + self pre-allocated
+        assert_eq!(get_state(&m, 0).unwrap(), PageState { allocated: true, ever_allocated: true });
+        assert_eq!(get_state(&m, 1).unwrap(), PageState { allocated: true, ever_allocated: true });
+        assert_eq!(find_free(&m, 0), Some(2));
+        set_state(&mut m, 2, PageState { allocated: true, ever_allocated: true }).unwrap();
+        set_state(&mut m, 3, PageState { allocated: true, ever_allocated: true }).unwrap();
+        assert_eq!(find_free(&m, 0), Some(4));
+        // dealloc keeps the ever bit
+        set_state(&mut m, 2, PageState { allocated: false, ever_allocated: true }).unwrap();
+        assert_eq!(find_free(&m, 0), Some(2));
+        assert_eq!(
+            get_state(&m, 2).unwrap(),
+            PageState { allocated: false, ever_allocated: true }
+        );
+        assert_eq!(count_allocated(&m), 3);
+    }
+
+    #[test]
+    fn find_free_scans_past_full_bytes() {
+        let mut m = format_map_page(PageId(REGION_SIZE));
+        for i in 0..64 {
+            set_state(&mut m, i, PageState { allocated: true, ever_allocated: true }).unwrap();
+        }
+        assert_eq!(find_free(&m, 0), Some(64));
+        assert_eq!(find_free(&m, 70), Some(70));
+    }
+
+    #[test]
+    fn full_map_returns_none() {
+        let mut m = format_map_page(PageId(1));
+        for i in 0..MAP_CAPACITY {
+            set_state(&mut m, i, PageState { allocated: true, ever_allocated: true }).unwrap();
+        }
+        assert_eq!(find_free(&m, 0), None);
+    }
+
+    #[test]
+    fn non_map_pages_rejected() {
+        let p = Page::formatted(PageId(5), ObjectId(1), PageType::BTreeLeaf);
+        assert!(get_state(&p, 0).is_err());
+        assert_eq!(find_free(&p, 0), None);
+    }
+}

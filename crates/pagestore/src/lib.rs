@@ -1,0 +1,23 @@
+//! Pages and page storage for the `rewind` engine.
+//!
+//! This crate owns the on-"disk" representation layer:
+//!
+//! * [`Page`] — the 8 KiB slotted page, with the header fields the paper's
+//!   mechanism relies on: `pageLSN` (§2.1) and `lastFpiLSN` (the full-page-
+//!   image chain anchor, §6.1),
+//! * [`alloc`] — the allocation-map page layout with *allocated* and
+//!   *ever-allocated* bits (the latter lets first allocations skip preformat
+//!   logging, §4.2),
+//! * [`FileManager`] — random page I/O with accounting, in-memory and on-disk
+//!   implementations,
+//! * [`SideFile`] — the NTFS-sparse-file substitute backing database
+//!   snapshots (§2.2, §5.3).
+
+pub mod alloc;
+pub mod file;
+pub mod page;
+pub mod side;
+
+pub use file::{DiskFileManager, FileManager, MemFileManager};
+pub use page::{Page, PageType, HEADER_SIZE, PAGE_SIZE};
+pub use side::SideFile;

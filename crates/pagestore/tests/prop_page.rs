@@ -1,0 +1,103 @@
+//! Property tests: the slotted page against a `Vec<Vec<u8>>` shadow model,
+//! and allocation-map bit operations against a boolean-array model.
+
+use proptest::prelude::*;
+use rewind_common::{ObjectId, PageId};
+use rewind_pagestore::alloc::{
+    count_allocated, find_free, format_map_page, get_state, set_state, PageState,
+};
+use rewind_pagestore::{Page, PageType};
+
+#[derive(Clone, Debug)]
+enum PageOp {
+    Insert(u16, Vec<u8>),
+    Delete(u16),
+    Update(u16, Vec<u8>),
+}
+
+fn page_op() -> impl Strategy<Value = PageOp> {
+    prop_oneof![
+        (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..300)).prop_map(|(s, b)| PageOp::Insert(s, b)),
+        any::<u16>().prop_map(PageOp::Delete),
+        (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..300)).prop_map(|(s, b)| PageOp::Update(s, b)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn slotted_page_matches_shadow(ops in proptest::collection::vec(page_op(), 1..200)) {
+        let mut page = Page::formatted(PageId(1), ObjectId(1), PageType::Heap);
+        let mut shadow: Vec<Vec<u8>> = Vec::new();
+        for op in ops {
+            match op {
+                PageOp::Insert(slot, bytes) => {
+                    let slot = (slot as usize) % (shadow.len() + 1);
+                    match page.insert_record(slot, &bytes) {
+                        Ok(()) => shadow.insert(slot, bytes),
+                        Err(_) => {
+                            // only legitimate rejection: no room
+                            prop_assert!(!page.can_insert(bytes.len()));
+                        }
+                    }
+                }
+                PageOp::Delete(slot) => {
+                    if shadow.is_empty() { continue; }
+                    let slot = (slot as usize) % shadow.len();
+                    let old = page.delete_record(slot).unwrap();
+                    prop_assert_eq!(&old, &shadow.remove(slot));
+                }
+                PageOp::Update(slot, bytes) => {
+                    if shadow.is_empty() { continue; }
+                    let slot = (slot as usize) % shadow.len();
+                    match page.update_record(slot, &bytes) {
+                        Ok(old) => {
+                            prop_assert_eq!(&old, &shadow[slot]);
+                            shadow[slot] = bytes;
+                        }
+                        Err(_) => {
+                            prop_assert!(bytes.len() > shadow[slot].len());
+                        }
+                    }
+                }
+            }
+            // invariant: every slot readable and equal to the shadow
+            prop_assert_eq!(page.slot_count() as usize, shadow.len());
+            for (i, expect) in shadow.iter().enumerate() {
+                prop_assert_eq!(page.record(i).unwrap(), &expect[..]);
+            }
+        }
+        // image roundtrip preserves everything
+        let img = *page.image();
+        let back = Page::from_image(&img).unwrap();
+        for (i, expect) in shadow.iter().enumerate() {
+            prop_assert_eq!(back.record(i).unwrap(), &expect[..]);
+        }
+    }
+
+    #[test]
+    fn alloc_bitmap_matches_model(ops in proptest::collection::vec((any::<u16>(), any::<bool>()), 1..300)) {
+        let mut map = format_map_page(PageId(1));
+        // model[i] = (allocated, ever)
+        let mut model = vec![(false, false); 4096];
+        model[0] = (true, true);
+        model[1] = (true, true);
+        for (idx, alloc) in ops {
+            let idx = (idx as usize) % 4096;
+            if idx <= 1 { continue; }
+            let st = PageState { allocated: alloc, ever_allocated: alloc || model[idx].1 };
+            set_state(&mut map, idx, st).unwrap();
+            model[idx] = (st.allocated, st.ever_allocated);
+        }
+        for (idx, &(a, e)) in model.iter().enumerate() {
+            let st = get_state(&map, idx).unwrap();
+            prop_assert_eq!((st.allocated, st.ever_allocated), (a, e), "bit {}", idx);
+        }
+        let expect_count = model.iter().filter(|&&(a, _)| a).count();
+        prop_assert_eq!(count_allocated(&map), expect_count);
+        // find_free returns the first unallocated index
+        let expect_free = model.iter().position(|&(a, _)| !a);
+        prop_assert_eq!(find_free(&map, 0), expect_free);
+    }
+}

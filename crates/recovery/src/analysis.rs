@@ -1,0 +1,195 @@
+//! The analysis pass, shared by crash restart and as-of snapshot recovery.
+//!
+//! Scans the log from the latest checkpoint preceding the recovery bound up
+//! to the bound itself (end of log for a crash; the SplitLSN for an as-of
+//! snapshot, §5.2), rebuilding:
+//!
+//! * the **active-transaction table** — transactions with no commit/end by
+//!   the bound are losers;
+//! * the **dirty-page table** — where redo must start;
+//! * per-loser **lock sets** — the row locks snapshot recovery reacquires so
+//!   queries cannot observe data of in-flight transactions before the
+//!   background undo fixes it (§5.2). B-Tree rows are keyed by their key
+//!   bytes; heap rows (flagged records) coarsen to a table lock.
+
+use rewind_common::{Lsn, PageId, Result, TxnId};
+use rewind_txn::{LockKey, LockMode};
+use rewind_wal::{DptEntry, LogManager, LogPayload, REC_FLAG_HEAP};
+use std::collections::HashMap;
+
+/// A transaction found in flight at the recovery bound.
+#[derive(Clone, Debug)]
+pub struct LoserTxn {
+    /// The transaction id.
+    pub id: TxnId,
+    /// Its first record at or below the bound.
+    pub first_lsn: Lsn,
+    /// Its last record at or below the bound (undo starts here).
+    pub last_lsn: Lsn,
+    /// Row/table locks to reacquire before opening for queries, with the
+    /// mode the transaction effectively held.
+    pub locks: Vec<(LockKey, LockMode)>,
+}
+
+/// Outcome of the analysis pass.
+#[derive(Clone, Debug, Default)]
+pub struct AnalysisResult {
+    /// In-flight transactions at the bound, ascending by id.
+    pub losers: Vec<LoserTxn>,
+    /// Dirty-page table at the bound (checkpoint DPT merged with scanned
+    /// modifications).
+    pub dpt: Vec<DptEntry>,
+    /// Redo must start here (min recLSN), or the bound if nothing to redo.
+    pub redo_start: Lsn,
+    /// Where the scan started (checkpoint begin or truncation point).
+    pub scan_start: Lsn,
+    /// Highest transaction id observed (id allocation floor after restart).
+    pub max_txn_id: TxnId,
+    /// Number of committed transactions observed in the window.
+    pub committed: u64,
+}
+
+fn lock_for(rec_flags: u8, object: rewind_common::ObjectId, payload: &LogPayload) -> Option<LockKey> {
+    let row_bytes: Option<&[u8]> = match payload {
+        LogPayload::InsertRecord { bytes, .. } => Some(bytes),
+        LogPayload::DeleteRecord { old, .. } => Some(old),
+        LogPayload::UpdateRecord { old, .. } => Some(old),
+        _ => return None,
+    };
+    if rec_flags & REC_FLAG_HEAP != 0 {
+        // Heap rows: coarsen to the table (insert-mostly heaps; cheap and safe).
+        return Some(LockKey::table(object));
+    }
+    let rec = row_bytes?;
+    if rec.len() < 2 {
+        return Some(LockKey::table(object));
+    }
+    let klen = u16::from_le_bytes([rec[0], rec[1]]) as usize;
+    if 2 + klen > rec.len() {
+        return Some(LockKey::table(object));
+    }
+    Some(LockKey::row(object, &rec[2..2 + klen]))
+}
+
+/// Run analysis over `[checkpoint-before(bound), bound)`.
+///
+/// `bound` is exclusive-after: records with `lsn <= bound` are part of the
+/// recovered state (matching the SplitLSN convention). Pass [`Lsn::MAX`] for
+/// crash restart.
+pub fn analyze(log: &LogManager, bound: Lsn) -> Result<AnalysisResult> {
+    #[derive(Default)]
+    struct TxnInfo {
+        first: Lsn,
+        last: Lsn,
+        locks: Vec<(LockKey, LockMode)>,
+    }
+    let mut att: HashMap<u64, TxnInfo> = HashMap::new();
+    let mut dpt: HashMap<PageId, Lsn> = HashMap::new();
+    let mut max_txn = TxnId::NONE;
+    let mut committed = 0u64;
+
+    let checkpoint = log.checkpoint_before(bound);
+    let scan_start = match &checkpoint {
+        Some(c) => c.begin_lsn,
+        None => log.truncation_point(),
+    };
+
+    // Seed from the checkpoint.
+    if let Some(c) = &checkpoint {
+        let rec = log.get_record_deep(c.end_lsn)?;
+        if let LogPayload::CheckpointEnd(body) = rec.payload {
+            for e in body.att {
+                att.insert(
+                    e.txn.0,
+                    TxnInfo { first: e.first_lsn, last: e.last_lsn, locks: Vec::new() },
+                );
+                max_txn = max_txn.max(e.txn);
+            }
+            for e in body.dpt {
+                dpt.entry(e.page).or_insert(e.rec_lsn);
+            }
+        }
+    }
+
+    // Forward scan.
+    let scan_to = if bound == Lsn::MAX { Lsn::MAX } else { Lsn(bound.0 + 1) };
+    log.scan_deep(scan_start, scan_to, |rec| {
+        if rec.txn.is_valid() {
+            max_txn = max_txn.max(rec.txn);
+            match &rec.payload {
+                LogPayload::Commit { .. } | LogPayload::End => {
+                    if matches!(rec.payload, LogPayload::Commit { .. }) {
+                        committed += 1;
+                    }
+                    att.remove(&rec.txn.0);
+                }
+                payload => {
+                    let info = att.entry(rec.txn.0).or_default();
+                    if info.first.is_null() {
+                        info.first = rec.lsn;
+                    }
+                    info.last = rec.lsn;
+                    // Lock reacquisition: user row changes only (system/SMO
+                    // records move rows without owning them).
+                    if rec.flags & rewind_wal::REC_FLAG_SYSTEM == 0 {
+                        if let Some(key) = lock_for(rec.flags, rec.object, payload) {
+                            if !info.locks.iter().any(|(k, _)| *k == key) {
+                                info.locks.push((key, LockMode::X));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if rec.payload.is_page_op() && rec.page.is_valid() {
+            dpt.entry(rec.page).or_insert(rec.lsn);
+        }
+        Ok(true)
+    })?;
+
+    // Supplemental lock scan for losers whose activity began before the
+    // checkpoint: ARIES reacquires locks from the transactions' first LSNs.
+    let earliest = att
+        .values()
+        .map(|t| t.first)
+        .filter(|l| l.is_valid() && *l < scan_start)
+        .min();
+    if let Some(from) = earliest {
+        let ids: Vec<u64> = att.keys().copied().collect();
+        log.scan_deep(from, scan_start, |rec| {
+            if rec.txn.is_valid()
+                && ids.contains(&rec.txn.0)
+                && rec.flags & rewind_wal::REC_FLAG_SYSTEM == 0
+            {
+                if let Some(key) = lock_for(rec.flags, rec.object, &rec.payload) {
+                    if let Some(info) = att.get_mut(&rec.txn.0) {
+                        if !info.locks.iter().any(|(k, _)| *k == key) {
+                            info.locks.push((key, LockMode::X));
+                        }
+                    }
+                }
+            }
+            Ok(true)
+        })?;
+    }
+
+    let mut losers: Vec<LoserTxn> = att
+        .into_iter()
+        .filter(|(_, info)| info.last.is_valid())
+        .map(|(id, info)| LoserTxn {
+            id: TxnId(id),
+            first_lsn: info.first,
+            last_lsn: info.last,
+            locks: info.locks,
+        })
+        .collect();
+    losers.sort_by_key(|l| l.id);
+
+    let redo_start =
+        dpt.values().copied().min().unwrap_or(if bound == Lsn::MAX { log.tail_lsn() } else { bound });
+    let mut dpt: Vec<DptEntry> =
+        dpt.into_iter().map(|(page, rec_lsn)| DptEntry { page, rec_lsn }).collect();
+    dpt.sort_by_key(|e| e.page);
+
+    Ok(AnalysisResult { losers, dpt, redo_start, scan_start, max_txn_id: max_txn, committed })
+}

@@ -1,0 +1,95 @@
+//! Fuzzy checkpoints.
+//!
+//! Checkpoints bound crash-recovery work and — because their records carry a
+//! wall-clock stamp — anchor the SplitLSN search (§5.1) and the retention
+//! arithmetic (§4.3). A checkpoint logs a begin marker, captures the
+//! active-transaction table and the dirty-page table, logs the end record
+//! and forces the log. Pages are *not* flushed (that is snapshot creation's
+//! job, §5.1, via `BufferPool::flush_all`).
+
+use rewind_buffer::BufferPool;
+use rewind_common::{Lsn, Result, Timestamp, TxnId};
+use rewind_txn::TxnManager;
+use rewind_wal::{CheckpointBody, LogManager, LogPayload, LogRecord};
+
+fn marker(payload: LogPayload) -> LogRecord {
+    LogRecord {
+        lsn: Lsn::NULL,
+        txn: TxnId::NONE,
+        prev_lsn: Lsn::NULL,
+        page: rewind_common::PageId::INVALID,
+        prev_page_lsn: Lsn::NULL,
+        object: rewind_common::ObjectId::NONE,
+        undo_next: Lsn::NULL,
+        flags: 0,
+        payload,
+    }
+}
+
+/// Take a checkpoint at wall-clock time `at`; returns the end record's LSN.
+///
+/// Dirty pages are flushed (like SQL Server's recovery-interval
+/// checkpoints), which is what keeps both crash recovery and as-of snapshot
+/// creation "bound by the amount of log scanned" (§6.2) rather than by
+/// accumulated dirty state.
+pub fn take_checkpoint(
+    log: &LogManager,
+    txns: &TxnManager,
+    pool: &BufferPool,
+    at: Timestamp,
+) -> Result<Lsn> {
+    let begin_lsn = log.append(&marker(LogPayload::CheckpointBegin { at }));
+    pool.flush_all()?;
+    let att = txns.active_table();
+    let dpt = pool.dirty_page_table();
+    let end_lsn =
+        log.append(&marker(LogPayload::CheckpointEnd(CheckpointBody { at, begin_lsn, att, dpt })));
+    log.flush_to(end_lsn);
+    Ok(end_lsn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rewind_buffer::BufferPool;
+    use rewind_pagestore::MemFileManager;
+    use rewind_wal::LogConfig;
+    use std::sync::Arc;
+
+    #[test]
+    fn checkpoint_registers_in_directory_and_captures_tables() {
+        let fm = Arc::new(MemFileManager::new());
+        let log = Arc::new(LogManager::new(LogConfig::default()));
+        let pool = BufferPool::new(fm, log.clone(), 8);
+        let txns = TxnManager::new();
+        let t = txns.begin();
+        t.record_logged(Lsn(100));
+
+        // dirty a page
+        pool.with_page_mut(rewind_common::PageId(3), |v| {
+            v.page_mut().set_page_lsn(Lsn(100));
+            v.mark_dirty(Lsn(100));
+            Ok(())
+        })
+        .unwrap();
+
+        let end = take_checkpoint(&log, &txns, &pool, Timestamp::from_secs(42)).unwrap();
+        let info = log.checkpoint_before(Lsn::MAX).unwrap();
+        assert_eq!(info.end_lsn, end);
+        assert_eq!(info.at, Timestamp::from_secs(42));
+        assert!(log.flushed_lsn() > end);
+
+        let rec = log.get_record(end).unwrap();
+        match rec.payload {
+            LogPayload::CheckpointEnd(body) => {
+                assert_eq!(body.att.len(), 1);
+                assert_eq!(body.att[0].txn, t.id);
+                assert_eq!(body.att[0].last_lsn, Lsn(100));
+                // the checkpoint flushed the dirty page
+                assert!(body.dpt.is_empty());
+            }
+            other => panic!("unexpected payload {other:?}"),
+        }
+        assert!(pool.dirty_page_table().is_empty());
+    }
+}

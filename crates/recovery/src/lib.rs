@@ -1,0 +1,34 @@
+//! Recovery: checkpoints, ARIES restart, rollback, and the paper's core
+//! primitive — `PreparePageAsOf`.
+//!
+//! * [`prepare::prepare_page_as_of`] — paper §4, Fig. 3: walk a page's
+//!   backward log chain undoing modifications until the page is as of the
+//!   target LSN, with the §6.1 full-page-image skip.
+//! * [`checkpoint::take_checkpoint`] — fuzzy checkpoints (begin/end records
+//!   carrying the ATT and DPT and a wall-clock stamp, which SplitLSN search
+//!   uses to narrow its scan, §5.1).
+//! * [`analysis`] / [`redo`] — the restart passes, shared between crash
+//!   recovery and as-of snapshot recovery (§5.2); analysis also collects the
+//!   row locks that snapshot recovery must reacquire.
+//! * [`rollback::rollback_chain`] — transaction rollback with CLRs that
+//!   carry undo information (§4.2-2), logical undo for B-Tree rows,
+//!   physical undo for heap rows, allocation bits and partial structure
+//!   modifications.
+//! * [`EngineStore`] — the canonical live-engine [`rewind_access::Store`]
+//!   implementation:
+//!   buffer pool + WAL + per-page/per-txn chains + FPI cadence + the
+//!   copy-on-write hook used by regular snapshots.
+
+pub mod analysis;
+pub mod checkpoint;
+pub mod prepare;
+pub mod redo;
+pub mod rollback;
+pub mod store;
+
+pub use analysis::{analyze, AnalysisResult, LoserTxn};
+pub use checkpoint::take_checkpoint;
+pub use prepare::{prepare_page_as_of, PrepareStats};
+pub use redo::redo_pass;
+pub use rollback::{rollback_chain, AccessKind};
+pub use store::{CowSink, EngineParts, EngineStore};

@@ -1,0 +1,43 @@
+//! The redo pass: repeat history from the dirty-page table forward.
+
+use rewind_buffer::BufferPool;
+use rewind_common::{Lsn, PageId, Result};
+use rewind_wal::{DptEntry, LogManager};
+use std::collections::HashMap;
+
+/// Redo all page modifications in `[redo_start, bound]` whose page appears
+/// in `dpt` with `recLSN <= lsn`, applying a record only when the on-page
+/// LSN shows it missing. Returns the number of records applied.
+///
+/// Used by crash restart (`bound = Lsn::MAX`). As-of snapshot recovery does
+/// *not* call this: its creation-time checkpoint flushed every page, so "no
+/// page reads are done" during its redo (§5.2) — it only needs analysis.
+pub fn redo_pass(
+    log: &LogManager,
+    pool: &BufferPool,
+    dpt: &[DptEntry],
+    redo_start: Lsn,
+    bound: Lsn,
+) -> Result<u64> {
+    let rec_lsns: HashMap<PageId, Lsn> = dpt.iter().map(|e| (e.page, e.rec_lsn)).collect();
+    let mut applied = 0u64;
+    let scan_to = if bound == Lsn::MAX { Lsn::MAX } else { Lsn(bound.0 + 1) };
+    log.scan(redo_start, scan_to, |rec| {
+        if rec.payload.is_page_op() && rec.page.is_valid() {
+            if let Some(&rec_lsn) = rec_lsns.get(&rec.page) {
+                if rec.lsn >= rec_lsn {
+                    pool.with_page_mut(rec.page, |v| {
+                        if v.page().page_lsn() < rec.lsn {
+                            rec.payload.redo(v.page_mut(), rec.page, rec.lsn)?;
+                            v.mark_dirty(rec.lsn);
+                            applied += 1;
+                        }
+                        Ok(())
+                    })?;
+                }
+            }
+        }
+        Ok(true)
+    })?;
+    Ok(applied)
+}

@@ -1,0 +1,167 @@
+//! Transaction rollback with compensation log records.
+//!
+//! Walks a transaction's backward chain (`prev_lsn`), logically undoing
+//! B-Tree row changes (the row may have been moved by later structure
+//! modifications, so it is located by key — the reason the paper rejects
+//! blanket transaction-oriented undo for *as-of* queries in §4.1 applies in
+//! reverse here) and physically undoing everything whose location is
+//! stable: heap rows (RID-stable by design), allocation bits, boot-page
+//! bytes, sibling pointers and partial structure modifications.
+//!
+//! Every compensation is logged as a CLR carrying full undo information —
+//! the paper's §4.2-2 extension — so `PreparePageAsOf` can walk straight
+//! through rollbacks. Completed SMOs are skipped via their closing CLR's
+//! `undo_next`.
+
+use rewind_access::store::{ModKind, Store};
+use rewind_access::{BTree, Heap};
+use rewind_common::{Error, Lsn, ObjectId, Result};
+use rewind_wal::{LogManager, LogPayload, LogRecord, REC_FLAG_SYSTEM};
+
+/// How an object stores rows — resolved from the catalog during rollback.
+#[derive(Clone, Copy, Debug)]
+pub enum AccessKind {
+    /// Rows live in a clustered B-Tree.
+    Tree(BTree),
+    /// Rows live in a heap.
+    Heap(Heap),
+}
+
+/// Undo one record, logging CLR(s). Returns `Ok(())` even when the logical
+/// target no longer exists (idempotent crash-resume).
+///
+/// Public because both restart undo and as-of snapshot recovery (§5.2) drive
+/// merged multi-transaction sweeps through it.
+pub fn undo_record<S: Store>(
+    s: &S,
+    rec: &LogRecord,
+    resolver: &dyn Fn(ObjectId) -> Result<AccessKind>,
+) -> Result<()> {
+    let undo_next = rec.prev_lsn;
+    // Physical compensation applies to: partial SMO records, and payload
+    // types whose location is intrinsically stable.
+    let physical = rec.flags & REC_FLAG_SYSTEM != 0
+        || matches!(
+            rec.payload,
+            LogPayload::AllocSet { .. }
+                | LogPayload::BootWrite { .. }
+                | LogPayload::SetNextPage { .. }
+                | LogPayload::SetPrevPage { .. }
+                | LogPayload::RestoreImage { .. }
+                | LogPayload::Format { .. }
+                | LogPayload::Preformat { .. }
+                | LogPayload::Reformat { .. }
+                | LogPayload::FullPageImage { .. }
+        );
+    if physical {
+        match &rec.payload {
+            LogPayload::Format { .. } | LogPayload::Preformat { .. } => {
+                // Forward effect is erased/nil; once the allocation bit is
+                // compensated the page is free again. Nothing to log.
+                return Ok(());
+            }
+            LogPayload::Reformat { object, prev_image, .. } => {
+                let _ = object;
+                // Restore the pre-reformat image (partial root split).
+                let current = s.with_page(rec.page, |p| Ok(Box::new(*p.image())))?;
+                s.modify(
+                    rec.page,
+                    LogPayload::RestoreImage { old: current, new: prev_image.clone() },
+                    ModKind::Clr { undo_next },
+                )?;
+                return Ok(());
+            }
+            LogPayload::FullPageImage { .. } => return Ok(()),
+            payload => {
+                if let Some(comp) = payload.compensation() {
+                    s.modify(rec.page, comp, ModKind::Clr { undo_next })?;
+                }
+                return Ok(());
+            }
+        }
+    }
+    // Logical compensation for user row changes.
+    match &rec.payload {
+        LogPayload::InsertRecord { bytes, .. } => match resolver(rec.object)? {
+            AccessKind::Tree(t) => {
+                let (key, _) = rewind_access::btree::decode_leaf(bytes);
+                t.rollback_insert(s, key, undo_next)?;
+            }
+            AccessKind::Heap(h) => {
+                // Heap insert: tombstone the slot (RIDs are stable).
+                let rid = rewind_access::heap::Rid { page: rec.page, slot: slot_of(&rec.payload) };
+                let _ = h;
+                s.modify_flagged(
+                    rid.page,
+                    LogPayload::UpdateRecord { slot: rid.slot, old: bytes.clone(), new: vec![] },
+                    ModKind::Clr { undo_next },
+                    rewind_wal::REC_FLAG_HEAP,
+                )?;
+            }
+        },
+        LogPayload::DeleteRecord { old, .. } => match resolver(rec.object)? {
+            AccessKind::Tree(t) => t.rollback_delete(s, old, undo_next)?,
+            AccessKind::Heap(_) => {
+                return Err(Error::Internal("heap deletes are logged as updates".into()));
+            }
+        },
+        LogPayload::UpdateRecord { slot, old, .. } => match resolver(rec.object)? {
+            AccessKind::Tree(t) => t.rollback_update(s, old, undo_next)?,
+            AccessKind::Heap(_) => {
+                // Restore the previous row bytes in place (covers tombstone
+                // deletes and in-place updates alike).
+                let new_now = s.with_page(rec.page, |p| Ok(p.record(*slot as usize)?.to_vec()))?;
+                s.modify_flagged(
+                    rec.page,
+                    LogPayload::UpdateRecord { slot: *slot, old: new_now, new: old.clone() },
+                    ModKind::Clr { undo_next },
+                    rewind_wal::REC_FLAG_HEAP,
+                )?;
+            }
+        },
+        LogPayload::Commit { .. } => {
+            return Err(Error::Internal("cannot roll back a committed transaction".into()));
+        }
+        // Markers carry no state.
+        LogPayload::Abort | LogPayload::End => {}
+        other => {
+            return Err(Error::Internal(format!("unexpected payload in rollback: {other:?}")));
+        }
+    }
+    Ok(())
+}
+
+fn slot_of(payload: &LogPayload) -> u16 {
+    match payload {
+        LogPayload::InsertRecord { slot, .. }
+        | LogPayload::DeleteRecord { slot, .. }
+        | LogPayload::UpdateRecord { slot, .. } => *slot,
+        _ => 0,
+    }
+}
+
+/// Roll back a transaction chain starting at `from` (its most recent LSN).
+///
+/// CLRs encountered jump via `undo_next` (so completed structure
+/// modifications and already-compensated work are skipped); every other
+/// record is undone with a new CLR. Returns the number of records undone.
+pub fn rollback_chain<S: Store>(
+    s: &S,
+    log: &LogManager,
+    from: Lsn,
+    resolver: &dyn Fn(ObjectId) -> Result<AccessKind>,
+) -> Result<u64> {
+    let mut cur = from;
+    let mut undone = 0u64;
+    while cur.is_valid() {
+        let rec = log.get_record(cur)?;
+        if rec.is_clr() {
+            cur = rec.undo_next;
+            continue;
+        }
+        undo_record(s, &rec, resolver)?;
+        undone += 1;
+        cur = rec.prev_lsn;
+    }
+    Ok(undone)
+}

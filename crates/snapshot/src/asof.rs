@@ -1,0 +1,306 @@
+//! As-of snapshot creation and recovery (paper §5.1–5.2).
+
+use crate::stats::SnapshotStatsView;
+use crate::store::{SnapInner, SnapshotMutator, SnapshotStore};
+use parking_lot::{Condvar, Mutex};
+use rewind_common::{Error, Lsn, ObjectId, PageId, Result, Timestamp, TxnId};
+use rewind_pagestore::Page;
+use rewind_recovery::rollback::undo_record;
+use rewind_recovery::{analyze, AccessKind, CowSink, EngineParts, LoserTxn};
+use rewind_txn::{LockManager, LockMode, ObjectLatches};
+use rewind_wal::find_split_lsn;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Facts recorded at snapshot creation (reported by benchmarks).
+#[derive(Clone, Copy, Debug)]
+pub struct CreationInfo {
+    /// The SplitLSN the wall-clock time resolved to.
+    pub split_lsn: Lsn,
+    /// Where the analysis scan started (checkpoint begin before the split).
+    pub analysis_start: Lsn,
+    /// Log bytes scanned by analysis (creation cost is bounded by this,
+    /// §6.2: "the cost of database snapshot creation depends on the amount
+    /// of log scanned").
+    pub analysis_bytes: u64,
+    /// Transactions found in flight at the split.
+    pub loser_count: usize,
+    /// Row/table locks reacquired for them.
+    pub locks_reacquired: usize,
+}
+
+/// A read-only database as of a point in time in the past.
+pub struct AsOfSnapshot {
+    /// Snapshot name (as in `CREATE DATABASE ... AS SNAPSHOT OF ...`).
+    pub name: String,
+    /// The wall-clock time requested.
+    pub as_of: Timestamp,
+    /// The SplitLSN: the snapshot contains exactly the records ≤ this LSN.
+    pub split_lsn: Lsn,
+    /// Creation facts.
+    pub creation: CreationInfo,
+    inner: Arc<SnapInner>,
+    latches: ObjectLatches,
+    /// Reacquired locks of in-flight transactions; queries gate on these.
+    pub locks: Arc<LockManager>,
+    losers: Vec<LoserTxn>,
+    undo_done: AtomicBool,
+    undo_signal: (Mutex<bool>, Condvar),
+    cow_token: Option<u64>,
+}
+
+impl AsOfSnapshot {
+    /// Create an as-of snapshot of the database behind `parts` at wall-clock
+    /// time `t` (paper §5.1).
+    pub fn create(name: &str, parts: &EngineParts, t: Timestamp) -> Result<Arc<AsOfSnapshot>> {
+        let split = find_split_lsn(&parts.log, t)?;
+        Self::build(name, parts, t, split, false)
+    }
+
+    /// Create a regular (copy-on-write) snapshot of the current state
+    /// (paper §2.2): split at "now" under the modification gate, then
+    /// register a COW sink so future modifications push pre-images.
+    pub fn create_regular(name: &str, parts: &EngineParts, now: Timestamp) -> Result<Arc<AsOfSnapshot>> {
+        let _gate = parts.mod_gate.write();
+        // With the gate held no modification can race: flush everything,
+        // pin the split just below the tail, and activate COW atomically.
+        let split = Lsn(parts.log.tail_lsn().0.saturating_sub(1));
+        Self::build(name, parts, now, split, true)
+    }
+
+    fn build(
+        name: &str,
+        parts: &EngineParts,
+        t: Timestamp,
+        split: Lsn,
+        cow: bool,
+    ) -> Result<Arc<AsOfSnapshot>> {
+        // Creation checkpoint (§5.1): every page change ≤ split becomes
+        // durable in the primary file, so the snapshot can always read the
+        // primary file and roll backward.
+        parts.pool.flush_all()?;
+        parts.log.flush_to(split);
+
+        let io0 = parts.log.io_stats().snapshot();
+        let analysis = analyze(&parts.log, split).map_err(retention_of(&parts.log, t))?;
+        let analysis_bytes = parts.log.io_stats().snapshot().delta(io0).log_bytes_scanned;
+
+        // Lock reacquisition (§5.2): "the redo pass reacquires the locks
+        // that were held by the transactions that were in-flight as of the
+        // SplitLSN". No pages are read.
+        let locks = Arc::new(LockManager::new(Duration::from_secs(30)));
+        let mut reacquired = 0usize;
+        for loser in &analysis.losers {
+            for (key, mode) in &loser.locks {
+                locks.force_grant(loser.id, key, *mode);
+                reacquired += 1;
+            }
+        }
+
+        let inner = Arc::new(SnapInner::new(parts.pool.file_manager().clone(), parts.log.clone(), split));
+        let cow_token = if cow {
+            Some(parts.register_cow(Arc::new(CowPusher { inner: inner.clone() })))
+        } else {
+            None
+        };
+
+        let snap = Arc::new(AsOfSnapshot {
+            name: name.to_string(),
+            as_of: t,
+            split_lsn: split,
+            creation: CreationInfo {
+                split_lsn: split,
+                analysis_start: analysis.scan_start,
+                analysis_bytes,
+                loser_count: analysis.losers.len(),
+                locks_reacquired: reacquired,
+            },
+            inner,
+            latches: ObjectLatches::new(),
+            locks,
+            losers: analysis.losers,
+            undo_done: AtomicBool::new(false),
+            undo_signal: (Mutex::new(false), Condvar::new()),
+            cow_token,
+        });
+        if snap.losers.is_empty() {
+            snap.mark_undo_done();
+        }
+        Ok(snap)
+    }
+
+    /// The read-only store queries use (the snapshot "appears like a regular
+    /// read-only database", §2.2).
+    pub fn store(&self) -> SnapshotStore<'_> {
+        SnapshotStore { inner: &self.inner, latches: &self.latches }
+    }
+
+    fn mutator(&self) -> SnapshotMutator<'_> {
+        SnapshotMutator { inner: &self.inner, latches: &self.latches }
+    }
+
+    /// Run the logical-undo phase of snapshot recovery (§5.2), backing out
+    /// every transaction in flight at the SplitLSN. Runs as a merged
+    /// descending-LSN sweep across all losers so structure-modification
+    /// ordering is honoured; each transaction's reacquired locks are
+    /// released as it completes. Normally run in the background via
+    /// [`AsOfSnapshot::spawn_undo`]; queries are admitted concurrently.
+    pub fn run_undo(&self, resolver: &dyn Fn(ObjectId) -> Result<AccessKind>) -> Result<u64> {
+        if self.undo_done.load(Ordering::Acquire) {
+            return Ok(0);
+        }
+        let mutator = self.mutator();
+        let mut heap: BinaryHeap<(Lsn, TxnId)> =
+            self.losers.iter().map(|l| (l.last_lsn, l.id)).collect();
+        let mut processed = 0u64;
+        while let Some((lsn, txn)) = heap.pop() {
+            let rec = self.inner.log.get_record(lsn)?;
+            let next = if rec.is_clr() {
+                rec.undo_next
+            } else {
+                undo_record(&mutator, &rec, resolver)?;
+                processed += 1;
+                rec.prev_lsn
+            };
+            if next.is_valid() {
+                heap.push((next, txn));
+            } else {
+                // transaction fully undone: release its reacquired locks
+                self.locks.release_all(txn);
+            }
+        }
+        self.mark_undo_done();
+        Ok(processed)
+    }
+
+    /// Spawn [`AsOfSnapshot::run_undo`] on a background thread, opening the
+    /// snapshot for queries immediately (the paper's trade-off in §6.2).
+    pub fn spawn_undo(
+        self: &Arc<Self>,
+        resolver: Box<dyn Fn(ObjectId) -> Result<AccessKind> + Send>,
+    ) -> std::thread::JoinHandle<Result<u64>> {
+        let snap = self.clone();
+        std::thread::spawn(move || snap.run_undo(&*resolver))
+    }
+
+    fn mark_undo_done(&self) {
+        self.undo_done.store(true, Ordering::Release);
+        let (lock, cv) = &self.undo_signal;
+        *lock.lock() = true;
+        cv.notify_all();
+    }
+
+    /// Whether background undo has finished.
+    pub fn undo_complete(&self) -> bool {
+        self.undo_done.load(Ordering::Acquire)
+    }
+
+    /// Block until background undo finishes.
+    pub fn wait_undo_complete(&self) {
+        let (lock, cv) = &self.undo_signal;
+        let mut done = lock.lock();
+        while !*done {
+            cv.wait(&mut done);
+        }
+    }
+
+    /// Gate a row read against the reacquired locks of in-flight
+    /// transactions: blocks until the row's lock is compatible with a read.
+    /// Returns `true` if the caller should re-read (it may have observed
+    /// pre-undo data).
+    pub fn gate_row(&self, object: ObjectId, key: &[u8]) -> Result<bool> {
+        if self.undo_done.load(Ordering::Acquire) {
+            return Ok(false);
+        }
+        let lk = rewind_txn::LockKey::row(object, key);
+        let tk = rewind_txn::LockKey::table(object);
+        let blocked = self.locks.would_block(&lk, LockMode::S)
+            || self.locks.would_block(&tk, LockMode::IS);
+        if blocked {
+            self.locks.wait_until_free(&lk, LockMode::S)?;
+            self.locks.wait_until_free(&tk, LockMode::IS)?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Gate a whole-table read (heap scans).
+    pub fn gate_table(&self, object: ObjectId) -> Result<bool> {
+        if self.undo_done.load(Ordering::Acquire) {
+            return Ok(false);
+        }
+        let tk = rewind_txn::LockKey::table(object);
+        if self.locks.would_block(&tk, LockMode::S) {
+            self.locks.wait_until_free(&tk, LockMode::S)?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Deregister the COW sink (regular snapshots) — call when dropping the
+    /// snapshot.
+    pub fn detach(&self, parts: &EngineParts) {
+        if let Some(token) = self.cow_token {
+            parts.deregister_cow(token);
+        }
+    }
+
+    /// Number of page versions currently held by the side file.
+    pub fn side_pages(&self) -> usize {
+        self.inner.side_len()
+    }
+
+    /// Instrumentation counters.
+    pub fn stats(&self) -> SnapshotStatsView {
+        self.inner.stats_view()
+    }
+
+    /// The earliest LSN this snapshot still needs (log truncation must not
+    /// pass it while the snapshot is open).
+    pub fn min_needed_lsn(&self) -> Lsn {
+        self.creation.analysis_start
+    }
+}
+
+impl SnapInner {
+    fn side_len(&self) -> usize {
+        self.side.len()
+    }
+
+    fn stats_view(&self) -> SnapshotStatsView {
+        self.stats.snapshot()
+    }
+}
+
+/// Copy-on-write sink for regular snapshots: stores the pre-image of the
+/// first post-snapshot modification of each page (paper §2.2).
+pub struct CowPusher {
+    inner: Arc<SnapInner>,
+}
+
+impl CowSink for CowPusher {
+    fn before_modify(&self, pid: PageId, current: &Page) {
+        self.inner.cow_push(pid, current);
+    }
+}
+
+impl SnapInner {
+    fn cow_push(&self, pid: PageId, current: &Page) {
+        self.side.put_if_absent(pid, current);
+    }
+}
+
+fn retention_of<'a>(
+    log: &'a rewind_wal::LogManager,
+    t: Timestamp,
+) -> impl Fn(Error) -> Error + 'a {
+    move |e| match e {
+        Error::LogTruncated(_) => Error::RetentionExceeded {
+            requested: t,
+            earliest: log.earliest_retained_time().unwrap_or(Timestamp::ZERO),
+        },
+        other => other,
+    }
+}

@@ -1,0 +1,240 @@
+//! The snapshot page-access protocol and its two [`Store`] personalities.
+//!
+//! `SnapInner::fetch` is the paper's §5.3 protocol verbatim:
+//!
+//! > a. If the page exists in the sparse file, return that page.
+//! > b. Else, read the page from the primary database.
+//! > c. Once the read I/O completes …, call PreparePageAsOf(page, SplitLSN)
+//! >    to undo the page as of the split LSN.
+//! > d. Write the prepared page to the sparse file.
+//!
+//! Prior versions are therefore produced **only for pages that are actually
+//! accessed** — the property the whole paper is built around (§3).
+//!
+//! [`SnapshotStore`] exposes this read-only (queries); [`SnapshotMutator`]
+//! additionally lets snapshot recovery's logical undo modify side-file pages
+//! *without logging* — the snapshot is a throwaway replica, as in SQL Server
+//! where undo writes go to the sparse file (§5.2).
+
+use parking_lot::Mutex;
+use rewind_access::store::{ModKind, Store};
+use rewind_common::{Error, Lsn, ObjectId, PageId, Result};
+use rewind_pagestore::{FileManager, Page, PageType, SideFile};
+use rewind_recovery::prepare_page_as_of;
+use rewind_txn::ObjectLatches;
+use rewind_wal::{LogManager, LogPayload};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::stats::SnapshotStats;
+
+/// Shared snapshot state: the side file, the primary's file manager and log,
+/// and the SplitLSN.
+pub struct SnapInner {
+    pub(crate) fm: Arc<dyn FileManager>,
+    pub(crate) log: Arc<LogManager>,
+    pub(crate) split: Lsn,
+    pub(crate) side: SideFile,
+    preparing: Mutex<HashMap<u64, Arc<Mutex<()>>>>,
+    pub(crate) stats: SnapshotStats,
+    phantom_next: AtomicU64,
+}
+
+impl SnapInner {
+    pub(crate) fn new(fm: Arc<dyn FileManager>, log: Arc<LogManager>, split: Lsn) -> Self {
+        let phantom_base = fm.page_count().max(1) + (1 << 20);
+        SnapInner {
+            fm,
+            log,
+            split,
+            side: SideFile::new(),
+            preparing: Mutex::new(HashMap::new()),
+            stats: SnapshotStats::default(),
+            phantom_next: AtomicU64::new(phantom_base),
+        }
+    }
+
+    /// The §5.3 read protocol.
+    pub(crate) fn fetch(&self, pid: PageId) -> Result<Page> {
+        if let Some(p) = self.side.get(pid) {
+            self.stats.side_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(p);
+        }
+        // Serialize concurrent first-preparations of the same page.
+        let gate = {
+            let mut map = self.preparing.lock();
+            map.entry(pid.0).or_default().clone()
+        };
+        let _g = gate.lock();
+        if let Some(p) = self.side.get(pid) {
+            self.stats.side_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(p);
+        }
+        let mut page = self.fm.read_page(pid)?;
+        let st = prepare_page_as_of(&self.log, &mut page, pid, self.split).map_err(|e| {
+            match e {
+                Error::LogTruncated(lsn) => Error::LogTruncated(lsn),
+                other => other,
+            }
+        })?;
+        self.stats.pages_prepared.fetch_add(1, Ordering::Relaxed);
+        self.stats.records_undone.fetch_add(st.records_undone, Ordering::Relaxed);
+        self.stats.fpi_chain_reads.fetch_add(st.fpi_chain_reads, Ordering::Relaxed);
+        if st.fpi_restored {
+            self.stats.fpi_restores.fetch_add(1, Ordering::Relaxed);
+        }
+        self.side.put(pid, &page);
+        Ok(page)
+    }
+
+    /// Write a page fixed up by logical undo back to the side file (§5.2:
+    /// "this modified page is then written back to the side file").
+    pub(crate) fn put(&self, pid: PageId, page: &Page) {
+        self.side.put(pid, page);
+    }
+
+    /// Allocate a phantom page id for undo-side splits. Phantom pages exist
+    /// only in the side file, beyond the primary's page range; queries reach
+    /// them only through tree pointers written by the undo pass.
+    pub(crate) fn phantom_page(&self) -> PageId {
+        PageId(self.phantom_next.fetch_add(1, Ordering::AcqRel))
+    }
+}
+
+/// Read-only [`Store`] over a snapshot: what queries use.
+pub struct SnapshotStore<'a> {
+    pub(crate) inner: &'a SnapInner,
+    pub(crate) latches: &'a ObjectLatches,
+}
+
+impl Store for SnapshotStore<'_> {
+    fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&Page) -> Result<R>) -> Result<R> {
+        let page = self.inner.fetch(pid)?;
+        f(&page)
+    }
+
+    fn modify_flagged(
+        &self,
+        _pid: PageId,
+        _payload: LogPayload,
+        _kind: ModKind,
+        _extra: u8,
+    ) -> Result<Lsn> {
+        Err(Error::ReadOnly)
+    }
+
+    fn allocate(
+        &self,
+        _object: ObjectId,
+        _ty: PageType,
+        _level: u16,
+        _next: PageId,
+        _prev: PageId,
+        _kind: ModKind,
+    ) -> Result<PageId> {
+        Err(Error::ReadOnly)
+    }
+
+    fn free_page(&self, _pid: PageId, _kind: ModKind) -> Result<()> {
+        Err(Error::ReadOnly)
+    }
+
+    fn with_object_latch<R>(
+        &self,
+        object: ObjectId,
+        _exclusive: bool,
+        f: impl FnOnce() -> Result<R>,
+    ) -> Result<R> {
+        // queries always take the latch shared; writes are rejected anyway
+        self.latches.with_latch(object, false, f)
+    }
+
+    fn end_smo(&self, _undo_next: Lsn) -> Result<()> {
+        Err(Error::ReadOnly)
+    }
+
+    fn txn_last_lsn(&self) -> Lsn {
+        Lsn::NULL
+    }
+
+    fn writable(&self) -> bool {
+        false
+    }
+}
+
+/// The write-capable [`Store`] used exclusively by snapshot recovery's
+/// background logical undo (§5.2). Modifications apply straight to side-file
+/// pages without logging; the page LSN is left at its prepared value.
+pub struct SnapshotMutator<'a> {
+    pub(crate) inner: &'a SnapInner,
+    pub(crate) latches: &'a ObjectLatches,
+}
+
+impl Store for SnapshotMutator<'_> {
+    fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&Page) -> Result<R>) -> Result<R> {
+        let page = self.inner.fetch(pid)?;
+        f(&page)
+    }
+
+    fn modify_flagged(
+        &self,
+        pid: PageId,
+        payload: LogPayload,
+        _kind: ModKind,
+        _extra: u8,
+    ) -> Result<Lsn> {
+        let mut page = self.inner.fetch(pid)?;
+        payload.precheck(&page)?;
+        let keep_lsn = page.page_lsn();
+        payload.redo(&mut page, pid, keep_lsn)?;
+        self.inner.put(pid, &page);
+        self.inner.stats.undo_records.fetch_add(1, Ordering::Relaxed);
+        Ok(keep_lsn)
+    }
+
+    fn allocate(
+        &self,
+        object: ObjectId,
+        ty: PageType,
+        level: u16,
+        next: PageId,
+        prev: PageId,
+        _kind: ModKind,
+    ) -> Result<PageId> {
+        let pid = self.inner.phantom_page();
+        let mut p = Page::formatted(pid, object, ty);
+        p.set_level(level);
+        p.set_next_page(next);
+        p.set_prev_page(prev);
+        p.set_page_lsn(self.inner.split);
+        self.inner.put(pid, &p);
+        Ok(pid)
+    }
+
+    fn free_page(&self, _pid: PageId, _kind: ModKind) -> Result<()> {
+        Err(Error::Internal("snapshot undo never deallocates pages".into()))
+    }
+
+    fn with_object_latch<R>(
+        &self,
+        object: ObjectId,
+        _exclusive: bool,
+        f: impl FnOnce() -> Result<R>,
+    ) -> Result<R> {
+        // the undo pass always mutates: exclusive
+        self.latches.with_latch(object, true, f)
+    }
+
+    fn end_smo(&self, _undo_next: Lsn) -> Result<()> {
+        Ok(())
+    }
+
+    fn txn_last_lsn(&self) -> Lsn {
+        Lsn::NULL
+    }
+
+    fn writable(&self) -> bool {
+        true
+    }
+}

@@ -1,0 +1,273 @@
+//! The multithreaded TPC-C driver.
+//!
+//! The paper runs "8 clients simulating 25 users each" and measures
+//! transactions per minute. [`run_mixed`] runs worker threads against the
+//! engine with the standard mix, retries deadlock victims, and advances the
+//! simulated clock so that throughput maps onto a wall-clock axis — which
+//! is what "rewind T minutes" experiments sweep.
+
+use crate::schema::{last_name, TpccScale};
+use crate::txns::{
+    delivery, new_order, order_status, payment, stock_level, CustomerSelector, NewOrderLine,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rewind_core::{Database, Error, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Driver configuration.
+#[derive(Clone, Debug)]
+pub struct DriverConfig {
+    /// Worker threads.
+    pub threads: usize,
+    /// Committed transactions to run per thread.
+    pub txns_per_thread: u64,
+    /// Simulated microseconds the clock advances per committed transaction
+    /// (models the paper's observed rates: its ~100 GB / 50 min run is a
+    /// time-vs-log ratio, not a wall-clock requirement).
+    pub us_per_txn: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Fraction (0-100) of NewOrder transactions that hit an invalid item
+    /// and roll back (TPC-C says 1%).
+    pub rollback_pct: u64,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig { threads: 4, txns_per_thread: 200, us_per_txn: 10_000, seed: 42, rollback_pct: 1 }
+    }
+}
+
+/// Aggregated driver results.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunStats {
+    /// Committed NewOrder transactions.
+    pub new_orders: u64,
+    /// Committed Payment transactions.
+    pub payments: u64,
+    /// Committed OrderStatus transactions.
+    pub order_statuses: u64,
+    /// Committed Delivery transactions.
+    pub deliveries: u64,
+    /// Committed StockLevel transactions.
+    pub stock_levels: u64,
+    /// Intentional rollbacks (invalid item).
+    pub intentional_rollbacks: u64,
+    /// Deadlock/timeout retries.
+    pub retries: u64,
+    /// Simulated microseconds elapsed during the run.
+    pub sim_elapsed_us: u64,
+    /// Real microseconds elapsed during the run.
+    pub real_elapsed_us: u64,
+}
+
+impl RunStats {
+    /// Total committed transactions.
+    pub fn committed(&self) -> u64 {
+        self.new_orders + self.payments + self.order_statuses + self.deliveries + self.stock_levels
+    }
+
+    /// NewOrder transactions per simulated minute (the tpmC analogue).
+    pub fn tpm_c(&self) -> f64 {
+        if self.sim_elapsed_us == 0 {
+            return 0.0;
+        }
+        self.new_orders as f64 / (self.sim_elapsed_us as f64 / 60_000_000.0)
+    }
+}
+
+struct Counters {
+    new_orders: AtomicU64,
+    payments: AtomicU64,
+    order_statuses: AtomicU64,
+    deliveries: AtomicU64,
+    stock_levels: AtomicU64,
+    intentional_rollbacks: AtomicU64,
+    retries: AtomicU64,
+}
+
+/// Run the standard TPC-C mix (45/43/4/4/4) against `db`.
+pub fn run_mixed(db: &Arc<Database>, scale: &TpccScale, cfg: &DriverConfig) -> Result<RunStats> {
+    let counters = Counters {
+        new_orders: AtomicU64::new(0),
+        payments: AtomicU64::new(0),
+        order_statuses: AtomicU64::new(0),
+        deliveries: AtomicU64::new(0),
+        stock_levels: AtomicU64::new(0),
+        intentional_rollbacks: AtomicU64::new(0),
+        retries: AtomicU64::new(0),
+    };
+    let sim_start = db.clock().now();
+    let real_start = std::time::Instant::now();
+
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..cfg.threads {
+            let db = db.clone();
+            let counters = &counters;
+            let scale = *scale;
+            let cfg = cfg.clone();
+            handles.push(s.spawn(move || -> Result<()> {
+                let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (t as u64 + 1) << 17);
+                let mut committed = 0u64;
+                while committed < cfg.txns_per_thread {
+                    match run_one(&db, &scale, &cfg, &mut rng, counters) {
+                        Ok(true) => {
+                            committed += 1;
+                            db.clock().advance_micros(cfg.us_per_txn);
+                        }
+                        Ok(false) => {
+                            // intentional rollback counts as work done
+                            committed += 1;
+                            db.clock().advance_micros(cfg.us_per_txn);
+                        }
+                        Err(Error::Deadlock(_)) | Err(Error::LockTimeout(_)) => {
+                            counters.retries.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                Ok(())
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker panicked")?;
+        }
+        Ok::<(), Error>(())
+    })?;
+
+    Ok(RunStats {
+        new_orders: counters.new_orders.load(Ordering::Relaxed),
+        payments: counters.payments.load(Ordering::Relaxed),
+        order_statuses: counters.order_statuses.load(Ordering::Relaxed),
+        deliveries: counters.deliveries.load(Ordering::Relaxed),
+        stock_levels: counters.stock_levels.load(Ordering::Relaxed),
+        intentional_rollbacks: counters.intentional_rollbacks.load(Ordering::Relaxed),
+        retries: counters.retries.load(Ordering::Relaxed),
+        sim_elapsed_us: db.clock().now().micros_since(sim_start),
+        real_elapsed_us: real_start.elapsed().as_micros() as u64,
+    })
+}
+
+/// Execute one randomly chosen transaction. `Ok(true)` committed, `Ok(false)`
+/// intentionally rolled back; deadlocks/timeouts bubble up for retry.
+fn run_one(
+    db: &Arc<Database>,
+    scale: &TpccScale,
+    cfg: &DriverConfig,
+    rng: &mut SmallRng,
+    counters: &Counters,
+) -> Result<bool> {
+    let w_id = 1 + rng.gen_range(0..scale.warehouses);
+    let d_id = 1 + rng.gen_range(0..scale.districts_per_warehouse);
+    let c_id = 1 + rng.gen_range(0..scale.customers_per_district);
+    let pick = rng.gen_range(0..100u64);
+
+    if pick < 45 {
+        // NewOrder
+        let n_lines = rng.gen_range(5..=15usize);
+        let poison = rng.gen_range(0..100u64) < cfg.rollback_pct;
+        let mut lines = Vec::with_capacity(n_lines);
+        for i in 0..n_lines {
+            let item_id = if poison && i == n_lines - 1 {
+                u64::MAX // invalid: forces rollback
+            } else {
+                1 + rng.gen_range(0..scale.items)
+            };
+            let supply_w_id = if scale.warehouses > 1 && rng.gen_range(0..100) < 10 {
+                1 + rng.gen_range(0..scale.warehouses)
+            } else {
+                w_id
+            };
+            lines.push(NewOrderLine { item_id, supply_w_id, quantity: 1 + rng.gen_range(0..10) });
+        }
+        let txn = db.begin();
+        match new_order(db, &txn, w_id, d_id, c_id, &lines) {
+            Ok(_) => {
+                db.commit(txn)?;
+                counters.new_orders.fetch_add(1, Ordering::Relaxed);
+                Ok(true)
+            }
+            Err(Error::KeyNotFound) if poison => {
+                db.rollback(txn)?;
+                counters.intentional_rollbacks.fetch_add(1, Ordering::Relaxed);
+                Ok(false)
+            }
+            Err(e) => {
+                let _ = db.rollback(txn);
+                Err(e)
+            }
+        }
+    } else if pick < 88 {
+        // Payment: 60% by last name
+        let selector_name;
+        let selector = if rng.gen_range(0..100) < 60 {
+            selector_name = last_name(rng.gen_range(0..scale.customers_per_district));
+            CustomerSelector::ByLastName(&selector_name)
+        } else {
+            CustomerSelector::ById(c_id)
+        };
+        let amount = 1.0 + rng.gen_range(0..5000) as f64 / 100.0;
+        let txn = db.begin();
+        match payment(db, &txn, w_id, d_id, selector, amount) {
+            Ok(()) => {
+                db.commit(txn)?;
+                counters.payments.fetch_add(1, Ordering::Relaxed);
+                Ok(true)
+            }
+            Err(Error::KeyNotFound) => {
+                // customer name with no match at tiny scales
+                db.rollback(txn)?;
+                Ok(false)
+            }
+            Err(e) => {
+                let _ = db.rollback(txn);
+                Err(e)
+            }
+        }
+    } else if pick < 92 {
+        // OrderStatus
+        let txn = db.begin();
+        match order_status(db, &txn, w_id, d_id, CustomerSelector::ById(c_id)) {
+            Ok(_) => {
+                db.commit(txn)?;
+                counters.order_statuses.fetch_add(1, Ordering::Relaxed);
+                Ok(true)
+            }
+            Err(e) => {
+                let _ = db.rollback(txn);
+                Err(e)
+            }
+        }
+    } else if pick < 96 {
+        // Delivery
+        let txn = db.begin();
+        match delivery(db, &txn, w_id, rng.gen_range(1..=10i64), scale.districts_per_warehouse) {
+            Ok(_) => {
+                db.commit(txn)?;
+                counters.deliveries.fetch_add(1, Ordering::Relaxed);
+                Ok(true)
+            }
+            Err(e) => {
+                let _ = db.rollback(txn);
+                Err(e)
+            }
+        }
+    } else {
+        // StockLevel
+        let txn = db.begin();
+        match stock_level(db, &txn, w_id, d_id, 10 + rng.gen_range(0..11i64)) {
+            Ok(_) => {
+                db.commit(txn)?;
+                counters.stock_levels.fetch_add(1, Ordering::Relaxed);
+                Ok(true)
+            }
+            Err(e) => {
+                let _ = db.rollback(txn);
+                Err(e)
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! A scaled-down TPC-C-like workload (paper §6).
+//!
+//! The paper evaluates with "a scaled-down version of the TPC-C benchmark"
+//! (800 warehouses, 10 districts/warehouse, 8×25 users). This crate
+//! implements the same schema and transaction mix at configurable scale:
+//! NewOrder / Payment / OrderStatus / Delivery / StockLevel over warehouse,
+//! district, customer, item, stock, orders, new_order, order_line (B-Trees)
+//! and history (a heap), with the two secondary indexes the transactions
+//! need (customer by last name, orders by customer).
+//!
+//! StockLevel — "a TPC-C stock level stored procedure against a fixed
+//! district/warehouse" — is the paper's as-of query (§6.2); it is provided
+//! both against the live database and against a [`rewind_core::SnapshotDb`].
+
+pub mod driver;
+pub mod load;
+pub mod schema;
+pub mod txns;
+
+pub use driver::{run_mixed, DriverConfig, RunStats};
+pub use load::{load_initial, LoadSummary};
+pub use schema::{create_schema, TpccScale};
+pub use txns::{
+    delivery, new_order, order_status, payment, stock_level, stock_level_asof, NewOrderLine,
+};

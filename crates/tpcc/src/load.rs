@@ -1,0 +1,168 @@
+//! Initial TPC-C population.
+
+use crate::schema::{last_name, TpccScale};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rewind_core::{Database, Result, Value};
+
+/// What the loader created.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LoadSummary {
+    /// Rows inserted across all tables.
+    pub rows: u64,
+    /// Orders pre-loaded per district.
+    pub orders_per_district: u64,
+}
+
+fn fill(rng: &mut SmallRng, min: usize, max: usize) -> String {
+    let len = rng.gen_range(min..=max);
+    (0..len).map(|_| (b'a' + rng.gen_range(0..26)) as char).collect()
+}
+
+/// Populate the database per `scale`. Commits in batches so the log
+/// contains realistic transaction boundaries.
+pub fn load_initial(db: &Database, scale: &TpccScale) -> Result<LoadSummary> {
+    let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+    let mut rows = 0u64;
+
+    // items
+    db.with_txn(|txn| {
+        for i_id in 1..=scale.items {
+            db.insert(
+                txn,
+                "item",
+                &[
+                    Value::U64(i_id),
+                    Value::Str(format!("item-{i_id}")),
+                    Value::F64(1.0 + (i_id % 100) as f64),
+                    Value::Str(fill(&mut rng, 8, 24)),
+                ],
+            )?;
+            rows += 1;
+        }
+        Ok(())
+    })?;
+
+    for w_id in 1..=scale.warehouses {
+        db.with_txn(|txn| {
+            db.insert(
+                txn,
+                "warehouse",
+                &[
+                    Value::U64(w_id),
+                    Value::Str(format!("wh-{w_id}")),
+                    Value::F64(0.05),
+                    Value::F64(300_000.0),
+                ],
+            )?;
+            rows += 1;
+            for i_id in 1..=scale.items {
+                db.insert(
+                    txn,
+                    "stock",
+                    &[
+                        Value::U64(w_id),
+                        Value::U64(i_id),
+                        Value::I64(50 + (i_id % 50) as i64),
+                        Value::F64(0.0),
+                        Value::U64(0),
+                        Value::U64(0),
+                        Value::Str(fill(&mut rng, 8, 24)),
+                    ],
+                )?;
+                rows += 1;
+            }
+            Ok(())
+        })?;
+
+        for d_id in 1..=scale.districts_per_warehouse {
+            db.with_txn(|txn| {
+                let next_o_id = scale.initial_orders_per_district + 1;
+                db.insert(
+                    txn,
+                    "district",
+                    &[
+                        Value::U64(w_id),
+                        Value::U64(d_id),
+                        Value::Str(format!("dist-{w_id}-{d_id}")),
+                        Value::F64(0.07),
+                        Value::F64(30_000.0),
+                        Value::U64(next_o_id),
+                    ],
+                )?;
+                rows += 1;
+                for c_id in 1..=scale.customers_per_district {
+                    db.insert(
+                        txn,
+                        "customer",
+                        &[
+                            Value::U64(w_id),
+                            Value::U64(d_id),
+                            Value::U64(c_id),
+                            Value::Str(last_name(c_id - 1)),
+                            Value::Str(fill(&mut rng, 6, 12)),
+                            Value::F64(-10.0),
+                            Value::F64(10.0),
+                            Value::U64(1),
+                            Value::U64(0),
+                            Value::Str(fill(&mut rng, 30, 60)),
+                        ],
+                    )?;
+                    rows += 1;
+                }
+                // pre-loaded orders with lines
+                for o_id in 1..=scale.initial_orders_per_district {
+                    let c_id = 1 + rng.gen_range(0..scale.customers_per_district);
+                    let ol_cnt = 5 + rng.gen_range(0..6u64);
+                    db.insert(
+                        txn,
+                        "orders",
+                        &[
+                            Value::U64(w_id),
+                            Value::U64(d_id),
+                            Value::U64(o_id),
+                            Value::U64(c_id),
+                            Value::U64(db.clock().now().as_micros()),
+                            Value::I64(if o_id * 10 < scale.initial_orders_per_district * 7 {
+                                rng.gen_range(1..=10i64)
+                            } else {
+                                -1
+                            }),
+                            Value::U64(ol_cnt),
+                        ],
+                    )?;
+                    rows += 1;
+                    // undelivered tail goes to new_order
+                    if o_id * 10 >= scale.initial_orders_per_district * 7 {
+                        db.insert(
+                            txn,
+                            "new_order",
+                            &[Value::U64(w_id), Value::U64(d_id), Value::U64(o_id)],
+                        )?;
+                        rows += 1;
+                    }
+                    for ol in 1..=ol_cnt {
+                        db.insert(
+                            txn,
+                            "order_line",
+                            &[
+                                Value::U64(w_id),
+                                Value::U64(d_id),
+                                Value::U64(o_id),
+                                Value::U64(ol),
+                                Value::U64(1 + rng.gen_range(0..scale.items)),
+                                Value::U64(w_id),
+                                Value::I64(0),
+                                Value::I64(5),
+                                Value::F64(rng.gen_range(1.0..100.0)),
+                            ],
+                        )?;
+                        rows += 1;
+                    }
+                }
+                Ok(())
+            })?;
+        }
+    }
+    Ok(LoadSummary { rows, orders_per_district: scale.initial_orders_per_district })
+}

@@ -1,0 +1,207 @@
+//! TPC-C schema definition.
+
+use rewind_core::{Column, DataType, Database, Result, Schema};
+
+/// Workload scale parameters. Defaults are laptop-scale; the paper's run
+/// used 800 warehouses / 40 GB — shape, not size, is what the experiments
+/// sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct TpccScale {
+    /// Number of warehouses.
+    pub warehouses: u64,
+    /// Districts per warehouse (TPC-C fixes this at 10).
+    pub districts_per_warehouse: u64,
+    /// Customers per district (TPC-C: 3000).
+    pub customers_per_district: u64,
+    /// Items in the catalog (TPC-C: 100 000).
+    pub items: u64,
+    /// Initial orders per district (TPC-C: 3000).
+    pub initial_orders_per_district: u64,
+}
+
+impl Default for TpccScale {
+    fn default() -> Self {
+        TpccScale {
+            warehouses: 2,
+            districts_per_warehouse: 10,
+            customers_per_district: 30,
+            items: 200,
+            initial_orders_per_district: 30,
+        }
+    }
+}
+
+impl TpccScale {
+    /// A tiny scale for unit tests.
+    pub fn tiny() -> Self {
+        TpccScale {
+            warehouses: 1,
+            districts_per_warehouse: 2,
+            customers_per_district: 10,
+            items: 50,
+            initial_orders_per_district: 5,
+        }
+    }
+}
+
+fn u(name: &str) -> Column {
+    Column::new(name, DataType::U64)
+}
+
+fn i(name: &str) -> Column {
+    Column::new(name, DataType::I64)
+}
+
+fn f(name: &str) -> Column {
+    Column::new(name, DataType::F64)
+}
+
+fn s(name: &str) -> Column {
+    Column::new(name, DataType::Str)
+}
+
+/// Create all nine TPC-C tables plus the two secondary indexes.
+pub fn create_schema(db: &Database) -> Result<()> {
+    db.with_txn(|txn| {
+        db.create_table(
+            txn,
+            "warehouse",
+            Schema::new(vec![u("w_id"), s("w_name"), f("w_tax"), f("w_ytd")], &["w_id"])?,
+        )?;
+        db.create_table(
+            txn,
+            "district",
+            Schema::new(
+                vec![u("d_w_id"), u("d_id"), s("d_name"), f("d_tax"), f("d_ytd"), u("d_next_o_id")],
+                &["d_w_id", "d_id"],
+            )?,
+        )?;
+        db.create_table(
+            txn,
+            "customer",
+            Schema::new(
+                vec![
+                    u("c_w_id"),
+                    u("c_d_id"),
+                    u("c_id"),
+                    s("c_last"),
+                    s("c_first"),
+                    f("c_balance"),
+                    f("c_ytd_payment"),
+                    u("c_payment_cnt"),
+                    u("c_delivery_cnt"),
+                    s("c_data"),
+                ],
+                &["c_w_id", "c_d_id", "c_id"],
+            )?,
+        )?;
+        db.create_table(
+            txn,
+            "item",
+            Schema::new(vec![u("i_id"), s("i_name"), f("i_price"), s("i_data")], &["i_id"])?,
+        )?;
+        db.create_table(
+            txn,
+            "stock",
+            Schema::new(
+                vec![
+                    u("s_w_id"),
+                    u("s_i_id"),
+                    i("s_quantity"),
+                    f("s_ytd"),
+                    u("s_order_cnt"),
+                    u("s_remote_cnt"),
+                    s("s_data"),
+                ],
+                &["s_w_id", "s_i_id"],
+            )?,
+        )?;
+        db.create_table(
+            txn,
+            "orders",
+            Schema::new(
+                vec![
+                    u("o_w_id"),
+                    u("o_d_id"),
+                    u("o_id"),
+                    u("o_c_id"),
+                    u("o_entry_d"),
+                    i("o_carrier_id"),
+                    u("o_ol_cnt"),
+                ],
+                &["o_w_id", "o_d_id", "o_id"],
+            )?,
+        )?;
+        db.create_table(
+            txn,
+            "new_order",
+            Schema::new(
+                vec![u("no_w_id"), u("no_d_id"), u("no_o_id")],
+                &["no_w_id", "no_d_id", "no_o_id"],
+            )?,
+        )?;
+        db.create_table(
+            txn,
+            "order_line",
+            Schema::new(
+                vec![
+                    u("ol_w_id"),
+                    u("ol_d_id"),
+                    u("ol_o_id"),
+                    u("ol_number"),
+                    u("ol_i_id"),
+                    u("ol_supply_w_id"),
+                    i("ol_delivery_d"),
+                    i("ol_quantity"),
+                    f("ol_amount"),
+                ],
+                &["ol_w_id", "ol_d_id", "ol_o_id", "ol_number"],
+            )?,
+        )?;
+        // HISTORY is a heap: insert-only, no key (paper §7.2's point that
+        // the mechanism covers heaps too).
+        db.create_heap_table(
+            txn,
+            "history",
+            Schema::new(
+                vec![
+                    u("h_c_id"),
+                    u("h_c_d_id"),
+                    u("h_c_w_id"),
+                    u("h_d_id"),
+                    u("h_w_id"),
+                    u("h_date"),
+                    f("h_amount"),
+                    s("h_data"),
+                ],
+                &["h_c_id"], // heaps ignore key ordering; schema requires one
+            )?,
+        )?;
+        db.create_index(txn, "customer", "customer_by_name", &["c_w_id", "c_d_id", "c_last"])?;
+        db.create_index(txn, "orders", "orders_by_customer", &["o_w_id", "o_d_id", "o_c_id"])?;
+        Ok(())
+    })
+}
+
+/// The ten TPC-C syllables used to build customer last names.
+pub const SYLLABLES: [&str; 10] =
+    ["BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"];
+
+/// TPC-C last-name generator: three syllables from the digits of `n`.
+pub fn last_name(n: u64) -> String {
+    let n = n % 1000;
+    format!("{}{}{}", SYLLABLES[(n / 100) as usize], SYLLABLES[((n / 10) % 10) as usize], SYLLABLES[(n % 10) as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_names_follow_spec() {
+        assert_eq!(last_name(0), "BARBARBAR");
+        assert_eq!(last_name(371), "PRICALLYOUGHT");
+        assert_eq!(last_name(999), "EINGEINGEING");
+        assert_eq!(last_name(1371), "PRICALLYOUGHT");
+    }
+}

@@ -1,0 +1,19 @@
+//! Transactions and locking.
+//!
+//! The engine uses strict two-phase locking (paper §2.1: rows are locked
+//! shared/exclusive and released only after commit) with hierarchical intent
+//! locks at table granularity, FIFO queuing, waits-for deadlock detection
+//! and a timeout backstop.
+//!
+//! [`TxnManager`] tracks the active-transaction table (ATT): each
+//! transaction's first and last LSN, which checkpoints persist (§2) and
+//! which snapshot recovery uses to find the transactions in flight at the
+//! SplitLSN (§5.2).
+
+pub mod latch;
+pub mod lock;
+pub mod manager;
+
+pub use latch::ObjectLatches;
+pub use lock::{LockKey, LockManager, LockMode};
+pub use manager::{TxnManager, TxnShared, TxnState};

@@ -1,0 +1,223 @@
+//! The transaction manager: ids, states and the active-transaction table.
+
+use parking_lot::Mutex;
+use rewind_common::{Lsn, TxnId};
+use rewind_wal::TxnTableEntry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// Lifecycle state of a transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum TxnState {
+    /// Running; may log records.
+    Active = 0,
+    /// Commit record durable; locks may be released.
+    Committed = 1,
+    /// Rolled back.
+    Aborted = 2,
+}
+
+/// Shared per-transaction state, updated lock-free on every logged record.
+pub struct TxnShared {
+    /// The transaction id.
+    pub id: TxnId,
+    first_lsn: AtomicU64,
+    last_lsn: AtomicU64,
+    state: AtomicU8,
+}
+
+impl TxnShared {
+    fn new(id: TxnId) -> Self {
+        TxnShared {
+            id,
+            first_lsn: AtomicU64::new(0),
+            last_lsn: AtomicU64::new(0),
+            state: AtomicU8::new(TxnState::Active as u8),
+        }
+    }
+
+    /// Record that this transaction logged a record at `lsn`.
+    pub fn record_logged(&self, lsn: Lsn) {
+        let _ = self.first_lsn.compare_exchange(0, lsn.0, Ordering::AcqRel, Ordering::Relaxed);
+        self.last_lsn.store(lsn.0, Ordering::Release);
+    }
+
+    /// LSN of the first record, or null if the txn never logged.
+    pub fn first_lsn(&self) -> Lsn {
+        Lsn(self.first_lsn.load(Ordering::Acquire))
+    }
+
+    /// LSN of the latest record, or null.
+    pub fn last_lsn(&self) -> Lsn {
+        Lsn(self.last_lsn.load(Ordering::Acquire))
+    }
+
+    /// Force the last-LSN pointer (rollback walks it backwards via CLRs).
+    pub fn set_last_lsn(&self, lsn: Lsn) {
+        self.last_lsn.store(lsn.0, Ordering::Release);
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> TxnState {
+        match self.state.load(Ordering::Acquire) {
+            0 => TxnState::Active,
+            1 => TxnState::Committed,
+            _ => TxnState::Aborted,
+        }
+    }
+
+    /// Transition the lifecycle state.
+    pub fn set_state(&self, s: TxnState) {
+        self.state.store(s as u8, Ordering::Release);
+    }
+}
+
+/// Allocates transaction ids and tracks the active-transaction table.
+pub struct TxnManager {
+    next_id: AtomicU64,
+    active: Mutex<HashMap<u64, Arc<TxnShared>>>,
+}
+
+impl TxnManager {
+    /// A fresh manager; ids start at 1.
+    pub fn new() -> Self {
+        TxnManager { next_id: AtomicU64::new(1), active: Mutex::new(HashMap::new()) }
+    }
+
+    /// Begin a transaction: allocate an id and register it active.
+    pub fn begin(&self) -> Arc<TxnShared> {
+        let id = TxnId(self.next_id.fetch_add(1, Ordering::AcqRel));
+        let shared = Arc::new(TxnShared::new(id));
+        self.active.lock().insert(id.0, shared.clone());
+        shared
+    }
+
+    /// Remove a finished transaction from the active table.
+    pub fn finish(&self, id: TxnId) {
+        self.active.lock().remove(&id.0);
+    }
+
+    /// Register a transaction with a pre-existing id (crash restart rebuilds
+    /// loser transactions found in the log).
+    pub fn adopt(&self, id: TxnId, last_lsn: Lsn) -> Arc<TxnShared> {
+        let shared = Arc::new(TxnShared::new(id));
+        shared.set_last_lsn(last_lsn);
+        self.active.lock().insert(id.0, shared.clone());
+        self.bump_next_id(id);
+        shared
+    }
+
+    /// Whether `id` is currently active.
+    pub fn is_active(&self, id: TxnId) -> bool {
+        self.active.lock().contains_key(&id.0)
+    }
+
+    /// Number of active transactions.
+    pub fn active_count(&self) -> usize {
+        self.active.lock().len()
+    }
+
+    /// Snapshot the active-transaction table for a checkpoint record.
+    pub fn active_table(&self) -> Vec<TxnTableEntry> {
+        let mut v: Vec<TxnTableEntry> = self
+            .active
+            .lock()
+            .values()
+            .map(|t| TxnTableEntry { txn: t.id, first_lsn: t.first_lsn(), last_lsn: t.last_lsn() })
+            .collect();
+        v.sort_by_key(|e| e.txn);
+        v
+    }
+
+    /// The earliest first-LSN among active transactions (log truncation must
+    /// not pass it).
+    pub fn oldest_active_first_lsn(&self) -> Option<Lsn> {
+        self.active
+            .lock()
+            .values()
+            .map(|t| t.first_lsn())
+            .filter(|l| l.is_valid())
+            .min()
+    }
+
+    /// Ensure future ids exceed `floor` (called after crash recovery, which
+    /// may have observed ids in the log).
+    pub fn bump_next_id(&self, floor: TxnId) {
+        self.next_id.fetch_max(floor.0 + 1, Ordering::AcqRel);
+    }
+}
+
+impl Default for TxnManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_finish_lifecycle() {
+        let tm = TxnManager::new();
+        let t1 = tm.begin();
+        let t2 = tm.begin();
+        assert_ne!(t1.id, t2.id);
+        assert!(tm.is_active(t1.id));
+        assert_eq!(tm.active_count(), 2);
+        tm.finish(t1.id);
+        assert!(!tm.is_active(t1.id));
+        assert_eq!(tm.active_count(), 1);
+    }
+
+    #[test]
+    fn lsn_tracking() {
+        let tm = TxnManager::new();
+        let t = tm.begin();
+        assert_eq!(t.first_lsn(), Lsn::NULL);
+        t.record_logged(Lsn(100));
+        t.record_logged(Lsn(200));
+        assert_eq!(t.first_lsn(), Lsn(100), "first LSN sticks");
+        assert_eq!(t.last_lsn(), Lsn(200));
+        t.set_last_lsn(Lsn(150));
+        assert_eq!(t.last_lsn(), Lsn(150));
+    }
+
+    #[test]
+    fn att_snapshot_sorted_and_complete() {
+        let tm = TxnManager::new();
+        let a = tm.begin();
+        let b = tm.begin();
+        a.record_logged(Lsn(500));
+        b.record_logged(Lsn(300));
+        let att = tm.active_table();
+        assert_eq!(att.len(), 2);
+        assert!(att[0].txn < att[1].txn);
+        assert_eq!(tm.oldest_active_first_lsn(), Some(Lsn(300)));
+        tm.finish(b.id);
+        assert_eq!(tm.oldest_active_first_lsn(), Some(Lsn(500)));
+        tm.finish(a.id);
+        assert_eq!(tm.oldest_active_first_lsn(), None);
+    }
+
+    #[test]
+    fn state_transitions() {
+        let tm = TxnManager::new();
+        let t = tm.begin();
+        assert_eq!(t.state(), TxnState::Active);
+        t.set_state(TxnState::Committed);
+        assert_eq!(t.state(), TxnState::Committed);
+        t.set_state(TxnState::Aborted);
+        assert_eq!(t.state(), TxnState::Aborted);
+    }
+
+    #[test]
+    fn id_floor_after_recovery() {
+        let tm = TxnManager::new();
+        tm.bump_next_id(TxnId(500));
+        let t = tm.begin();
+        assert!(t.id.0 > 500);
+    }
+}

@@ -1,0 +1,659 @@
+//! The log manager: the append-only virtual log stream.
+//!
+//! The stream is a sequence of `[u32 length][record body]` entries; a
+//! record's LSN is the byte offset of its length prefix. The stream is held
+//! in fixed-size in-memory segments; truncation (retention enforcement,
+//! §4.3) drops whole segments from the front.
+//!
+//! Random record reads (`get_record`) are how `PreparePageAsOf` walks
+//! per-page chains. Each read is classified as a *log cache hit* or a *log
+//! I/O* through a simple cache model (hot tail + LRU of recently touched
+//! blocks), because the number of undo log I/Os is exactly what the paper
+//! measures in Fig. 11 and what makes log media latency matter (§6.2).
+
+use crate::record::{LogPayload, LogRecord};
+use parking_lot::Mutex;
+use rewind_common::{Error, IoStats, Lsn, Result, Timestamp};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Size of one in-memory log segment.
+const SEGMENT_BYTES: u64 = 1 << 20;
+/// Cache-model block size: one "log page" worth of records.
+const CACHE_BLOCK_BYTES: u64 = 64 * 1024;
+
+/// Tuning knobs for the log manager.
+#[derive(Clone, Debug)]
+pub struct LogConfig {
+    /// Reads within this many bytes of the log tail are always cache hits
+    /// (the tail is in memory in any real system).
+    pub hot_tail_bytes: u64,
+    /// Number of 64 KiB blocks the read cache holds.
+    pub cache_blocks: usize,
+    /// Keep truncated segments as a *log archive* (the moral equivalent of
+    /// incremental log backups, paper §1). Archived log is out of retention
+    /// for the as-of machinery but remains readable to point-in-time
+    /// restore via the `*_deep` methods.
+    pub archive_on_truncate: bool,
+}
+
+impl Default for LogConfig {
+    fn default() -> Self {
+        LogConfig { hot_tail_bytes: 4 * 1024 * 1024, cache_blocks: 64, archive_on_truncate: false }
+    }
+}
+
+/// A checkpoint known to the log manager (directory entry).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckpointInfo {
+    /// LSN of the checkpoint-end record.
+    pub end_lsn: Lsn,
+    /// LSN of the matching checkpoint-begin record.
+    pub begin_lsn: Lsn,
+    /// Wall-clock time of the checkpoint.
+    pub at: Timestamp,
+}
+
+struct Segment {
+    start: u64,
+    data: Vec<u8>,
+}
+
+struct LogInner {
+    segments: Vec<Segment>,
+    /// Truncated segments retained as the log archive (oldest first).
+    archive: Vec<Segment>,
+    /// Next byte offset to be written.
+    tail: u64,
+    /// Offsets below this have been truncated away.
+    trunc: u64,
+    /// Cache model: block id -> last-use tick.
+    cache: HashMap<u64, u64>,
+    cache_tick: u64,
+    /// Checkpoint directory, ascending by LSN.
+    checkpoints: Vec<CheckpointInfo>,
+    /// Sparse time index: (lsn, wall clock) sampled at commits/checkpoints,
+    /// ascending. Supports retention decisions and split search narrowing.
+    time_index: Vec<(Lsn, Timestamp)>,
+}
+
+/// The write-ahead log manager. Thread-safe; shared via `Arc`.
+pub struct LogManager {
+    inner: Mutex<LogInner>,
+    flushed: AtomicU64,
+    stats: Arc<IoStats>,
+    config: LogConfig,
+}
+
+impl LogManager {
+    /// A fresh, empty log.
+    pub fn new(config: LogConfig) -> Self {
+        LogManager {
+            inner: Mutex::new(LogInner {
+                segments: Vec::new(),
+                archive: Vec::new(),
+                tail: Lsn::FIRST.0,
+                trunc: Lsn::FIRST.0,
+                cache: HashMap::new(),
+                cache_tick: 0,
+                checkpoints: Vec::new(),
+                time_index: Vec::new(),
+            }),
+            flushed: AtomicU64::new(Lsn::FIRST.0),
+            stats: Arc::new(IoStats::new()),
+            config,
+        }
+    }
+
+    /// The shared I/O counters for this log.
+    pub fn io_stats(&self) -> &Arc<IoStats> {
+        &self.stats
+    }
+
+    /// Append a record; assigns and returns its LSN. The record is in memory
+    /// (not durable) until [`LogManager::flush_to`] covers it.
+    pub fn append(&self, rec: &LogRecord) -> Lsn {
+        let body = rec.encode();
+        let mut inner = self.inner.lock();
+        let lsn = Lsn(inner.tail);
+        let mut framed = Vec::with_capacity(4 + body.len());
+        framed.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&body);
+        inner.write_bytes(&framed);
+        // Index commit/checkpoint times for retention & split search.
+        match &rec.payload {
+            LogPayload::Commit { at } | LogPayload::CheckpointBegin { at } => {
+                let at = *at;
+                inner.push_time(lsn, at);
+            }
+            LogPayload::CheckpointEnd(body) => {
+                let info = CheckpointInfo { end_lsn: lsn, begin_lsn: body.begin_lsn, at: body.at };
+                inner.checkpoints.push(info);
+                let at = body.at;
+                inner.push_time(lsn, at);
+            }
+            _ => {}
+        }
+        lsn
+    }
+
+    /// Next LSN that will be assigned (the current end of the log).
+    pub fn tail_lsn(&self) -> Lsn {
+        Lsn(self.inner.lock().tail)
+    }
+
+    /// Oldest LSN still present (truncation point).
+    pub fn truncation_point(&self) -> Lsn {
+        Lsn(self.inner.lock().trunc)
+    }
+
+    /// Highest LSN known durable.
+    pub fn flushed_lsn(&self) -> Lsn {
+        Lsn(self.flushed.load(Ordering::Acquire))
+    }
+
+    /// Force the log up to (and including the record at) `lsn`. Sequential
+    /// write bytes are accounted; commit latency in benchmarks derives from
+    /// them.
+    pub fn flush_to(&self, lsn: Lsn) {
+        let target = {
+            let inner = self.inner.lock();
+            // Flushing "through lsn" means everything appended before the
+            // record *after* lsn — conservatively flush the whole tail.
+            let _ = lsn;
+            inner.tail
+        };
+        let prev = self.flushed.fetch_max(target, Ordering::AcqRel);
+        if target > prev {
+            self.stats.add_log_bytes_written(target - prev);
+        }
+    }
+
+    /// Read the record at `lsn`, accounting the read through the cache model.
+    pub fn get_record(&self, lsn: Lsn) -> Result<LogRecord> {
+        let mut inner = self.inner.lock();
+        if lsn.0 < inner.trunc {
+            return Err(Error::LogTruncated(lsn));
+        }
+        inner.touch_cache(lsn, &self.config, &self.stats);
+        inner.read_record(lsn)
+    }
+
+    /// Read the record at `lsn` without touching the cache model (used by
+    /// sequential scans that account via `log_bytes_scanned`).
+    fn get_record_uncounted(inner: &LogInner, lsn: Lsn) -> Result<LogRecord> {
+        inner.read_record(lsn)
+    }
+
+    /// Iterate records in `[from, to)` in order, invoking `f` for each.
+    /// Returns the LSN one past the last record visited. Sequential bytes
+    /// are accounted as `log_bytes_scanned`.
+    pub fn scan(
+        &self,
+        from: Lsn,
+        to: Lsn,
+        mut f: impl FnMut(&LogRecord) -> Result<bool>,
+    ) -> Result<Lsn> {
+        let mut cur = from;
+        loop {
+            let rec = {
+                let inner = self.inner.lock();
+                if cur.0 < inner.trunc {
+                    return Err(Error::LogTruncated(cur));
+                }
+                if cur.0 >= inner.tail || cur >= to {
+                    return Ok(cur);
+                }
+                Self::get_record_uncounted(&inner, cur)?
+            };
+            let len = rec.encode().len() as u64 + 4;
+            self.stats.add_log_bytes_scanned(len);
+            if !f(&rec)? {
+                return Ok(Lsn(cur.0 + len));
+            }
+            cur = Lsn(cur.0 + len);
+        }
+    }
+
+    /// The checkpoint directory (ascending by LSN).
+    pub fn checkpoints(&self) -> Vec<CheckpointInfo> {
+        self.inner.lock().checkpoints.clone()
+    }
+
+    /// Latest checkpoint whose *end* record is at or before `lsn`.
+    pub fn checkpoint_before(&self, lsn: Lsn) -> Option<CheckpointInfo> {
+        let inner = self.inner.lock();
+        inner.checkpoints.iter().rev().find(|c| c.end_lsn <= lsn).copied()
+    }
+
+    /// Latest checkpoint taken at or before wall-clock `t`.
+    pub fn checkpoint_before_time(&self, t: Timestamp) -> Option<CheckpointInfo> {
+        let inner = self.inner.lock();
+        inner.checkpoints.iter().rev().find(|c| c.at <= t).copied()
+    }
+
+    /// Earliest wall-clock time still covered by the retained log, if known.
+    pub fn earliest_retained_time(&self) -> Option<Timestamp> {
+        let inner = self.inner.lock();
+        inner.time_index.iter().find(|(l, _)| l.0 >= inner.trunc).map(|&(_, t)| t)
+    }
+
+    /// Best-known LSN at or before wall-clock time `t` from the sparse time
+    /// index (starting point for the split search).
+    pub fn time_index_floor(&self, t: Timestamp) -> Option<(Lsn, Timestamp)> {
+        let inner = self.inner.lock();
+        inner.time_index.iter().rev().find(|&&(_, ts)| ts <= t).copied()
+    }
+
+    /// Drop whole segments that lie entirely before `lsn` (moving them to
+    /// the archive when archiving is enabled). Returns the new truncation
+    /// point. Never truncates past the flushed LSN.
+    pub fn truncate_before(&self, lsn: Lsn) -> Lsn {
+        let archive = self.config.archive_on_truncate;
+        let mut inner = self.inner.lock();
+        let limit = lsn.0.min(self.flushed.load(Ordering::Acquire));
+        while let Some(first) = inner.segments.first() {
+            let seg_end = first.start + first.data.len() as u64;
+            if seg_end <= limit {
+                let seg = inner.segments.remove(0);
+                if archive {
+                    inner.archive.push(seg);
+                }
+                inner.trunc = seg_end;
+            } else {
+                break;
+            }
+        }
+        let trunc = inner.trunc;
+        inner.time_index.retain(|(l, _)| l.0 >= trunc);
+        if !archive {
+            inner.checkpoints.retain(|c| c.begin_lsn.0 >= trunc);
+        }
+        Lsn(trunc)
+    }
+
+    /// Bytes held in the log archive.
+    pub fn archived_bytes(&self) -> u64 {
+        self.inner.lock().archive.iter().map(|s| s.data.len() as u64).sum()
+    }
+
+    /// Earliest LSN readable through the deep (archive-aware) methods.
+    pub fn earliest_available_lsn(&self) -> Lsn {
+        let inner = self.inner.lock();
+        Lsn(inner.archive.first().map(|s| s.start).unwrap_or(inner.trunc))
+    }
+
+    /// Read a record, falling back to the archive for truncated history.
+    /// Only point-in-time restore uses this — the as-of machinery stays
+    /// retention-bound on purpose.
+    pub fn get_record_deep(&self, lsn: Lsn) -> Result<LogRecord> {
+        let inner = self.inner.lock();
+        inner.read_record_deep(lsn)
+    }
+
+    /// Like [`LogManager::scan`] but reading archived history too.
+    pub fn scan_deep(
+        &self,
+        from: Lsn,
+        to: Lsn,
+        mut f: impl FnMut(&LogRecord) -> Result<bool>,
+    ) -> Result<Lsn> {
+        let mut cur = from;
+        loop {
+            let rec = {
+                let inner = self.inner.lock();
+                if cur.0 >= inner.tail || cur >= to {
+                    return Ok(cur);
+                }
+                inner.read_record_deep(cur)?
+            };
+            let len = rec.encode().len() as u64 + 4;
+            self.stats.add_log_bytes_scanned(len);
+            if !f(&rec)? {
+                return Ok(Lsn(cur.0 + len));
+            }
+            cur = Lsn(cur.0 + len);
+        }
+    }
+
+    /// Discard everything after the flushed LSN — what a crash does to the
+    /// volatile log tail. Used by crash simulation before restart recovery.
+    pub fn discard_unflushed(&self) {
+        let mut inner = self.inner.lock();
+        let flushed = self.flushed.load(Ordering::Acquire);
+        while let Some(last) = inner.segments.last() {
+            if last.start >= flushed {
+                inner.segments.pop();
+            } else {
+                break;
+            }
+        }
+        if let Some(last) = inner.segments.last_mut() {
+            let keep = (flushed - last.start) as usize;
+            if keep < last.data.len() {
+                last.data.truncate(keep);
+            }
+        }
+        inner.tail = flushed.max(inner.trunc);
+        let tail = inner.tail;
+        inner.time_index.retain(|(l, _)| l.0 < tail);
+        inner.checkpoints.retain(|c| c.end_lsn.0 < tail);
+        inner.cache.clear();
+    }
+
+    /// Total bytes currently retained.
+    pub fn retained_bytes(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.tail - inner.trunc
+    }
+
+    /// Total bytes ever appended.
+    pub fn total_bytes(&self) -> u64 {
+        self.inner.lock().tail - Lsn::FIRST.0
+    }
+}
+
+impl LogInner {
+    /// Append one framed record. Records never straddle segments (a segment
+    /// is closed early rather than split a record), so truncation at segment
+    /// granularity always lands on a record boundary.
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        let need_new = match self.segments.last() {
+            None => true,
+            Some(s) => s.data.len() + bytes.len() > SEGMENT_BYTES as usize && !s.data.is_empty(),
+        };
+        if need_new {
+            self.segments.push(Segment { start: self.tail, data: Vec::new() });
+        }
+        let seg = self.segments.last_mut().unwrap();
+        seg.data.extend_from_slice(bytes);
+        self.tail += bytes.len() as u64;
+    }
+
+    fn push_time(&mut self, lsn: Lsn, at: Timestamp) {
+        // keep the index sparse: one entry per 64 KiB of log
+        if self.time_index.last().is_none_or(|&(l, _)| lsn.0 - l.0 >= 64 * 1024) {
+            self.time_index.push((lsn, at));
+        }
+    }
+
+    fn segment_for(&self, off: u64, deep: bool) -> Result<&Segment> {
+        // binary search by start offset
+        let idx = self.segments.partition_point(|s| s.start <= off);
+        if idx == 0 {
+            if deep {
+                let aidx = self.archive.partition_point(|s| s.start <= off);
+                if aidx > 0 {
+                    let seg = &self.archive[aidx - 1];
+                    if off < seg.start + seg.data.len() as u64 {
+                        return Ok(seg);
+                    }
+                }
+            }
+            return Err(Error::LogTruncated(Lsn(off)));
+        }
+        let seg = &self.segments[idx - 1];
+        if off >= seg.start + seg.data.len() as u64 {
+            return Err(Error::Corruption(format!("log offset {off} out of range")));
+        }
+        Ok(seg)
+    }
+
+    /// Copy `len` bytes starting at `off`, possibly spanning segments.
+    fn copy_bytes(&self, off: u64, len: usize, deep: bool) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(len);
+        let mut cur = off;
+        while out.len() < len {
+            let seg = self.segment_for(cur, deep)?;
+            let in_seg = (cur - seg.start) as usize;
+            let take = (seg.data.len() - in_seg).min(len - out.len());
+            out.extend_from_slice(&seg.data[in_seg..in_seg + take]);
+            cur += take as u64;
+        }
+        Ok(out)
+    }
+
+    fn read_record_at(&self, lsn: Lsn, deep: bool) -> Result<LogRecord> {
+        if lsn.0 + 4 > self.tail {
+            return Err(Error::Corruption(format!("log read at {lsn} past tail {}", self.tail)));
+        }
+        let len_bytes = self.copy_bytes(lsn.0, 4, deep)?;
+        let len = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
+        if lsn.0 + 4 + len as u64 > self.tail {
+            return Err(Error::Corruption(format!("log record at {lsn} overruns tail")));
+        }
+        let body = self.copy_bytes(lsn.0 + 4, len, deep)?;
+        LogRecord::decode(lsn, &body)
+    }
+
+    fn read_record(&self, lsn: Lsn) -> Result<LogRecord> {
+        self.read_record_at(lsn, false)
+    }
+
+    fn read_record_deep(&self, lsn: Lsn) -> Result<LogRecord> {
+        self.read_record_at(lsn, true)
+    }
+
+    /// Classify a random read as hit or I/O and update the cache model.
+    fn touch_cache(&mut self, lsn: Lsn, config: &LogConfig, stats: &IoStats) {
+        if self.tail.saturating_sub(lsn.0) <= config.hot_tail_bytes {
+            stats.add_log_cache_hit();
+            return;
+        }
+        let block = lsn.0 / CACHE_BLOCK_BYTES;
+        self.cache_tick += 1;
+        let tick = self.cache_tick;
+        if let std::collections::hash_map::Entry::Occupied(mut e) = self.cache.entry(block) {
+            e.insert(tick);
+            stats.add_log_cache_hit();
+            return;
+        }
+        stats.add_log_read_io();
+        self.cache.insert(block, tick);
+        if self.cache.len() > config.cache_blocks {
+            // Evict the least-recently-used block (linear scan; the cache is
+            // small and this path is already "an I/O").
+            if let Some((&victim, _)) = self.cache.iter().min_by_key(|(_, &t)| t) {
+                self.cache.remove(&victim);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{CheckpointBody, LogPayload};
+    use rewind_common::{ObjectId, PageId, TxnId};
+
+    fn rec(txn: u64, payload: LogPayload) -> LogRecord {
+        LogRecord {
+            lsn: Lsn::NULL,
+            txn: TxnId(txn),
+            prev_lsn: Lsn::NULL,
+            page: PageId(1),
+            prev_page_lsn: Lsn::NULL,
+            object: ObjectId(1),
+            undo_next: Lsn::NULL,
+            flags: 0,
+            payload,
+        }
+    }
+
+    fn insert_rec(txn: u64, n: usize) -> LogRecord {
+        rec(txn, LogPayload::InsertRecord { slot: 0, bytes: vec![7u8; n] })
+    }
+
+    #[test]
+    fn append_assigns_increasing_lsns_and_reads_back() {
+        let log = LogManager::new(LogConfig::default());
+        let a = log.append(&insert_rec(1, 10));
+        let b = log.append(&insert_rec(1, 20));
+        let c = log.append(&rec(1, LogPayload::Commit { at: Timestamp::from_secs(1) }));
+        assert!(a < b && b < c);
+        assert_eq!(a, Lsn::FIRST);
+        let back = log.get_record(b).unwrap();
+        assert_eq!(back.lsn, b);
+        match back.payload {
+            LogPayload::InsertRecord { ref bytes, .. } => assert_eq!(bytes.len(), 20),
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flush_accounts_sequential_bytes() {
+        let log = LogManager::new(LogConfig::default());
+        let a = log.append(&insert_rec(1, 100));
+        assert!(log.flushed_lsn() <= a);
+        log.flush_to(a);
+        assert_eq!(log.flushed_lsn(), log.tail_lsn());
+        let s = log.io_stats().snapshot();
+        assert!(s.log_bytes_written > 100);
+        // idempotent
+        log.flush_to(a);
+        assert_eq!(log.io_stats().snapshot().log_bytes_written, s.log_bytes_written);
+    }
+
+    #[test]
+    fn scan_visits_records_in_order_and_respects_bounds() {
+        let log = LogManager::new(LogConfig::default());
+        let mut lsns = Vec::new();
+        for i in 0..10 {
+            lsns.push(log.append(&insert_rec(i, 8)));
+        }
+        let mut seen = Vec::new();
+        log.scan(lsns[2], lsns[7], |r| {
+            seen.push(r.lsn);
+            Ok(true)
+        })
+        .unwrap();
+        assert_eq!(seen, lsns[2..7].to_vec());
+        // early stop
+        let mut count = 0;
+        log.scan(Lsn::FIRST, Lsn::MAX, |_| {
+            count += 1;
+            Ok(count < 3)
+        })
+        .unwrap();
+        assert_eq!(count, 3);
+        assert!(log.io_stats().snapshot().log_bytes_scanned > 0);
+    }
+
+    #[test]
+    fn segments_span_boundaries() {
+        let log = LogManager::new(LogConfig::default());
+        // Write > 2 MiB of records so several segments exist, with one record
+        // likely straddling a boundary.
+        let mut lsns = Vec::new();
+        for i in 0..500 {
+            lsns.push(log.append(&insert_rec(i, 5000)));
+        }
+        for &l in &lsns {
+            let r = log.get_record(l).unwrap();
+            assert_eq!(r.lsn, l);
+        }
+        assert!(log.total_bytes() > 2 * SEGMENT_BYTES);
+    }
+
+    #[test]
+    fn truncation_drops_old_records() {
+        let log = LogManager::new(LogConfig::default());
+        let mut lsns = Vec::new();
+        for i in 0..600 {
+            let l = log.append(&insert_rec(i, 5000));
+            log.append(&rec(i, LogPayload::Commit { at: Timestamp::from_secs(i) }));
+            lsns.push(l);
+        }
+        log.flush_to(log.tail_lsn());
+        let mid = lsns[300];
+        let new_trunc = log.truncate_before(mid);
+        assert!(new_trunc <= mid);
+        assert!(new_trunc > Lsn::FIRST);
+        assert!(matches!(log.get_record(lsns[0]), Err(Error::LogTruncated(_))));
+        assert!(log.get_record(lsns[400]).is_ok());
+        assert!(log.retained_bytes() < log.total_bytes());
+        // earliest retained time reflects truncation
+        let t = log.earliest_retained_time().unwrap();
+        assert!(t > Timestamp::ZERO);
+    }
+
+    #[test]
+    fn truncation_never_passes_unflushed_tail() {
+        let log = LogManager::new(LogConfig::default());
+        for i in 0..600 {
+            log.append(&insert_rec(i, 5000));
+        }
+        // nothing flushed: truncate_before must not remove anything
+        let t = log.truncate_before(log.tail_lsn());
+        assert_eq!(t, Lsn::FIRST);
+    }
+
+    #[test]
+    fn checkpoint_directory() {
+        let log = LogManager::new(LogConfig::default());
+        log.append(&insert_rec(1, 10));
+        let b1 = log.append(&rec(0, LogPayload::CheckpointBegin { at: Timestamp::from_secs(5) }));
+        let e1 = log.append(&rec(
+            0,
+            LogPayload::CheckpointEnd(CheckpointBody {
+                at: Timestamp::from_secs(5),
+                begin_lsn: b1,
+                att: vec![],
+                dpt: vec![],
+            }),
+        ));
+        log.append(&insert_rec(1, 10));
+        let b2 = log.append(&rec(0, LogPayload::CheckpointBegin { at: Timestamp::from_secs(9) }));
+        let e2 = log.append(&rec(
+            0,
+            LogPayload::CheckpointEnd(CheckpointBody {
+                at: Timestamp::from_secs(9),
+                begin_lsn: b2,
+                att: vec![],
+                dpt: vec![],
+            }),
+        ));
+        assert_eq!(log.checkpoints().len(), 2);
+        assert_eq!(log.checkpoint_before(e2).unwrap().end_lsn, e2);
+        assert_eq!(log.checkpoint_before(Lsn(e2.0 - 1)).unwrap().end_lsn, e1);
+        assert_eq!(log.checkpoint_before_time(Timestamp::from_secs(7)).unwrap().end_lsn, e1);
+        assert!(log.checkpoint_before_time(Timestamp::from_secs(1)).is_none());
+    }
+
+    #[test]
+    fn cache_model_hits_tail_and_misses_cold_history() {
+        let log = LogManager::new(LogConfig { hot_tail_bytes: 1024, cache_blocks: 2, ..LogConfig::default() });
+        let mut lsns = Vec::new();
+        for i in 0..2000 {
+            lsns.push(log.append(&insert_rec(i, 900)));
+        }
+        // tail read: hit
+        let s0 = log.io_stats().snapshot();
+        log.get_record(*lsns.last().unwrap()).unwrap();
+        let s1 = log.io_stats().snapshot();
+        assert_eq!(s1.log_read_ios, s0.log_read_ios);
+        assert_eq!(s1.log_cache_hits, s0.log_cache_hits + 1);
+        // cold read: miss, then hit on re-read
+        log.get_record(lsns[0]).unwrap();
+        let s2 = log.io_stats().snapshot();
+        assert_eq!(s2.log_read_ios, s1.log_read_ios + 1);
+        log.get_record(lsns[0]).unwrap();
+        let s3 = log.io_stats().snapshot();
+        assert_eq!(s3.log_read_ios, s2.log_read_ios);
+        // far-apart cold reads evict each other (cache_blocks = 2)
+        log.get_record(lsns[500]).unwrap();
+        log.get_record(lsns[1000]).unwrap();
+        log.get_record(lsns[0]).unwrap(); // evicted by now
+        let s4 = log.io_stats().snapshot();
+        assert!(s4.log_read_ios >= s3.log_read_ios + 2);
+    }
+
+    #[test]
+    fn get_past_tail_is_error() {
+        let log = LogManager::new(LogConfig::default());
+        log.append(&insert_rec(1, 10));
+        assert!(log.get_record(log.tail_lsn()).is_err());
+        assert!(log.get_record(Lsn(999_999)).is_err());
+    }
+}

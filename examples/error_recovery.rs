@@ -1,0 +1,88 @@
+//! The paper's headline scenario (§1): a table is dropped by mistake, and
+//! the user recovers it *without* restoring a backup — by mounting an as-of
+//! snapshot, confirming the table exists at that time, and reconciling it
+//! into the live database with the equivalent of `INSERT … SELECT`.
+//!
+//! ```text
+//! cargo run --release --example error_recovery
+//! ```
+
+use rewind::tpcc::{create_schema, load_initial, run_mixed, DriverConfig, TpccScale};
+use rewind::{restore_table_from_snapshot, Database, DbConfig, Error, Result, Value};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() -> Result<()> {
+    let db = Arc::new(Database::create(DbConfig::default())?);
+    db.set_undo_interval(Duration::from_secs(24 * 3600))?; // §4.3
+
+    // A real schema with real activity: the TPC-C workload.
+    let scale = TpccScale::default();
+    create_schema(&db)?;
+    load_initial(&db, &scale)?;
+    let customers = db.count_approx("customer")?;
+    println!("loaded TPC-C: {customers} customers");
+
+    // Business as usual for a while.
+    run_mixed(&db, &scale, &DriverConfig { threads: 2, txns_per_thread: 100, ..Default::default() })?;
+    db.checkpoint()?;
+    db.clock().advance_mins(10);
+
+    // ---- the user error -------------------------------------------------
+    let disaster_at = db.clock().now();
+    db.with_txn(|txn| db.drop_table(txn, "customer"))?;
+    println!("\n!!! DROP TABLE customer executed at {disaster_at}");
+    assert!(matches!(db.table("customer"), Err(Error::TableNotFound(_))));
+
+    // More work happens after the mistake — none of it must be lost.
+    db.clock().advance_mins(5);
+    db.with_txn(|txn| {
+        let w = db.get_for_update(txn, "warehouse", &[Value::U64(1)])?.unwrap();
+        db.update(txn, "warehouse", &[w[0].clone(), w[1].clone(), w[2].clone(), Value::F64(9.99)])
+    })?;
+
+    // ---- the paper's recovery workflow ----------------------------------
+    // 1. Determine the point in time and mount the snapshot. Guess a time;
+    //    if the table isn't there, drop the snapshot and try earlier — each
+    //    probe only unwinds *metadata* pages, independent of database size.
+    let mut probe = db.clock().now();
+    let snap = loop {
+        probe = probe.minus_micros(4 * 60_000_000); // step back 4 minutes
+        let name = format!("probe@{probe}");
+        let snap = db.create_snapshot_asof(&name, probe)?;
+        match snap.table("customer") {
+            Ok(info) => {
+                println!(
+                    "snapshot {name}: table present with {} columns — using it",
+                    info.schema.columns.len()
+                );
+                break snap;
+            }
+            Err(Error::TableNotFound(_)) => {
+                println!("snapshot {name}: table absent, probing earlier…");
+                db.drop_snapshot(snap.name())?;
+            }
+            Err(e) => return Err(e),
+        }
+    };
+
+    // 2. Reconcile: recreate the table and INSERT…SELECT the rows across.
+    let recovered = restore_table_from_snapshot(&db, &snap, "customer", "customer")?;
+    println!("recovered {recovered} customer rows into the live database");
+    let stats = snap.stats();
+    println!(
+        "cost was proportional to data touched: {} pages prepared, {} log records undone",
+        stats.pages_prepared, stats.records_undone
+    );
+    db.drop_snapshot(snap.name())?;
+
+    // Post-mistake work survived alongside the recovery.
+    db.with_txn(|txn| {
+        let w = db.get(txn, "warehouse", &[Value::U64(1)])?.unwrap();
+        assert_eq!(w[3].as_f64()?, 9.99);
+        assert_eq!(db.count_approx("customer")? as u64, recovered as u64);
+        Ok(())
+    })?;
+    println!("post-mistake changes intact; no restore, no lost work.");
+    Ok(())
+}

@@ -1,0 +1,162 @@
+//! Crash-recovery torture: randomized committed work (tracked in a model)
+//! interleaved with in-flight transactions that vanish at the crash; after
+//! every crash+restart the database must match the model exactly, and keep
+//! working.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rewind::{Column, DataType, Database, DbConfig, Row, Schema, Value};
+use std::collections::BTreeMap;
+
+fn schema() -> Schema {
+    Schema::new(
+        vec![
+            Column::new("id", DataType::U64),
+            Column::new("v", DataType::Str),
+        ],
+        &["id"],
+    )
+    .unwrap()
+}
+
+#[test]
+fn crash_recover_repeatedly_matches_model() {
+    let mut rng = SmallRng::seed_from_u64(0xDEAD);
+    let mut db = Database::create(DbConfig {
+        buffer_pages: 256,
+        checkpoint_interval_bytes: 256 << 10,
+        ..DbConfig::default()
+    })
+    .unwrap();
+    db.with_txn(|txn| {
+        db.create_table(txn, "t", schema())?;
+        Ok(())
+    })
+    .unwrap();
+    let mut model: BTreeMap<u64, Row> = BTreeMap::new();
+
+    for round in 0..6 {
+        // committed work
+        for _ in 0..rng.gen_range(5..25) {
+            let ops = rng.gen_range(1..10);
+            db.with_txn(|txn| {
+                for _ in 0..ops {
+                    let id = rng.gen_range(0..300u64);
+                    let row = vec![Value::U64(id), Value::Str(format!("{round}:{}", rng.gen::<u32>()))];
+                    match model.entry(id) {
+                        std::collections::btree_map::Entry::Occupied(mut e) => {
+                            if rng.gen_bool(0.3) {
+                                db.delete(txn, "t", &[Value::U64(id)])?;
+                                model.remove(&id);
+                            } else {
+                                db.update(txn, "t", &row)?;
+                                e.insert(row);
+                            }
+                        }
+                        std::collections::btree_map::Entry::Vacant(e) => {
+                            db.insert(txn, "t", &row)?;
+                            e.insert(row);
+                        }
+                    }
+                }
+                Ok(())
+            })
+            .unwrap();
+            db.clock().advance_micros(rng.gen_range(1000..100_000));
+        }
+        // in-flight garbage lost at the crash (sometimes big enough to split)
+        let loser = db.begin();
+        for i in 0..rng.gen_range(1..200u64) {
+            let _ = db.insert(&loser, "t", &[Value::U64(1000 + i), Value::str("doomed")]);
+        }
+        std::mem::forget(loser);
+
+        // sometimes a checkpoint lands right before the crash
+        if rng.gen_bool(0.5) {
+            db.checkpoint().unwrap();
+        }
+
+        let artifacts = db.simulate_crash();
+        db = Database::recover(artifacts).unwrap();
+
+        let rows = db.with_txn(|txn| db.scan_all(txn, "t")).unwrap();
+        let got: BTreeMap<u64, Row> =
+            rows.into_iter().map(|r| (r[0].as_u64().unwrap(), r)).collect();
+        assert_eq!(got, model, "state after crash {round}");
+        db.check_consistency().unwrap();
+    }
+}
+
+#[test]
+fn crash_during_ddl_rolls_it_back() {
+    let db = Database::create(DbConfig::default()).unwrap();
+    db.with_txn(|txn| {
+        db.create_table(txn, "keep", schema())?;
+        db.insert(txn, "keep", &[Value::U64(1), Value::str("v")])?;
+        Ok(())
+    })
+    .unwrap();
+    db.checkpoint().unwrap();
+
+    // DDL in flight at the crash: a created table and a dropped table
+    let t1 = db.begin();
+    db.create_table(&t1, "doomed", schema()).unwrap();
+    db.insert(&t1, "doomed", &[Value::U64(1), Value::str("x")]).unwrap();
+    std::mem::forget(t1);
+
+    let artifacts = db.simulate_crash();
+    let db = Database::recover(artifacts).unwrap();
+    assert!(db.table("doomed").is_err(), "uncommitted CREATE TABLE must vanish");
+    assert_eq!(db.count_approx("keep").unwrap(), 1);
+
+    // drop in flight
+    let t2 = db.begin();
+    db.drop_table(&t2, "keep").unwrap();
+    std::mem::forget(t2);
+    let artifacts = db.simulate_crash();
+    let db = Database::recover(artifacts).unwrap();
+    assert_eq!(db.count_approx("keep").unwrap(), 1, "uncommitted DROP TABLE must be undone");
+    db.with_txn(|txn| {
+        assert_eq!(
+            db.get(txn, "keep", &[Value::U64(1)])?.unwrap(),
+            vec![Value::U64(1), Value::str("v")]
+        );
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn snapshot_works_on_recovered_database() {
+    let db = Database::create(DbConfig::default()).unwrap();
+    db.with_txn(|txn| {
+        db.create_table(txn, "t", schema())?;
+        for i in 0..50u64 {
+            db.insert(txn, "t", &[Value::U64(i), Value::str("before")])?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    db.clock().advance_secs(10);
+    db.checkpoint().unwrap();
+    let t = db.clock().now();
+    db.clock().advance_secs(10);
+    db.with_txn(|txn| {
+        for i in 0..50u64 {
+            db.update(txn, "t", &[Value::U64(i), Value::str("after")])?;
+        }
+        Ok(())
+    })
+    .unwrap();
+
+    let artifacts = db.simulate_crash();
+    let db = Database::recover(artifacts).unwrap();
+
+    // time travel across the crash boundary
+    let snap = db.create_snapshot_asof("pre_crash_time", t).unwrap();
+    let info = snap.table("t").unwrap();
+    let row = snap.get(&info, &[Value::U64(7)]).unwrap().unwrap();
+    assert_eq!(row[1], Value::str("before"));
+    snap.wait_undo_complete();
+    db.drop_snapshot("pre_crash_time").unwrap();
+}
