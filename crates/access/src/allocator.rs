@@ -20,8 +20,7 @@
 use crate::store::{ModKind, Store};
 use rewind_common::{Error, ObjectId, PageId, Result};
 use rewind_pagestore::alloc::{
-    bit_index, find_free, get_state, is_map_page, map_page_for, region_base, PageState,
-    REGION_SIZE,
+    bit_index, find_free, get_state, is_map_page, map_page_for, region_base, PageState, REGION_SIZE,
 };
 use rewind_pagestore::PageType;
 use rewind_wal::LogPayload;
@@ -33,7 +32,11 @@ pub const MAX_REGIONS: u64 = 64;
 /// Ensure the allocation-map page for region `r` is formatted; returns its
 /// page id.
 fn ensure_map<S: Store>(s: &S, r: u64, kind: ModKind) -> Result<PageId> {
-    let map_pid = if r == 0 { PageId(1) } else { PageId(r * REGION_SIZE) };
+    let map_pid = if r == 0 {
+        PageId(1)
+    } else {
+        PageId(r * REGION_SIZE)
+    };
     let formatted = s.with_page(map_pid, |p| Ok(p.page_type() == PageType::AllocMap))?;
     if !formatted {
         s.modify(
@@ -47,13 +50,41 @@ fn ensure_map<S: Store>(s: &S, r: u64, kind: ModKind) -> Result<PageId> {
             },
             kind,
         )?;
-        let perm = PageState { allocated: true, ever_allocated: true }.to_bits();
+        let perm = PageState {
+            allocated: true,
+            ever_allocated: true,
+        }
+        .to_bits();
         if r == 0 {
             // boot page + the map itself
-            s.modify(map_pid, LogPayload::AllocSet { index: 0, old: 0, new: perm }, kind)?;
-            s.modify(map_pid, LogPayload::AllocSet { index: 1, old: 0, new: perm }, kind)?;
+            s.modify(
+                map_pid,
+                LogPayload::AllocSet {
+                    index: 0,
+                    old: 0,
+                    new: perm,
+                },
+                kind,
+            )?;
+            s.modify(
+                map_pid,
+                LogPayload::AllocSet {
+                    index: 1,
+                    old: 0,
+                    new: perm,
+                },
+                kind,
+            )?;
         } else {
-            s.modify(map_pid, LogPayload::AllocSet { index: 0, old: 0, new: perm }, kind)?;
+            s.modify(
+                map_pid,
+                LogPayload::AllocSet {
+                    index: 0,
+                    old: 0,
+                    new: perm,
+                },
+                kind,
+            )?;
         }
     }
     Ok(map_pid)
@@ -92,7 +123,11 @@ pub fn allocate_page<S: Store>(
             LogPayload::AllocSet {
                 index: idx as u32,
                 old: st.to_bits(),
-                new: PageState { allocated: true, ever_allocated: true }.to_bits(),
+                new: PageState {
+                    allocated: true,
+                    ever_allocated: true,
+                }
+                .to_bits(),
             },
             kind,
         )?;
@@ -103,17 +138,31 @@ pub fn allocate_page<S: Store>(
             let prev_image = s.with_page(pid, |p| Ok(Box::new(*p.image())))?;
             s.modify(pid, LogPayload::Preformat { prev_image }, kind)?;
         }
-        s.modify(pid, LogPayload::Format { object, ty, level, next, prev }, kind)?;
+        s.modify(
+            pid,
+            LogPayload::Format {
+                object,
+                ty,
+                level,
+                next,
+                prev,
+            },
+            kind,
+        )?;
         return Ok(pid);
     }
-    Err(Error::Internal("allocation failed: all regions full".into()))
+    Err(Error::Internal(
+        "allocation failed: all regions full".into(),
+    ))
 }
 
 /// Deallocate `pid`: clear its allocated bit, keep the ever-allocated bit,
 /// and leave the page content untouched.
 pub fn free_page<S: Store>(s: &S, pid: PageId, kind: ModKind) -> Result<()> {
     if is_map_page(pid) || pid == PageId::BOOT {
-        return Err(Error::InvalidArg(format!("cannot free metadata page {pid:?}")));
+        return Err(Error::InvalidArg(format!(
+            "cannot free metadata page {pid:?}"
+        )));
     }
     let map_pid = map_page_for(pid);
     let idx = bit_index(pid);
@@ -126,7 +175,11 @@ pub fn free_page<S: Store>(s: &S, pid: PageId, kind: ModKind) -> Result<()> {
         LogPayload::AllocSet {
             index: idx as u32,
             old: st.to_bits(),
-            new: PageState { allocated: false, ever_allocated: true }.to_bits(),
+            new: PageState {
+                allocated: false,
+                ever_allocated: true,
+            }
+            .to_bits(),
         },
         kind,
     )?;
@@ -143,7 +196,8 @@ pub fn is_allocated<S: Store>(s: &S, pid: PageId) -> Result<bool> {
     if !formatted {
         return Ok(false);
     }
-    Ok(s.with_page(map_pid, |p| get_state(p, bit_index(pid)))?.allocated)
+    Ok(s.with_page(map_pid, |p| get_state(p, bit_index(pid)))?
+        .allocated)
 }
 
 /// Count allocated pages across all formatted regions (diagnostics; as-of
@@ -151,7 +205,11 @@ pub fn is_allocated<S: Store>(s: &S, pid: PageId) -> Result<bool> {
 pub fn allocated_count<S: Store>(s: &S) -> Result<usize> {
     let mut total = 0usize;
     for r in 0..MAX_REGIONS {
-        let map_pid = if r == 0 { PageId(1) } else { PageId(r * REGION_SIZE) };
+        let map_pid = if r == 0 {
+            PageId(1)
+        } else {
+            PageId(r * REGION_SIZE)
+        };
         let n = s.with_page(map_pid, |p| {
             Ok(if p.page_type() == PageType::AllocMap {
                 Some(rewind_pagestore::alloc::count_allocated(p))
@@ -225,7 +283,10 @@ mod tests {
         // write something memorable, then free
         s.modify(
             a,
-            LogPayload::InsertRecord { slot: 0, bytes: b"old-life".to_vec() },
+            LogPayload::InsertRecord {
+                slot: 0,
+                bytes: b"old-life".to_vec(),
+            },
             ModKind::User,
         )
         .unwrap();

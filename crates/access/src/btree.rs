@@ -110,7 +110,10 @@ fn leaf_search(page: &Page, key: &[u8]) -> Result<std::result::Result<usize, usi
 fn internal_search(page: &Page, key: &[u8]) -> Result<(usize, PageId)> {
     let n = page.slot_count() as usize;
     if n == 0 {
-        return Err(Error::Corruption(format!("empty internal page {:?}", page.page_id())));
+        return Err(Error::Corruption(format!(
+            "empty internal page {:?}",
+            page.page_id()
+        )));
     }
     let mut lo = 1usize;
     let mut hi = n;
@@ -224,7 +227,9 @@ impl BTree {
         kind: ModKind,
         upsert: bool,
     ) -> Result<()> {
-        s.with_object_latch(self.object, true, || self.insert_inner(s, key, value, kind, upsert))
+        s.with_object_latch(self.object, true, || {
+            self.insert_inner(s, key, value, kind, upsert)
+        })
     }
 
     fn insert_inner<S: Store>(
@@ -238,7 +243,10 @@ impl BTree {
         check_key(key)?;
         let rec = leaf_record(key, value);
         if rec.len() > MAX_ENTRY {
-            return Err(Error::RecordTooLarge { size: rec.len(), max: MAX_ENTRY });
+            return Err(Error::RecordTooLarge {
+                size: rec.len(),
+                max: MAX_ENTRY,
+            });
         }
         let need = rec.len();
         loop {
@@ -274,7 +282,10 @@ impl BTree {
                         Err(slot) => {
                             s.modify(
                                 cur,
-                                LogPayload::InsertRecord { slot: slot as u16, bytes: rec.clone() },
+                                LogPayload::InsertRecord {
+                                    slot: slot as u16,
+                                    bytes: rec.clone(),
+                                },
                                 kind,
                             )?;
                         }
@@ -298,7 +309,9 @@ impl BTree {
 
     /// Delete `key`. Fails with [`Error::KeyNotFound`] if absent.
     pub fn delete<S: Store>(&self, s: &S, key: &[u8]) -> Result<()> {
-        self.delete_mode(s, key, ModKind::User)?.then_some(()).ok_or(Error::KeyNotFound)
+        self.delete_mode(s, key, ModKind::User)?
+            .then_some(())
+            .ok_or(Error::KeyNotFound)
     }
 
     /// Delete with an explicit [`ModKind`]; returns whether the key existed.
@@ -316,7 +329,14 @@ impl BTree {
         })?;
         match found {
             Some((slot, old)) => {
-                s.modify(leaf, LogPayload::DeleteRecord { slot: slot as u16, old }, kind)?;
+                s.modify(
+                    leaf,
+                    LogPayload::DeleteRecord {
+                        slot: slot as u16,
+                        old,
+                    },
+                    kind,
+                )?;
                 Ok(true)
             }
             None => Ok(false),
@@ -334,7 +354,10 @@ impl BTree {
         check_key(key)?;
         let rec = leaf_record(key, value);
         if rec.len() > MAX_ENTRY {
-            return Err(Error::RecordTooLarge { size: rec.len(), max: MAX_ENTRY });
+            return Err(Error::RecordTooLarge {
+                size: rec.len(),
+                max: MAX_ENTRY,
+            });
         }
         let leaf = self.descend_to_leaf(s, key)?;
         let found = s.with_page(leaf, |p| {
@@ -352,13 +375,24 @@ impl BTree {
             Some((slot, old, true)) => {
                 s.modify(
                     leaf,
-                    LogPayload::UpdateRecord { slot: slot as u16, old, new: rec },
+                    LogPayload::UpdateRecord {
+                        slot: slot as u16,
+                        old,
+                        new: rec,
+                    },
                     ModKind::User,
                 )?;
                 Ok(())
             }
             Some((slot, old, false)) => {
-                s.modify(leaf, LogPayload::DeleteRecord { slot: slot as u16, old }, ModKind::User)?;
+                s.modify(
+                    leaf,
+                    LogPayload::DeleteRecord {
+                        slot: slot as u16,
+                        old,
+                    },
+                    ModKind::User,
+                )?;
                 let (_, v) = decode_leaf(&rec);
                 self.insert_inner(s, key, v, ModKind::User, false)
             }
@@ -518,7 +552,9 @@ impl BTree {
         })?;
         let n = records.len();
         if n < 2 {
-            return Err(Error::Internal(format!("cannot split page {child:?} with {n} records")));
+            return Err(Error::Internal(format!(
+                "cannot split page {child:?} with {n} records"
+            )));
         }
         let sizes: Vec<usize> = records.iter().map(|r| r.len()).collect();
         let idx = Self::split_index(&sizes);
@@ -540,21 +576,42 @@ impl BTree {
 
         let q = s.allocate(self.object, ty, level, old_next, child, ModKind::Smo)?;
         for (i, rec) in right_records.iter().enumerate() {
-            s.modify(q, LogPayload::InsertRecord { slot: i as u16, bytes: rec.clone() }, ModKind::Smo)?;
+            s.modify(
+                q,
+                LogPayload::InsertRecord {
+                    slot: i as u16,
+                    bytes: rec.clone(),
+                },
+                ModKind::Smo,
+            )?;
         }
         // delete moved records from the old page, highest slot first
         // (each delete logs the full old record: the paper's §4.2-3 rule)
         for j in (idx..n).rev() {
             s.modify(
                 child,
-                LogPayload::DeleteRecord { slot: j as u16, old: records[j].clone() },
+                LogPayload::DeleteRecord {
+                    slot: j as u16,
+                    old: records[j].clone(),
+                },
                 ModKind::Smo,
             )?;
         }
         if ty == PageType::BTreeLeaf {
-            s.modify(child, LogPayload::SetNextPage { old: old_next, new: q }, ModKind::Smo)?;
+            s.modify(
+                child,
+                LogPayload::SetNextPage {
+                    old: old_next,
+                    new: q,
+                },
+                ModKind::Smo,
+            )?;
             if old_next.is_valid() {
-                s.modify(old_next, LogPayload::SetPrevPage { old: child, new: q }, ModKind::Smo)?;
+                s.modify(
+                    old_next,
+                    LogPayload::SetPrevPage { old: child, new: q },
+                    ModKind::Smo,
+                )?;
             }
         }
         // hook the separator into the parent (room guaranteed by preventive
@@ -575,7 +632,10 @@ impl BTree {
         })?;
         s.modify(
             parent,
-            LogPayload::InsertRecord { slot: pos as u16, bytes: internal_record(&sep, q) },
+            LogPayload::InsertRecord {
+                slot: pos as u16,
+                bytes: internal_record(&sep, q),
+            },
             ModKind::Smo,
         )?;
         s.end_smo(anchor)
@@ -591,7 +651,9 @@ impl BTree {
         })?;
         let n = records.len();
         if n < 2 {
-            return Err(Error::Internal(format!("cannot split root with {n} records")));
+            return Err(Error::Internal(format!(
+                "cannot split root with {n} records"
+            )));
         }
         let sizes: Vec<usize> = records.iter().map(|r| r.len()).collect();
         let idx = Self::split_index(&sizes);
@@ -610,16 +672,44 @@ impl BTree {
             other => return Err(Error::Corruption(format!("split of {other:?} root"))),
         };
 
-        let left = s.allocate(self.object, ty, level, PageId::INVALID, PageId::INVALID, ModKind::Smo)?;
+        let left = s.allocate(
+            self.object,
+            ty,
+            level,
+            PageId::INVALID,
+            PageId::INVALID,
+            ModKind::Smo,
+        )?;
         let right = s.allocate(self.object, ty, level, PageId::INVALID, left, ModKind::Smo)?;
         if ty == PageType::BTreeLeaf {
-            s.modify(left, LogPayload::SetNextPage { old: PageId::INVALID, new: right }, ModKind::Smo)?;
+            s.modify(
+                left,
+                LogPayload::SetNextPage {
+                    old: PageId::INVALID,
+                    new: right,
+                },
+                ModKind::Smo,
+            )?;
         }
         for (i, rec) in left_records.iter().enumerate() {
-            s.modify(left, LogPayload::InsertRecord { slot: i as u16, bytes: rec.clone() }, ModKind::Smo)?;
+            s.modify(
+                left,
+                LogPayload::InsertRecord {
+                    slot: i as u16,
+                    bytes: rec.clone(),
+                },
+                ModKind::Smo,
+            )?;
         }
         for (i, rec) in right_records.iter().enumerate() {
-            s.modify(right, LogPayload::InsertRecord { slot: i as u16, bytes: rec.clone() }, ModKind::Smo)?;
+            s.modify(
+                right,
+                LogPayload::InsertRecord {
+                    slot: i as u16,
+                    bytes: rec.clone(),
+                },
+                ModKind::Smo,
+            )?;
         }
         s.modify(
             self.root,
@@ -633,12 +723,18 @@ impl BTree {
         )?;
         s.modify(
             self.root,
-            LogPayload::InsertRecord { slot: 0, bytes: internal_record(&[], left) },
+            LogPayload::InsertRecord {
+                slot: 0,
+                bytes: internal_record(&[], left),
+            },
             ModKind::Smo,
         )?;
         s.modify(
             self.root,
-            LogPayload::InsertRecord { slot: 1, bytes: internal_record(&sep, right) },
+            LogPayload::InsertRecord {
+                slot: 1,
+                bytes: internal_record(&sep, right),
+            },
             ModKind::Smo,
         )?;
         s.end_smo(anchor)
@@ -795,7 +891,10 @@ fn check_key(key: &[u8]) -> Result<()> {
         return Err(Error::InvalidArg("empty B-Tree key".into()));
     }
     if key.len() > MAX_KEY {
-        return Err(Error::RecordTooLarge { size: key.len(), max: MAX_KEY });
+        return Err(Error::RecordTooLarge {
+            size: key.len(),
+            max: MAX_KEY,
+        });
     }
     Ok(())
 }
@@ -841,7 +940,10 @@ mod tests {
         }
         assert_eq!(t.get(&s, &key(3)).unwrap().unwrap(), b"v3");
         assert_eq!(t.get(&s, &key(4)).unwrap(), None);
-        assert!(matches!(t.insert(&s, &key(3), b"dup"), Err(Error::DuplicateKey)));
+        assert!(matches!(
+            t.insert(&s, &key(3), b"dup"),
+            Err(Error::DuplicateKey)
+        ));
         t.delete(&s, &key(3)).unwrap();
         assert_eq!(t.get(&s, &key(3)).unwrap(), None);
         assert!(matches!(t.delete(&s, &key(3)), Err(Error::KeyNotFound)));
@@ -857,7 +959,10 @@ mod tests {
         let big = vec![7u8; 1500];
         t.update(&s, &key(1), &big).unwrap();
         assert_eq!(t.get(&s, &key(1)).unwrap().unwrap(), big);
-        assert!(matches!(t.update(&s, &key(2), b"x"), Err(Error::KeyNotFound)));
+        assert!(matches!(
+            t.update(&s, &key(2), b"x"),
+            Err(Error::KeyNotFound)
+        ));
     }
 
     #[test]
@@ -868,12 +973,15 @@ mod tests {
         let mut order: Vec<u64> = (0..n).collect();
         let mut state = 0x12345678u64;
         for i in (1..order.len()).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (state >> 33) as usize % (i + 1);
             order.swap(i, j);
         }
         for &i in &order {
-            t.insert(&s, &key(i), format!("value-{i:08}").as_bytes()).unwrap();
+            t.insert(&s, &key(i), format!("value-{i:08}").as_bytes())
+                .unwrap();
         }
         assert_eq!(t.verify(&s).unwrap(), n as usize);
         for i in (0..n).step_by(97) {
@@ -896,18 +1004,28 @@ mod tests {
             t.insert(&s, &key(i * 2), &key(i * 2)).unwrap(); // even keys only
         }
         let mut got = Vec::new();
-        t.scan(&s, Included(&key(100)[..]), Excluded(&key(120)[..]), |k, _| {
-            got.push(u64::from_be_bytes(k.try_into().unwrap()));
-            Ok(true)
-        })
+        t.scan(
+            &s,
+            Included(&key(100)[..]),
+            Excluded(&key(120)[..]),
+            |k, _| {
+                got.push(u64::from_be_bytes(k.try_into().unwrap()));
+                Ok(true)
+            },
+        )
         .unwrap();
         assert_eq!(got, vec![100, 102, 104, 106, 108, 110, 112, 114, 116, 118]);
 
         let mut desc = Vec::new();
-        t.scan_desc(&s, Included(&key(100)[..]), Included(&key(110)[..]), |k, _| {
-            desc.push(u64::from_be_bytes(k.try_into().unwrap()));
-            Ok(true)
-        })
+        t.scan_desc(
+            &s,
+            Included(&key(100)[..]),
+            Included(&key(110)[..]),
+            |k, _| {
+                desc.push(u64::from_be_bytes(k.try_into().unwrap()));
+                Ok(true)
+            },
+        )
         .unwrap();
         assert_eq!(desc, vec![110, 108, 106, 104, 102, 100]);
 
@@ -922,10 +1040,15 @@ mod tests {
 
         // empty range
         let mut none = 0;
-        t.scan(&s, Excluded(&key(100)[..]), Excluded(&key(102)[..]), |_, _| {
-            none += 1;
-            Ok(true)
-        })
+        t.scan(
+            &s,
+            Excluded(&key(100)[..]),
+            Excluded(&key(102)[..]),
+            |_, _| {
+                none += 1;
+                Ok(true)
+            },
+        )
         .unwrap();
         assert_eq!(none, 0);
     }
@@ -936,7 +1059,9 @@ mod tests {
         let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
         let mut state = 99u64;
         let mut rng = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         for _ in 0..4000 {

@@ -62,20 +62,32 @@ impl Heap {
 
     fn insert_inner<S: Store>(&self, s: &S, row: &[u8]) -> Result<Rid> {
         if row.is_empty() {
-            return Err(Error::InvalidArg("empty heap rows are reserved for tombstones".into()));
+            return Err(Error::InvalidArg(
+                "empty heap rows are reserved for tombstones".into(),
+            ));
         }
         if row.len() > crate::btree::MAX_ENTRY {
-            return Err(Error::RecordTooLarge { size: row.len(), max: crate::btree::MAX_ENTRY });
+            return Err(Error::RecordTooLarge {
+                size: row.len(),
+                max: crate::btree::MAX_ENTRY,
+            });
         }
         loop {
             let tail = self.tail(s)?;
             let slot = s.with_page(tail, |p| {
-                Ok(if p.can_insert(row.len()) { Some(p.slot_count()) } else { None })
+                Ok(if p.can_insert(row.len()) {
+                    Some(p.slot_count())
+                } else {
+                    None
+                })
             })?;
             if let Some(slot) = slot {
                 s.modify_flagged(
                     tail,
-                    LogPayload::InsertRecord { slot, bytes: row.to_vec() },
+                    LogPayload::InsertRecord {
+                        slot,
+                        bytes: row.to_vec(),
+                    },
                     ModKind::User,
                     rewind_wal::REC_FLAG_HEAP,
                 )?;
@@ -83,12 +95,29 @@ impl Heap {
             }
             // grow: new tail page (a structure modification)
             let anchor = s.txn_last_lsn();
-            let q = s.allocate(self.object, PageType::Heap, 0, PageId::INVALID, PageId::INVALID, ModKind::Smo)?;
-            s.modify(tail, LogPayload::SetNextPage { old: PageId::INVALID, new: q }, ModKind::Smo)?;
+            let q = s.allocate(
+                self.object,
+                PageType::Heap,
+                0,
+                PageId::INVALID,
+                PageId::INVALID,
+                ModKind::Smo,
+            )?;
+            s.modify(
+                tail,
+                LogPayload::SetNextPage {
+                    old: PageId::INVALID,
+                    new: q,
+                },
+                ModKind::Smo,
+            )?;
             let old_tail_hint = s.with_page(self.first, |p| Ok(p.prev_page()))?;
             s.modify(
                 self.first,
-                LogPayload::SetPrevPage { old: old_tail_hint, new: q },
+                LogPayload::SetPrevPage {
+                    old: old_tail_hint,
+                    new: q,
+                },
                 ModKind::Smo,
             )?;
             s.end_smo(anchor)?;
@@ -103,13 +132,20 @@ impl Heap {
     fn get_inner<S: Store>(&self, s: &S, rid: Rid) -> Result<Option<Vec<u8>>> {
         s.with_page(rid.page, |p| {
             if p.object_id() != self.object || p.try_page_type()? != PageType::Heap {
-                return Err(Error::Corruption(format!("RID {rid:?} not in heap {:?}", self.object)));
+                return Err(Error::Corruption(format!(
+                    "RID {rid:?} not in heap {:?}",
+                    self.object
+                )));
             }
             if rid.slot >= p.slot_count() {
                 return Ok(None);
             }
             let rec = p.record(rid.slot as usize)?;
-            Ok(if rec.is_empty() { None } else { Some(rec.to_vec()) })
+            Ok(if rec.is_empty() {
+                None
+            } else {
+                Some(rec.to_vec())
+            })
         })
     }
 
@@ -124,7 +160,11 @@ impl Heap {
             let old = self.get_inner(s, rid)?.ok_or(Error::KeyNotFound)?;
             s.modify_flagged(
                 rid.page,
-                LogPayload::UpdateRecord { slot: rid.slot, old: old.clone(), new: Vec::new() },
+                LogPayload::UpdateRecord {
+                    slot: rid.slot,
+                    old: old.clone(),
+                    new: Vec::new(),
+                },
                 kind,
                 rewind_wal::REC_FLAG_HEAP,
             )?;
@@ -135,7 +175,9 @@ impl Heap {
     /// Overwrite the row at `rid`.
     pub fn update<S: Store>(&self, s: &S, rid: Rid, row: &[u8]) -> Result<()> {
         if row.is_empty() {
-            return Err(Error::InvalidArg("empty heap rows are reserved for tombstones".into()));
+            return Err(Error::InvalidArg(
+                "empty heap rows are reserved for tombstones".into(),
+            ));
         }
         s.with_object_latch(self.object, true, || self.update_inner(s, rid, row))
     }
@@ -146,7 +188,11 @@ impl Heap {
         // are same-size in practice (fixed-ish rows). Surface the error.
         s.modify_flagged(
             rid.page,
-            LogPayload::UpdateRecord { slot: rid.slot, old, new: row.to_vec() },
+            LogPayload::UpdateRecord {
+                slot: rid.slot,
+                old,
+                new: row.to_vec(),
+            },
             ModKind::User,
             rewind_wal::REC_FLAG_HEAP,
         )?;
@@ -154,11 +200,7 @@ impl Heap {
     }
 
     /// Scan all live rows in RID order.
-    pub fn scan<S: Store>(
-        &self,
-        s: &S,
-        f: impl FnMut(Rid, &[u8]) -> Result<bool>,
-    ) -> Result<()> {
+    pub fn scan<S: Store>(&self, s: &S, f: impl FnMut(Rid, &[u8]) -> Result<bool>) -> Result<()> {
         s.with_object_latch(self.object, false, || self.scan_inner(s, f))
     }
 

@@ -28,7 +28,11 @@ pub fn encode_value(out: &mut Vec<u8>, v: &Value) -> Result<()> {
         Value::F64(x) => {
             out.push(0x01);
             let bits = x.to_bits();
-            let ordered = if bits & (1 << 63) != 0 { !bits } else { bits | (1 << 63) };
+            let ordered = if bits & (1 << 63) != 0 {
+                !bits
+            } else {
+                bits | (1 << 63)
+            };
             out.extend_from_slice(&ordered.to_be_bytes());
         }
         Value::Str(s) => {
@@ -98,7 +102,12 @@ mod tests {
     fn u64_ordering() {
         let vals = [0u64, 1, 255, 256, 1 << 32, u64::MAX];
         for w in vals.windows(2) {
-            assert!(enc1(&Value::U64(w[0])) < enc1(&Value::U64(w[1])), "{} < {}", w[0], w[1]);
+            assert!(
+                enc1(&Value::U64(w[0])) < enc1(&Value::U64(w[1])),
+                "{} < {}",
+                w[0],
+                w[1]
+            );
         }
     }
 
@@ -106,15 +115,34 @@ mod tests {
     fn i64_ordering_across_zero() {
         let vals = [i64::MIN, -100, -1, 0, 1, 100, i64::MAX];
         for w in vals.windows(2) {
-            assert!(enc1(&Value::I64(w[0])) < enc1(&Value::I64(w[1])), "{} < {}", w[0], w[1]);
+            assert!(
+                enc1(&Value::I64(w[0])) < enc1(&Value::I64(w[1])),
+                "{} < {}",
+                w[0],
+                w[1]
+            );
         }
     }
 
     #[test]
     fn f64_ordering() {
-        let vals = [f64::NEG_INFINITY, -1e10, -1.5, -0.0, 0.5, 2.0, 1e300, f64::INFINITY];
+        let vals = [
+            f64::NEG_INFINITY,
+            -1e10,
+            -1.5,
+            -0.0,
+            0.5,
+            2.0,
+            1e300,
+            f64::INFINITY,
+        ];
         for w in vals.windows(2) {
-            assert!(enc1(&Value::F64(w[0])) <= enc1(&Value::F64(w[1])), "{} <= {}", w[0], w[1]);
+            assert!(
+                enc1(&Value::F64(w[0])) <= enc1(&Value::F64(w[1])),
+                "{} <= {}",
+                w[0],
+                w[1]
+            );
         }
     }
 
@@ -130,10 +158,7 @@ mod tests {
             ("BAR", "BARR"),
         ];
         for (a, b) in cases {
-            assert!(
-                enc1(&Value::str(a)) < enc1(&Value::str(b)),
-                "{a:?} < {b:?}"
-            );
+            assert!(enc1(&Value::str(a)) < enc1(&Value::str(b)), "{a:?} < {b:?}");
         }
     }
 

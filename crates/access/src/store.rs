@@ -120,7 +120,9 @@ impl MemStore {
     }
 
     fn next_lsn(&self) -> Lsn {
-        Lsn(self.next_lsn.fetch_add(64, std::sync::atomic::Ordering::Relaxed))
+        Lsn(self
+            .next_lsn
+            .fetch_add(64, std::sync::atomic::Ordering::Relaxed))
     }
 }
 
@@ -140,7 +142,9 @@ impl Store for MemStore {
     ) -> Result<Lsn> {
         let lsn = self.next_lsn();
         let mut pages = self.pages.write();
-        let p = pages.get_mut(pid.0 as usize).ok_or(Error::InvalidPage(pid))?;
+        let p = pages
+            .get_mut(pid.0 as usize)
+            .ok_or(Error::InvalidPage(pid))?;
         payload.precheck(p)?;
         payload.redo(p, pid, lsn)?;
         Ok(lsn)
@@ -178,7 +182,9 @@ impl Store for MemStore {
 
     fn free_page(&self, pid: PageId, _kind: ModKind) -> Result<()> {
         let mut pages = self.pages.write();
-        let p = pages.get_mut(pid.0 as usize).ok_or(Error::InvalidPage(pid))?;
+        let p = pages
+            .get_mut(pid.0 as usize)
+            .ok_or(Error::InvalidPage(pid))?;
         p.format(pid, ObjectId::NONE, PageType::Free);
         Ok(())
     }
@@ -222,8 +228,15 @@ mod tests {
                 ModKind::User,
             )
             .unwrap();
-        s.modify(pid, LogPayload::InsertRecord { slot: 0, bytes: b"x".to_vec() }, ModKind::User)
-            .unwrap();
+        s.modify(
+            pid,
+            LogPayload::InsertRecord {
+                slot: 0,
+                bytes: b"x".to_vec(),
+            },
+            ModKind::User,
+        )
+        .unwrap();
         s.with_page(pid, |p| {
             assert_eq!(p.record(0).unwrap(), b"x");
             assert!(p.page_lsn().is_valid());

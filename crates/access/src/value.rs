@@ -146,7 +146,10 @@ pub struct Column {
 impl Column {
     /// Convenience constructor.
     pub fn new(name: &str, ty: DataType) -> Column {
-        Column { name: name.to_string(), ty }
+        Column {
+            name: name.to_string(),
+            ty,
+        }
     }
 }
 
@@ -172,7 +175,9 @@ impl Schema {
             key.push(idx);
         }
         if key.is_empty() {
-            return Err(Error::InvalidArg("schema needs at least one key column".into()));
+            return Err(Error::InvalidArg(
+                "schema needs at least one key column".into(),
+            ));
         }
         Ok(Schema { columns, key })
     }

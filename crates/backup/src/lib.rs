@@ -60,9 +60,9 @@ impl RestoreReport {
 /// Take a full backup of `db` (sequential copy of every page, accounted on
 /// the database's I/O counters).
 pub fn take_full_backup(db: &Database) -> Result<FullBackup> {
-    let fm = db.mem_file().ok_or_else(|| {
-        Error::InvalidArg("backup requires the in-memory file backend".into())
-    })?;
+    let fm = db
+        .mem_file()
+        .ok_or_else(|| Error::InvalidArg("backup requires the in-memory file backend".into()))?;
     // Make the file consistent up to "now" (same flush snapshot creation
     // uses), then snapshot the pages.
     db.parts().pool.flush_all()?;
@@ -70,7 +70,12 @@ pub fn take_full_backup(db: &Database) -> Result<FullBackup> {
     let pages = fm.clone_contents();
     let bytes = pages.len() as u64 * PAGE_SIZE as u64;
     fm.io_stats().add_seq_data_bytes(bytes);
-    Ok(FullBackup { taken_at: db.clock().now(), backup_lsn, bytes, pages })
+    Ok(FullBackup {
+        taken_at: db.clock().now(),
+        backup_lsn,
+        bytes,
+        pages,
+    })
 }
 
 /// Restore `backup` and roll the copy forward to wall-clock time `t` using
@@ -285,9 +290,8 @@ pub struct PathEstimate {
 
 /// Modeled as-of cost in microseconds.
 pub fn estimate_asof_micros(e: &PathEstimate, data: &MediaModel, log: &MediaModel) -> u64 {
-    let undo_ios = (e.pages_accessed as f64
-        * e.undo_records_per_page as f64
-        * e.log_miss_ratio) as u64;
+    let undo_ios =
+        (e.pages_accessed as f64 * e.undo_records_per_page as f64 * e.log_miss_ratio) as u64;
     log.seq_read_time_us(e.analysis_bytes)
         + data.random_read_time_us(e.pages_accessed)
         + log.random_read_time_us(undo_ios)
@@ -331,10 +335,19 @@ mod tests {
             replay_bytes: 10 << 30,
             analysis_bytes: 64 << 20,
         };
-        assert_eq!(choose_access_path(&base, &data, &log), PathChoice::AsOfQuery);
+        assert_eq!(
+            choose_access_path(&base, &data, &log),
+            PathChoice::AsOfQuery
+        );
         // touching (nearly) the whole database flips the choice
-        let big = PathEstimate { pages_accessed: 100_000_000, ..base };
-        assert_eq!(choose_access_path(&big, &data, &log), PathChoice::RestoreRollForward);
+        let big = PathEstimate {
+            pages_accessed: 100_000_000,
+            ..base
+        };
+        assert_eq!(
+            choose_access_path(&big, &data, &log),
+            PathChoice::RestoreRollForward
+        );
     }
 
     #[test]

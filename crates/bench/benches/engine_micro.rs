@@ -38,9 +38,13 @@ fn bench_codecs(c: &mut Criterion) {
         Value::F64(123.45),
         Value::I64(-9),
     ];
-    c.bench_function("codec/encode_row", |b| b.iter(|| black_box(encode_row(&row))));
+    c.bench_function("codec/encode_row", |b| {
+        b.iter(|| black_box(encode_row(&row)))
+    });
     let bytes = encode_row(&row);
-    c.bench_function("codec/decode_row", |b| b.iter(|| black_box(decode_row(&bytes).unwrap())));
+    c.bench_function("codec/decode_row", |b| {
+        b.iter(|| black_box(decode_row(&bytes).unwrap()))
+    });
     c.bench_function("codec/memcmp_key", |b| {
         b.iter(|| {
             let refs: Vec<&Value> = row.iter().collect();
@@ -53,7 +57,8 @@ fn bench_btree(c: &mut Criterion) {
     let store = MemStore::new(2);
     let tree = BTree::create(&store, ObjectId(1)).unwrap();
     for i in 0..10_000u64 {
-        tree.insert(&store, &i.to_be_bytes(), b"value-bytes-here").unwrap();
+        tree.insert(&store, &i.to_be_bytes(), b"value-bytes-here")
+            .unwrap();
     }
     c.bench_function("btree/get_10k", |b| {
         let mut i = 0u64;
@@ -82,9 +87,14 @@ fn bench_log_append(c: &mut Criterion) {
         object: ObjectId(1),
         undo_next: Lsn::NULL,
         flags: 0,
-        payload: LogPayload::InsertRecord { slot: 0, bytes: vec![0u8; 100] },
+        payload: LogPayload::InsertRecord {
+            slot: 0,
+            bytes: vec![0u8; 100],
+        },
     };
-    c.bench_function("log/append_100B", |b| b.iter(|| black_box(log.append(&rec))));
+    c.bench_function("log/append_100B", |b| {
+        b.iter(|| black_box(log.append(&rec)))
+    });
 }
 
 /// The paper's core primitive: rewind a page with N modifications on its

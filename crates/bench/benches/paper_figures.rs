@@ -3,9 +3,7 @@
 //! come from the `figures` binary (`cargo run --release --bin figures`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rewind_bench::{
-    fig5_fig6, fig7_to_fig11, prepare_asof_experiment, sec64_crossover, Effort,
-};
+use rewind_bench::{fig5_fig6, fig7_to_fig11, prepare_asof_experiment, sec64_crossover, Effort};
 use std::hint::black_box;
 
 fn bench_fig5_6(c: &mut Criterion) {

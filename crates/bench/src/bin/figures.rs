@@ -18,7 +18,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let has = |f: &str| args.iter().any(|a| a == f);
     let all = has("--all") || args.iter().all(|a| a == "--quick");
-    let effort = if has("--quick") { Effort::quick() } else { Effort::full() };
+    let effort = if has("--quick") {
+        Effort::quick()
+    } else {
+        Effort::full()
+    };
 
     println!("# rewind — paper figure regeneration");
     println!(
@@ -31,9 +35,11 @@ fn main() {
     }
 
     let need_sweep = all
-        || ["--fig7", "--fig8", "--fig9", "--fig10", "--fig11", "--sec64"]
-            .iter()
-            .any(|f| has(f));
+        || [
+            "--fig7", "--fig8", "--fig9", "--fig10", "--fig11", "--sec64",
+        ]
+        .iter()
+        .any(|f| has(f));
     if need_sweep {
         run_fig7_to_11(&effort, all || has("--sec64"));
     }
@@ -48,9 +54,10 @@ fn main() {
 }
 
 fn run_fig5_fig6(effort: &Effort) {
-    for (label, checkpoints) in
-        [("no checkpoints", false), ("30s-style checkpoint interval", true)]
-    {
+    for (label, checkpoints) in [
+        ("no checkpoints", false),
+        ("30s-style checkpoint interval", true),
+    ] {
         println!("## Figures 5 & 6 — logging overhead vs FPI interval N ({label})");
         println!(
             "{:>6} | {:>12} | {:>10} | {:>12} | {:>11}",
@@ -62,7 +69,11 @@ fn run_fig5_fig6(effort: &Effort) {
                 for r in rows {
                     println!(
                         "{:>6} | {:>12.0} | {:>10.0} | {:>12.1} | {:>10.2}x",
-                        if r.fpi_interval == 0 { "off".to_string() } else { r.fpi_interval.to_string() },
+                        if r.fpi_interval == 0 {
+                            "off".to_string()
+                        } else {
+                            r.fpi_interval.to_string()
+                        },
                         r.tps_real,
                         r.tpm_c,
                         r.log_bytes as f64 / (1 << 20) as f64,
@@ -86,8 +97,11 @@ fn run_fig7_to_11(effort: &Effort, with_crossover: bool) {
         }
     };
     let max = effort.history_minutes;
-    let distances: Vec<u64> =
-        [1u64, 2, 4, 8, 12, 16, 24, 32].iter().copied().filter(|&m| m < max).collect();
+    let distances: Vec<u64> = [1u64, 2, 4, 8, 12, 16, 24, 32]
+        .iter()
+        .copied()
+        .filter(|&m| m < max)
+        .collect();
     match fig7_to_fig11(&exp, &distances) {
         Ok(rows) => {
             println!("\n### Fig. 7 (SSD) / Fig. 8 (SAS): end-to-end seconds (log scale in paper)");
@@ -182,8 +196,14 @@ fn run_sec63(effort: &Effort) {
                 100.0 * r.tpm_with_asof / r.tpm_baseline.max(1e-9)
             );
             println!("snapshots created          : {:>12}", r.snapshots_created);
-            println!("avg snapshot creation      : {:>9.1} ms", r.avg_create_us as f64 / 1e3);
-            println!("avg as-of stock level      : {:>9.1} ms", r.avg_query_us as f64 / 1e3);
+            println!(
+                "avg snapshot creation      : {:>9.1} ms",
+                r.avg_create_us as f64 / 1e3
+            );
+            println!(
+                "avg as-of stock level      : {:>9.1} ms",
+                r.avg_query_us as f64 / 1e3
+            );
         }
         Err(e) => println!("error: {e}"),
     }
@@ -202,7 +222,11 @@ fn run_ablations(effort: &Effort) {
             for r in rows {
                 println!(
                     "{:>6} | {:>14} | {:>10} | {:>10.1}",
-                    if r.fpi_interval == 0 { "off".to_string() } else { r.fpi_interval.to_string() },
+                    if r.fpi_interval == 0 {
+                        "off".to_string()
+                    } else {
+                        r.fpi_interval.to_string()
+                    },
                     r.records_undone,
                     r.undo_log_ios,
                     r.query_us_real as f64 / 1e3

@@ -71,7 +71,12 @@ pub fn sas() -> MediaModel {
 }
 
 fn build_db(fpi_interval: u32, checkpoint_bytes: u64, effort: &Effort) -> Result<Arc<Database>> {
-    build_db_with_log(fpi_interval, checkpoint_bytes, effort, rewind_wal::LogConfig::default())
+    build_db_with_log(
+        fpi_interval,
+        checkpoint_bytes,
+        effort,
+        rewind_wal::LogConfig::default(),
+    )
 }
 
 fn build_db_with_log(
@@ -211,7 +216,12 @@ pub fn prepare_asof_experiment(effort: &Effort, fpi_interval: u32) -> Result<Aso
         db.checkpoint()?;
     }
     let end = db.clock().now();
-    Ok(AsofExperiment { db, backup, start, end })
+    Ok(AsofExperiment {
+        db,
+        backup,
+        start,
+        end,
+    })
 }
 
 /// Run the Figs. 7-11 sweep over rewind distances.
@@ -537,7 +547,11 @@ pub fn ablation_cow(effort: &Effort) -> Result<Vec<CowAblationRow>> {
     let mut rows = Vec::new();
     for cow in [false, true] {
         let db = build_db(16, 4 << 20, effort)?;
-        let snap = if cow { Some(db.create_snapshot("cow_ab")?) } else { None };
+        let snap = if cow {
+            Some(db.create_snapshot("cow_ab")?)
+        } else {
+            None
+        };
         let log0 = db.log().io_stats().snapshot().log_bytes_written;
         let cfg = driver_cfg(effort, 2);
         let t0 = Instant::now();
@@ -546,7 +560,10 @@ pub fn ablation_cow(effort: &Effort) -> Result<Vec<CowAblationRow>> {
         rows.push(CowAblationRow {
             cow_snapshot_open: cow,
             tps_real: stats.committed() as f64 / real,
-            cow_bytes: snap.as_ref().map(|s| s.side_pages() as u64 * 8192).unwrap_or(0),
+            cow_bytes: snap
+                .as_ref()
+                .map(|s| s.side_pages() as u64 * 8192)
+                .unwrap_or(0),
             log_bytes: db.log().io_stats().snapshot().log_bytes_written - log0,
         });
         if cow {

@@ -102,7 +102,13 @@ impl BufferPool {
                 used: AtomicBool::new(false),
             })
             .collect();
-        BufferPool { frames, map: Mutex::new(HashMap::new()), hand: AtomicUsize::new(0), fm, log }
+        BufferPool {
+            frames,
+            map: Mutex::new(HashMap::new()),
+            hand: AtomicUsize::new(0),
+            fm,
+            log,
+        }
     }
 
     /// Number of frames.
@@ -176,7 +182,9 @@ impl BufferPool {
                 return Ok(i);
             }
         }
-        Err(Error::Internal("buffer pool exhausted: all frames pinned".into()))
+        Err(Error::Internal(
+            "buffer pool exhausted: all frames pinned".into(),
+        ))
     }
 
     fn unpin(&self, idx: usize) {
@@ -257,7 +265,10 @@ impl BufferPool {
         for frame in &self.frames {
             let st = frame.state.read();
             if st.pid.is_valid() && st.dirty {
-                dpt.push(DptEntry { page: st.pid, rec_lsn: st.rec_lsn });
+                dpt.push(DptEntry {
+                    page: st.pid,
+                    rec_lsn: st.rec_lsn,
+                });
             }
         }
         dpt.sort_by_key(|e| e.page);
@@ -332,12 +343,18 @@ mod tests {
             object: ObjectId(1),
             undo_next: Lsn::NULL,
             flags: 0,
-            payload: LogPayload::InsertRecord { slot: 0, bytes: vec![1] },
+            payload: LogPayload::InsertRecord {
+                slot: 0,
+                bytes: vec![1],
+            },
         });
         assert!(log.flushed_lsn() <= lsn);
         format_on(&pool, PageId(3), lsn);
         pool.flush_page(PageId(3)).unwrap();
-        assert!(log.flushed_lsn() > lsn, "log must be forced up to pageLSN before page write");
+        assert!(
+            log.flushed_lsn() > lsn,
+            "log must be forced up to pageLSN before page write"
+        );
     }
 
     #[test]

@@ -21,7 +21,16 @@ impl ByteWriter {
 
     /// New writer with pre-reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        ByteWriter { buf: Vec::with_capacity(cap) }
+        ByteWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// New writer appending to an existing buffer (its contents are kept).
+    /// Lets callers serialize into a reusable scratch buffer without an
+    /// allocation per record.
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        ByteWriter { buf }
     }
 
     /// Consume the writer, returning the bytes.

@@ -66,7 +66,10 @@ impl fmt::Display for Error {
             Error::KeyNotFound => write!(f, "key not found"),
             Error::DuplicateKey => write!(f, "duplicate key"),
             Error::RecordTooLarge { size, max } => {
-                write!(f, "record of {size} bytes exceeds page capacity of {max} bytes")
+                write!(
+                    f,
+                    "record of {size} bytes exceeds page capacity of {max} bytes"
+                )
             }
             Error::TableNotFound(name) => write!(f, "table '{name}' not found"),
             Error::ObjectNotFound(id) => write!(f, "object {id} not found in catalog"),
@@ -74,7 +77,10 @@ impl fmt::Display for Error {
             Error::LockTimeout(t) => write!(f, "transaction {t} timed out waiting for a lock"),
             Error::TxnAborted(t) => write!(f, "transaction {t} is aborted"),
             Error::TxnFinished(t) => write!(f, "transaction {t} has already finished"),
-            Error::RetentionExceeded { requested, earliest } => write!(
+            Error::RetentionExceeded {
+                requested,
+                earliest,
+            } => write!(
                 f,
                 "requested time {requested} is outside the retention period (earliest {earliest})"
             ),
@@ -113,7 +119,9 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("retention"));
         assert!(Error::Deadlock(TxnId(3)).to_string().contains("T3"));
-        assert!(Error::TableNotFound("orders".into()).to_string().contains("orders"));
+        assert!(Error::TableNotFound("orders".into())
+            .to_string()
+            .contains("orders"));
     }
 
     #[test]

@@ -209,8 +209,12 @@ impl IoSnapshot {
             page_writes: self.page_writes.saturating_sub(earlier.page_writes),
             log_read_ios: self.log_read_ios.saturating_sub(earlier.log_read_ios),
             log_cache_hits: self.log_cache_hits.saturating_sub(earlier.log_cache_hits),
-            log_bytes_written: self.log_bytes_written.saturating_sub(earlier.log_bytes_written),
-            log_bytes_scanned: self.log_bytes_scanned.saturating_sub(earlier.log_bytes_scanned),
+            log_bytes_written: self
+                .log_bytes_written
+                .saturating_sub(earlier.log_bytes_written),
+            log_bytes_scanned: self
+                .log_bytes_scanned
+                .saturating_sub(earlier.log_bytes_scanned),
             seq_data_bytes: self.seq_data_bytes.saturating_sub(earlier.seq_data_bytes),
         }
     }
@@ -278,7 +282,11 @@ mod tests {
 
     #[test]
     fn modeled_time_uses_both_devices() {
-        let io = IoSnapshot { log_read_ios: 10, page_reads: 2, ..Default::default() };
+        let io = IoSnapshot {
+            log_read_ios: 10,
+            page_reads: 2,
+            ..Default::default()
+        };
         let t = io.modeled_micros(&MediaModel::ssd(), &MediaModel::sas_hdd());
         // 10 log stalls on SAS at 5 ms + 2 page reads on SSD at 100 µs
         assert_eq!(t, 50_000 + 200);

@@ -57,7 +57,9 @@ pub fn read_boot<S: Store>(s: &S) -> Result<BootInfo> {
         }
         let version = rewind_common::codec::read_u32_at(b, OFF_VERSION);
         if version != VERSION {
-            return Err(Error::Corruption(format!("unsupported format version {version}")));
+            return Err(Error::Corruption(format!(
+                "unsupported format version {version}"
+            )));
         }
         Ok(BootInfo {
             sys_tables_root: PageId(rewind_common::codec::read_u64_at(b, OFF_SYS_TABLES)),
@@ -71,10 +73,16 @@ pub fn read_boot<S: Store>(s: &S) -> Result<BootInfo> {
 }
 
 fn boot_write<S: Store>(s: &S, offset: usize, new: Vec<u8>) -> Result<Lsn> {
-    let old = s.with_page(PageId::BOOT, |p| Ok(p.body()[offset..offset + new.len()].to_vec()))?;
+    let old = s.with_page(PageId::BOOT, |p| {
+        Ok(p.body()[offset..offset + new.len()].to_vec())
+    })?;
     s.modify(
         PageId::BOOT,
-        LogPayload::BootWrite { offset: offset as u16, old, new },
+        LogPayload::BootWrite {
+            offset: offset as u16,
+            old,
+            new,
+        },
         ModKind::User,
     )
 }
@@ -95,12 +103,36 @@ pub fn initialize_boot<S: Store>(s: &S, info: &BootInfo) -> Result<()> {
     )?;
     boot_write(s, OFF_MAGIC, MAGIC.to_vec())?;
     boot_write(s, OFF_VERSION, VERSION.to_le_bytes().to_vec())?;
-    boot_write(s, OFF_SYS_TABLES, info.sys_tables_root.0.to_le_bytes().to_vec())?;
-    boot_write(s, OFF_SYS_COLUMNS, info.sys_columns_root.0.to_le_bytes().to_vec())?;
-    boot_write(s, OFF_SYS_INDEXES, info.sys_indexes_root.0.to_le_bytes().to_vec())?;
-    boot_write(s, OFF_NEXT_OBJECT, info.next_object_id.to_le_bytes().to_vec())?;
-    boot_write(s, OFF_FPI_INTERVAL, info.fpi_interval.to_le_bytes().to_vec())?;
-    boot_write(s, OFF_RETENTION, info.retention_micros.to_le_bytes().to_vec())?;
+    boot_write(
+        s,
+        OFF_SYS_TABLES,
+        info.sys_tables_root.0.to_le_bytes().to_vec(),
+    )?;
+    boot_write(
+        s,
+        OFF_SYS_COLUMNS,
+        info.sys_columns_root.0.to_le_bytes().to_vec(),
+    )?;
+    boot_write(
+        s,
+        OFF_SYS_INDEXES,
+        info.sys_indexes_root.0.to_le_bytes().to_vec(),
+    )?;
+    boot_write(
+        s,
+        OFF_NEXT_OBJECT,
+        info.next_object_id.to_le_bytes().to_vec(),
+    )?;
+    boot_write(
+        s,
+        OFF_FPI_INTERVAL,
+        info.fpi_interval.to_le_bytes().to_vec(),
+    )?;
+    boot_write(
+        s,
+        OFF_RETENTION,
+        info.retention_micros.to_le_bytes().to_vec(),
+    )?;
     Ok(())
 }
 

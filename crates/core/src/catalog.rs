@@ -61,7 +61,10 @@ pub struct IndexInfo {
 impl IndexInfo {
     /// The index B-Tree handle.
     pub fn tree(&self) -> BTree {
-        BTree { object: self.id, root: self.root }
+        BTree {
+            object: self.id,
+            root: self.root,
+        }
     }
 }
 
@@ -86,18 +89,28 @@ impl TableInfo {
     /// The clustered-tree handle; errors for heaps.
     pub fn tree(&self) -> Result<BTree> {
         match self.kind {
-            TableKind::Tree => Ok(BTree { object: self.id, root: self.root }),
-            TableKind::Heap => Err(Error::InvalidArg(format!("table '{}' is a heap", self.name))),
+            TableKind::Tree => Ok(BTree {
+                object: self.id,
+                root: self.root,
+            }),
+            TableKind::Heap => Err(Error::InvalidArg(format!(
+                "table '{}' is a heap",
+                self.name
+            ))),
         }
     }
 
     /// The heap handle; errors for trees.
     pub fn heap(&self) -> Result<Heap> {
         match self.kind {
-            TableKind::Heap => Ok(Heap { object: self.id, first: self.root }),
-            TableKind::Tree => {
-                Err(Error::InvalidArg(format!("table '{}' is a B-Tree", self.name)))
-            }
+            TableKind::Heap => Ok(Heap {
+                object: self.id,
+                first: self.root,
+            }),
+            TableKind::Tree => Err(Error::InvalidArg(format!(
+                "table '{}' is a B-Tree",
+                self.name
+            ))),
         }
     }
 
@@ -177,9 +190,18 @@ impl SysTrees {
     /// Resolve from boot info.
     pub fn from_boot(boot: &BootInfo) -> SysTrees {
         SysTrees {
-            tables: BTree { object: ObjectId::SYS_TABLES, root: boot.sys_tables_root },
-            columns: BTree { object: ObjectId::SYS_COLUMNS, root: boot.sys_columns_root },
-            indexes: BTree { object: ObjectId::SYS_INDEXES, root: boot.sys_indexes_root },
+            tables: BTree {
+                object: ObjectId::SYS_TABLES,
+                root: boot.sys_tables_root,
+            },
+            columns: BTree {
+                object: ObjectId::SYS_COLUMNS,
+                root: boot.sys_columns_root,
+            },
+            indexes: BTree {
+                object: ObjectId::SYS_INDEXES,
+                root: boot.sys_indexes_root,
+            },
         }
     }
 
@@ -291,7 +313,11 @@ pub fn column_row(table: ObjectId, ord: usize, col: &Column, key_pos: Option<usi
 // ---- catalog reads (generic over Store) --------------------------------------
 
 /// Load a table (with its indexes) by object id.
-pub fn read_table_by_id<S: Store>(s: &S, sys: &SysTrees, id: ObjectId) -> Result<Option<TableInfo>> {
+pub fn read_table_by_id<S: Store>(
+    s: &S,
+    sys: &SysTrees,
+    id: ObjectId,
+) -> Result<Option<TableInfo>> {
     let bytes = match sys.tables.get(s, &table_key(id))? {
         Some(b) => b,
         None => return Ok(None),
@@ -308,14 +334,15 @@ pub fn read_table_by_name<S: Store>(
     name: &str,
 ) -> Result<Option<TableInfo>> {
     let mut found = None;
-    sys.tables.scan(s, Bound::Unbounded, Bound::Unbounded, |_, v| {
-        let info = parse_table_row(v)?;
-        if info.name == name {
-            found = Some(info);
-            return Ok(false);
-        }
-        Ok(true)
-    })?;
+    sys.tables
+        .scan(s, Bound::Unbounded, Bound::Unbounded, |_, v| {
+            let info = parse_table_row(v)?;
+            if info.name == name {
+                found = Some(info);
+                return Ok(false);
+            }
+            Ok(true)
+        })?;
     match found {
         Some(mut info) => {
             info.indexes = read_indexes_of(s, sys, info.id)?;
@@ -328,13 +355,14 @@ pub fn read_table_by_name<S: Store>(
 /// All indexes declared on `table`.
 pub fn read_indexes_of<S: Store>(s: &S, sys: &SysTrees, table: ObjectId) -> Result<Vec<IndexInfo>> {
     let mut out = Vec::new();
-    sys.indexes.scan(s, Bound::Unbounded, Bound::Unbounded, |_, v| {
-        let (tid, idx) = parse_index_row(v)?;
-        if tid == table {
-            out.push(idx);
-        }
-        Ok(true)
-    })?;
+    sys.indexes
+        .scan(s, Bound::Unbounded, Bound::Unbounded, |_, v| {
+            let (tid, idx) = parse_index_row(v)?;
+            if tid == table {
+                out.push(idx);
+            }
+            Ok(true)
+        })?;
     Ok(out)
 }
 
@@ -354,10 +382,11 @@ pub fn read_index_by_id<S: Store>(
 /// List every user table (with indexes), sorted by object id.
 pub fn list_tables<S: Store>(s: &S, sys: &SysTrees) -> Result<Vec<TableInfo>> {
     let mut out = Vec::new();
-    sys.tables.scan(s, Bound::Unbounded, Bound::Unbounded, |_, v| {
-        out.push(parse_table_row(v)?);
-        Ok(true)
-    })?;
+    sys.tables
+        .scan(s, Bound::Unbounded, Bound::Unbounded, |_, v| {
+            out.push(parse_table_row(v)?);
+            Ok(true)
+        })?;
     for info in &mut out {
         info.indexes = read_indexes_of(s, sys, info.id)?;
     }
@@ -404,7 +433,12 @@ mod tests {
 
     #[test]
     fn index_row_roundtrip() {
-        let idx = IndexInfo { id: ObjectId(130), name: "by_name".into(), root: PageId(12), cols: vec![1, 0] };
+        let idx = IndexInfo {
+            id: ObjectId(130),
+            name: "by_name".into(),
+            root: PageId(12),
+            cols: vec![1, 0],
+        };
         let (tid, parsed) = parse_index_row(&index_row(ObjectId(120), &idx)).unwrap();
         assert_eq!(tid, ObjectId(120));
         assert_eq!(parsed, idx);
@@ -433,7 +467,10 @@ mod tests {
         let idx = &info.indexes[0];
         let i1 = info.index_key_bytes(idx, &r1).unwrap();
         let i2 = info.index_key_bytes(idx, &r2).unwrap();
-        assert_ne!(i1, i2, "same indexed value, different pk: entries stay unique");
+        assert_ne!(
+            i1, i2,
+            "same indexed value, different pk: entries stay unique"
+        );
         assert!(i1 < i2);
     }
 

@@ -50,7 +50,12 @@ pub fn check_consistency<S: Store>(store: &S) -> Result<CheckReport> {
     // System catalog trees are ordinary trees: verify + claim their pages.
     for tree in [sys.tables, sys.columns, sys.indexes] {
         tree.verify(store)?;
-        claim_pages(store, &mut owner_of, tree.object, tree.collect_pages(store)?)?;
+        claim_pages(
+            store,
+            &mut owner_of,
+            tree.object,
+            tree.collect_pages(store)?,
+        )?;
     }
 
     let tables = catalog::list_tables(store, &sys)?;

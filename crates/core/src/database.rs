@@ -8,9 +8,7 @@ use parking_lot::{Mutex, RwLock};
 use rewind_access::store::{ModKind, Store};
 use rewind_access::{BTree, Heap, Schema};
 use rewind_buffer::BufferPool;
-use rewind_common::{
-    Error, IoSnapshot, Lsn, ObjectId, PageId, Result, SimClock, Timestamp, TxnId,
-};
+use rewind_common::{Error, IoSnapshot, Lsn, ObjectId, PageId, Result, SimClock, Timestamp, TxnId};
 use rewind_pagestore::{FileManager, MemFileManager, PageType};
 use rewind_recovery::{
     analyze, redo_pass, rollback::undo_record, take_checkpoint, AccessKind, EngineParts,
@@ -218,7 +216,11 @@ impl Database {
             let lsn = parts.log.append(&commit);
             parts.log.flush_to(lsn);
             txns.finish(txn.id);
-            SysTrees { tables, columns, indexes }
+            SysTrees {
+                tables,
+                columns,
+                indexes,
+            }
         } else {
             let txn = txns.begin();
             let store = EngineStore::new(&parts, &txn);
@@ -300,7 +302,9 @@ impl Database {
 
     /// Begin a transaction.
     pub fn begin(&self) -> Txn {
-        Txn { shared: self.txns.begin() }
+        Txn {
+            shared: self.txns.begin(),
+        }
     }
 
     /// The live-engine store bound to `txn`.
@@ -329,7 +333,9 @@ impl Database {
                     object: ObjectId::NONE,
                     undo_next: Lsn::NULL,
                     flags: 0,
-                    payload: LogPayload::Commit { at: self.clock.now() },
+                    payload: LogPayload::Commit {
+                        at: self.clock.now(),
+                    },
                 };
                 let lsn = self.parts.log.append(&rec);
                 shared.record_logged(lsn);
@@ -355,12 +361,7 @@ impl Database {
             self.append_marker(&shared, LogPayload::Abort);
             let store = EngineStore::new(&self.parts, &shared);
             let resolver = |obj: ObjectId| self.resolve_access_uncached(obj);
-            rewind_recovery::rollback_chain(
-                &store,
-                &self.parts.log,
-                shared.last_lsn(),
-                &resolver,
-            )?;
+            rewind_recovery::rollback_chain(&store, &self.parts.log, shared.last_lsn(), &resolver)?;
             self.append_marker(&shared, LogPayload::End);
             self.parts.log.flush_to(self.parts.log.tail_lsn());
         }
@@ -462,7 +463,8 @@ impl Database {
     ) -> Result<ObjectId> {
         let store = self.store(txn);
         // DDL serializes on the catalog.
-        self.locks.acquire(txn.id(), &LockKey::table(ObjectId::SYS_TABLES), LockMode::X)?;
+        self.locks
+            .acquire(txn.id(), &LockKey::table(ObjectId::SYS_TABLES), LockMode::X)?;
         if catalog::read_table_by_name(&store, &self.sys, name)?.is_some() {
             return Err(Error::InvalidArg(format!("table '{name}' already exists")));
         }
@@ -479,7 +481,9 @@ impl Database {
             schema: schema.clone(),
             indexes: Vec::new(),
         };
-        self.sys.tables.insert(&store, &catalog::table_key(id), &catalog::table_row(&info))?;
+        self.sys
+            .tables
+            .insert(&store, &catalog::table_key(id), &catalog::table_row(&info))?;
         for (ord, col) in schema.columns.iter().enumerate() {
             let key_pos = schema.key.iter().position(|&k| k == ord);
             self.sys.columns.insert(
@@ -501,34 +505,52 @@ impl Database {
         cols: &[&str],
     ) -> Result<ObjectId> {
         let store = self.store(txn);
-        self.locks.acquire(txn.id(), &LockKey::table(ObjectId::SYS_TABLES), LockMode::X)?;
+        self.locks
+            .acquire(txn.id(), &LockKey::table(ObjectId::SYS_TABLES), LockMode::X)?;
         let info = catalog::read_table_by_name(&store, &self.sys, table_name)?
             .ok_or_else(|| Error::TableNotFound(table_name.to_string()))?;
         if info.indexes.iter().any(|i| i.name == index_name) {
-            return Err(Error::InvalidArg(format!("index '{index_name}' already exists")));
+            return Err(Error::InvalidArg(format!(
+                "index '{index_name}' already exists"
+            )));
         }
         // Block concurrent writers while building.
-        self.locks.acquire(txn.id(), &LockKey::table(info.id), LockMode::X)?;
+        self.locks
+            .acquire(txn.id(), &LockKey::table(info.id), LockMode::X)?;
         let col_ords: Vec<usize> = cols
             .iter()
             .map(|c| info.schema.column_index(c))
             .collect::<Result<_>>()?;
         let id = ObjectId(boot::allocate_object_id(&store)?);
         let tree = BTree::create(&store, id)?;
-        let idx = IndexInfo { id, name: index_name.to_string(), root: tree.root, cols: col_ords };
+        let idx = IndexInfo {
+            id,
+            name: index_name.to_string(),
+            root: tree.root,
+            cols: col_ords,
+        };
         // Backfill from existing rows: index entries map
         // (indexed cols + pk) -> pk bytes so base rows can be fetched.
         let base = info.tree()?;
         let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
-        base.scan(&store, std::ops::Bound::Unbounded, std::ops::Bound::Unbounded, |k, v| {
-            let row = rewind_access::value::decode_row(v)?;
-            entries.push((info.index_key_bytes(&idx, &row)?, k.to_vec()));
-            Ok(true)
-        })?;
+        base.scan(
+            &store,
+            std::ops::Bound::Unbounded,
+            std::ops::Bound::Unbounded,
+            |k, v| {
+                let row = rewind_access::value::decode_row(v)?;
+                entries.push((info.index_key_bytes(&idx, &row)?, k.to_vec()));
+                Ok(true)
+            },
+        )?;
         for (ikey, pk) in entries {
             tree.insert(&store, &ikey, &pk)?;
         }
-        self.sys.indexes.insert(&store, &catalog::index_key(id), &catalog::index_row(info.id, &idx))?;
+        self.sys.indexes.insert(
+            &store,
+            &catalog::index_key(id),
+            &catalog::index_row(info.id, &idx),
+        )?;
         self.invalidate_catalog();
         Ok(id)
     }
@@ -537,13 +559,17 @@ impl Database {
     /// pages (content left in place, so it too is recoverable as-of).
     pub fn drop_index(&self, txn: &Txn, table_name: &str, index_name: &str) -> Result<()> {
         let store = self.store(txn);
-        self.locks.acquire(txn.id(), &LockKey::table(ObjectId::SYS_TABLES), LockMode::X)?;
+        self.locks
+            .acquire(txn.id(), &LockKey::table(ObjectId::SYS_TABLES), LockMode::X)?;
         let info = catalog::read_table_by_name(&store, &self.sys, table_name)?
             .ok_or_else(|| Error::TableNotFound(table_name.to_string()))?;
         let idx = info.index(index_name)?.clone();
-        self.locks.acquire(txn.id(), &LockKey::table(info.id), LockMode::X)?;
+        self.locks
+            .acquire(txn.id(), &LockKey::table(info.id), LockMode::X)?;
         let pages = idx.tree().collect_pages(&store)?;
-        self.sys.indexes.delete(&store, &catalog::index_key(idx.id))?;
+        self.sys
+            .indexes
+            .delete(&store, &catalog::index_key(idx.id))?;
         for pid in pages {
             store.free_page(pid, ModKind::User)?;
         }
@@ -556,10 +582,12 @@ impl Database {
     /// dropped table recoverable through an as-of snapshot.
     pub fn drop_table(&self, txn: &Txn, name: &str) -> Result<()> {
         let store = self.store(txn);
-        self.locks.acquire(txn.id(), &LockKey::table(ObjectId::SYS_TABLES), LockMode::X)?;
+        self.locks
+            .acquire(txn.id(), &LockKey::table(ObjectId::SYS_TABLES), LockMode::X)?;
         let info = catalog::read_table_by_name(&store, &self.sys, name)?
             .ok_or_else(|| Error::TableNotFound(name.to_string()))?;
-        self.locks.acquire(txn.id(), &LockKey::table(info.id), LockMode::X)?;
+        self.locks
+            .acquire(txn.id(), &LockKey::table(info.id), LockMode::X)?;
 
         // Collect every page first (catalog rows must still be readable).
         let mut pages: Vec<PageId> = Vec::new();
@@ -569,11 +597,17 @@ impl Database {
         }
         for idx in &info.indexes {
             pages.extend(idx.tree().collect_pages(&store)?);
-            self.sys.indexes.delete(&store, &catalog::index_key(idx.id))?;
+            self.sys
+                .indexes
+                .delete(&store, &catalog::index_key(idx.id))?;
         }
-        self.sys.tables.delete(&store, &catalog::table_key(info.id))?;
+        self.sys
+            .tables
+            .delete(&store, &catalog::table_key(info.id))?;
         for ord in 0..info.schema.columns.len() {
-            self.sys.columns.delete(&store, &catalog::column_key(info.id, ord))?;
+            self.sys
+                .columns
+                .delete(&store, &catalog::column_key(info.id, ord))?;
         }
         for pid in pages {
             store.free_page(pid, ModKind::User)?;
@@ -587,7 +621,8 @@ impl Database {
     pub fn truncate_table(&self, txn: &Txn, name: &str) -> Result<()> {
         let store = self.store(txn);
         let info = self.table(name)?;
-        self.locks.acquire(txn.id(), &LockKey::table(info.id), LockMode::X)?;
+        self.locks
+            .acquire(txn.id(), &LockKey::table(info.id), LockMode::X)?;
         let tree = info.tree()?;
         let pages = tree.collect_pages(&store)?;
         let root_image = store.with_page(tree.root, |p| Ok(Box::new(*p.image())))?;
@@ -646,7 +681,12 @@ impl Database {
 
     /// Take a fuzzy checkpoint now.
     pub fn checkpoint(&self) -> Result<Lsn> {
-        take_checkpoint(&self.parts.log, &self.txns, &self.parts.pool, self.clock.now())
+        take_checkpoint(
+            &self.parts.log,
+            &self.txns,
+            &self.parts.pool,
+            self.clock.now(),
+        )
     }
 
     /// Take a checkpoint if enough log accumulated since the last one; also
@@ -731,7 +771,9 @@ impl Database {
             let mut snaps = self.snapshots.lock();
             if snaps.contains_key(name) {
                 snap.detach(&self.parts);
-                return Err(Error::InvalidArg(format!("snapshot '{name}' already exists")));
+                return Err(Error::InvalidArg(format!(
+                    "snapshot '{name}' already exists"
+                )));
             }
             snaps.insert(name.to_string(), snap.clone());
         }
@@ -783,13 +825,25 @@ impl Database {
 
     /// ARIES restart: analysis, redo, undo (with CLRs), then reopen.
     pub fn recover(artifacts: CrashArtifacts) -> Result<Database> {
-        let CrashArtifacts { fm, fm_mem, log, clock, config } = artifacts;
+        let CrashArtifacts {
+            fm,
+            fm_mem,
+            log,
+            clock,
+            config,
+        } = artifacts;
         log.discard_unflushed();
         // Repeat history before touching any structure (the boot page itself
         // may only exist in the log).
         let parts = Self::make_parts(fm, log, &config);
         let analysis = analyze(&parts.log, Lsn::MAX)?;
-        redo_pass(&parts.log, &parts.pool, &analysis.dpt, analysis.redo_start, Lsn::MAX)?;
+        redo_pass(
+            &parts.log,
+            &parts.pool,
+            &analysis.dpt,
+            analysis.redo_start,
+            Lsn::MAX,
+        )?;
 
         let db = Self::assemble_from_parts(parts, fm_mem, clock, config, false)?;
         db.txns.bump_next_id(analysis.max_txn_id);

@@ -41,11 +41,13 @@ impl Database {
         let info = self.table(table)?;
         info.schema.check_row(row)?;
         let store = self.store(txn);
-        self.locks.acquire(txn.id(), &LockKey::table(info.id), LockMode::IX)?;
+        self.locks
+            .acquire(txn.id(), &LockKey::table(info.id), LockMode::IX)?;
         match info.kind {
             TableKind::Tree => {
                 let key = info.key_bytes(row)?;
-                self.locks.acquire(txn.id(), &LockKey::row(info.id, &key), LockMode::X)?;
+                self.locks
+                    .acquire(txn.id(), &LockKey::row(info.id, &key), LockMode::X)?;
                 info.tree()?.insert(&store, &key, &encode_row(row))?;
                 for idx in &info.indexes {
                     let ikey = info.index_key_bytes(idx, row)?;
@@ -73,8 +75,10 @@ impl Database {
         table_mode: LockMode,
     ) -> Result<Option<Row>> {
         let key_bytes = Self::key_bytes_of(info, key)?;
-        self.locks.acquire(txn.id(), &LockKey::table(info.id), table_mode)?;
-        self.locks.acquire(txn.id(), &LockKey::row(info.id, &key_bytes), mode)?;
+        self.locks
+            .acquire(txn.id(), &LockKey::table(info.id), table_mode)?;
+        self.locks
+            .acquire(txn.id(), &LockKey::row(info.id, &key_bytes), mode)?;
         let store = self.store(txn);
         match info.tree()?.get(&store, &key_bytes)? {
             Some(v) => Ok(Some(decode_row(&v)?)),
@@ -99,8 +103,10 @@ impl Database {
         let info = self.table(table)?;
         info.schema.check_row(row)?;
         let key = info.key_bytes(row)?;
-        self.locks.acquire(txn.id(), &LockKey::table(info.id), LockMode::IX)?;
-        self.locks.acquire(txn.id(), &LockKey::row(info.id, &key), LockMode::X)?;
+        self.locks
+            .acquire(txn.id(), &LockKey::table(info.id), LockMode::IX)?;
+        self.locks
+            .acquire(txn.id(), &LockKey::row(info.id, &key), LockMode::X)?;
         let store = self.store(txn);
         let tree = info.tree()?;
         let old = tree.get(&store, &key)?.ok_or(Error::KeyNotFound)?;
@@ -123,8 +129,10 @@ impl Database {
     pub fn delete(&self, txn: &Txn, table: &str, key: &[Value]) -> Result<()> {
         let info = self.table(table)?;
         let key_bytes = Self::key_bytes_of(&info, key)?;
-        self.locks.acquire(txn.id(), &LockKey::table(info.id), LockMode::IX)?;
-        self.locks.acquire(txn.id(), &LockKey::row(info.id, &key_bytes), LockMode::X)?;
+        self.locks
+            .acquire(txn.id(), &LockKey::table(info.id), LockMode::IX)?;
+        self.locks
+            .acquire(txn.id(), &LockKey::row(info.id, &key_bytes), LockMode::X)?;
         let store = self.store(txn);
         let tree = info.tree()?;
         let old = tree.get(&store, &key_bytes)?.ok_or(Error::KeyNotFound)?;
@@ -149,7 +157,8 @@ impl Database {
         hi: Bound<&[u8]>,
         limit: usize,
     ) -> Result<Vec<Row>> {
-        self.locks.acquire(txn.id(), &LockKey::table(info.id), LockMode::IS)?;
+        self.locks
+            .acquire(txn.id(), &LockKey::table(info.id), LockMode::IS)?;
         let store = self.store(txn);
         let tree = info.tree()?;
         let mut candidates: Vec<Vec<u8>> = Vec::new();
@@ -159,7 +168,8 @@ impl Database {
         })?;
         let mut out = Vec::with_capacity(candidates.len());
         for key in candidates {
-            self.locks.acquire(txn.id(), &LockKey::row(info.id, &key), LockMode::S)?;
+            self.locks
+                .acquire(txn.id(), &LockKey::row(info.id, &key), LockMode::S)?;
             // Re-read after locking: the row may have changed or vanished
             // between collection and lock grant.
             if let Some(v) = tree.get(&store, &key)? {
@@ -206,7 +216,13 @@ impl Database {
         let hi_refs: Vec<&Value> = hi.iter().collect();
         let lo_b = encode_key(&lo_refs)?;
         let hi_b = prefix_upper_bound(&encode_key(&hi_refs)?);
-        self.scan_tree_locked(txn, &info, Bound::Included(&lo_b), Bound::Excluded(&hi_b), usize::MAX)
+        self.scan_tree_locked(
+            txn,
+            &info,
+            Bound::Included(&lo_b),
+            Bound::Excluded(&hi_b),
+            usize::MAX,
+        )
     }
 
     /// Every row of the table.
@@ -218,7 +234,8 @@ impl Database {
             }
             TableKind::Heap => {
                 // Heap scans take a shared table lock.
-                self.locks.acquire(txn.id(), &LockKey::table(info.id), LockMode::S)?;
+                self.locks
+                    .acquire(txn.id(), &LockKey::table(info.id), LockMode::S)?;
                 let store = self.store(txn);
                 let mut out = Vec::new();
                 info.heap()?.scan(&store, |_, bytes| {
@@ -242,20 +259,27 @@ impl Database {
     ) -> Result<Vec<Row>> {
         let info = self.table(table)?;
         let idx = info.index(index)?;
-        self.locks.acquire(txn.id(), &LockKey::table(info.id), LockMode::IS)?;
+        self.locks
+            .acquire(txn.id(), &LockKey::table(info.id), LockMode::IS)?;
         let store = self.store(txn);
         let refs: Vec<&Value> = prefix.iter().collect();
         let lo = encode_key(&refs)?;
         let hi = prefix_upper_bound(&lo);
         let mut pks: Vec<Vec<u8>> = Vec::new();
-        idx.tree().scan(&store, Bound::Included(&lo), Bound::Excluded(&hi), |_, pk| {
-            pks.push(pk.to_vec());
-            Ok(pks.len() < limit)
-        })?;
+        idx.tree().scan(
+            &store,
+            Bound::Included(&lo),
+            Bound::Excluded(&hi),
+            |_, pk| {
+                pks.push(pk.to_vec());
+                Ok(pks.len() < limit)
+            },
+        )?;
         let tree = info.tree()?;
         let mut out = Vec::with_capacity(pks.len());
         for pk in pks {
-            self.locks.acquire(txn.id(), &LockKey::row(info.id, &pk), LockMode::S)?;
+            self.locks
+                .acquire(txn.id(), &LockKey::row(info.id, &pk), LockMode::S)?;
             if let Some(v) = tree.get(&store, &pk)? {
                 out.push(decode_row(&v)?);
             }
@@ -274,19 +298,26 @@ impl Database {
     ) -> Result<Option<Row>> {
         let info = self.table(table)?;
         let idx = info.index(index)?;
-        self.locks.acquire(txn.id(), &LockKey::table(info.id), LockMode::IS)?;
+        self.locks
+            .acquire(txn.id(), &LockKey::table(info.id), LockMode::IS)?;
         let store = self.store(txn);
         let refs: Vec<&Value> = prefix.iter().collect();
         let lo = encode_key(&refs)?;
         let hi = prefix_upper_bound(&lo);
         let mut pk: Option<Vec<u8>> = None;
-        idx.tree().scan_desc(&store, Bound::Included(&lo), Bound::Excluded(&hi), |_, v| {
-            pk = Some(v.to_vec());
-            Ok(false)
-        })?;
+        idx.tree().scan_desc(
+            &store,
+            Bound::Included(&lo),
+            Bound::Excluded(&hi),
+            |_, v| {
+                pk = Some(v.to_vec());
+                Ok(false)
+            },
+        )?;
         match pk {
             Some(pk) => {
-                self.locks.acquire(txn.id(), &LockKey::row(info.id, &pk), LockMode::S)?;
+                self.locks
+                    .acquire(txn.id(), &LockKey::row(info.id, &pk), LockMode::S)?;
                 match info.tree()?.get(&store, &pk)? {
                     Some(v) => Ok(Some(decode_row(&v)?)),
                     None => Ok(None),
@@ -304,10 +335,11 @@ impl Database {
         let n = match info.kind {
             TableKind::Tree => {
                 let mut n = 0usize;
-                info.tree()?.scan(&store, Bound::Unbounded, Bound::Unbounded, |_, _| {
-                    n += 1;
-                    Ok(true)
-                })?;
+                info.tree()?
+                    .scan(&store, Bound::Unbounded, Bound::Unbounded, |_, _| {
+                        n += 1;
+                        Ok(true)
+                    })?;
                 n
             }
             TableKind::Heap => info.heap()?.count(&store)?,

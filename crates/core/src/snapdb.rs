@@ -40,7 +40,11 @@ impl SnapshotDb {
     /// Wrap an [`AsOfSnapshot`], resolving its (as-of) catalog roots.
     pub fn open(snap: Arc<AsOfSnapshot>) -> Result<SnapshotDb> {
         let sys = SysTrees::load(&snap.store())?;
-        Ok(SnapshotDb { snap, sys, cache: Arc::new(RwLock::new(HashMap::new())) })
+        Ok(SnapshotDb {
+            snap,
+            sys,
+            cache: Arc::new(RwLock::new(HashMap::new())),
+        })
     }
 
     /// Resolve an object id against a snapshot's own catalog (used by the
@@ -127,7 +131,10 @@ impl SnapshotDb {
                 Some(info) => {
                     // Gate on the catalog row: an in-flight DDL transaction
                     // at the split may still own it.
-                    if self.snap.gate_row(ObjectId::SYS_TABLES, &catalog::table_key(info.id))? {
+                    if self
+                        .snap
+                        .gate_row(ObjectId::SYS_TABLES, &catalog::table_key(info.id))?
+                    {
                         continue; // waited: re-read
                     }
                     let info = Arc::new(info);
@@ -138,7 +145,9 @@ impl SnapshotDb {
                     // Absence is only trustworthy once no in-flight DDL locks
                     // remain on the catalog.
                     if !self.snap.undo_complete() {
-                        self.snap.locks.wait_until_object_free(ObjectId::SYS_TABLES)?;
+                        self.snap
+                            .locks
+                            .wait_until_object_free(ObjectId::SYS_TABLES)?;
                         if catalog::read_table_by_name(&store, &self.sys, name)?.is_some() {
                             continue;
                         }
@@ -156,7 +165,9 @@ impl SnapshotDb {
             let tables = catalog::list_tables(&store, &self.sys)?;
             let mut waited = false;
             for t in &tables {
-                waited |= self.snap.gate_row(ObjectId::SYS_TABLES, &catalog::table_key(t.id))?;
+                waited |= self
+                    .snap
+                    .gate_row(ObjectId::SYS_TABLES, &catalog::table_key(t.id))?;
             }
             if !waited {
                 return Ok(tables);
@@ -218,7 +229,12 @@ impl SnapshotDb {
         }
         let lo = encode_key(&refs)?;
         let hi = prefix_upper_bound(&lo);
-        self.scan_gated(table, Bound::Included(&lo), Bound::Excluded(&hi), usize::MAX)
+        self.scan_gated(
+            table,
+            Bound::Included(&lo),
+            Bound::Excluded(&hi),
+            usize::MAX,
+        )
     }
 
     /// Rows with `lo <= key <= hi` (values for a prefix of the key).
@@ -227,13 +243,20 @@ impl SnapshotDb {
         let hi_refs: Vec<&Value> = hi.iter().collect();
         let lo_b = encode_key(&lo_refs)?;
         let hi_b = prefix_upper_bound(&encode_key(&hi_refs)?);
-        self.scan_gated(table, Bound::Included(&lo_b), Bound::Excluded(&hi_b), usize::MAX)
+        self.scan_gated(
+            table,
+            Bound::Included(&lo_b),
+            Bound::Excluded(&hi_b),
+            usize::MAX,
+        )
     }
 
     /// Every row of the table as of the snapshot time.
     pub fn scan_all(&self, table: &TableInfo) -> Result<Vec<Row>> {
         match table.kind {
-            TableKind::Tree => self.scan_gated(table, Bound::Unbounded, Bound::Unbounded, usize::MAX),
+            TableKind::Tree => {
+                self.scan_gated(table, Bound::Unbounded, Bound::Unbounded, usize::MAX)
+            }
             TableKind::Heap => {
                 let store = self.snap.store();
                 loop {
@@ -272,10 +295,15 @@ impl SnapshotDb {
         let store = self.snap.store();
         loop {
             let mut pks: Vec<Vec<u8>> = Vec::new();
-            idx.tree().scan(&store, Bound::Included(&lo), Bound::Excluded(&hi), |_, pk| {
-                pks.push(pk.to_vec());
-                Ok(pks.len() < limit)
-            })?;
+            idx.tree().scan(
+                &store,
+                Bound::Included(&lo),
+                Bound::Excluded(&hi),
+                |_, pk| {
+                    pks.push(pk.to_vec());
+                    Ok(pks.len() < limit)
+                },
+            )?;
             let mut rows = Vec::with_capacity(pks.len());
             let mut waited = false;
             for pk in &pks {
@@ -312,8 +340,11 @@ pub fn restore_table_from_snapshot(
             db.insert(txn, dest_name, row)?;
         }
         for idx in &info.indexes {
-            let col_names: Vec<&str> =
-                idx.cols.iter().map(|&c| info.schema.columns[c].name.as_str()).collect();
+            let col_names: Vec<&str> = idx
+                .cols
+                .iter()
+                .map(|&c| info.schema.columns[c].name.as_str())
+                .collect();
             db.create_index(txn, dest_name, &idx.name, &col_names)?;
         }
         Ok(rows.len())

@@ -17,7 +17,11 @@ fn schema() -> Schema {
 }
 
 fn build() -> Database {
-    let db = Database::create(DbConfig { buffer_pages: 512, ..DbConfig::default() }).unwrap();
+    let db = Database::create(DbConfig {
+        buffer_pages: 512,
+        ..DbConfig::default()
+    })
+    .unwrap();
     db.with_txn(|txn| {
         db.create_table(txn, "t", schema())?;
         db.create_index(txn, "t", "by_grp", &["grp"])?;
@@ -27,7 +31,11 @@ fn build() -> Database {
             Schema::new(vec![Column::new("k", DataType::U64)], &["k"])?,
         )?;
         for i in 0..400u64 {
-            db.insert(txn, "t", &[Value::U64(i), Value::U64(i % 7), Value::str("x")])?;
+            db.insert(
+                txn,
+                "t",
+                &[Value::U64(i), Value::U64(i % 7), Value::str("x")],
+            )?;
             if i % 3 == 0 {
                 db.insert(txn, "h", &[Value::U64(i)])?;
             }
@@ -54,7 +62,15 @@ fn survives_churn_rollback_and_ddl() {
     // churn with splits
     db.with_txn(|txn| {
         for i in 400..1500u64 {
-            db.insert(txn, "t", &[Value::U64(i), Value::U64(i % 7), Value::Str("y".repeat(100))])?;
+            db.insert(
+                txn,
+                "t",
+                &[
+                    Value::U64(i),
+                    Value::U64(i % 7),
+                    Value::Str("y".repeat(100)),
+                ],
+            )?;
         }
         for i in (0..400u64).step_by(2) {
             db.delete(txn, "t", &[Value::U64(i)])?;
@@ -67,13 +83,19 @@ fn survives_churn_rollback_and_ddl() {
     // a big rollback
     let txn = db.begin();
     for i in 2000..2600u64 {
-        db.insert(&txn, "t", &[Value::U64(i), Value::U64(0), Value::str("doomed")]).unwrap();
+        db.insert(
+            &txn,
+            "t",
+            &[Value::U64(i), Value::U64(0), Value::str("doomed")],
+        )
+        .unwrap();
     }
     db.rollback(txn).unwrap();
     db.check_consistency().unwrap();
 
     // DDL: drop the index, truncate, drop a table
-    db.with_txn(|txn| db.drop_index(txn, "t", "by_grp")).unwrap();
+    db.with_txn(|txn| db.drop_index(txn, "t", "by_grp"))
+        .unwrap();
     db.check_consistency().unwrap();
     db.with_txn(|txn| db.truncate_table(txn, "t")).unwrap();
     db.check_consistency().unwrap();
@@ -88,7 +110,12 @@ fn holds_across_crash_recovery() {
     let db = build();
     let loser = db.begin();
     for i in 5000..5400u64 {
-        db.insert(&loser, "t", &[Value::U64(i), Value::U64(1), Value::str("gone")]).unwrap();
+        db.insert(
+            &loser,
+            "t",
+            &[Value::U64(i), Value::U64(1), Value::str("gone")],
+        )
+        .unwrap();
     }
     std::mem::forget(loser);
     let db = Database::recover(db.simulate_crash()).unwrap();
@@ -106,7 +133,15 @@ fn holds_as_of_the_past() {
     // future churn incl. structure changes and a drop
     db.with_txn(|txn| {
         for i in 400..1200u64 {
-            db.insert(txn, "t", &[Value::U64(i), Value::U64(i % 7), Value::Str("z".repeat(200))])?;
+            db.insert(
+                txn,
+                "t",
+                &[
+                    Value::U64(i),
+                    Value::U64(i % 7),
+                    Value::Str("z".repeat(200)),
+                ],
+            )?;
         }
         db.drop_table(txn, "h")?;
         Ok(())

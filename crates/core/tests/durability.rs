@@ -6,7 +6,10 @@ use std::time::Duration;
 
 fn schema() -> Schema {
     Schema::new(
-        vec![Column::new("id", DataType::U64), Column::new("v", DataType::Str)],
+        vec![
+            Column::new("id", DataType::U64),
+            Column::new("v", DataType::Str),
+        ],
         &["id"],
     )
     .unwrap()
@@ -83,7 +86,10 @@ fn snapshot_lifecycle_management() {
 
     let s1 = db.create_snapshot_asof("snap", t).unwrap();
     // duplicate name refused
-    assert!(matches!(db.create_snapshot_asof("snap", t), Err(Error::InvalidArg(_))));
+    assert!(matches!(
+        db.create_snapshot_asof("snap", t),
+        Err(Error::InvalidArg(_))
+    ));
     // retrievable by name; both handles see the same state
     let s2 = db.snapshot("snap").unwrap();
     let info = s2.table("t").unwrap();
@@ -92,8 +98,14 @@ fn snapshot_lifecycle_management() {
 
     s1.wait_undo_complete();
     db.drop_snapshot("snap").unwrap();
-    assert!(matches!(db.snapshot("snap"), Err(Error::SnapshotNotFound(_))));
-    assert!(matches!(db.drop_snapshot("snap"), Err(Error::SnapshotNotFound(_))));
+    assert!(matches!(
+        db.snapshot("snap"),
+        Err(Error::SnapshotNotFound(_))
+    ));
+    assert!(matches!(
+        db.drop_snapshot("snap"),
+        Err(Error::SnapshotNotFound(_))
+    ));
     // the name is reusable
     let s3 = db.create_snapshot_asof("snap", t).unwrap();
     s3.wait_undo_complete();
@@ -113,22 +125,33 @@ fn two_snapshots_at_different_times_coexist() {
     let t1 = db.clock().now();
     db.clock().advance_secs(1);
 
-    db.with_txn(|txn| db.update(txn, "t", &[Value::U64(1), Value::str("v2")])).unwrap();
+    db.with_txn(|txn| db.update(txn, "t", &[Value::U64(1), Value::str("v2")]))
+        .unwrap();
     db.clock().advance_secs(1);
     db.checkpoint().unwrap();
     let t2 = db.clock().now();
     db.clock().advance_secs(1);
 
-    db.with_txn(|txn| db.update(txn, "t", &[Value::U64(1), Value::str("v3")])).unwrap();
+    db.with_txn(|txn| db.update(txn, "t", &[Value::U64(1), Value::str("v3")]))
+        .unwrap();
 
     let s1 = db.create_snapshot_asof("at1", t1).unwrap();
     let s2 = db.create_snapshot_asof("at2", t2).unwrap();
     let i1 = s1.table("t").unwrap();
     let i2 = s2.table("t").unwrap();
-    assert_eq!(s1.get(&i1, &[Value::U64(1)]).unwrap().unwrap()[1], Value::str("v1"));
-    assert_eq!(s2.get(&i2, &[Value::U64(1)]).unwrap().unwrap()[1], Value::str("v2"));
+    assert_eq!(
+        s1.get(&i1, &[Value::U64(1)]).unwrap().unwrap()[1],
+        Value::str("v1")
+    );
+    assert_eq!(
+        s2.get(&i2, &[Value::U64(1)]).unwrap().unwrap()[1],
+        Value::str("v2")
+    );
     db.with_txn(|txn| {
-        assert_eq!(db.get(txn, "t", &[Value::U64(1)])?.unwrap()[1], Value::str("v3"));
+        assert_eq!(
+            db.get(txn, "t", &[Value::U64(1)])?.unwrap()[1],
+            Value::str("v3")
+        );
         Ok(())
     })
     .unwrap();
@@ -168,7 +191,10 @@ fn open_snapshot_pins_the_log_against_retention() {
                 db.update(
                     txn,
                     "t",
-                    &[Value::U64(i), Value::Str(format!("{round}-{}", "x".repeat(900)))],
+                    &[
+                        Value::U64(i),
+                        Value::Str(format!("{round}-{}", "x".repeat(900))),
+                    ],
                 )?;
             }
             Ok(())
@@ -181,12 +207,18 @@ fn open_snapshot_pins_the_log_against_retention() {
 
     // churn must have outrun retention while the snapshot stayed usable
     let st = db.stats().unwrap();
-    assert!(st.log_retained_bytes == st.log_bytes, "pin must block truncation entirely");
+    assert!(
+        st.log_retained_bytes == st.log_bytes,
+        "pin must block truncation entirely"
+    );
 
     // the snapshot must still be fully usable: its log region was pinned
     let info = snap.table("t").unwrap();
     assert_eq!(snap.count(&info).unwrap(), 200);
-    assert_eq!(snap.get(&info, &[Value::U64(3)]).unwrap().unwrap()[1], Value::str("keep"));
+    assert_eq!(
+        snap.get(&info, &[Value::U64(3)]).unwrap().unwrap()[1],
+        Value::str("keep")
+    );
     snap.wait_undo_complete();
     db.drop_snapshot("pin").unwrap();
 
@@ -196,6 +228,9 @@ fn open_snapshot_pins_the_log_against_retention() {
     db.enforce_retention();
     match db.create_snapshot_asof("gone", t) {
         Err(Error::RetentionExceeded { .. }) => {}
-        other => panic!("expected RetentionExceeded, got {:?}", other.map(|s| s.name().to_string())),
+        other => panic!(
+            "expected RetentionExceeded, got {:?}",
+            other.map(|s| s.name().to_string())
+        ),
     }
 }

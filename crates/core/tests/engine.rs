@@ -8,7 +8,11 @@ use rewind_core::{
 use std::time::Duration;
 
 fn small_config() -> DbConfig {
-    DbConfig { buffer_pages: 256, checkpoint_interval_bytes: 0, ..DbConfig::default() }
+    DbConfig {
+        buffer_pages: 256,
+        checkpoint_interval_bytes: 0,
+        ..DbConfig::default()
+    }
 }
 
 fn items_schema() -> Schema {
@@ -57,7 +61,10 @@ fn basic_crud_roundtrip() {
     .unwrap();
 
     db.with_txn(|txn| {
-        assert_eq!(db.get(txn, "items", &[Value::U64(42)])?.unwrap(), item(42, "renamed", -1));
+        assert_eq!(
+            db.get(txn, "items", &[Value::U64(42)])?.unwrap(),
+            item(42, "renamed", -1)
+        );
         assert_eq!(db.get(txn, "items", &[Value::U64(43)])?, None);
         let rows = db.scan_between(txn, "items", &[Value::U64(40)], &[Value::U64(45)])?;
         assert_eq!(rows.len(), 5); // 40,41,42,44,45
@@ -72,11 +79,20 @@ fn duplicate_and_missing_are_reported() {
     let db = Database::create(small_config()).unwrap();
     setup_items(&db, 5);
     let txn = db.begin();
-    assert!(matches!(db.insert(&txn, "items", &item(3, "dup", 0)), Err(Error::DuplicateKey)));
+    assert!(matches!(
+        db.insert(&txn, "items", &item(3, "dup", 0)),
+        Err(Error::DuplicateKey)
+    ));
     db.rollback(txn).unwrap();
     let txn = db.begin();
-    assert!(matches!(db.delete(&txn, "items", &[Value::U64(99)]), Err(Error::KeyNotFound)));
-    assert!(matches!(db.get(&txn, "missing", &[Value::U64(1)]), Err(Error::TableNotFound(_))));
+    assert!(matches!(
+        db.delete(&txn, "items", &[Value::U64(99)]),
+        Err(Error::KeyNotFound)
+    ));
+    assert!(matches!(
+        db.get(&txn, "missing", &[Value::U64(1)]),
+        Err(Error::TableNotFound(_))
+    ));
     db.rollback(txn).unwrap();
 }
 
@@ -117,7 +133,11 @@ fn secondary_index_scans() {
         let last = db.last_by_index_prefix(txn, "orders", "by_customer", &[Value::U64(7)])?;
         assert_eq!(last.unwrap()[0], Value::U64(197));
         // index maintenance on update
-        db.update(txn, "orders", &[Value::U64(197), Value::U64(3), Value::I64(0)])?;
+        db.update(
+            txn,
+            "orders",
+            &[Value::U64(197), Value::U64(3), Value::I64(0)],
+        )?;
         let last = db.last_by_index_prefix(txn, "orders", "by_customer", &[Value::U64(7)])?;
         assert_eq!(last.unwrap()[0], Value::U64(187));
         Ok(())
@@ -136,7 +156,8 @@ fn rollback_restores_everything() {
         db.update(&txn, "items", &item(i, "SCRIBBLE", 0)).unwrap();
     }
     for i in 50..500u64 {
-        db.insert(&txn, "items", &item(i, &format!("new-{i}"), 1)).unwrap(); // forces splits
+        db.insert(&txn, "items", &item(i, &format!("new-{i}"), 1))
+            .unwrap(); // forces splits
     }
     for i in (0..50u64).step_by(3) {
         db.delete(&txn, "items", &[Value::U64(i)]).unwrap();
@@ -158,7 +179,11 @@ fn rollback_of_ddl_undoes_catalog_and_allocation() {
     db.rollback(txn).unwrap();
 
     assert!(matches!(db.table("temp"), Err(Error::TableNotFound(_))));
-    assert_eq!(db.stats().unwrap().allocated_pages, pages_before, "root page freed");
+    assert_eq!(
+        db.stats().unwrap().allocated_pages,
+        pages_before,
+        "root page freed"
+    );
     // name reusable afterwards
     db.with_txn(|txn| {
         db.create_table(txn, "temp", items_schema())?;
@@ -182,7 +207,8 @@ fn crash_recovery_preserves_committed_and_discards_uncommitted() {
 
     // in flight at crash time
     let loser = db.begin();
-    db.update(&loser, "items", &item(8, "uncommitted", 888)).unwrap();
+    db.update(&loser, "items", &item(8, "uncommitted", 888))
+        .unwrap();
     for i in 1000..1400u64 {
         db.insert(&loser, "items", &item(i, "phantom", 0)).unwrap();
     }
@@ -192,8 +218,14 @@ fn crash_recovery_preserves_committed_and_discards_uncommitted() {
     let db = Database::recover(artifacts).unwrap();
 
     db.with_txn(|txn| {
-        assert_eq!(db.get(txn, "items", &[Value::U64(7)])?.unwrap(), item(7, "committed", 777));
-        assert_eq!(db.get(txn, "items", &[Value::U64(8)])?.unwrap(), item(8, "item-8", 80));
+        assert_eq!(
+            db.get(txn, "items", &[Value::U64(7)])?.unwrap(),
+            item(7, "committed", 777)
+        );
+        assert_eq!(
+            db.get(txn, "items", &[Value::U64(8)])?.unwrap(),
+            item(8, "item-8", 80)
+        );
         assert_eq!(db.get(txn, "items", &[Value::U64(1100)])?, None);
         Ok(())
     })
@@ -215,13 +247,21 @@ fn repeated_crashes_converge() {
     for round in 0..3 {
         let txn = db.begin();
         for i in 0..50u64 {
-            db.update(&txn, "items", &item(i, &format!("round-{round}"), round as i64)).unwrap();
+            db.update(
+                &txn,
+                "items",
+                &item(i, &format!("round-{round}"), round as i64),
+            )
+            .unwrap();
         }
         std::mem::forget(txn);
         let artifacts = db.simulate_crash();
         db = Database::recover(artifacts).unwrap();
         db.with_txn(|txn| {
-            assert_eq!(db.get(txn, "items", &[Value::U64(0)])?.unwrap(), item(0, "item-0", 0));
+            assert_eq!(
+                db.get(txn, "items", &[Value::U64(0)])?.unwrap(),
+                item(0, "item-0", 0)
+            );
             Ok(())
         })
         .unwrap();
@@ -256,15 +296,25 @@ fn asof_snapshot_sees_the_past() {
     let snap = db.create_snapshot_asof("past", t1).unwrap();
     snap.wait_undo_complete();
     let info = snap.table("items").unwrap();
-    assert_eq!(snap.count(&info).unwrap(), 100, "as-of sees pre-insert row count");
+    assert_eq!(
+        snap.count(&info).unwrap(),
+        100,
+        "as-of sees pre-insert row count"
+    );
     let row = snap.get(&info, &[Value::U64(42)]).unwrap().unwrap();
     assert_eq!(row, item(42, "item-42", 420), "as-of sees the old values");
     assert!(snap.get(&info, &[Value::U64(120)]).unwrap().is_none());
-    assert!(snap.get(&info, &[Value::U64(5)]).unwrap().is_some(), "deleted row visible as-of");
+    assert!(
+        snap.get(&info, &[Value::U64(5)]).unwrap().is_some(),
+        "deleted row visible as-of"
+    );
 
     // live database unaffected
     db.with_txn(|txn| {
-        assert_eq!(db.get(txn, "items", &[Value::U64(42)])?.unwrap(), item(42, "overwritten", -42));
+        assert_eq!(
+            db.get(txn, "items", &[Value::U64(42)])?.unwrap(),
+            item(42, "overwritten", -42)
+        );
         Ok(())
     })
     .unwrap();
@@ -284,7 +334,8 @@ fn snapshot_gates_on_inflight_transaction() {
 
     // leave a transaction in flight across the split point
     let inflight = db.begin();
-    db.update(&inflight, "items", &item(3, "dirty", -3)).unwrap();
+    db.update(&inflight, "items", &item(3, "dirty", -3))
+        .unwrap();
     db.clock().advance_secs(5);
     // a committed marker after the in-flight update, so the split lands
     // between them
@@ -301,8 +352,15 @@ fn snapshot_gates_on_inflight_transaction() {
     // logged before the split
     let info = snap.table("items").unwrap();
     let row = snap.get(&info, &[Value::U64(3)]).unwrap().unwrap();
-    assert_eq!(row, item(3, "item-3", 30), "uncommitted change invisible as-of");
-    assert_eq!(snap.get(&info, &[Value::U64(900)]).unwrap().unwrap(), item(900, "marker", 1));
+    assert_eq!(
+        row,
+        item(3, "item-3", 30),
+        "uncommitted change invisible as-of"
+    );
+    assert_eq!(
+        snap.get(&info, &[Value::U64(900)]).unwrap().unwrap(),
+        item(900, "marker", 1)
+    );
     snap.wait_undo_complete();
 
     db.rollback(inflight).unwrap();
@@ -347,15 +405,23 @@ fn dropped_table_recovered_from_snapshot() {
     // metadata, reconcile.
     let snap = db.create_snapshot_asof("before_drop", before_drop).unwrap();
     let listed = snap.list_tables().unwrap();
-    assert!(listed.iter().any(|t| t.name == "items"), "metadata visible as-of");
+    assert!(
+        listed.iter().any(|t| t.name == "items"),
+        "metadata visible as-of"
+    );
     let n = restore_table_from_snapshot(&db, &snap, "items", "items_recovered").unwrap();
     assert_eq!(n, 300);
 
     db.with_txn(|txn| {
         let row = db.get(txn, "items_recovered", &[Value::U64(123)])?.unwrap();
         assert_eq!(row, item(123, "item-123", 1230));
-        let by_name =
-            db.scan_index_prefix(txn, "items_recovered", "by_name", &[Value::str("item-7")], 10)?;
+        let by_name = db.scan_index_prefix(
+            txn,
+            "items_recovered",
+            "by_name",
+            &[Value::str("item-7")],
+            10,
+        )?;
         assert_eq!(by_name.len(), 1);
         Ok(())
     })
@@ -380,10 +446,17 @@ fn regular_snapshot_is_stable_under_writes() {
 
     let info = snap.table("items").unwrap();
     let row = snap.get(&info, &[Value::U64(10)]).unwrap().unwrap();
-    assert_eq!(row, item(10, "item-10", 100), "COW snapshot unaffected by later writes");
+    assert_eq!(
+        row,
+        item(10, "item-10", 100),
+        "COW snapshot unaffected by later writes"
+    );
     // COW pushed pre-images, so reads need no log undo
     let stats = snap.stats();
-    assert_eq!(stats.records_undone, 0, "COW snapshot should not need log undo");
+    assert_eq!(
+        stats.records_undone, 0,
+        "COW snapshot should not need log undo"
+    );
     db.drop_snapshot("stable").unwrap();
 }
 
@@ -443,7 +516,10 @@ fn concurrent_transfers_conserve_total() {
             txn,
             "accounts",
             Schema::new(
-                vec![Column::new("id", DataType::U64), Column::new("balance", DataType::I64)],
+                vec![
+                    Column::new("id", DataType::U64),
+                    Column::new("balance", DataType::I64),
+                ],
                 &["id"],
             )
             .unwrap(),
@@ -475,8 +551,12 @@ fn concurrent_transfers_conserve_total() {
                     }
                     let txn = db.begin();
                     let res = (|| {
-                        let ra = db.get_for_update(&txn, "accounts", &[Value::U64(a)])?.unwrap();
-                        let rb = db.get_for_update(&txn, "accounts", &[Value::U64(b)])?.unwrap();
+                        let ra = db
+                            .get_for_update(&txn, "accounts", &[Value::U64(a)])?
+                            .unwrap();
+                        let rb = db
+                            .get_for_update(&txn, "accounts", &[Value::U64(b)])?
+                            .unwrap();
                         let amt = (rng() % 100) as i64;
                         db.update(
                             &txn,
@@ -513,7 +593,11 @@ fn concurrent_transfers_conserve_total() {
 #[test]
 fn fpi_interval_changes_nothing_semantically() {
     for fpi in [0u32, 4] {
-        let db = Database::create(DbConfig { fpi_interval: fpi, ..small_config() }).unwrap();
+        let db = Database::create(DbConfig {
+            fpi_interval: fpi,
+            ..small_config()
+        })
+        .unwrap();
         setup_items(&db, 150);
         db.clock().advance_secs(5);
         db.checkpoint().unwrap();
@@ -535,7 +619,10 @@ fn fpi_interval_changes_nothing_semantically() {
         let row = snap.get(&info, &[Value::U64(77)]).unwrap().unwrap();
         assert_eq!(row, item(77, "item-77", 770), "fpi={fpi}");
         if fpi > 0 {
-            assert!(snap.stats().fpi_restores > 0, "skip optimization must engage");
+            assert!(
+                snap.stats().fpi_restores > 0,
+                "skip optimization must engage"
+            );
         }
         db.drop_snapshot("t").unwrap();
     }
@@ -555,7 +642,8 @@ fn drop_index_and_recover_it_asof() {
     let t = db.clock().now();
     db.clock().advance_secs(5);
 
-    db.with_txn(|txn| db.drop_index(txn, "items", "by_name")).unwrap();
+    db.with_txn(|txn| db.drop_index(txn, "items", "by_name"))
+        .unwrap();
     let info = db.table("items").unwrap();
     assert!(info.indexes.is_empty());
     // index-backed queries now fail on the live db
@@ -565,7 +653,8 @@ fn drop_index_and_recover_it_asof() {
         .is_err());
     db.rollback(txn).unwrap();
     // writes still maintain the (now index-less) table
-    db.with_txn(|txn| db.insert(txn, "items", &item(500, "late", 1))).unwrap();
+    db.with_txn(|txn| db.insert(txn, "items", &item(500, "late", 1)))
+        .unwrap();
 
     // as-of the earlier time, the index exists and answers queries
     let snap = db.create_snapshot_asof("with_index", t).unwrap();
@@ -599,6 +688,10 @@ fn truncate_table_and_recover_it_asof() {
     let snap = db.create_snapshot_asof("pre_truncate", t).unwrap();
     snap.wait_undo_complete();
     let info = snap.table("items").unwrap();
-    assert_eq!(snap.count(&info).unwrap(), 120, "truncated data visible as-of");
+    assert_eq!(
+        snap.count(&info).unwrap(),
+        120,
+        "truncated data visible as-of"
+    );
     db.drop_snapshot("pre_truncate").unwrap();
 }

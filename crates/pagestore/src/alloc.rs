@@ -40,7 +40,10 @@ pub struct PageState {
 
 impl PageState {
     /// The state of a virgin page.
-    pub const FREE: PageState = PageState { allocated: false, ever_allocated: false };
+    pub const FREE: PageState = PageState {
+        allocated: false,
+        ever_allocated: false,
+    };
 
     /// Pack into the two-bit on-page representation.
     pub fn to_bits(self) -> u8 {
@@ -49,7 +52,10 @@ impl PageState {
 
     /// Unpack from the two-bit on-page representation.
     pub fn from_bits(b: u8) -> PageState {
-        PageState { allocated: b & 1 != 0, ever_allocated: b & 2 != 0 }
+        PageState {
+            allocated: b & 1 != 0,
+            ever_allocated: b & 2 != 0,
+        }
     }
 }
 
@@ -123,7 +129,10 @@ pub fn find_free(map: &Page, from: usize) -> Option<usize> {
 
 /// Count pages currently allocated in the map.
 pub fn count_allocated(map: &Page) -> usize {
-    map.body().iter().map(|b| ((b & 0b0101_0101).count_ones()) as usize).sum()
+    map.body()
+        .iter()
+        .map(|b| ((b & 0b0101_0101).count_ones()) as usize)
+        .sum()
 }
 
 /// Format a fresh allocation-map page for the region containing `map_pid`,
@@ -131,7 +140,10 @@ pub fn count_allocated(map: &Page) -> usize {
 /// allocated.
 pub fn format_map_page(map_pid: PageId) -> Page {
     let mut p = Page::formatted(map_pid, ObjectId::NONE, PageType::AllocMap);
-    let perm = PageState { allocated: true, ever_allocated: true };
+    let perm = PageState {
+        allocated: true,
+        ever_allocated: true,
+    };
     if map_pid.0 == 1 {
         set_state(&mut p, 0, perm).unwrap(); // boot page
         set_state(&mut p, 1, perm).unwrap(); // the map itself
@@ -150,7 +162,9 @@ fn check_map(map: &Page, index: usize) -> Result<()> {
         )));
     }
     if index >= MAP_CAPACITY {
-        return Err(Error::Internal(format!("alloc bit index {index} out of range")));
+        return Err(Error::Internal(format!(
+            "alloc bit index {index} out of range"
+        )));
     }
     Ok(())
 }
@@ -177,7 +191,10 @@ mod tests {
     #[test]
     fn state_bits_roundtrip() {
         for (a, e) in [(false, false), (true, false), (false, true), (true, true)] {
-            let st = PageState { allocated: a, ever_allocated: e };
+            let st = PageState {
+                allocated: a,
+                ever_allocated: e,
+            };
             assert_eq!(PageState::from_bits(st.to_bits()), st);
         }
     }
@@ -186,18 +203,57 @@ mod tests {
     fn set_get_find_free() {
         let mut m = format_map_page(PageId(1));
         // boot + self pre-allocated
-        assert_eq!(get_state(&m, 0).unwrap(), PageState { allocated: true, ever_allocated: true });
-        assert_eq!(get_state(&m, 1).unwrap(), PageState { allocated: true, ever_allocated: true });
+        assert_eq!(
+            get_state(&m, 0).unwrap(),
+            PageState {
+                allocated: true,
+                ever_allocated: true
+            }
+        );
+        assert_eq!(
+            get_state(&m, 1).unwrap(),
+            PageState {
+                allocated: true,
+                ever_allocated: true
+            }
+        );
         assert_eq!(find_free(&m, 0), Some(2));
-        set_state(&mut m, 2, PageState { allocated: true, ever_allocated: true }).unwrap();
-        set_state(&mut m, 3, PageState { allocated: true, ever_allocated: true }).unwrap();
+        set_state(
+            &mut m,
+            2,
+            PageState {
+                allocated: true,
+                ever_allocated: true,
+            },
+        )
+        .unwrap();
+        set_state(
+            &mut m,
+            3,
+            PageState {
+                allocated: true,
+                ever_allocated: true,
+            },
+        )
+        .unwrap();
         assert_eq!(find_free(&m, 0), Some(4));
         // dealloc keeps the ever bit
-        set_state(&mut m, 2, PageState { allocated: false, ever_allocated: true }).unwrap();
+        set_state(
+            &mut m,
+            2,
+            PageState {
+                allocated: false,
+                ever_allocated: true,
+            },
+        )
+        .unwrap();
         assert_eq!(find_free(&m, 0), Some(2));
         assert_eq!(
             get_state(&m, 2).unwrap(),
-            PageState { allocated: false, ever_allocated: true }
+            PageState {
+                allocated: false,
+                ever_allocated: true
+            }
         );
         assert_eq!(count_allocated(&m), 3);
     }
@@ -206,7 +262,15 @@ mod tests {
     fn find_free_scans_past_full_bytes() {
         let mut m = format_map_page(PageId(REGION_SIZE));
         for i in 0..64 {
-            set_state(&mut m, i, PageState { allocated: true, ever_allocated: true }).unwrap();
+            set_state(
+                &mut m,
+                i,
+                PageState {
+                    allocated: true,
+                    ever_allocated: true,
+                },
+            )
+            .unwrap();
         }
         assert_eq!(find_free(&m, 0), Some(64));
         assert_eq!(find_free(&m, 70), Some(70));
@@ -216,7 +280,15 @@ mod tests {
     fn full_map_returns_none() {
         let mut m = format_map_page(PageId(1));
         for i in 0..MAP_CAPACITY {
-            set_state(&mut m, i, PageState { allocated: true, ever_allocated: true }).unwrap();
+            set_state(
+                &mut m,
+                i,
+                PageState {
+                    allocated: true,
+                    ever_allocated: true,
+                },
+            )
+            .unwrap();
         }
         assert_eq!(find_free(&m, 0), None);
     }

@@ -64,7 +64,10 @@ impl MemFileManager {
 
     /// An empty in-memory file sharing the given counters.
     pub fn with_stats(stats: Arc<IoStats>) -> Self {
-        MemFileManager { pages: RwLock::new(Vec::new()), stats }
+        MemFileManager {
+            pages: RwLock::new(Vec::new()),
+            stats,
+        }
     }
 
     fn read_impl(&self, pid: PageId) -> Result<Page> {
@@ -167,7 +170,12 @@ pub struct DiskFileManager {
 impl DiskFileManager {
     /// Open (or create) the database file at `path`.
     pub fn open(path: &Path) -> Result<Self> {
-        let file = OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
         let len = file.metadata()?.len();
         Ok(DiskFileManager {
             file,
@@ -200,7 +208,8 @@ impl DiskFileManager {
         }
         let mut stamped = page.clone();
         stamped.stamp_checksum();
-        self.file.write_all_at(&stamped.image()[..], pid.0 * PAGE_SIZE as u64)?;
+        self.file
+            .write_all_at(&stamped.image()[..], pid.0 * PAGE_SIZE as u64)?;
         self.page_count.fetch_max(pid.0 + 1, Ordering::AcqRel);
         Ok(())
     }

@@ -90,7 +90,9 @@ pub struct Page {
 
 impl Clone for Page {
     fn clone(&self) -> Self {
-        Page { buf: Box::new(*self.buf) }
+        Page {
+            buf: Box::new(*self.buf),
+        }
     }
 }
 
@@ -115,7 +117,9 @@ impl Default for Page {
 impl Page {
     /// An all-zero page (header reads as `Free`, null LSNs).
     pub fn zeroed() -> Page {
-        Page { buf: Box::new([0u8; PAGE_SIZE]) }
+        Page {
+            buf: Box::new([0u8; PAGE_SIZE]),
+        }
     }
 
     /// A freshly formatted page of the given type, with an empty record area.
@@ -140,7 +144,10 @@ impl Page {
     /// Construct from a raw image (e.g. read from a file or a log record).
     pub fn from_image(image: &[u8]) -> Result<Page> {
         if image.len() != PAGE_SIZE {
-            return Err(Error::Corruption(format!("page image of {} bytes", image.len())));
+            return Err(Error::Corruption(format!(
+                "page image of {} bytes",
+                image.len()
+            )));
         }
         let mut p = Page::zeroed();
         p.buf.copy_from_slice(image);
@@ -293,7 +300,11 @@ impl Page {
     pub fn compute_checksum(&self) -> u32 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for (i, &b) in self.buf.iter().enumerate() {
-            let b = if (OFF_CHECKSUM..OFF_CHECKSUM + 4).contains(&i) { 0 } else { b };
+            let b = if (OFF_CHECKSUM..OFF_CHECKSUM + 4).contains(&i) {
+                0
+            } else {
+                b
+            };
             h ^= b as u64;
             h = h.wrapping_mul(0x100_0000_01b3);
         }
@@ -334,7 +345,10 @@ impl Page {
 
     fn slot_entry(&self, idx: usize) -> (usize, usize) {
         let off = self.slot_entry_off(idx);
-        (read_u16_at(&self.buf[..], off) as usize, read_u16_at(&self.buf[..], off + 2) as usize)
+        (
+            read_u16_at(&self.buf[..], off) as usize,
+            read_u16_at(&self.buf[..], off + 2) as usize,
+        )
     }
 
     fn set_slot_entry(&mut self, idx: usize, data_off: usize, len: usize) {
@@ -402,10 +416,15 @@ impl Page {
     pub fn insert_record(&mut self, idx: usize, rec: &[u8]) -> Result<()> {
         let n = self.slot_count() as usize;
         if idx > n {
-            return Err(Error::Internal(format!("insert at slot {idx} past end ({n} slots)")));
+            return Err(Error::Internal(format!(
+                "insert at slot {idx} past end ({n} slots)"
+            )));
         }
         if !self.can_insert(rec.len()) {
-            return Err(Error::RecordTooLarge { size: rec.len(), max: self.free_space().saturating_sub(SLOT_ENTRY_SIZE) });
+            return Err(Error::RecordTooLarge {
+                size: rec.len(),
+                max: self.free_space().saturating_sub(SLOT_ENTRY_SIZE),
+            });
         }
         if self.contiguous_free() < rec.len() + SLOT_ENTRY_SIZE {
             self.compact();
@@ -427,8 +446,17 @@ impl Page {
 
     /// Delete slot `idx`, shifting later slots down. Returns the old record.
     pub fn delete_record(&mut self, idx: usize) -> Result<Vec<u8>> {
-        let n = self.slot_count() as usize;
         let old = self.record(idx)?.to_vec();
+        self.remove_record(idx)?;
+        Ok(old)
+    }
+
+    /// Delete slot `idx` without materializing the old record — the
+    /// allocation-free variant redo/undo chain walks use (the log record
+    /// already carries the undo bytes).
+    pub fn remove_record(&mut self, idx: usize) -> Result<()> {
+        let n = self.slot_count() as usize;
+        self.record(idx)?;
         let (_, len) = self.slot_entry(idx);
         for i in idx + 1..n {
             let (o, l) = self.slot_entry(i);
@@ -436,27 +464,38 @@ impl Page {
         }
         self.set_slot_count((n - 1) as u16);
         self.set_garbage(self.garbage() + len);
-        Ok(old)
+        Ok(())
     }
 
     /// Replace the record in slot `idx` with `rec`. Returns the old record.
     pub fn update_record(&mut self, idx: usize, rec: &[u8]) -> Result<Vec<u8>> {
         let old = self.record(idx)?.to_vec();
+        self.replace_record(idx, rec)?;
+        Ok(old)
+    }
+
+    /// Replace the record in slot `idx` with `rec` without materializing the
+    /// old record — the allocation-free variant redo/undo chain walks use.
+    pub fn replace_record(&mut self, idx: usize, rec: &[u8]) -> Result<()> {
+        self.record(idx)?;
         let (off, len) = self.slot_entry(idx);
         if rec.len() == len {
             self.buf[off..off + len].copy_from_slice(rec);
-            return Ok(old);
+            return Ok(());
         }
         if rec.len() < len {
             self.buf[off..off + rec.len()].copy_from_slice(rec);
             self.set_slot_entry(idx, off, rec.len());
             self.set_garbage(self.garbage() + (len - rec.len()));
-            return Ok(old);
+            return Ok(());
         }
         // Grows: free old space, place at end (compacting if needed).
         let needed = rec.len();
         if self.contiguous_free() + self.garbage() + len < needed {
-            return Err(Error::RecordTooLarge { size: needed, max: self.free_space() + len });
+            return Err(Error::RecordTooLarge {
+                size: needed,
+                max: self.free_space() + len,
+            });
         }
         // Mark old space garbage first so compaction reclaims it.
         self.set_slot_entry(idx, HEADER_SIZE, 0);
@@ -468,7 +507,7 @@ impl Page {
         self.buf[ptr..ptr + needed].copy_from_slice(rec);
         self.set_slot_entry(idx, ptr, needed);
         self.set_free_ptr(ptr + needed);
-        Ok(old)
+        Ok(())
     }
 
     /// Iterate over all records in slot order.

@@ -83,7 +83,9 @@ impl SideFile {
 
 impl std::fmt::Debug for SideFile {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SideFile").field("pages", &self.len()).finish()
+        f.debug_struct("SideFile")
+            .field("pages", &self.len())
+            .finish()
     }
 }
 

@@ -17,9 +17,11 @@ enum PageOp {
 
 fn page_op() -> impl Strategy<Value = PageOp> {
     prop_oneof![
-        (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..300)).prop_map(|(s, b)| PageOp::Insert(s, b)),
+        (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..300))
+            .prop_map(|(s, b)| PageOp::Insert(s, b)),
         any::<u16>().prop_map(PageOp::Delete),
-        (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..300)).prop_map(|(s, b)| PageOp::Update(s, b)),
+        (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..300))
+            .prop_map(|(s, b)| PageOp::Update(s, b)),
     ]
 }
 

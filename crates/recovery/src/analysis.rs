@@ -14,7 +14,7 @@
 
 use rewind_common::{Lsn, PageId, Result, TxnId};
 use rewind_txn::{LockKey, LockMode};
-use rewind_wal::{DptEntry, LogManager, LogPayload, REC_FLAG_HEAP};
+use rewind_wal::{DptEntry, LogManager, LogPayload, LogPayloadView, PayloadKind, REC_FLAG_HEAP};
 use std::collections::HashMap;
 
 /// A transaction found in flight at the recovery bound.
@@ -49,11 +49,15 @@ pub struct AnalysisResult {
     pub committed: u64,
 }
 
-fn lock_for(rec_flags: u8, object: rewind_common::ObjectId, payload: &LogPayload) -> Option<LockKey> {
-    let row_bytes: Option<&[u8]> = match payload {
-        LogPayload::InsertRecord { bytes, .. } => Some(bytes),
-        LogPayload::DeleteRecord { old, .. } => Some(old),
-        LogPayload::UpdateRecord { old, .. } => Some(old),
+fn lock_for(
+    rec_flags: u8,
+    object: rewind_common::ObjectId,
+    payload: &LogPayloadView<'_>,
+) -> Option<LockKey> {
+    let row_bytes: Option<&[u8]> = match *payload {
+        LogPayloadView::InsertRecord { bytes, .. } => Some(bytes),
+        LogPayloadView::DeleteRecord { old, .. } => Some(old),
+        LogPayloadView::UpdateRecord { old, .. } => Some(old),
         _ => return None,
     };
     if rec_flags & REC_FLAG_HEAP != 0 {
@@ -101,7 +105,11 @@ pub fn analyze(log: &LogManager, bound: Lsn) -> Result<AnalysisResult> {
             for e in body.att {
                 att.insert(
                     e.txn.0,
-                    TxnInfo { first: e.first_lsn, last: e.last_lsn, locks: Vec::new() },
+                    TxnInfo {
+                        first: e.first_lsn,
+                        last: e.last_lsn,
+                        locks: Vec::new(),
+                    },
                 );
                 max_txn = max_txn.max(e.txn);
             }
@@ -111,28 +119,33 @@ pub fn analyze(log: &LogManager, bound: Lsn) -> Result<AnalysisResult> {
         }
     }
 
-    // Forward scan.
-    let scan_to = if bound == Lsn::MAX { Lsn::MAX } else { Lsn(bound.0 + 1) };
-    log.scan_deep(scan_start, scan_to, |rec| {
-        if rec.txn.is_valid() {
-            max_txn = max_txn.max(rec.txn);
-            match &rec.payload {
-                LogPayload::Commit { .. } | LogPayload::End => {
-                    if matches!(rec.payload, LogPayload::Commit { .. }) {
+    // Forward scan: header-only navigation with borrowed payload views —
+    // row bytes are inspected in place for lock keys, never copied.
+    let scan_to = if bound == Lsn::MAX {
+        Lsn::MAX
+    } else {
+        Lsn(bound.0 + 1)
+    };
+    log.scan_views_deep(scan_start, scan_to, |header, view| {
+        if header.txn.is_valid() {
+            max_txn = max_txn.max(header.txn);
+            match header.kind {
+                PayloadKind::Commit | PayloadKind::End => {
+                    if header.kind == PayloadKind::Commit {
                         committed += 1;
                     }
-                    att.remove(&rec.txn.0);
+                    att.remove(&header.txn.0);
                 }
-                payload => {
-                    let info = att.entry(rec.txn.0).or_default();
+                _ => {
+                    let info = att.entry(header.txn.0).or_default();
                     if info.first.is_null() {
-                        info.first = rec.lsn;
+                        info.first = header.lsn;
                     }
-                    info.last = rec.lsn;
+                    info.last = header.lsn;
                     // Lock reacquisition: user row changes only (system/SMO
                     // records move rows without owning them).
-                    if rec.flags & rewind_wal::REC_FLAG_SYSTEM == 0 {
-                        if let Some(key) = lock_for(rec.flags, rec.object, payload) {
+                    if header.flags & rewind_wal::REC_FLAG_SYSTEM == 0 {
+                        if let Some(key) = lock_for(header.flags, header.object, view) {
                             if !info.locks.iter().any(|(k, _)| *k == key) {
                                 info.locks.push((key, LockMode::X));
                             }
@@ -141,8 +154,8 @@ pub fn analyze(log: &LogManager, bound: Lsn) -> Result<AnalysisResult> {
                 }
             }
         }
-        if rec.payload.is_page_op() && rec.page.is_valid() {
-            dpt.entry(rec.page).or_insert(rec.lsn);
+        if header.is_page_op() && header.page.is_valid() {
+            dpt.entry(header.page).or_insert(header.lsn);
         }
         Ok(true)
     })?;
@@ -156,13 +169,13 @@ pub fn analyze(log: &LogManager, bound: Lsn) -> Result<AnalysisResult> {
         .min();
     if let Some(from) = earliest {
         let ids: Vec<u64> = att.keys().copied().collect();
-        log.scan_deep(from, scan_start, |rec| {
-            if rec.txn.is_valid()
-                && ids.contains(&rec.txn.0)
-                && rec.flags & rewind_wal::REC_FLAG_SYSTEM == 0
+        log.scan_views_deep(from, scan_start, |header, view| {
+            if header.txn.is_valid()
+                && ids.contains(&header.txn.0)
+                && header.flags & rewind_wal::REC_FLAG_SYSTEM == 0
             {
-                if let Some(key) = lock_for(rec.flags, rec.object, &rec.payload) {
-                    if let Some(info) = att.get_mut(&rec.txn.0) {
+                if let Some(key) = lock_for(header.flags, header.object, view) {
+                    if let Some(info) = att.get_mut(&header.txn.0) {
                         if !info.locks.iter().any(|(k, _)| *k == key) {
                             info.locks.push((key, LockMode::X));
                         }
@@ -185,11 +198,23 @@ pub fn analyze(log: &LogManager, bound: Lsn) -> Result<AnalysisResult> {
         .collect();
     losers.sort_by_key(|l| l.id);
 
-    let redo_start =
-        dpt.values().copied().min().unwrap_or(if bound == Lsn::MAX { log.tail_lsn() } else { bound });
-    let mut dpt: Vec<DptEntry> =
-        dpt.into_iter().map(|(page, rec_lsn)| DptEntry { page, rec_lsn }).collect();
+    let redo_start = dpt.values().copied().min().unwrap_or(if bound == Lsn::MAX {
+        log.tail_lsn()
+    } else {
+        bound
+    });
+    let mut dpt: Vec<DptEntry> = dpt
+        .into_iter()
+        .map(|(page, rec_lsn)| DptEntry { page, rec_lsn })
+        .collect();
     dpt.sort_by_key(|e| e.page);
 
-    Ok(AnalysisResult { losers, dpt, redo_start, scan_start, max_txn_id: max_txn, committed })
+    Ok(AnalysisResult {
+        losers,
+        dpt,
+        redo_start,
+        scan_start,
+        max_txn_id: max_txn,
+        committed,
+    })
 }

@@ -42,8 +42,12 @@ pub fn take_checkpoint(
     pool.flush_all()?;
     let att = txns.active_table();
     let dpt = pool.dirty_page_table();
-    let end_lsn =
-        log.append(&marker(LogPayload::CheckpointEnd(CheckpointBody { at, begin_lsn, att, dpt })));
+    let end_lsn = log.append(&marker(LogPayload::CheckpointEnd(CheckpointBody {
+        at,
+        begin_lsn,
+        att,
+        dpt,
+    })));
     log.flush_to(end_lsn);
     Ok(end_lsn)
 }

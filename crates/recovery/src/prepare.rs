@@ -11,7 +11,7 @@
 
 use rewind_common::{Error, Lsn, PageId, Result};
 use rewind_pagestore::Page;
-use rewind_wal::{LogManager, LogPayload};
+use rewind_wal::{LogManager, LogPayloadView, RecordRef};
 
 /// Costs observed while preparing one page; the paper's Fig. 11 reports the
 /// number of undo log reads.
@@ -54,17 +54,18 @@ pub fn prepare_page_as_of(
 ) -> Result<PrepareStats> {
     let mut stats = PrepareStats::default();
 
-    // §6.1 skip: find the earliest full page image with lsn > as_of.
+    // §6.1 skip: find the earliest full page image with lsn > as_of. The
+    // chain is walked through zero-copy record refs: the image bytes stay in
+    // the log segment until (unless) one is actually restored.
     let mut fpi_cursor = page.last_fpi_lsn();
-    let mut skip_target = None;
+    let mut skip_target: Option<RecordRef> = None;
     while fpi_cursor.is_valid() && fpi_cursor > as_of {
-        let rec = log.get_record(fpi_cursor)?;
+        let rec = log.get_record_ref(fpi_cursor)?;
         stats.fpi_chain_reads += 1;
-        match &rec.payload {
-            LogPayload::FullPageImage { prev_fpi_lsn, .. } => {
-                let prev = *prev_fpi_lsn;
+        match rec.view()?.1 {
+            LogPayloadView::FullPageImage { prev_fpi_lsn, .. } => {
                 skip_target = Some(rec);
-                fpi_cursor = prev;
+                fpi_cursor = prev_fpi_lsn;
             }
             other => {
                 return Err(Error::Corruption(format!(
@@ -74,28 +75,31 @@ pub fn prepare_page_as_of(
         }
     }
     if let Some(rec) = skip_target {
-        if rec.lsn < page.page_lsn() {
-            // Jump the page back to the image; the normal loop below then
-            // undoes only the (at most N) modifications between as_of and
-            // the image.
-            rec.payload.redo(page, pid, rec.lsn)?;
+        if rec.lsn() < page.page_lsn() {
+            // Jump the page back to the image (restored straight from the
+            // borrowed segment bytes); the normal loop below then undoes
+            // only the (at most N) modifications between as_of and the
+            // image.
+            rec.view()?.1.redo(page, pid, rec.lsn())?;
             stats.fpi_restored = true;
         }
     }
 
-    // Paper Fig. 3.
+    // Paper Fig. 3. Header-only navigation plus borrowed-payload undo: no
+    // per-record allocation, no payload copies.
     let mut cur = page.page_lsn();
     while cur.is_valid() && cur > as_of {
-        let rec = log.get_record(cur)?;
+        let rec = log.get_record_ref(cur)?;
         stats.records_undone += 1;
-        if rec.page != pid {
+        let (header, view) = rec.view()?;
+        if header.page != pid {
             return Err(Error::Corruption(format!(
                 "page chain of {pid:?} reached record for {:?} at {cur}",
-                rec.page
+                header.page
             )));
         }
-        rec.payload.undo(page, pid)?;
-        cur = rec.prev_page_lsn;
+        view.undo(page, pid)?;
+        cur = header.prev_page_lsn;
     }
     page.set_page_lsn(cur);
     Ok(stats)
@@ -106,7 +110,7 @@ mod tests {
     use super::*;
     use rewind_common::{ObjectId, TxnId};
     use rewind_pagestore::PageType;
-    use rewind_wal::{LogConfig, LogRecord};
+    use rewind_wal::{LogConfig, LogPayload, LogRecord};
 
     /// A tiny harness that mimics the live modify path for one page:
     /// logs a record with correct chains, applies it.
@@ -208,11 +212,18 @@ mod tests {
                     let old = self.page.record(slot).unwrap().to_vec();
                     // never longer than the shortest possible record
                     let new = format!("u{:03}", i % 1000).into_bytes();
-                    self.apply(LogPayload::UpdateRecord { slot: slot as u16, old, new });
+                    self.apply(LogPayload::UpdateRecord {
+                        slot: slot as u16,
+                        old,
+                        new,
+                    });
                 } else {
                     let slot = (rng() as usize) % n;
                     let old = self.page.record(slot).unwrap().to_vec();
-                    self.apply(LogPayload::DeleteRecord { slot: slot as u16, old });
+                    self.apply(LogPayload::DeleteRecord {
+                        slot: slot as u16,
+                        old,
+                    });
                     n -= 1;
                 }
             }

@@ -21,7 +21,11 @@ pub fn redo_pass(
 ) -> Result<u64> {
     let rec_lsns: HashMap<PageId, Lsn> = dpt.iter().map(|e| (e.page, e.rec_lsn)).collect();
     let mut applied = 0u64;
-    let scan_to = if bound == Lsn::MAX { Lsn::MAX } else { Lsn(bound.0 + 1) };
+    let scan_to = if bound == Lsn::MAX {
+        Lsn::MAX
+    } else {
+        Lsn(bound.0 + 1)
+    };
     log.scan(redo_start, scan_to, |rec| {
         if rec.payload.is_page_op() && rec.page.is_valid() {
             if let Some(&rec_lsn) = rec_lsns.get(&rec.page) {

@@ -16,7 +16,9 @@
 use rewind_access::store::{ModKind, Store};
 use rewind_access::{BTree, Heap};
 use rewind_common::{Error, Lsn, ObjectId, Result};
-use rewind_wal::{LogManager, LogPayload, LogRecord, REC_FLAG_SYSTEM};
+use rewind_wal::{
+    LogManager, LogPayload, LogPayloadView, LogRecord, LogRecordHeader, REC_FLAG_SYSTEM,
+};
 
 /// How an object stores rows — resolved from the catalog during rollback.
 #[derive(Clone, Copy, Debug)]
@@ -30,121 +32,153 @@ pub enum AccessKind {
 /// Undo one record, logging CLR(s). Returns `Ok(())` even when the logical
 /// target no longer exists (idempotent crash-resume).
 ///
-/// Public because both restart undo and as-of snapshot recovery (§5.2) drive
-/// merged multi-transaction sweeps through it.
+/// Compatibility wrapper over [`undo_record_view`] for callers holding an
+/// owned record.
 pub fn undo_record<S: Store>(
     s: &S,
     rec: &LogRecord,
     resolver: &dyn Fn(ObjectId) -> Result<AccessKind>,
 ) -> Result<()> {
-    let undo_next = rec.prev_lsn;
+    match rec.payload.as_view() {
+        Some(view) => undo_record_view(s, &rec.header(), &view, resolver),
+        None => Err(Error::Internal(format!(
+            "unexpected payload in rollback: {:?}",
+            rec.payload
+        ))),
+    }
+}
+
+/// Undo one record from its header and borrowed payload view, logging
+/// CLR(s). The zero-copy workhorse: undo walks hand payloads straight from
+/// the log segment; bytes are copied only into the CLRs actually written.
+///
+/// Public because both restart undo and as-of snapshot recovery (§5.2) drive
+/// merged multi-transaction sweeps through it.
+pub fn undo_record_view<S: Store>(
+    s: &S,
+    header: &LogRecordHeader,
+    payload: &LogPayloadView<'_>,
+    resolver: &dyn Fn(ObjectId) -> Result<AccessKind>,
+) -> Result<()> {
+    let undo_next = header.prev_lsn;
     // Physical compensation applies to: partial SMO records, and payload
     // types whose location is intrinsically stable.
-    let physical = rec.flags & REC_FLAG_SYSTEM != 0
+    let physical = header.flags & REC_FLAG_SYSTEM != 0
         || matches!(
-            rec.payload,
-            LogPayload::AllocSet { .. }
-                | LogPayload::BootWrite { .. }
-                | LogPayload::SetNextPage { .. }
-                | LogPayload::SetPrevPage { .. }
-                | LogPayload::RestoreImage { .. }
-                | LogPayload::Format { .. }
-                | LogPayload::Preformat { .. }
-                | LogPayload::Reformat { .. }
-                | LogPayload::FullPageImage { .. }
+            payload,
+            LogPayloadView::AllocSet { .. }
+                | LogPayloadView::BootWrite { .. }
+                | LogPayloadView::SetNextPage { .. }
+                | LogPayloadView::SetPrevPage { .. }
+                | LogPayloadView::RestoreImage { .. }
+                | LogPayloadView::Format { .. }
+                | LogPayloadView::Preformat { .. }
+                | LogPayloadView::Reformat { .. }
+                | LogPayloadView::FullPageImage { .. }
         );
     if physical {
-        match &rec.payload {
-            LogPayload::Format { .. } | LogPayload::Preformat { .. } => {
+        match payload {
+            LogPayloadView::Format { .. } | LogPayloadView::Preformat { .. } => {
                 // Forward effect is erased/nil; once the allocation bit is
                 // compensated the page is free again. Nothing to log.
                 return Ok(());
             }
-            LogPayload::Reformat { object, prev_image, .. } => {
-                let _ = object;
+            LogPayloadView::Reformat { prev_image, .. } => {
                 // Restore the pre-reformat image (partial root split).
-                let current = s.with_page(rec.page, |p| Ok(Box::new(*p.image())))?;
+                let current = s.with_page(header.page, |p| Ok(Box::new(*p.image())))?;
                 s.modify(
-                    rec.page,
-                    LogPayload::RestoreImage { old: current, new: prev_image.clone() },
+                    header.page,
+                    LogPayload::RestoreImage {
+                        old: current,
+                        new: Box::new(**prev_image),
+                    },
                     ModKind::Clr { undo_next },
                 )?;
                 return Ok(());
             }
-            LogPayload::FullPageImage { .. } => return Ok(()),
+            LogPayloadView::FullPageImage { .. } => return Ok(()),
             payload => {
                 if let Some(comp) = payload.compensation() {
-                    s.modify(rec.page, comp, ModKind::Clr { undo_next })?;
+                    s.modify(header.page, comp, ModKind::Clr { undo_next })?;
                 }
                 return Ok(());
             }
         }
     }
     // Logical compensation for user row changes.
-    match &rec.payload {
-        LogPayload::InsertRecord { bytes, .. } => match resolver(rec.object)? {
+    match *payload {
+        LogPayloadView::InsertRecord { slot, bytes } => match resolver(header.object)? {
             AccessKind::Tree(t) => {
                 let (key, _) = rewind_access::btree::decode_leaf(bytes);
                 t.rollback_insert(s, key, undo_next)?;
             }
             AccessKind::Heap(h) => {
                 // Heap insert: tombstone the slot (RIDs are stable).
-                let rid = rewind_access::heap::Rid { page: rec.page, slot: slot_of(&rec.payload) };
+                let rid = rewind_access::heap::Rid {
+                    page: header.page,
+                    slot,
+                };
                 let _ = h;
                 s.modify_flagged(
                     rid.page,
-                    LogPayload::UpdateRecord { slot: rid.slot, old: bytes.clone(), new: vec![] },
+                    LogPayload::UpdateRecord {
+                        slot: rid.slot,
+                        old: bytes.to_vec(),
+                        new: vec![],
+                    },
                     ModKind::Clr { undo_next },
                     rewind_wal::REC_FLAG_HEAP,
                 )?;
             }
         },
-        LogPayload::DeleteRecord { old, .. } => match resolver(rec.object)? {
+        LogPayloadView::DeleteRecord { old, .. } => match resolver(header.object)? {
             AccessKind::Tree(t) => t.rollback_delete(s, old, undo_next)?,
             AccessKind::Heap(_) => {
                 return Err(Error::Internal("heap deletes are logged as updates".into()));
             }
         },
-        LogPayload::UpdateRecord { slot, old, .. } => match resolver(rec.object)? {
+        LogPayloadView::UpdateRecord { slot, old, .. } => match resolver(header.object)? {
             AccessKind::Tree(t) => t.rollback_update(s, old, undo_next)?,
             AccessKind::Heap(_) => {
                 // Restore the previous row bytes in place (covers tombstone
                 // deletes and in-place updates alike).
-                let new_now = s.with_page(rec.page, |p| Ok(p.record(*slot as usize)?.to_vec()))?;
+                let new_now =
+                    s.with_page(header.page, |p| Ok(p.record(slot as usize)?.to_vec()))?;
                 s.modify_flagged(
-                    rec.page,
-                    LogPayload::UpdateRecord { slot: *slot, old: new_now, new: old.clone() },
+                    header.page,
+                    LogPayload::UpdateRecord {
+                        slot,
+                        old: new_now,
+                        new: old.to_vec(),
+                    },
                     ModKind::Clr { undo_next },
                     rewind_wal::REC_FLAG_HEAP,
                 )?;
             }
         },
-        LogPayload::Commit { .. } => {
-            return Err(Error::Internal("cannot roll back a committed transaction".into()));
+        LogPayloadView::Commit { .. } => {
+            return Err(Error::Internal(
+                "cannot roll back a committed transaction".into(),
+            ));
         }
         // Markers carry no state.
-        LogPayload::Abort | LogPayload::End => {}
-        other => {
-            return Err(Error::Internal(format!("unexpected payload in rollback: {other:?}")));
+        LogPayloadView::Abort | LogPayloadView::End => {}
+        ref other => {
+            return Err(Error::Internal(format!(
+                "unexpected payload in rollback: {other:?}"
+            )));
         }
     }
     Ok(())
 }
 
-fn slot_of(payload: &LogPayload) -> u16 {
-    match payload {
-        LogPayload::InsertRecord { slot, .. }
-        | LogPayload::DeleteRecord { slot, .. }
-        | LogPayload::UpdateRecord { slot, .. } => *slot,
-        _ => 0,
-    }
-}
-
 /// Roll back a transaction chain starting at `from` (its most recent LSN).
 ///
 /// CLRs encountered jump via `undo_next` (so completed structure
-/// modifications and already-compensated work are skipped); every other
-/// record is undone with a new CLR. Returns the number of records undone.
+/// modifications and already-compensated work are skipped) after a
+/// header-only decode — their payloads are never materialized; every other
+/// record is undone straight from its borrowed payload view, with a new CLR.
+/// Returns the number of records undone.
 pub fn rollback_chain<S: Store>(
     s: &S,
     log: &LogManager,
@@ -154,14 +188,16 @@ pub fn rollback_chain<S: Store>(
     let mut cur = from;
     let mut undone = 0u64;
     while cur.is_valid() {
-        let rec = log.get_record(cur)?;
-        if rec.is_clr() {
-            cur = rec.undo_next;
+        let rec = log.get_record_ref(cur)?;
+        let header = rec.header()?;
+        if header.is_clr() {
+            cur = header.undo_next;
             continue;
         }
-        undo_record(s, &rec, resolver)?;
+        let (_, view) = rec.view()?;
+        undo_record_view(s, &header, &view, resolver)?;
         undone += 1;
-        cur = rec.prev_lsn;
+        cur = header.prev_lsn;
     }
     Ok(undone)
 }

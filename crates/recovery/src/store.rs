@@ -54,7 +54,9 @@ pub struct EngineParts {
 impl EngineParts {
     /// Register a copy-on-write sink; returns a token for deregistration.
     pub fn register_cow(&self, sink: Arc<dyn CowSink>) -> u64 {
-        let token = self.cow_token.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+        let token = self
+            .cow_token
+            .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
         self.cow_sinks.write().push((token, sink));
         token
     }

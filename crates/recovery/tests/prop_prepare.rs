@@ -107,7 +107,10 @@ impl Harness {
                     return;
                 }
                 let slot = (*slot as usize % (n + 1)) as u16;
-                self.append(LogPayload::InsertRecord { slot, bytes: bytes.clone() });
+                self.append(LogPayload::InsertRecord {
+                    slot,
+                    bytes: bytes.clone(),
+                });
             }
             Op::Delete(slot) => {
                 if n == 0 {
@@ -115,7 +118,10 @@ impl Harness {
                 }
                 let slot = *slot as usize % n;
                 let old = self.page.record(slot).unwrap().to_vec();
-                self.append(LogPayload::DeleteRecord { slot: slot as u16, old });
+                self.append(LogPayload::DeleteRecord {
+                    slot: slot as u16,
+                    old,
+                });
             }
             Op::Update(slot, bytes) => {
                 if n == 0 {
@@ -126,7 +132,11 @@ impl Harness {
                 if bytes.len() > old.len() && bytes.len() - old.len() > self.page.free_space() {
                     return;
                 }
-                self.append(LogPayload::UpdateRecord { slot: slot as u16, old, new: bytes.clone() });
+                self.append(LogPayload::UpdateRecord {
+                    slot: slot as u16,
+                    old,
+                    new: bytes.clone(),
+                });
             }
             Op::Recycle => {
                 // Deallocation leaves content in place; re-allocation logs a

@@ -5,7 +5,7 @@ use crate::store::{SnapInner, SnapshotMutator, SnapshotStore};
 use parking_lot::{Condvar, Mutex};
 use rewind_common::{Error, Lsn, ObjectId, PageId, Result, Timestamp, TxnId};
 use rewind_pagestore::Page;
-use rewind_recovery::rollback::undo_record;
+use rewind_recovery::rollback::undo_record_view;
 use rewind_recovery::{analyze, AccessKind, CowSink, EngineParts, LoserTxn};
 use rewind_txn::{LockManager, LockMode, ObjectLatches};
 use rewind_wal::find_split_lsn;
@@ -62,7 +62,11 @@ impl AsOfSnapshot {
     /// Create a regular (copy-on-write) snapshot of the current state
     /// (paper §2.2): split at "now" under the modification gate, then
     /// register a COW sink so future modifications push pre-images.
-    pub fn create_regular(name: &str, parts: &EngineParts, now: Timestamp) -> Result<Arc<AsOfSnapshot>> {
+    pub fn create_regular(
+        name: &str,
+        parts: &EngineParts,
+        now: Timestamp,
+    ) -> Result<Arc<AsOfSnapshot>> {
         let _gate = parts.mod_gate.write();
         // With the gate held no modification can race: flush everything,
         // pin the split just below the tail, and activate COW atomically.
@@ -99,9 +103,15 @@ impl AsOfSnapshot {
             }
         }
 
-        let inner = Arc::new(SnapInner::new(parts.pool.file_manager().clone(), parts.log.clone(), split));
+        let inner = Arc::new(SnapInner::new(
+            parts.pool.file_manager().clone(),
+            parts.log.clone(),
+            split,
+        ));
         let cow_token = if cow {
-            Some(parts.register_cow(Arc::new(CowPusher { inner: inner.clone() })))
+            Some(parts.register_cow(Arc::new(CowPusher {
+                inner: inner.clone(),
+            })))
         } else {
             None
         };
@@ -134,11 +144,17 @@ impl AsOfSnapshot {
     /// The read-only store queries use (the snapshot "appears like a regular
     /// read-only database", §2.2).
     pub fn store(&self) -> SnapshotStore<'_> {
-        SnapshotStore { inner: &self.inner, latches: &self.latches }
+        SnapshotStore {
+            inner: &self.inner,
+            latches: &self.latches,
+        }
     }
 
     fn mutator(&self) -> SnapshotMutator<'_> {
-        SnapshotMutator { inner: &self.inner, latches: &self.latches }
+        SnapshotMutator {
+            inner: &self.inner,
+            latches: &self.latches,
+        }
     }
 
     /// Run the logical-undo phase of snapshot recovery (§5.2), backing out
@@ -156,13 +172,17 @@ impl AsOfSnapshot {
             self.losers.iter().map(|l| (l.last_lsn, l.id)).collect();
         let mut processed = 0u64;
         while let Some((lsn, txn)) = heap.pop() {
-            let rec = self.inner.log.get_record(lsn)?;
-            let next = if rec.is_clr() {
-                rec.undo_next
+            // Zero-copy walk: CLRs are skipped after a header-only decode;
+            // only records actually undone materialize a payload view.
+            let rec = self.inner.log.get_record_ref(lsn)?;
+            let header = rec.header()?;
+            let next = if header.is_clr() {
+                header.undo_next
             } else {
-                undo_record(&mutator, &rec, resolver)?;
+                let (_, view) = rec.view()?;
+                undo_record_view(&mutator, &header, &view, resolver)?;
                 processed += 1;
-                rec.prev_lsn
+                header.prev_lsn
             };
             if next.is_valid() {
                 heap.push((next, txn));
@@ -216,8 +236,8 @@ impl AsOfSnapshot {
         }
         let lk = rewind_txn::LockKey::row(object, key);
         let tk = rewind_txn::LockKey::table(object);
-        let blocked = self.locks.would_block(&lk, LockMode::S)
-            || self.locks.would_block(&tk, LockMode::IS);
+        let blocked =
+            self.locks.would_block(&lk, LockMode::S) || self.locks.would_block(&tk, LockMode::IS);
         if blocked {
             self.locks.wait_until_free(&lk, LockMode::S)?;
             self.locks.wait_until_free(&tk, LockMode::IS)?;
@@ -292,10 +312,7 @@ impl SnapInner {
     }
 }
 
-fn retention_of<'a>(
-    log: &'a rewind_wal::LogManager,
-    t: Timestamp,
-) -> impl Fn(Error) -> Error + 'a {
+fn retention_of<'a>(log: &'a rewind_wal::LogManager, t: Timestamp) -> impl Fn(Error) -> Error + 'a {
     move |e| match e {
         Error::LogTruncated(_) => Error::RetentionExceeded {
             requested: t,

@@ -72,15 +72,18 @@ impl SnapInner {
             return Ok(p);
         }
         let mut page = self.fm.read_page(pid)?;
-        let st = prepare_page_as_of(&self.log, &mut page, pid, self.split).map_err(|e| {
-            match e {
+        let st =
+            prepare_page_as_of(&self.log, &mut page, pid, self.split).map_err(|e| match e {
                 Error::LogTruncated(lsn) => Error::LogTruncated(lsn),
                 other => other,
-            }
-        })?;
+            })?;
         self.stats.pages_prepared.fetch_add(1, Ordering::Relaxed);
-        self.stats.records_undone.fetch_add(st.records_undone, Ordering::Relaxed);
-        self.stats.fpi_chain_reads.fetch_add(st.fpi_chain_reads, Ordering::Relaxed);
+        self.stats
+            .records_undone
+            .fetch_add(st.records_undone, Ordering::Relaxed);
+        self.stats
+            .fpi_chain_reads
+            .fetch_add(st.fpi_chain_reads, Ordering::Relaxed);
         if st.fpi_restored {
             self.stats.fpi_restores.fetch_add(1, Ordering::Relaxed);
         }
@@ -189,7 +192,10 @@ impl Store for SnapshotMutator<'_> {
         let keep_lsn = page.page_lsn();
         payload.redo(&mut page, pid, keep_lsn)?;
         self.inner.put(pid, &page);
-        self.inner.stats.undo_records.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .undo_records
+            .fetch_add(1, Ordering::Relaxed);
         Ok(keep_lsn)
     }
 
@@ -213,7 +219,9 @@ impl Store for SnapshotMutator<'_> {
     }
 
     fn free_page(&self, _pid: PageId, _kind: ModKind) -> Result<()> {
-        Err(Error::Internal("snapshot undo never deallocates pages".into()))
+        Err(Error::Internal(
+            "snapshot undo never deallocates pages".into(),
+        ))
     }
 
     fn with_object_latch<R>(

@@ -36,7 +36,13 @@ pub struct DriverConfig {
 
 impl Default for DriverConfig {
     fn default() -> Self {
-        DriverConfig { threads: 4, txns_per_thread: 200, us_per_txn: 10_000, seed: 42, rollback_pct: 1 }
+        DriverConfig {
+            threads: 4,
+            txns_per_thread: 200,
+            us_per_txn: 10_000,
+            seed: 42,
+            rollback_pct: 1,
+        }
     }
 }
 
@@ -181,7 +187,11 @@ fn run_one(
             } else {
                 w_id
             };
-            lines.push(NewOrderLine { item_id, supply_w_id, quantity: 1 + rng.gen_range(0..10) });
+            lines.push(NewOrderLine {
+                item_id,
+                supply_w_id,
+                quantity: 1 + rng.gen_range(0..10),
+            });
         }
         let txn = db.begin();
         match new_order(db, &txn, w_id, d_id, c_id, &lines) {
@@ -192,7 +202,9 @@ fn run_one(
             }
             Err(Error::KeyNotFound) if poison => {
                 db.rollback(txn)?;
-                counters.intentional_rollbacks.fetch_add(1, Ordering::Relaxed);
+                counters
+                    .intentional_rollbacks
+                    .fetch_add(1, Ordering::Relaxed);
                 Ok(false)
             }
             Err(e) => {
@@ -244,7 +256,13 @@ fn run_one(
     } else if pick < 96 {
         // Delivery
         let txn = db.begin();
-        match delivery(db, &txn, w_id, rng.gen_range(1..=10i64), scale.districts_per_warehouse) {
+        match delivery(
+            db,
+            &txn,
+            w_id,
+            rng.gen_range(1..=10i64),
+            scale.districts_per_warehouse,
+        ) {
             Ok(_) => {
                 db.commit(txn)?;
                 counters.deliveries.fetch_add(1, Ordering::Relaxed);

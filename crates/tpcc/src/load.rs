@@ -16,7 +16,9 @@ pub struct LoadSummary {
 
 fn fill(rng: &mut SmallRng, min: usize, max: usize) -> String {
     let len = rng.gen_range(min..=max);
-    (0..len).map(|_| (b'a' + rng.gen_range(0..26)) as char).collect()
+    (0..len)
+        .map(|_| (b'a' + rng.gen_range(0..26)) as char)
+        .collect()
 }
 
 /// Populate the database per `scale`. Commits in batches so the log
@@ -164,5 +166,8 @@ pub fn load_initial(db: &Database, scale: &TpccScale) -> Result<LoadSummary> {
             })?;
         }
     }
-    Ok(LoadSummary { rows, orders_per_district: scale.initial_orders_per_district })
+    Ok(LoadSummary {
+        rows,
+        orders_per_district: scale.initial_orders_per_district,
+    })
 }

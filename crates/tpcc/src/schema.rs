@@ -66,13 +66,23 @@ pub fn create_schema(db: &Database) -> Result<()> {
         db.create_table(
             txn,
             "warehouse",
-            Schema::new(vec![u("w_id"), s("w_name"), f("w_tax"), f("w_ytd")], &["w_id"])?,
+            Schema::new(
+                vec![u("w_id"), s("w_name"), f("w_tax"), f("w_ytd")],
+                &["w_id"],
+            )?,
         )?;
         db.create_table(
             txn,
             "district",
             Schema::new(
-                vec![u("d_w_id"), u("d_id"), s("d_name"), f("d_tax"), f("d_ytd"), u("d_next_o_id")],
+                vec![
+                    u("d_w_id"),
+                    u("d_id"),
+                    s("d_name"),
+                    f("d_tax"),
+                    f("d_ytd"),
+                    u("d_next_o_id"),
+                ],
                 &["d_w_id", "d_id"],
             )?,
         )?;
@@ -98,7 +108,10 @@ pub fn create_schema(db: &Database) -> Result<()> {
         db.create_table(
             txn,
             "item",
-            Schema::new(vec![u("i_id"), s("i_name"), f("i_price"), s("i_data")], &["i_id"])?,
+            Schema::new(
+                vec![u("i_id"), s("i_name"), f("i_price"), s("i_data")],
+                &["i_id"],
+            )?,
         )?;
         db.create_table(
             txn,
@@ -177,20 +190,36 @@ pub fn create_schema(db: &Database) -> Result<()> {
                 &["h_c_id"], // heaps ignore key ordering; schema requires one
             )?,
         )?;
-        db.create_index(txn, "customer", "customer_by_name", &["c_w_id", "c_d_id", "c_last"])?;
-        db.create_index(txn, "orders", "orders_by_customer", &["o_w_id", "o_d_id", "o_c_id"])?;
+        db.create_index(
+            txn,
+            "customer",
+            "customer_by_name",
+            &["c_w_id", "c_d_id", "c_last"],
+        )?;
+        db.create_index(
+            txn,
+            "orders",
+            "orders_by_customer",
+            &["o_w_id", "o_d_id", "o_c_id"],
+        )?;
         Ok(())
     })
 }
 
 /// The ten TPC-C syllables used to build customer last names.
-pub const SYLLABLES: [&str; 10] =
-    ["BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"];
+pub const SYLLABLES: [&str; 10] = [
+    "BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+];
 
 /// TPC-C last-name generator: three syllables from the digits of `n`.
 pub fn last_name(n: u64) -> String {
     let n = n % 1000;
-    format!("{}{}{}", SYLLABLES[(n / 100) as usize], SYLLABLES[((n / 10) % 10) as usize], SYLLABLES[(n % 10) as usize])
+    format!(
+        "{}{}{}",
+        SYLLABLES[(n / 100) as usize],
+        SYLLABLES[((n / 10) % 10) as usize],
+        SYLLABLES[(n % 10) as usize]
+    )
 }
 
 #[cfg(test)]

@@ -51,7 +51,11 @@ pub fn new_order(
             Value::U64(lines.len() as u64),
         ],
     )?;
-    db.insert(txn, "new_order", &[Value::U64(w_id), Value::U64(d_id), Value::U64(o_id)])?;
+    db.insert(
+        txn,
+        "new_order",
+        &[Value::U64(w_id), Value::U64(d_id), Value::U64(o_id)],
+    )?;
 
     for (n, line) in lines.iter().enumerate() {
         // invalid item => whole transaction aborts (caller rolls back)
@@ -60,11 +64,19 @@ pub fn new_order(
             .ok_or(Error::KeyNotFound)?;
         let price = item[2].as_f64()?;
         let stock = db
-            .get_for_update(txn, "stock", &[Value::U64(line.supply_w_id), Value::U64(line.item_id)])?
+            .get_for_update(
+                txn,
+                "stock",
+                &[Value::U64(line.supply_w_id), Value::U64(line.item_id)],
+            )?
             .ok_or(Error::KeyNotFound)?;
         let mut s = stock.clone();
         let qty = s[2].as_i64()?;
-        s[2] = Value::I64(if qty >= line.quantity + 10 { qty - line.quantity } else { qty - line.quantity + 91 });
+        s[2] = Value::I64(if qty >= line.quantity + 10 {
+            qty - line.quantity
+        } else {
+            qty - line.quantity + 91
+        });
         s[3] = Value::F64(s[3].as_f64()? + line.quantity as f64);
         s[4] = Value::U64(s[4].as_u64()? + 1);
         if line.supply_w_id != w_id {
@@ -99,7 +111,9 @@ pub fn payment(
     customer: CustomerSelector<'_>,
     amount: f64,
 ) -> Result<()> {
-    let wh = db.get_for_update(txn, "warehouse", &[Value::U64(w_id)])?.ok_or(Error::KeyNotFound)?;
+    let wh = db
+        .get_for_update(txn, "warehouse", &[Value::U64(w_id)])?
+        .ok_or(Error::KeyNotFound)?;
     let mut w = wh.clone();
     w[3] = Value::F64(w[3].as_f64()? + amount);
     db.update(txn, "warehouse", &w)?;
@@ -113,7 +127,11 @@ pub fn payment(
 
     let cust = match customer {
         CustomerSelector::ById(c_id) => db
-            .get_for_update(txn, "customer", &[Value::U64(w_id), Value::U64(d_id), Value::U64(c_id)])?
+            .get_for_update(
+                txn,
+                "customer",
+                &[Value::U64(w_id), Value::U64(d_id), Value::U64(c_id)],
+            )?
             .ok_or(Error::KeyNotFound)?,
         CustomerSelector::ByLastName(name) => {
             // TPC-C: take the middle matching customer, ordered by first name;
@@ -181,8 +199,12 @@ pub fn order_status(
 ) -> Result<Option<(u64, usize)>> {
     let c_id = match customer {
         CustomerSelector::ById(c_id) => {
-            db.get(txn, "customer", &[Value::U64(w_id), Value::U64(d_id), Value::U64(c_id)])?
-                .ok_or(Error::KeyNotFound)?;
+            db.get(
+                txn,
+                "customer",
+                &[Value::U64(w_id), Value::U64(d_id), Value::U64(c_id)],
+            )?
+            .ok_or(Error::KeyNotFound)?;
             c_id
         }
         CustomerSelector::ByLastName(name) => {
@@ -221,25 +243,43 @@ pub fn order_status(
 
 /// TPC-C Delivery: deliver the oldest undelivered order of each district.
 /// Returns the number of orders delivered.
-pub fn delivery(db: &Database, txn: &Txn, w_id: u64, carrier_id: i64, districts: u64) -> Result<usize> {
+pub fn delivery(
+    db: &Database,
+    txn: &Txn,
+    w_id: u64,
+    carrier_id: i64,
+    districts: u64,
+) -> Result<usize> {
     let mut delivered = 0usize;
     for d_id in 1..=districts {
-        let pending =
-            db.scan_prefix(txn, "new_order", &[Value::U64(w_id), Value::U64(d_id)])?;
-        let Some(oldest) = pending.first() else { continue };
+        let pending = db.scan_prefix(txn, "new_order", &[Value::U64(w_id), Value::U64(d_id)])?;
+        let Some(oldest) = pending.first() else {
+            continue;
+        };
         let o_id = oldest[2].as_u64()?;
-        db.delete(txn, "new_order", &[Value::U64(w_id), Value::U64(d_id), Value::U64(o_id)])?;
+        db.delete(
+            txn,
+            "new_order",
+            &[Value::U64(w_id), Value::U64(d_id), Value::U64(o_id)],
+        )?;
 
         let order = db
-            .get_for_update(txn, "orders", &[Value::U64(w_id), Value::U64(d_id), Value::U64(o_id)])?
+            .get_for_update(
+                txn,
+                "orders",
+                &[Value::U64(w_id), Value::U64(d_id), Value::U64(o_id)],
+            )?
             .ok_or(Error::KeyNotFound)?;
         let c_id = order[3].as_u64()?;
         let mut o = order.clone();
         o[5] = Value::I64(carrier_id);
         db.update(txn, "orders", &o)?;
 
-        let lines =
-            db.scan_prefix(txn, "order_line", &[Value::U64(w_id), Value::U64(d_id), Value::U64(o_id)])?;
+        let lines = db.scan_prefix(
+            txn,
+            "order_line",
+            &[Value::U64(w_id), Value::U64(d_id), Value::U64(o_id)],
+        )?;
         let mut total = 0.0;
         let now = db.clock().now().as_micros() as i64;
         for line in &lines {
@@ -250,7 +290,11 @@ pub fn delivery(db: &Database, txn: &Txn, w_id: u64, carrier_id: i64, districts:
         }
 
         let cust = db
-            .get_for_update(txn, "customer", &[Value::U64(w_id), Value::U64(d_id), Value::U64(c_id)])?
+            .get_for_update(
+                txn,
+                "customer",
+                &[Value::U64(w_id), Value::U64(d_id), Value::U64(c_id)],
+            )?
             .ok_or(Error::KeyNotFound)?;
         let mut c = cust.clone();
         c[5] = Value::F64(c[5].as_f64()? + total);
@@ -263,7 +307,13 @@ pub fn delivery(db: &Database, txn: &Txn, w_id: u64, carrier_id: i64, districts:
 
 /// TPC-C StockLevel against the live database: how many distinct items in
 /// the district's last 20 orders have stock below `threshold`.
-pub fn stock_level(db: &Database, txn: &Txn, w_id: u64, d_id: u64, threshold: i64) -> Result<usize> {
+pub fn stock_level(
+    db: &Database,
+    txn: &Txn,
+    w_id: u64,
+    d_id: u64,
+    threshold: i64,
+) -> Result<usize> {
     let district = db
         .get(txn, "district", &[Value::U64(w_id), Value::U64(d_id)])?
         .ok_or(Error::KeyNotFound)?;
@@ -275,8 +325,7 @@ pub fn stock_level(db: &Database, txn: &Txn, w_id: u64, d_id: u64, threshold: i6
         &[Value::U64(w_id), Value::U64(d_id), Value::U64(lo)],
         &[Value::U64(w_id), Value::U64(d_id), Value::U64(next_o_id)],
     )?;
-    let items: HashSet<u64> =
-        lines.iter().map(|l| l[4].as_u64()).collect::<Result<_>>()?;
+    let items: HashSet<u64> = lines.iter().map(|l| l[4].as_u64()).collect::<Result<_>>()?;
     let mut low = 0usize;
     for i_id in items {
         let stock = db
@@ -306,8 +355,7 @@ pub fn stock_level_asof(snap: &SnapshotDb, w_id: u64, d_id: u64, threshold: i64)
         &[Value::U64(w_id), Value::U64(d_id), Value::U64(lo)],
         &[Value::U64(w_id), Value::U64(d_id), Value::U64(next_o_id)],
     )?;
-    let items: HashSet<u64> =
-        lines.iter().map(|l| l[4].as_u64()).collect::<Result<_>>()?;
+    let items: HashSet<u64> = lines.iter().map(|l| l[4].as_u64()).collect::<Result<_>>()?;
     let mut low = 0usize;
     for i_id in items {
         let stock = snap

@@ -9,7 +9,11 @@ use std::sync::Arc;
 
 fn build(scale: &TpccScale) -> Arc<Database> {
     let db = Arc::new(
-        Database::create(DbConfig { buffer_pages: 2048, ..DbConfig::default() }).unwrap(),
+        Database::create(DbConfig {
+            buffer_pages: 2048,
+            ..DbConfig::default()
+        })
+        .unwrap(),
     );
     create_schema(&db).unwrap();
     load_initial(&db, scale).unwrap();
@@ -20,7 +24,10 @@ fn build(scale: &TpccScale) -> Arc<Database> {
 fn load_produces_consistent_counts() {
     let scale = TpccScale::tiny();
     let db = build(&scale);
-    assert_eq!(db.count_approx("warehouse").unwrap() as u64, scale.warehouses);
+    assert_eq!(
+        db.count_approx("warehouse").unwrap() as u64,
+        scale.warehouses
+    );
     assert_eq!(
         db.count_approx("district").unwrap() as u64,
         scale.warehouses * scale.districts_per_warehouse
@@ -30,7 +37,10 @@ fn load_produces_consistent_counts() {
         scale.warehouses * scale.districts_per_warehouse * scale.customers_per_district
     );
     assert_eq!(db.count_approx("item").unwrap() as u64, scale.items);
-    assert_eq!(db.count_approx("stock").unwrap() as u64, scale.warehouses * scale.items);
+    assert_eq!(
+        db.count_approx("stock").unwrap() as u64,
+        scale.warehouses * scale.items
+    );
     assert_eq!(
         db.count_approx("orders").unwrap() as u64,
         scale.warehouses * scale.districts_per_warehouse * scale.initial_orders_per_district
@@ -41,10 +51,17 @@ fn load_produces_consistent_counts() {
 fn mixed_workload_maintains_invariants() {
     let scale = TpccScale::default();
     let db = build(&scale);
-    let cfg = DriverConfig { threads: 4, txns_per_thread: 100, ..DriverConfig::default() };
+    let cfg = DriverConfig {
+        threads: 4,
+        txns_per_thread: 100,
+        ..DriverConfig::default()
+    };
     let stats = run_mixed(&db, &scale, &cfg).unwrap();
     assert_eq!(stats.committed() + stats.intentional_rollbacks, 400);
-    assert!(stats.new_orders > 100, "mix should be ~45% NewOrder: {stats:?}");
+    assert!(
+        stats.new_orders > 100,
+        "mix should be ~45% NewOrder: {stats:?}"
+    );
     assert!(stats.tpm_c() > 0.0);
 
     // Invariant: every order's o_ol_cnt matches its order_line rows, and
@@ -52,7 +69,9 @@ fn mixed_workload_maintains_invariants() {
     db.with_txn(|txn| {
         for w in 1..=scale.warehouses {
             for d in 1..=scale.districts_per_warehouse {
-                let district = db.get(txn, "district", &[Value::U64(w), Value::U64(d)])?.unwrap();
+                let district = db
+                    .get(txn, "district", &[Value::U64(w), Value::U64(d)])?
+                    .unwrap();
                 let next_o_id = district[5].as_u64()?;
                 let orders = db.scan_prefix(txn, "orders", &[Value::U64(w), Value::U64(d)])?;
                 for order in &orders {
@@ -92,10 +111,15 @@ fn intentional_rollbacks_leave_no_trace() {
     };
     let stats = run_mixed(&db, &scale, &cfg).unwrap();
     assert!(stats.intentional_rollbacks > 0);
-    assert_eq!(stats.new_orders as usize + orders_before, db.count_approx("orders").unwrap());
+    assert_eq!(
+        stats.new_orders as usize + orders_before,
+        db.count_approx("orders").unwrap()
+    );
     // district next_o_id may have advanced and rolled back; verify ordering
     db.with_txn(|txn| {
-        let district = db.get(txn, "district", &[Value::U64(1), Value::U64(1)])?.unwrap();
+        let district = db
+            .get(txn, "district", &[Value::U64(1), Value::U64(1)])?
+            .unwrap();
         let next = district[5].as_u64()?;
         let orders = db.scan_prefix(txn, "orders", &[Value::U64(1), Value::U64(1)])?;
         for o in orders {
@@ -114,20 +138,25 @@ fn stock_level_matches_asof_at_quiesced_time() {
     db.checkpoint().unwrap();
 
     // quiesced: live result now
-    let live = db
-        .with_txn(|txn| stock_level(&db, txn, 1, 1, 15))
-        .unwrap();
+    let live = db.with_txn(|txn| stock_level(&db, txn, 1, 1, 15)).unwrap();
     let t = db.clock().now();
     db.clock().advance_secs(60);
 
     // churn afterwards
-    let cfg = DriverConfig { threads: 2, txns_per_thread: 50, ..DriverConfig::default() };
+    let cfg = DriverConfig {
+        threads: 2,
+        txns_per_thread: 50,
+        ..DriverConfig::default()
+    };
     run_mixed(&db, &scale, &cfg).unwrap();
 
     // as-of the quiesced time: must match the live result taken then
     let snap = db.create_snapshot_asof("sl", t).unwrap();
     let asof = stock_level_asof(&snap, 1, 1, 15).unwrap();
-    assert_eq!(asof, live, "as-of StockLevel must reproduce the historical result");
+    assert_eq!(
+        asof, live,
+        "as-of StockLevel must reproduce the historical result"
+    );
     snap.wait_undo_complete();
     db.drop_snapshot("sl").unwrap();
 }
@@ -136,7 +165,11 @@ fn stock_level_matches_asof_at_quiesced_time() {
 fn workload_survives_crash_recovery() {
     let scale = TpccScale::tiny();
     let db = build(&scale);
-    let cfg = DriverConfig { threads: 2, txns_per_thread: 40, ..DriverConfig::default() };
+    let cfg = DriverConfig {
+        threads: 2,
+        txns_per_thread: 40,
+        ..DriverConfig::default()
+    };
     let db_arc = db;
     run_mixed(&db_arc, &scale, &cfg).unwrap();
     let orders = db_arc.count_approx("orders").unwrap();
@@ -144,11 +177,23 @@ fn workload_survives_crash_recovery() {
     let db = Arc::try_unwrap(db_arc).map_err(|_| ()).expect("sole owner");
     let artifacts = db.simulate_crash();
     let db = Database::recover(artifacts).unwrap();
-    assert_eq!(db.count_approx("orders").unwrap(), orders, "committed orders survive");
+    assert_eq!(
+        db.count_approx("orders").unwrap(),
+        orders,
+        "committed orders survive"
+    );
 
     // and the workload keeps running
     let db = Arc::new(db);
-    let stats = run_mixed(&db, &scale, &DriverConfig { threads: 2, txns_per_thread: 10, ..cfg })
-        .unwrap();
+    let stats = run_mixed(
+        &db,
+        &scale,
+        &DriverConfig {
+            threads: 2,
+            txns_per_thread: 10,
+            ..cfg
+        },
+    )
+    .unwrap();
     assert_eq!(stats.committed(), 20);
 }

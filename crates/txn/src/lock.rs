@@ -36,7 +36,14 @@ impl LockMode {
         use LockMode::*;
         matches!(
             (self, other),
-            (IS, IS) | (IS, IX) | (IS, S) | (IS, SIX) | (IX, IS) | (IX, IX) | (S, IS) | (S, S)
+            (IS, IS)
+                | (IS, IX)
+                | (IS, S)
+                | (IS, SIX)
+                | (IX, IS)
+                | (IX, IX)
+                | (S, IS)
+                | (S, S)
                 | (SIX, IS)
         )
     }
@@ -84,12 +91,18 @@ pub struct LockKey {
 impl LockKey {
     /// The table-level lock for `object`.
     pub fn table(object: ObjectId) -> LockKey {
-        LockKey { object, row: Vec::new() }
+        LockKey {
+            object,
+            row: Vec::new(),
+        }
     }
 
     /// A row-level lock.
     pub fn row(object: ObjectId, key: &[u8]) -> LockKey {
-        LockKey { object, row: key.to_vec() }
+        LockKey {
+            object,
+            row: key.to_vec(),
+        }
     }
 
     /// Whether this is the table-level lock.
@@ -119,7 +132,11 @@ impl LmState {
             None => return true,
         };
         // compatible with every other holder
-        if entry.granted.iter().any(|(&t, &m)| t != txn && !mode.compatible(m)) {
+        if entry
+            .granted
+            .iter()
+            .any(|(&t, &m)| t != txn && !mode.compatible(m))
+        {
             return false;
         }
         // FIFO fairness: no earlier waiter with a conflicting request, unless
@@ -199,7 +216,11 @@ pub struct LockManager {
 impl LockManager {
     /// A lock manager whose waits give up after `timeout`.
     pub fn new(timeout: Duration) -> Self {
-        LockManager { state: Mutex::new(LmState::default()), cv: Condvar::new(), timeout }
+        LockManager {
+            state: Mutex::new(LmState::default()),
+            cv: Condvar::new(),
+            timeout,
+        }
     }
 
     /// Acquire `mode` on `key` for `txn`, blocking as needed.
@@ -284,7 +305,9 @@ impl LockManager {
     /// The strongest mode `txn` holds on `key`, if any.
     pub fn held_mode(&self, txn: TxnId, key: &LockKey) -> Option<LockMode> {
         let st = self.state.lock();
-        st.entries.get(key).and_then(|e| e.granted.get(&txn).copied())
+        st.entries
+            .get(key)
+            .and_then(|e| e.granted.get(&txn).copied())
     }
 
     /// Whether *any* transaction holds a lock on `key` incompatible with
@@ -527,7 +550,11 @@ mod tests {
             lm_b.release_all(TxnId(3));
         });
         std::thread::sleep(Duration::from_millis(30));
-        assert_eq!(lm.held_mode(TxnId(3), &key), None, "T3 must not barge past T2");
+        assert_eq!(
+            lm.held_mode(TxnId(3), &key),
+            None,
+            "T3 must not barge past T2"
+        );
         lm.release_all(TxnId(1));
         waiter.join().unwrap();
         behind.join().unwrap();

@@ -40,7 +40,9 @@ impl TxnShared {
 
     /// Record that this transaction logged a record at `lsn`.
     pub fn record_logged(&self, lsn: Lsn) {
-        let _ = self.first_lsn.compare_exchange(0, lsn.0, Ordering::AcqRel, Ordering::Relaxed);
+        let _ = self
+            .first_lsn
+            .compare_exchange(0, lsn.0, Ordering::AcqRel, Ordering::Relaxed);
         self.last_lsn.store(lsn.0, Ordering::Release);
     }
 
@@ -83,7 +85,10 @@ pub struct TxnManager {
 impl TxnManager {
     /// A fresh manager; ids start at 1.
     pub fn new() -> Self {
-        TxnManager { next_id: AtomicU64::new(1), active: Mutex::new(HashMap::new()) }
+        TxnManager {
+            next_id: AtomicU64::new(1),
+            active: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Begin a transaction: allocate an id and register it active.
@@ -125,7 +130,11 @@ impl TxnManager {
             .active
             .lock()
             .values()
-            .map(|t| TxnTableEntry { txn: t.id, first_lsn: t.first_lsn(), last_lsn: t.last_lsn() })
+            .map(|t| TxnTableEntry {
+                txn: t.id,
+                first_lsn: t.first_lsn(),
+                last_lsn: t.last_lsn(),
+            })
             .collect();
         v.sort_by_key(|e| e.txn);
         v

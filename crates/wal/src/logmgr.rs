@@ -5,23 +5,62 @@
 //! in fixed-size in-memory segments; truncation (retention enforcement,
 //! §4.3) drops whole segments from the front.
 //!
-//! Random record reads (`get_record`) are how `PreparePageAsOf` walks
+//! Random record reads (`get_record*`) are how `PreparePageAsOf` walks
 //! per-page chains. Each read is classified as a *log cache hit* or a *log
 //! I/O* through a simple cache model (hot tail + LRU of recently touched
 //! blocks), because the number of undo log I/Os is exactly what the paper
 //! measures in Fig. 11 and what makes log media latency matter (§6.2).
+//!
+//! # Concurrency: snapshot-published sealed segments
+//!
+//! The read path is built for heavy concurrent as-of traffic: many readers
+//! walking backward chains must never contend with the appender or each
+//! other.
+//!
+//! * **Sealed segments are immutable.** Once the active tail segment fills,
+//!   it is *sealed*: its bytes move into an `Arc<[u8]>` that is never
+//!   mutated again. Only the single active tail segment is ever written,
+//!   and only under the writer mutex.
+//! * **Epoch-style publication.** The set of sealed segments (plus the
+//!   truncation point and the archive) lives in an immutable
+//!   [`SealedIndex`] behind an `Arc`. Writers publish a new index on every
+//!   seal/truncate/discard and bump a version counter; readers keep a
+//!   thread-local cache of the latest index per log and revalidate with one
+//!   atomic load. The hot read path therefore takes **no lock at all** —
+//!   `get_record`, `scan` and the `*_deep` variants resolve entirely
+//!   against the snapshot; only reads that land in the active tail segment
+//!   fall back to the writer mutex.
+//! * **Snapshot isolation for readers.** A reader holding a [`RecordRef`]
+//!   (or a thread-local index) keeps the underlying `Arc<[u8]>` alive, so
+//!   `truncate_before`/`discard_unflushed` can never invalidate an
+//!   in-flight read — the segment memory is reclaimed when the last reader
+//!   drops it. New reads observe the new index and fail with
+//!   [`Error::LogTruncated`] as before.
+//! * **Zero-copy reads.** A [`RecordRef`] borrows the record's bytes in
+//!   place; [`LogRecord::decode_header`] and `LogPayloadView` decode the
+//!   fixed header / borrowed payload without allocating, so header-only
+//!   chain walks perform no per-record allocation.
+//! * **Sharded cache model.** The block→tick LRU model is sharded by block
+//!   so concurrent readers do not serialize on accounting; eviction picks
+//!   the global minimum tick, keeping hit/IO classification identical to
+//!   the previous single-map model for any serial read sequence.
 
-use crate::record::{LogPayload, LogRecord};
+use crate::record::{LogPayload, LogPayloadView, LogRecord, LogRecordHeader};
 use parking_lot::Mutex;
 use rewind_common::{Error, IoStats, Lsn, Result, Timestamp};
+use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Size of one in-memory log segment.
 const SEGMENT_BYTES: u64 = 1 << 20;
 /// Cache-model block size: one "log page" worth of records.
 const CACHE_BLOCK_BYTES: u64 = 64 * 1024;
+/// Shards of the cache model's block map.
+const CACHE_SHARDS: usize = 8;
+/// Thread-local sealed-index cache entries kept per thread.
+const TLS_CACHE_SLOTS: usize = 8;
 
 /// Tuning knobs for the log manager.
 #[derive(Clone, Debug)]
@@ -40,7 +79,11 @@ pub struct LogConfig {
 
 impl Default for LogConfig {
     fn default() -> Self {
-        LogConfig { hot_tail_bytes: 4 * 1024 * 1024, cache_blocks: 64, archive_on_truncate: false }
+        LogConfig {
+            hot_tail_bytes: 4 * 1024 * 1024,
+            cache_blocks: 64,
+            archive_on_truncate: false,
+        }
     }
 }
 
@@ -55,33 +98,247 @@ pub struct CheckpointInfo {
     pub at: Timestamp,
 }
 
-struct Segment {
+/// One sealed (immutable) log segment.
+#[derive(Clone)]
+struct SealedSeg {
     start: u64,
-    data: Vec<u8>,
+    data: Arc<[u8]>,
 }
 
-struct LogInner {
-    segments: Vec<Segment>,
-    /// Truncated segments retained as the log archive (oldest first).
-    archive: Vec<Segment>,
-    /// Next byte offset to be written.
-    tail: u64,
+impl SealedSeg {
+    fn end(&self) -> u64 {
+        self.start + self.data.len() as u64
+    }
+
+    /// Resolve the `[u32 length][body]` frame at `lsn`, returning the
+    /// body's offset and length within this segment. The single place the
+    /// length prefix is parsed and bounds-checked for sealed data.
+    fn frame(&self, lsn: Lsn) -> Result<(usize, usize)> {
+        let off = (lsn.0 - self.start) as usize;
+        if off + 4 > self.data.len() {
+            return Err(Error::Corruption(format!(
+                "log read at {lsn} past segment end"
+            )));
+        }
+        let len = u32::from_le_bytes(self.data[off..off + 4].try_into().unwrap()) as usize;
+        if off + 4 + len > self.data.len() {
+            return Err(Error::Corruption(format!(
+                "log record at {lsn} overruns segment"
+            )));
+        }
+        Ok((off + 4, len))
+    }
+}
+
+/// An immutable snapshot of everything readers need: the sealed segments,
+/// the archive, and the truncation point. Published via `Arc` swap;
+/// monotonically versioned.
+struct SealedIndex {
+    version: u64,
     /// Offsets below this have been truncated away.
     trunc: u64,
-    /// Cache model: block id -> last-use tick.
-    cache: HashMap<u64, u64>,
-    cache_tick: u64,
-    /// Checkpoint directory, ascending by LSN.
-    checkpoints: Vec<CheckpointInfo>,
+    /// End of sealed data == start offset of the active tail segment.
+    sealed_end: u64,
+    /// Retained sealed segments, ascending by start, contiguous.
+    segs: Vec<SealedSeg>,
+    /// Truncated segments retained as the log archive (oldest first).
+    archive: Vec<SealedSeg>,
+}
+
+impl SealedIndex {
+    fn lookup(segs: &[SealedSeg], off: u64) -> Option<&SealedSeg> {
+        let idx = segs.partition_point(|s| s.start <= off);
+        if idx == 0 {
+            return None;
+        }
+        let seg = &segs[idx - 1];
+        if off < seg.end() {
+            Some(seg)
+        } else {
+            None
+        }
+    }
+}
+
+/// Per-thread cache of published indexes, plus the [`LOG_RETIRE_EPOCH`] value
+/// it was last validated against.
+struct TlsIndexCache {
+    retire_epoch: u64,
+    entries: Vec<(u64, Arc<SealedIndex>)>,
+}
+
+thread_local! {
+    /// Per-thread cache of the latest published [`SealedIndex`] per log
+    /// manager (keyed by [`LogManager::id`]), revalidated against the log's
+    /// version counter with a single atomic load. Bounded LRU so threads
+    /// touching many logs do not grow without limit, and flushed whenever
+    /// any log retires segment memory (see [`LOG_RETIRE_EPOCH`]) so dead
+    /// logs and truncated segments are not pinned by idle threads.
+    static TLS_INDEXES: RefCell<TlsIndexCache> =
+        const { RefCell::new(TlsIndexCache { retire_epoch: 0, entries: Vec::new() }) };
+}
+
+static NEXT_LOG_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Bumped whenever log memory is retired: a [`LogManager`] drops, or a
+/// live log truncates/discards segments away. Threads compare it against
+/// their cached value on the next read and clear their whole index cache
+/// on mismatch — cheap (retirement is rare; a cleared entry is one `Arc`
+/// clone to refetch) and it stops idle threads' thread-local snapshots from
+/// pinning dead logs or truncated segments indefinitely.
+static LOG_RETIRE_EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// Writer-side state: the active tail segment and the append-path
+/// bookkeeping. Everything here is touched only under the writer mutex.
+struct LogInner {
+    /// Bytes of the active (still growing) segment.
+    active: Vec<u8>,
+    /// Offset of `active[0]` in the log stream.
+    active_start: u64,
+    /// Next byte offset to be written.
+    tail: u64,
+    /// Reusable frame-encoding buffer: appends serialize into this and then
+    /// copy once into the active segment (no per-append allocation).
+    scratch: Vec<u8>,
+    /// Checkpoint directory, ascending by LSN. Shared out to readers as a
+    /// cheap `Arc` clone; copy-on-write on the rare mutation.
+    checkpoints: Arc<Vec<CheckpointInfo>>,
     /// Sparse time index: (lsn, wall clock) sampled at commits/checkpoints,
     /// ascending. Supports retention decisions and split search narrowing.
     time_index: Vec<(Lsn, Timestamp)>,
 }
 
+/// The sharded cache model: block id → last-use tick. Sharding keeps
+/// concurrent readers from serializing on accounting; eviction picks the
+/// globally least-recently-used block, so for any serial sequence of reads
+/// the hit/IO classification is identical to a single LRU map.
+struct ReadCache {
+    shards: Vec<Mutex<HashMap<u64, u64>>>,
+    tick: AtomicU64,
+    len: AtomicUsize,
+}
+
+impl ReadCache {
+    fn new() -> ReadCache {
+        ReadCache {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            tick: AtomicU64::new(0),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Classify a random read at `off` as hit or I/O and update the model.
+    fn classify(&self, off: u64, tail: u64, config: &LogConfig, stats: &IoStats) {
+        if tail.saturating_sub(off) <= config.hot_tail_bytes {
+            stats.add_log_cache_hit();
+            return;
+        }
+        let block = off / CACHE_BLOCK_BYTES;
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let shard = &self.shards[(block as usize) % CACHE_SHARDS];
+        {
+            let mut map = shard.lock();
+            if let Some(t) = map.get_mut(&block) {
+                *t = tick;
+                stats.add_log_cache_hit();
+                return;
+            }
+            map.insert(block, tick);
+        }
+        stats.add_log_read_io();
+        if self.len.fetch_add(1, Ordering::Relaxed) + 1 > config.cache_blocks {
+            self.evict_lru();
+        }
+    }
+
+    /// Evict the globally least-recently-used block (linear scan; the cache
+    /// is small and this path is already "an I/O").
+    fn evict_lru(&self) {
+        let mut victim: Option<(usize, u64, u64)> = None;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let map = shard.lock();
+            if let Some((&block, &tick)) = map.iter().min_by_key(|(_, &t)| t) {
+                if victim.is_none_or(|(_, _, vt)| tick < vt) {
+                    victim = Some((i, block, tick));
+                }
+            }
+        }
+        if let Some((i, block, _)) = victim {
+            if self.shards[i].lock().remove(&block).is_some() {
+                self.len.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+        self.len.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A zero-copy handle to one log record's bytes.
+///
+/// Holds the containing segment's `Arc<[u8]>`, so the bytes stay valid (and
+/// the record readable) even if the log truncates or seals concurrently —
+/// this is the reader-side half of the snapshot-isolation contract.
+pub struct RecordRef {
+    data: Arc<[u8]>,
+    off: usize,
+    len: usize,
+    lsn: Lsn,
+}
+
+impl RecordRef {
+    /// The record's LSN.
+    pub fn lsn(&self) -> Lsn {
+        self.lsn
+    }
+
+    /// The serialized record body (without the length prefix).
+    pub fn body(&self) -> &[u8] {
+        &self.data[self.off..self.off + self.len]
+    }
+
+    /// Total framed length (length prefix + body): the distance to the next
+    /// record's LSN.
+    pub fn frame_len(&self) -> u64 {
+        self.len as u64 + 4
+    }
+
+    /// Decode only the fixed header fields — no payload walk, no allocation.
+    pub fn header(&self) -> Result<LogRecordHeader> {
+        LogRecord::decode_header(self.lsn, self.body())
+    }
+
+    /// Decode the header plus a borrowed payload view (allocation-free).
+    pub fn view(&self) -> Result<(LogRecordHeader, LogPayloadView<'_>)> {
+        LogRecord::decode_view(self.lsn, self.body())
+    }
+
+    /// Materialize the full owned record (the only step that copies).
+    pub fn decode(&self) -> Result<LogRecord> {
+        LogRecord::decode(self.lsn, self.body())
+    }
+}
+
 /// The write-ahead log manager. Thread-safe; shared via `Arc`.
 pub struct LogManager {
+    /// Process-unique id, keying the thread-local index cache.
+    id: u64,
     inner: Mutex<LogInner>,
+    /// The latest published sealed index. Readers clone the `Arc` out only
+    /// when their thread-local copy's version is stale.
+    published: Mutex<Arc<SealedIndex>>,
+    /// Version of the latest published index (monotonic).
+    version: AtomicU64,
+    /// Mirror of `LogInner::tail`, for lock-free bounds checks.
+    tail: AtomicU64,
     flushed: AtomicU64,
+    cache: ReadCache,
     stats: Arc<IoStats>,
     config: LogConfig,
 }
@@ -90,17 +347,26 @@ impl LogManager {
     /// A fresh, empty log.
     pub fn new(config: LogConfig) -> Self {
         LogManager {
+            id: NEXT_LOG_ID.fetch_add(1, Ordering::Relaxed),
             inner: Mutex::new(LogInner {
-                segments: Vec::new(),
-                archive: Vec::new(),
+                active: Vec::new(),
+                active_start: Lsn::FIRST.0,
                 tail: Lsn::FIRST.0,
-                trunc: Lsn::FIRST.0,
-                cache: HashMap::new(),
-                cache_tick: 0,
-                checkpoints: Vec::new(),
+                scratch: Vec::new(),
+                checkpoints: Arc::new(Vec::new()),
                 time_index: Vec::new(),
             }),
+            published: Mutex::new(Arc::new(SealedIndex {
+                version: 1,
+                trunc: Lsn::FIRST.0,
+                sealed_end: Lsn::FIRST.0,
+                segs: Vec::new(),
+                archive: Vec::new(),
+            })),
+            version: AtomicU64::new(1),
+            tail: AtomicU64::new(Lsn::FIRST.0),
             flushed: AtomicU64::new(Lsn::FIRST.0),
+            cache: ReadCache::new(),
             stats: Arc::new(IoStats::new()),
             config,
         }
@@ -111,16 +377,99 @@ impl LogManager {
         &self.stats
     }
 
+    /// Run `f` against the current sealed index: one atomic version check
+    /// against the thread-local copy; falls back to cloning the published
+    /// `Arc` (the only locked step, taken once per publication, not per
+    /// read). The borrow-based shape lets hot paths read segment bytes with
+    /// no refcount traffic at all. `f` must not reenter the log's read path.
+    fn with_sealed<R>(&self, f: impl FnOnce(&Arc<SealedIndex>) -> R) -> R {
+        let version = self.version.load(Ordering::Acquire);
+        let retire_epoch = LOG_RETIRE_EPOCH.load(Ordering::Acquire);
+        TLS_INDEXES.with(|cell| {
+            let mut cache = cell.borrow_mut();
+            if cache.retire_epoch != retire_epoch {
+                // Some log manager dropped since this thread last read:
+                // release every cached index so dead segments are freed.
+                cache.entries.clear();
+                cache.retire_epoch = retire_epoch;
+            }
+            let entries = &mut cache.entries;
+            let pos = match entries.iter().position(|(id, _)| *id == self.id) {
+                Some(pos) => {
+                    if entries[pos].1.version < version {
+                        entries[pos].1 = self.published.lock().clone();
+                    }
+                    pos
+                }
+                None => {
+                    let fresh = self.published.lock().clone();
+                    if entries.len() >= TLS_CACHE_SLOTS {
+                        entries.remove(0);
+                    }
+                    entries.push((self.id, fresh));
+                    entries.len() - 1
+                }
+            };
+            f(&entries[pos].1)
+        })
+    }
+
+    /// Clone out the current sealed index (for reads that outlive the
+    /// thread-local borrow — i.e. everything returning a [`RecordRef`]).
+    fn load_sealed(&self) -> Arc<SealedIndex> {
+        self.with_sealed(Arc::clone)
+    }
+
+    /// Publish a new sealed index. Callers hold the writer mutex, so
+    /// publications are serialized; the version bump is the readers' cue.
+    fn publish(&self, index: SealedIndex) {
+        let version = index.version;
+        *self.published.lock() = Arc::new(index);
+        self.version.store(version, Ordering::Release);
+    }
+
+    /// Seal the active segment into the published index. Writer mutex held.
+    fn seal_active(&self, inner: &mut LogInner) {
+        if inner.active.is_empty() {
+            return;
+        }
+        let data: Arc<[u8]> = Arc::from(std::mem::take(&mut inner.active).into_boxed_slice());
+        let start = inner.active_start;
+        inner.active_start = start + data.len() as u64;
+        let old = self.published.lock().clone();
+        let mut segs = old.segs.clone();
+        segs.push(SealedSeg { start, data });
+        self.publish(SealedIndex {
+            version: old.version + 1,
+            trunc: old.trunc,
+            sealed_end: inner.active_start,
+            segs,
+            archive: old.archive.clone(),
+        });
+    }
+
     /// Append a record; assigns and returns its LSN. The record is in memory
     /// (not durable) until [`LogManager::flush_to`] covers it.
     pub fn append(&self, rec: &LogRecord) -> Lsn {
-        let body = rec.encode();
         let mut inner = self.inner.lock();
         let lsn = Lsn(inner.tail);
-        let mut framed = Vec::with_capacity(4 + body.len());
-        framed.extend_from_slice(&(body.len() as u32).to_le_bytes());
-        framed.extend_from_slice(&body);
-        inner.write_bytes(&framed);
+        // Frame into the reusable scratch buffer: [u32 length][body].
+        let mut scratch = std::mem::take(&mut inner.scratch);
+        scratch.clear();
+        scratch.extend_from_slice(&[0u8; 4]);
+        rec.encode_into(&mut scratch);
+        let body_len = scratch.len() - 4;
+        scratch[..4].copy_from_slice(&(body_len as u32).to_le_bytes());
+        // Records never straddle segments (a segment is sealed early rather
+        // than split a record), so truncation at segment granularity always
+        // lands on a record boundary.
+        if !inner.active.is_empty() && inner.active.len() + scratch.len() > SEGMENT_BYTES as usize {
+            self.seal_active(&mut inner);
+        }
+        inner.active.extend_from_slice(&scratch);
+        inner.tail += scratch.len() as u64;
+        inner.scratch = scratch;
+        self.tail.store(inner.tail, Ordering::Release);
         // Index commit/checkpoint times for retention & split search.
         match &rec.payload {
             LogPayload::Commit { at } | LogPayload::CheckpointBegin { at } => {
@@ -128,8 +477,12 @@ impl LogManager {
                 inner.push_time(lsn, at);
             }
             LogPayload::CheckpointEnd(body) => {
-                let info = CheckpointInfo { end_lsn: lsn, begin_lsn: body.begin_lsn, at: body.at };
-                inner.checkpoints.push(info);
+                let info = CheckpointInfo {
+                    end_lsn: lsn,
+                    begin_lsn: body.begin_lsn,
+                    at: body.at,
+                };
+                Arc::make_mut(&mut inner.checkpoints).push(info);
                 let at = body.at;
                 inner.push_time(lsn, at);
             }
@@ -140,12 +493,12 @@ impl LogManager {
 
     /// Next LSN that will be assigned (the current end of the log).
     pub fn tail_lsn(&self) -> Lsn {
-        Lsn(self.inner.lock().tail)
+        Lsn(self.tail.load(Ordering::Acquire))
     }
 
     /// Oldest LSN still present (truncation point).
     pub fn truncation_point(&self) -> Lsn {
-        Lsn(self.inner.lock().trunc)
+        Lsn(self.load_sealed().trunc)
     }
 
     /// Highest LSN known durable.
@@ -157,139 +510,325 @@ impl LogManager {
     /// write bytes are accounted; commit latency in benchmarks derives from
     /// them.
     pub fn flush_to(&self, lsn: Lsn) {
-        let target = {
-            let inner = self.inner.lock();
-            // Flushing "through lsn" means everything appended before the
-            // record *after* lsn — conservatively flush the whole tail.
-            let _ = lsn;
-            inner.tail
-        };
+        // Flushing "through lsn" means everything appended before the
+        // record *after* lsn — conservatively flush the whole tail. The
+        // writer mutex is held across read-tail + advance-flushed so a
+        // concurrent `discard_unflushed` can never observe (or create)
+        // `flushed > tail`.
+        let _ = lsn;
+        let inner = self.inner.lock();
+        let target = inner.tail;
         let prev = self.flushed.fetch_max(target, Ordering::AcqRel);
+        drop(inner);
         if target > prev {
             self.stats.add_log_bytes_written(target - prev);
         }
     }
 
-    /// Read the record at `lsn`, accounting the read through the cache model.
-    pub fn get_record(&self, lsn: Lsn) -> Result<LogRecord> {
-        let mut inner = self.inner.lock();
-        if lsn.0 < inner.trunc {
-            return Err(Error::LogTruncated(lsn));
-        }
-        inner.touch_cache(lsn, &self.config, &self.stats);
-        inner.read_record(lsn)
+    /// Resolve a record's bytes without touching the cache model. Lock-free
+    /// for any record in a sealed segment (or the archive, with `deep`);
+    /// only tail-segment reads take the writer mutex, and those copy the
+    /// frame out so the mutex is never held across decoding.
+    fn read_ref_at(&self, lsn: Lsn, deep: bool) -> Result<RecordRef> {
+        self.read_ref_in(self.load_sealed(), lsn, deep)
     }
 
-    /// Read the record at `lsn` without touching the cache model (used by
-    /// sequential scans that account via `log_bytes_scanned`).
-    fn get_record_uncounted(inner: &LogInner, lsn: Lsn) -> Result<LogRecord> {
-        inner.read_record(lsn)
+    /// [`LogManager::read_ref_at`] against an already-loaded index, so hot
+    /// callers that just consulted the snapshot pay only one load per read.
+    fn read_ref_in(&self, index: Arc<SealedIndex>, lsn: Lsn, deep: bool) -> Result<RecordRef> {
+        let mut index = index;
+        loop {
+            if lsn.0 < index.trunc {
+                if deep {
+                    if let Some(seg) = SealedIndex::lookup(&index.archive, lsn.0) {
+                        return Self::ref_in_segment(seg, lsn);
+                    }
+                }
+                return Err(Error::LogTruncated(lsn));
+            }
+            if lsn.0 < index.sealed_end {
+                let seg = SealedIndex::lookup(&index.segs, lsn.0).ok_or_else(|| {
+                    Error::Corruption(format!("log offset {} out of range", lsn.0))
+                })?;
+                return Self::ref_in_segment(seg, lsn);
+            }
+            // Tail range: read under the writer mutex, copying the frame out.
+            let inner = self.inner.lock();
+            if inner.active_start > lsn.0 {
+                // The segment sealed between snapshot load and lock
+                // acquisition; the published version moved, retry.
+                drop(inner);
+                index = self.load_sealed();
+                continue;
+            }
+            if lsn.0 + 4 > inner.tail {
+                return Err(Error::Corruption(format!(
+                    "log read at {lsn} past tail {}",
+                    inner.tail
+                )));
+            }
+            let off = (lsn.0 - inner.active_start) as usize;
+            let len = u32::from_le_bytes(inner.active[off..off + 4].try_into().unwrap()) as usize;
+            if lsn.0 + 4 + len as u64 > inner.tail {
+                return Err(Error::Corruption(format!(
+                    "log record at {lsn} overruns tail"
+                )));
+            }
+            let body: Arc<[u8]> = Arc::from(&inner.active[off + 4..off + 4 + len]);
+            return Ok(RecordRef {
+                data: body,
+                off: 0,
+                len,
+                lsn,
+            });
+        }
+    }
+
+    fn ref_in_segment(seg: &SealedSeg, lsn: Lsn) -> Result<RecordRef> {
+        let (body_off, len) = seg.frame(lsn)?;
+        Ok(RecordRef {
+            data: seg.data.clone(),
+            off: body_off,
+            len,
+            lsn,
+        })
+    }
+
+    /// Read the record at `lsn` as a zero-copy [`RecordRef`], accounting the
+    /// read through the cache model. This is the chain-walk primitive:
+    /// header and payload decode straight from the segment bytes.
+    pub fn get_record_ref(&self, lsn: Lsn) -> Result<RecordRef> {
+        let index = self.load_sealed();
+        if lsn.0 < index.trunc {
+            return Err(Error::LogTruncated(lsn));
+        }
+        self.cache.classify(
+            lsn.0,
+            self.tail.load(Ordering::Acquire),
+            &self.config,
+            &self.stats,
+        );
+        self.read_ref_in(index, lsn, false)
+    }
+
+    /// Read the fixed header of the record at `lsn` (cache-accounted).
+    ///
+    /// The fastest read the log offers: for sealed history the 50 header
+    /// bytes are parsed in place through the thread-local index borrow — no
+    /// lock, no allocation, not even refcount traffic.
+    pub fn get_record_header(&self, lsn: Lsn) -> Result<LogRecordHeader> {
+        let fast = self.with_sealed(|index| {
+            if lsn.0 < index.trunc {
+                return Some(Err(Error::LogTruncated(lsn)));
+            }
+            if lsn.0 >= index.sealed_end {
+                return None; // tail range: slow path below
+            }
+            Some((|| {
+                self.cache.classify(
+                    lsn.0,
+                    self.tail.load(Ordering::Acquire),
+                    &self.config,
+                    &self.stats,
+                );
+                let seg = SealedIndex::lookup(&index.segs, lsn.0).ok_or_else(|| {
+                    Error::Corruption(format!("log offset {} out of range", lsn.0))
+                })?;
+                let (body_off, len) = seg.frame(lsn)?;
+                LogRecord::decode_header(lsn, &seg.data[body_off..body_off + len])
+            })())
+        });
+        match fast {
+            Some(result) => result,
+            None => self.get_record_ref(lsn)?.header(),
+        }
+    }
+
+    /// Read the record at `lsn`, accounting the read through the cache model.
+    pub fn get_record(&self, lsn: Lsn) -> Result<LogRecord> {
+        self.get_record_ref(lsn)?.decode()
     }
 
     /// Iterate records in `[from, to)` in order, invoking `f` for each.
     /// Returns the LSN one past the last record visited. Sequential bytes
-    /// are accounted as `log_bytes_scanned`.
+    /// are accounted as `log_bytes_scanned`. Lock-free over sealed history.
     pub fn scan(
         &self,
         from: Lsn,
         to: Lsn,
         mut f: impl FnMut(&LogRecord) -> Result<bool>,
     ) -> Result<Lsn> {
+        self.scan_impl(from, to, false, &mut |rec_ref| f(&rec_ref.decode()?))
+    }
+
+    /// Like [`LogManager::scan`] but yielding borrowed header + payload
+    /// views, skipping owned materialization entirely. The workhorse of
+    /// analysis and SplitLSN search.
+    pub fn scan_views(
+        &self,
+        from: Lsn,
+        to: Lsn,
+        mut f: impl FnMut(&LogRecordHeader, &LogPayloadView<'_>) -> Result<bool>,
+    ) -> Result<Lsn> {
+        self.scan_impl(from, to, false, &mut |rec_ref| {
+            let (header, view) = rec_ref.view()?;
+            f(&header, &view)
+        })
+    }
+
+    fn scan_impl(
+        &self,
+        from: Lsn,
+        to: Lsn,
+        deep: bool,
+        f: &mut dyn FnMut(&RecordRef) -> Result<bool>,
+    ) -> Result<Lsn> {
         let mut cur = from;
         loop {
-            let rec = {
-                let inner = self.inner.lock();
-                if cur.0 < inner.trunc {
-                    return Err(Error::LogTruncated(cur));
-                }
-                if cur.0 >= inner.tail || cur >= to {
-                    return Ok(cur);
-                }
-                Self::get_record_uncounted(&inner, cur)?
-            };
-            let len = rec.encode().len() as u64 + 4;
-            self.stats.add_log_bytes_scanned(len);
-            if !f(&rec)? {
-                return Ok(Lsn(cur.0 + len));
+            let index = self.load_sealed();
+            if !deep && cur.0 < index.trunc {
+                return Err(Error::LogTruncated(cur));
             }
-            cur = Lsn(cur.0 + len);
+            if cur.0 >= self.tail.load(Ordering::Acquire) || cur >= to {
+                return Ok(cur);
+            }
+            let rec_ref = self.read_ref_in(index, cur, deep)?;
+            let frame = rec_ref.frame_len();
+            self.stats.add_log_bytes_scanned(frame);
+            if !f(&rec_ref)? {
+                return Ok(Lsn(cur.0 + frame));
+            }
+            cur = Lsn(cur.0 + frame);
         }
     }
 
-    /// The checkpoint directory (ascending by LSN).
-    pub fn checkpoints(&self) -> Vec<CheckpointInfo> {
+    /// The checkpoint directory (ascending by LSN), as a cheap shared view.
+    pub fn checkpoints(&self) -> Arc<Vec<CheckpointInfo>> {
         self.inner.lock().checkpoints.clone()
     }
 
     /// Latest checkpoint whose *end* record is at or before `lsn`.
+    /// Binary-searched: the directory is ascending by `end_lsn`.
     pub fn checkpoint_before(&self, lsn: Lsn) -> Option<CheckpointInfo> {
-        let inner = self.inner.lock();
-        inner.checkpoints.iter().rev().find(|c| c.end_lsn <= lsn).copied()
+        let dir = self.checkpoints();
+        let idx = dir.partition_point(|c| c.end_lsn <= lsn);
+        (idx > 0).then(|| dir[idx - 1])
     }
 
-    /// Latest checkpoint taken at or before wall-clock `t`.
+    /// Latest checkpoint taken at or before wall-clock `t`. Binary-searched:
+    /// checkpoint times are monotone in log order.
     pub fn checkpoint_before_time(&self, t: Timestamp) -> Option<CheckpointInfo> {
-        let inner = self.inner.lock();
-        inner.checkpoints.iter().rev().find(|c| c.at <= t).copied()
+        let dir = self.checkpoints();
+        let idx = dir.partition_point(|c| c.at <= t);
+        (idx > 0).then(|| dir[idx - 1])
     }
 
     /// Earliest wall-clock time still covered by the retained log, if known.
     pub fn earliest_retained_time(&self) -> Option<Timestamp> {
+        let trunc = self.load_sealed().trunc;
         let inner = self.inner.lock();
-        inner.time_index.iter().find(|(l, _)| l.0 >= inner.trunc).map(|&(_, t)| t)
+        let idx = inner.time_index.partition_point(|(l, _)| l.0 < trunc);
+        inner.time_index.get(idx).map(|&(_, t)| t)
     }
 
     /// Best-known LSN at or before wall-clock time `t` from the sparse time
     /// index (starting point for the split search).
     pub fn time_index_floor(&self, t: Timestamp) -> Option<(Lsn, Timestamp)> {
         let inner = self.inner.lock();
-        inner.time_index.iter().rev().find(|&&(_, ts)| ts <= t).copied()
+        let idx = inner.time_index.partition_point(|&(_, ts)| ts <= t);
+        (idx > 0).then(|| inner.time_index[idx - 1])
     }
 
     /// Drop whole segments that lie entirely before `lsn` (moving them to
     /// the archive when archiving is enabled). Returns the new truncation
     /// point. Never truncates past the flushed LSN.
+    ///
+    /// Publication, not destruction: readers holding the previous index or a
+    /// [`RecordRef`] into a truncated segment keep reading it; the memory is
+    /// freed when the last holder drops.
     pub fn truncate_before(&self, lsn: Lsn) -> Lsn {
-        let archive = self.config.archive_on_truncate;
+        let archive_cfg = self.config.archive_on_truncate;
         let mut inner = self.inner.lock();
         let limit = lsn.0.min(self.flushed.load(Ordering::Acquire));
-        while let Some(first) = inner.segments.first() {
-            let seg_end = first.start + first.data.len() as u64;
-            if seg_end <= limit {
-                let seg = inner.segments.remove(0);
-                if archive {
-                    inner.archive.push(seg);
+        let old = self.published.lock().clone();
+        let mut segs = old.segs.clone();
+        let mut archive = old.archive.clone();
+        let mut trunc = old.trunc;
+        let mut sealed_end = old.sealed_end;
+
+        let drop_n = segs.iter().take_while(|s| s.end() <= limit).count();
+        if drop_n > 0 {
+            trunc = segs[drop_n - 1].end();
+        }
+        let removed: Vec<SealedSeg> = segs.drain(..drop_n).collect();
+        let mut changed = !removed.is_empty();
+        if archive_cfg {
+            archive.extend(removed);
+        }
+        // The active tail is the last "segment": it truncates too once every
+        // sealed segment before it is gone and it is itself fully covered.
+        if segs.is_empty() && !inner.active.is_empty() {
+            let end = inner.active_start + inner.active.len() as u64;
+            if end <= limit {
+                let data: Arc<[u8]> =
+                    Arc::from(std::mem::take(&mut inner.active).into_boxed_slice());
+                if archive_cfg {
+                    archive.push(SealedSeg {
+                        start: inner.active_start,
+                        data,
+                    });
                 }
-                inner.trunc = seg_end;
-            } else {
-                break;
+                inner.active_start = end;
+                trunc = end;
+                sealed_end = end;
+                changed = true;
             }
         }
-        let trunc = inner.trunc;
+        if changed {
+            self.publish(SealedIndex {
+                version: old.version + 1,
+                trunc,
+                sealed_end,
+                segs,
+                archive,
+            });
+            // Segment memory was retired (freed, or moved to the archive of
+            // a new index): cue other threads to drop stale snapshots.
+            LOG_RETIRE_EPOCH.fetch_add(1, Ordering::Release);
+        }
         inner.time_index.retain(|(l, _)| l.0 >= trunc);
-        if !archive {
-            inner.checkpoints.retain(|c| c.begin_lsn.0 >= trunc);
+        if !archive_cfg {
+            let dir = Arc::make_mut(&mut inner.checkpoints);
+            dir.retain(|c| c.begin_lsn.0 >= trunc);
         }
         Lsn(trunc)
     }
 
     /// Bytes held in the log archive.
     pub fn archived_bytes(&self) -> u64 {
-        self.inner.lock().archive.iter().map(|s| s.data.len() as u64).sum()
+        self.load_sealed()
+            .archive
+            .iter()
+            .map(|s| s.data.len() as u64)
+            .sum()
     }
 
     /// Earliest LSN readable through the deep (archive-aware) methods.
     pub fn earliest_available_lsn(&self) -> Lsn {
-        let inner = self.inner.lock();
-        Lsn(inner.archive.first().map(|s| s.start).unwrap_or(inner.trunc))
+        let index = self.load_sealed();
+        Lsn(index
+            .archive
+            .first()
+            .map(|s| s.start)
+            .unwrap_or(index.trunc))
     }
 
     /// Read a record, falling back to the archive for truncated history.
     /// Only point-in-time restore uses this — the as-of machinery stays
-    /// retention-bound on purpose.
+    /// retention-bound on purpose. Lock-free like [`LogManager::get_record`],
+    /// without cache accounting.
     pub fn get_record_deep(&self, lsn: Lsn) -> Result<LogRecord> {
-        let inner = self.inner.lock();
-        inner.read_record_deep(lsn)
+        self.read_ref_at(lsn, true)?.decode()
     }
 
     /// Like [`LogManager::scan`] but reading archived history too.
@@ -299,164 +838,98 @@ impl LogManager {
         to: Lsn,
         mut f: impl FnMut(&LogRecord) -> Result<bool>,
     ) -> Result<Lsn> {
-        let mut cur = from;
-        loop {
-            let rec = {
-                let inner = self.inner.lock();
-                if cur.0 >= inner.tail || cur >= to {
-                    return Ok(cur);
-                }
-                inner.read_record_deep(cur)?
-            };
-            let len = rec.encode().len() as u64 + 4;
-            self.stats.add_log_bytes_scanned(len);
-            if !f(&rec)? {
-                return Ok(Lsn(cur.0 + len));
-            }
-            cur = Lsn(cur.0 + len);
-        }
+        self.scan_impl(from, to, true, &mut |rec_ref| f(&rec_ref.decode()?))
+    }
+
+    /// Like [`LogManager::scan_views`] but reading archived history too.
+    pub fn scan_views_deep(
+        &self,
+        from: Lsn,
+        to: Lsn,
+        mut f: impl FnMut(&LogRecordHeader, &LogPayloadView<'_>) -> Result<bool>,
+    ) -> Result<Lsn> {
+        self.scan_impl(from, to, true, &mut |rec_ref| {
+            let (header, view) = rec_ref.view()?;
+            f(&header, &view)
+        })
     }
 
     /// Discard everything after the flushed LSN — what a crash does to the
     /// volatile log tail. Used by crash simulation before restart recovery.
+    /// Everything at or below `flushed_lsn` survives; nothing after it does.
     pub fn discard_unflushed(&self) {
         let mut inner = self.inner.lock();
         let flushed = self.flushed.load(Ordering::Acquire);
-        while let Some(last) = inner.segments.last() {
-            if last.start >= flushed {
-                inner.segments.pop();
-            } else {
-                break;
-            }
+        let old = self.published.lock().clone();
+        let mut segs = old.segs.clone();
+        // Whole sealed segments at or past the flush point evaporate.
+        while segs.last().is_some_and(|s| s.start >= flushed) {
+            segs.pop();
         }
-        if let Some(last) = inner.segments.last_mut() {
+        // The flush point may fall inside the last surviving sealed segment.
+        if let Some(last) = segs.last_mut() {
             let keep = (flushed - last.start) as usize;
             if keep < last.data.len() {
-                last.data.truncate(keep);
+                last.data = Arc::from(&last.data[..keep]);
             }
         }
-        inner.tail = flushed.max(inner.trunc);
+        // And the active tail.
+        if inner.active_start >= flushed {
+            inner.active.clear();
+        } else {
+            let keep = (flushed - inner.active_start) as usize;
+            if keep < inner.active.len() {
+                inner.active.truncate(keep);
+            }
+        }
+        inner.tail = flushed.max(old.trunc);
+        if inner.active.is_empty() {
+            inner.active_start = inner.tail;
+        }
+        self.tail.store(inner.tail, Ordering::Release);
+        self.publish(SealedIndex {
+            version: old.version + 1,
+            trunc: old.trunc,
+            sealed_end: inner.active_start,
+            segs,
+            archive: old.archive.clone(),
+        });
         let tail = inner.tail;
         inner.time_index.retain(|(l, _)| l.0 < tail);
-        inner.checkpoints.retain(|c| c.end_lsn.0 < tail);
-        inner.cache.clear();
+        Arc::make_mut(&mut inner.checkpoints).retain(|c| c.end_lsn.0 < tail);
+        self.cache.clear();
+        // Discarded tail segments are retired memory too.
+        LOG_RETIRE_EPOCH.fetch_add(1, Ordering::Release);
     }
 
     /// Total bytes currently retained.
     pub fn retained_bytes(&self) -> u64 {
-        let inner = self.inner.lock();
-        inner.tail - inner.trunc
+        self.tail.load(Ordering::Acquire) - self.load_sealed().trunc
     }
 
     /// Total bytes ever appended.
     pub fn total_bytes(&self) -> u64 {
-        self.inner.lock().tail - Lsn::FIRST.0
+        self.tail.load(Ordering::Acquire) - Lsn::FIRST.0
+    }
+}
+
+impl Drop for LogManager {
+    fn drop(&mut self) {
+        // Cue every thread to flush its cached indexes (lazily, on its next
+        // log read) so this log's sealed segments are not pinned in TLS.
+        LOG_RETIRE_EPOCH.fetch_add(1, Ordering::Release);
     }
 }
 
 impl LogInner {
-    /// Append one framed record. Records never straddle segments (a segment
-    /// is closed early rather than split a record), so truncation at segment
-    /// granularity always lands on a record boundary.
-    fn write_bytes(&mut self, bytes: &[u8]) {
-        let need_new = match self.segments.last() {
-            None => true,
-            Some(s) => s.data.len() + bytes.len() > SEGMENT_BYTES as usize && !s.data.is_empty(),
-        };
-        if need_new {
-            self.segments.push(Segment { start: self.tail, data: Vec::new() });
-        }
-        let seg = self.segments.last_mut().unwrap();
-        seg.data.extend_from_slice(bytes);
-        self.tail += bytes.len() as u64;
-    }
-
     fn push_time(&mut self, lsn: Lsn, at: Timestamp) {
         // keep the index sparse: one entry per 64 KiB of log
-        if self.time_index.last().is_none_or(|&(l, _)| lsn.0 - l.0 >= 64 * 1024) {
+        if self
+            .time_index
+            .last()
+            .is_none_or(|&(l, _)| lsn.0 - l.0 >= 64 * 1024)
+        {
             self.time_index.push((lsn, at));
-        }
-    }
-
-    fn segment_for(&self, off: u64, deep: bool) -> Result<&Segment> {
-        // binary search by start offset
-        let idx = self.segments.partition_point(|s| s.start <= off);
-        if idx == 0 {
-            if deep {
-                let aidx = self.archive.partition_point(|s| s.start <= off);
-                if aidx > 0 {
-                    let seg = &self.archive[aidx - 1];
-                    if off < seg.start + seg.data.len() as u64 {
-                        return Ok(seg);
-                    }
-                }
-            }
-            return Err(Error::LogTruncated(Lsn(off)));
-        }
-        let seg = &self.segments[idx - 1];
-        if off >= seg.start + seg.data.len() as u64 {
-            return Err(Error::Corruption(format!("log offset {off} out of range")));
-        }
-        Ok(seg)
-    }
-
-    /// Copy `len` bytes starting at `off`, possibly spanning segments.
-    fn copy_bytes(&self, off: u64, len: usize, deep: bool) -> Result<Vec<u8>> {
-        let mut out = Vec::with_capacity(len);
-        let mut cur = off;
-        while out.len() < len {
-            let seg = self.segment_for(cur, deep)?;
-            let in_seg = (cur - seg.start) as usize;
-            let take = (seg.data.len() - in_seg).min(len - out.len());
-            out.extend_from_slice(&seg.data[in_seg..in_seg + take]);
-            cur += take as u64;
-        }
-        Ok(out)
-    }
-
-    fn read_record_at(&self, lsn: Lsn, deep: bool) -> Result<LogRecord> {
-        if lsn.0 + 4 > self.tail {
-            return Err(Error::Corruption(format!("log read at {lsn} past tail {}", self.tail)));
-        }
-        let len_bytes = self.copy_bytes(lsn.0, 4, deep)?;
-        let len = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
-        if lsn.0 + 4 + len as u64 > self.tail {
-            return Err(Error::Corruption(format!("log record at {lsn} overruns tail")));
-        }
-        let body = self.copy_bytes(lsn.0 + 4, len, deep)?;
-        LogRecord::decode(lsn, &body)
-    }
-
-    fn read_record(&self, lsn: Lsn) -> Result<LogRecord> {
-        self.read_record_at(lsn, false)
-    }
-
-    fn read_record_deep(&self, lsn: Lsn) -> Result<LogRecord> {
-        self.read_record_at(lsn, true)
-    }
-
-    /// Classify a random read as hit or I/O and update the cache model.
-    fn touch_cache(&mut self, lsn: Lsn, config: &LogConfig, stats: &IoStats) {
-        if self.tail.saturating_sub(lsn.0) <= config.hot_tail_bytes {
-            stats.add_log_cache_hit();
-            return;
-        }
-        let block = lsn.0 / CACHE_BLOCK_BYTES;
-        self.cache_tick += 1;
-        let tick = self.cache_tick;
-        if let std::collections::hash_map::Entry::Occupied(mut e) = self.cache.entry(block) {
-            e.insert(tick);
-            stats.add_log_cache_hit();
-            return;
-        }
-        stats.add_log_read_io();
-        self.cache.insert(block, tick);
-        if self.cache.len() > config.cache_blocks {
-            // Evict the least-recently-used block (linear scan; the cache is
-            // small and this path is already "an I/O").
-            if let Some((&victim, _)) = self.cache.iter().min_by_key(|(_, &t)| t) {
-                self.cache.remove(&victim);
-            }
         }
     }
 }
@@ -482,7 +955,13 @@ mod tests {
     }
 
     fn insert_rec(txn: u64, n: usize) -> LogRecord {
-        rec(txn, LogPayload::InsertRecord { slot: 0, bytes: vec![7u8; n] })
+        rec(
+            txn,
+            LogPayload::InsertRecord {
+                slot: 0,
+                bytes: vec![7u8; n],
+            },
+        )
     }
 
     #[test]
@@ -490,7 +969,12 @@ mod tests {
         let log = LogManager::new(LogConfig::default());
         let a = log.append(&insert_rec(1, 10));
         let b = log.append(&insert_rec(1, 20));
-        let c = log.append(&rec(1, LogPayload::Commit { at: Timestamp::from_secs(1) }));
+        let c = log.append(&rec(
+            1,
+            LogPayload::Commit {
+                at: Timestamp::from_secs(1),
+            },
+        ));
         assert!(a < b && b < c);
         assert_eq!(a, Lsn::FIRST);
         let back = log.get_record(b).unwrap();
@@ -498,6 +982,22 @@ mod tests {
         match back.payload {
             LogPayload::InsertRecord { ref bytes, .. } => assert_eq!(bytes.len(), 20),
             ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn record_ref_headers_match_owned_decode() {
+        let log = LogManager::new(LogConfig::default());
+        let mut lsns = Vec::new();
+        for i in 0..300 {
+            lsns.push(log.append(&insert_rec(i, 3000)));
+        }
+        for &l in &lsns {
+            let owned = log.get_record(l).unwrap();
+            let r = log.get_record_ref(l).unwrap();
+            assert_eq!(r.header().unwrap(), owned.header());
+            let (_, view) = r.view().unwrap();
+            assert_eq!(view.to_owned_payload().unwrap(), owned.payload);
         }
     }
 
@@ -512,7 +1012,10 @@ mod tests {
         assert!(s.log_bytes_written > 100);
         // idempotent
         log.flush_to(a);
-        assert_eq!(log.io_stats().snapshot().log_bytes_written, s.log_bytes_written);
+        assert_eq!(
+            log.io_stats().snapshot().log_bytes_written,
+            s.log_bytes_written
+        );
     }
 
     #[test]
@@ -541,6 +1044,36 @@ mod tests {
     }
 
     #[test]
+    fn scan_views_sees_the_same_stream_as_scan() {
+        let log = LogManager::new(LogConfig::default());
+        for i in 0..50 {
+            log.append(&insert_rec(i, 64));
+            if i % 7 == 0 {
+                log.append(&rec(
+                    i,
+                    LogPayload::Commit {
+                        at: Timestamp::from_secs(i),
+                    },
+                ));
+            }
+        }
+        let mut owned = Vec::new();
+        log.scan(Lsn::FIRST, Lsn::MAX, |r| {
+            owned.push((r.lsn, r.txn, r.payload.kind()));
+            Ok(true)
+        })
+        .unwrap();
+        let mut viewed = Vec::new();
+        log.scan_views(Lsn::FIRST, Lsn::MAX, |h, v| {
+            assert_eq!(h.kind, v.kind());
+            viewed.push((h.lsn, h.txn, h.kind));
+            Ok(true)
+        })
+        .unwrap();
+        assert_eq!(owned, viewed);
+    }
+
+    #[test]
     fn segments_span_boundaries() {
         let log = LogManager::new(LogConfig::default());
         // Write > 2 MiB of records so several segments exist, with one record
@@ -562,7 +1095,12 @@ mod tests {
         let mut lsns = Vec::new();
         for i in 0..600 {
             let l = log.append(&insert_rec(i, 5000));
-            log.append(&rec(i, LogPayload::Commit { at: Timestamp::from_secs(i) }));
+            log.append(&rec(
+                i,
+                LogPayload::Commit {
+                    at: Timestamp::from_secs(i),
+                },
+            ));
             lsns.push(l);
         }
         log.flush_to(log.tail_lsn());
@@ -570,7 +1108,10 @@ mod tests {
         let new_trunc = log.truncate_before(mid);
         assert!(new_trunc <= mid);
         assert!(new_trunc > Lsn::FIRST);
-        assert!(matches!(log.get_record(lsns[0]), Err(Error::LogTruncated(_))));
+        assert!(matches!(
+            log.get_record(lsns[0]),
+            Err(Error::LogTruncated(_))
+        ));
         assert!(log.get_record(lsns[400]).is_ok());
         assert!(log.retained_bytes() < log.total_bytes());
         // earliest retained time reflects truncation
@@ -593,7 +1134,12 @@ mod tests {
     fn checkpoint_directory() {
         let log = LogManager::new(LogConfig::default());
         log.append(&insert_rec(1, 10));
-        let b1 = log.append(&rec(0, LogPayload::CheckpointBegin { at: Timestamp::from_secs(5) }));
+        let b1 = log.append(&rec(
+            0,
+            LogPayload::CheckpointBegin {
+                at: Timestamp::from_secs(5),
+            },
+        ));
         let e1 = log.append(&rec(
             0,
             LogPayload::CheckpointEnd(CheckpointBody {
@@ -604,7 +1150,12 @@ mod tests {
             }),
         ));
         log.append(&insert_rec(1, 10));
-        let b2 = log.append(&rec(0, LogPayload::CheckpointBegin { at: Timestamp::from_secs(9) }));
+        let b2 = log.append(&rec(
+            0,
+            LogPayload::CheckpointBegin {
+                at: Timestamp::from_secs(9),
+            },
+        ));
         let e2 = log.append(&rec(
             0,
             LogPayload::CheckpointEnd(CheckpointBody {
@@ -617,13 +1168,24 @@ mod tests {
         assert_eq!(log.checkpoints().len(), 2);
         assert_eq!(log.checkpoint_before(e2).unwrap().end_lsn, e2);
         assert_eq!(log.checkpoint_before(Lsn(e2.0 - 1)).unwrap().end_lsn, e1);
-        assert_eq!(log.checkpoint_before_time(Timestamp::from_secs(7)).unwrap().end_lsn, e1);
-        assert!(log.checkpoint_before_time(Timestamp::from_secs(1)).is_none());
+        assert_eq!(
+            log.checkpoint_before_time(Timestamp::from_secs(7))
+                .unwrap()
+                .end_lsn,
+            e1
+        );
+        assert!(log
+            .checkpoint_before_time(Timestamp::from_secs(1))
+            .is_none());
     }
 
     #[test]
     fn cache_model_hits_tail_and_misses_cold_history() {
-        let log = LogManager::new(LogConfig { hot_tail_bytes: 1024, cache_blocks: 2, ..LogConfig::default() });
+        let log = LogManager::new(LogConfig {
+            hot_tail_bytes: 1024,
+            cache_blocks: 2,
+            ..LogConfig::default()
+        });
         let mut lsns = Vec::new();
         for i in 0..2000 {
             lsns.push(log.append(&insert_rec(i, 900)));
@@ -655,5 +1217,27 @@ mod tests {
         log.append(&insert_rec(1, 10));
         assert!(log.get_record(log.tail_lsn()).is_err());
         assert!(log.get_record(Lsn(999_999)).is_err());
+    }
+
+    #[test]
+    fn record_ref_survives_truncation() {
+        let log = LogManager::new(LogConfig::default());
+        let mut lsns = Vec::new();
+        for i in 0..600 {
+            lsns.push(log.append(&insert_rec(i, 5000)));
+        }
+        log.flush_to(log.tail_lsn());
+        // Hold a zero-copy ref into early history, then truncate past it.
+        let held = log.get_record_ref(lsns[10]).unwrap();
+        let expect = held.decode().unwrap();
+        log.truncate_before(lsns[400]);
+        assert!(log.truncation_point() > lsns[10]);
+        // New reads fail; the held snapshot still decodes the same record.
+        assert!(matches!(
+            log.get_record(lsns[10]),
+            Err(Error::LogTruncated(_))
+        ));
+        assert_eq!(held.decode().unwrap(), expect);
+        assert_eq!(held.header().unwrap(), expect.header());
     }
 }

@@ -8,7 +8,6 @@
 //! the actual SplitLSN."
 
 use crate::logmgr::LogManager;
-use crate::record::LogPayload;
 use rewind_common::{Error, Lsn, Result, Timestamp};
 
 /// Find the SplitLSN for wall-clock time `t`.
@@ -32,18 +31,19 @@ pub fn find_split_lsn(log: &LogManager, t: Timestamp) -> Result<Lsn> {
 
     // Scan forward for the last commit at or before `t`. Transactions with
     // no commit stamp by `t` are losers; records after the chosen split are
-    // simply "the future" from the snapshot's point of view.
+    // simply "the future" from the snapshot's point of view. Header-only
+    // views: only the commit/checkpoint time stamps are decoded.
     let mut split: Option<Lsn> = None;
-    log.scan(start, Lsn::MAX, |rec| match rec.payload {
-        LogPayload::Commit { at } | LogPayload::CheckpointBegin { at } => {
+    log.scan_views(start, Lsn::MAX, |header, view| match view.time_stamp() {
+        Some(at) => {
             if at <= t {
-                split = Some(rec.lsn);
+                split = Some(header.lsn);
                 Ok(true)
             } else {
                 Ok(false) // commits are time-ordered; we can stop
             }
         }
-        _ => Ok(true),
+        None => Ok(true),
     })?;
 
     match split {
@@ -76,16 +76,16 @@ pub fn find_split_lsn_deep(log: &LogManager, t: Timestamp) -> Result<Lsn> {
         .map(|c| c.begin_lsn)
         .unwrap_or_else(|| log.earliest_available_lsn());
     let mut split: Option<Lsn> = None;
-    log.scan_deep(start, Lsn::MAX, |rec| match rec.payload {
-        LogPayload::Commit { at } | LogPayload::CheckpointBegin { at } => {
+    log.scan_views_deep(start, Lsn::MAX, |header, view| match view.time_stamp() {
+        Some(at) => {
             if at <= t {
-                split = Some(rec.lsn);
+                split = Some(header.lsn);
                 Ok(true)
             } else {
                 Ok(false)
             }
         }
-        _ => Ok(true),
+        None => Ok(true),
     })?;
     Ok(split.unwrap_or(Lsn::FIRST))
 }
@@ -94,7 +94,7 @@ pub fn find_split_lsn_deep(log: &LogManager, t: Timestamp) -> Result<Lsn> {
 mod tests {
     use super::*;
     use crate::logmgr::LogConfig;
-    use crate::record::{CheckpointBody, LogRecord};
+    use crate::record::{CheckpointBody, LogPayload, LogRecord};
     use rewind_common::{ObjectId, PageId, TxnId};
 
     fn commit_rec(txn: u64, at: Timestamp) -> LogRecord {
@@ -121,7 +121,10 @@ mod tests {
             object: ObjectId(1),
             undo_next: Lsn::NULL,
             flags: 0,
-            payload: LogPayload::InsertRecord { slot: 0, bytes: vec![0; 32] },
+            payload: LogPayload::InsertRecord {
+                slot: 0,
+                bytes: vec![0; 32],
+            },
         }
     }
 
@@ -146,7 +149,10 @@ mod tests {
     }
 
     fn checkpoint_begin(at: Timestamp) -> LogRecord {
-        LogRecord { payload: LogPayload::CheckpointBegin { at }, ..commit_rec(0, at) }
+        LogRecord {
+            payload: LogPayload::CheckpointBegin { at },
+            ..commit_rec(0, at)
+        }
     }
 
     fn checkpoint_end(begin_lsn: Lsn, at: Timestamp) -> LogRecord {
@@ -190,16 +196,25 @@ mod tests {
     #[test]
     fn matches_linear_oracle_at_random_times() {
         let (log, _) = build(80);
-        for us in [0u64, 1, 999_999, 1_000_000, 7_300_000, 33_500_000, 80_000_000, 99_000_000] {
+        for us in [
+            0u64, 1, 999_999, 1_000_000, 7_300_000, 33_500_000, 80_000_000, 99_000_000,
+        ] {
             let t = Timestamp::from_micros(us);
-            assert_eq!(find_split_lsn(&log, t).unwrap(), oracle_split(&log, t), "t={t}");
+            assert_eq!(
+                find_split_lsn(&log, t).unwrap(),
+                oracle_split(&log, t),
+                "t={t}"
+            );
         }
     }
 
     #[test]
     fn before_first_commit_yields_log_start() {
         let (log, _) = build(5);
-        assert_eq!(find_split_lsn(&log, Timestamp::from_micros(1)).unwrap(), Lsn::FIRST);
+        assert_eq!(
+            find_split_lsn(&log, Timestamp::from_micros(1)).unwrap(),
+            Lsn::FIRST
+        );
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! reads, and crash-tail discard interplay.
 
 use rewind_common::{Error, Lsn, ObjectId, PageId, Timestamp, TxnId};
-use rewind_wal::{find_split_lsn, find_split_lsn_deep, LogConfig, LogManager, LogPayload, LogRecord};
+use rewind_wal::{
+    find_split_lsn, find_split_lsn_deep, LogConfig, LogManager, LogPayload, LogRecord,
+};
 
 fn rec(txn: u64, payload: LogPayload) -> LogRecord {
     LogRecord {
@@ -19,11 +21,25 @@ fn rec(txn: u64, payload: LogPayload) -> LogRecord {
 }
 
 fn build(archive: bool) -> (LogManager, Vec<Lsn>) {
-    let log = LogManager::new(LogConfig { archive_on_truncate: archive, ..LogConfig::default() });
+    let log = LogManager::new(LogConfig {
+        archive_on_truncate: archive,
+        ..LogConfig::default()
+    });
     let mut commits = Vec::new();
     for i in 1..=800u64 {
-        log.append(&rec(i, LogPayload::InsertRecord { slot: 0, bytes: vec![7u8; 2000] }));
-        commits.push(log.append(&rec(i, LogPayload::Commit { at: Timestamp::from_secs(i) })));
+        log.append(&rec(
+            i,
+            LogPayload::InsertRecord {
+                slot: 0,
+                bytes: vec![7u8; 2000],
+            },
+        ));
+        commits.push(log.append(&rec(
+            i,
+            LogPayload::Commit {
+                at: Timestamp::from_secs(i),
+            },
+        )));
     }
     log.flush_to(log.tail_lsn());
     (log, commits)
@@ -35,7 +51,10 @@ fn truncation_without_archive_discards_history() {
     log.truncate_before(commits[500]);
     assert!(log.truncation_point() > Lsn::FIRST);
     assert_eq!(log.archived_bytes(), 0);
-    assert!(matches!(log.get_record(commits[10]), Err(Error::LogTruncated(_))));
+    assert!(matches!(
+        log.get_record(commits[10]),
+        Err(Error::LogTruncated(_))
+    ));
     // deep reads cannot help: the bytes are gone
     assert!(log.get_record_deep(commits[10]).is_err());
 }
@@ -50,7 +69,10 @@ fn archive_keeps_history_readable_deeply_but_not_shallowly() {
     assert_eq!(log.earliest_available_lsn(), Lsn::FIRST);
 
     // shallow (retention-bound) read still refuses
-    assert!(matches!(log.get_record(commits[10]), Err(Error::LogTruncated(_))));
+    assert!(matches!(
+        log.get_record(commits[10]),
+        Err(Error::LogTruncated(_))
+    ));
     // deep read succeeds
     let r = log.get_record_deep(commits[10]).unwrap();
     assert_eq!(r.lsn, commits[10]);
@@ -97,13 +119,29 @@ fn split_search_is_retention_bound_but_deep_variant_reaches_archive() {
 #[test]
 fn discard_unflushed_drops_only_the_volatile_tail() {
     let log = LogManager::new(LogConfig::default());
-    let a = log.append(&rec(1, LogPayload::InsertRecord { slot: 0, bytes: vec![1; 100] }));
+    let a = log.append(&rec(
+        1,
+        LogPayload::InsertRecord {
+            slot: 0,
+            bytes: vec![1; 100],
+        },
+    ));
     log.flush_to(a);
     let flushed_tail = log.tail_lsn();
-    let b = log.append(&rec(1, LogPayload::InsertRecord { slot: 0, bytes: vec![2; 100] }));
+    let b = log.append(&rec(
+        1,
+        LogPayload::InsertRecord {
+            slot: 0,
+            bytes: vec![2; 100],
+        },
+    ));
     assert!(log.get_record(b).is_ok());
     log.discard_unflushed();
-    assert_eq!(log.tail_lsn(), flushed_tail, "tail rewinds to the flushed point");
+    assert_eq!(
+        log.tail_lsn(),
+        flushed_tail,
+        "tail rewinds to the flushed point"
+    );
     assert!(log.get_record(a).is_ok());
     assert!(log.get_record(b).is_err());
     // appends continue cleanly after the discard

@@ -1,0 +1,163 @@
+//! Proof that the header-only chain-walk path allocates nothing per record.
+//!
+//! A counting global allocator wraps the system allocator; after warming the
+//! thread-local segment snapshot and the cache model, a backward chain walk
+//! over sealed history (header + borrowed payload view + undo application
+//! against a page) must perform **zero** heap allocations.
+
+use rewind_common::{Lsn, ObjectId, PageId, TxnId};
+use rewind_pagestore::{Page, PageType};
+use rewind_wal::{LogConfig, LogManager, LogPayload, LogPayloadView, LogRecord};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn header_only_chain_walk_allocates_nothing() {
+    let pid = PageId(5);
+    let log = LogManager::new(LogConfig::default());
+    let mut page = Page::formatted(pid, ObjectId(1), PageType::BTreeLeaf);
+    page.insert_record(0, b"seed-row").unwrap();
+
+    // Build one page's chain: enough updates to seal several segments so
+    // the walk below runs on the lock-free sealed path.
+    let mut lsns = Vec::new();
+    for i in 0..4_000u32 {
+        let payload = LogPayload::UpdateRecord {
+            slot: 0,
+            old: page.record(0).unwrap().to_vec(),
+            new: format!("value-{i:04}-{}", "x".repeat(700)).into_bytes(),
+        };
+        let rec = LogRecord {
+            lsn: Lsn::NULL,
+            txn: TxnId(1),
+            prev_lsn: Lsn::NULL,
+            page: pid,
+            prev_page_lsn: page.page_lsn(),
+            object: ObjectId(1),
+            undo_next: Lsn::NULL,
+            flags: 0,
+            payload: payload.clone(),
+        };
+        let lsn = log.append(&rec);
+        payload.redo(&mut page, pid, lsn).unwrap();
+        lsns.push(lsn);
+    }
+
+    // Walk only sealed history (stay well below the tail segment), long
+    // enough to be meaningful: ~2000 records.
+    let walk_from = lsns[2000];
+    let walk_records = 1800u64;
+
+    let run_walk = |p: &mut Page| {
+        // Rewind from a known state at walk_from: start the chain there.
+        let mut cur = walk_from;
+        let mut undone = 0u64;
+        while cur.is_valid() && undone < walk_records {
+            let rec = log.get_record_ref(cur).unwrap();
+            let (header, view) = rec.view().unwrap();
+            assert_eq!(header.page, pid);
+            assert!(matches!(view, LogPayloadView::UpdateRecord { .. }));
+            view.undo(p, pid).unwrap();
+            cur = header.prev_page_lsn;
+            undone += 1;
+        }
+        undone
+    };
+
+    // Warm pass: populates the thread-local segment snapshot and the cache
+    // model's block map (both one-time costs, exactly like a real cache).
+    let mut scratch_page = page.clone();
+    scratch_page.set_page_lsn(walk_from);
+    // The page record must match the state at walk_from for undo to apply;
+    // reconstruct it by replaying from the log's own view of walk_from.
+    let rec = log.get_record(walk_from).unwrap();
+    match rec.payload {
+        LogPayload::UpdateRecord { ref new, .. } => {
+            scratch_page.update_record(0, new).unwrap();
+        }
+        ref other => panic!("unexpected {other:?}"),
+    }
+    let warm_state = scratch_page.clone();
+    assert_eq!(run_walk(&mut scratch_page), walk_records);
+
+    // Measured pass: zero allocations per record — zero allocations at all.
+    let mut measured_page = warm_state;
+    let before = allocations();
+    let undone = run_walk(&mut measured_page);
+    let after = allocations();
+    assert_eq!(undone, walk_records);
+    assert_eq!(
+        after - before,
+        0,
+        "header-only chain walk must not allocate (got {} allocations over {} records)",
+        after - before,
+        undone
+    );
+    assert_eq!(
+        measured_page.record(0).unwrap(),
+        scratch_page.record(0).unwrap()
+    );
+}
+
+#[test]
+fn header_reads_after_warmup_allocate_nothing() {
+    let log = LogManager::new(LogConfig::default());
+    let mut lsns = Vec::new();
+    for i in 0..3_000u64 {
+        lsns.push(log.append(&LogRecord {
+            lsn: Lsn::NULL,
+            txn: TxnId(i),
+            prev_lsn: Lsn::NULL,
+            page: PageId(i % 64),
+            prev_page_lsn: Lsn::NULL,
+            object: ObjectId(1),
+            undo_next: Lsn::NULL,
+            flags: 0,
+            payload: LogPayload::InsertRecord {
+                slot: 0,
+                bytes: vec![7u8; 900],
+            },
+        }));
+    }
+    // Warm: snapshot + cache blocks.
+    for &l in &lsns[..2000] {
+        log.get_record_header(l).unwrap();
+    }
+    let before = allocations();
+    for &l in &lsns[..2000] {
+        let h = log.get_record_header(l).unwrap();
+        assert_eq!(h.lsn, l);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "warm header reads must not allocate"
+    );
+}

@@ -24,7 +24,15 @@ fn main() -> Result<()> {
     println!("loaded TPC-C: {customers} customers");
 
     // Business as usual for a while.
-    run_mixed(&db, &scale, &DriverConfig { threads: 2, txns_per_thread: 100, ..Default::default() })?;
+    run_mixed(
+        &db,
+        &scale,
+        &DriverConfig {
+            threads: 2,
+            txns_per_thread: 100,
+            ..Default::default()
+        },
+    )?;
     db.checkpoint()?;
     db.clock().advance_mins(10);
 
@@ -37,8 +45,14 @@ fn main() -> Result<()> {
     // More work happens after the mistake — none of it must be lost.
     db.clock().advance_mins(5);
     db.with_txn(|txn| {
-        let w = db.get_for_update(txn, "warehouse", &[Value::U64(1)])?.unwrap();
-        db.update(txn, "warehouse", &[w[0].clone(), w[1].clone(), w[2].clone(), Value::F64(9.99)])
+        let w = db
+            .get_for_update(txn, "warehouse", &[Value::U64(1)])?
+            .unwrap();
+        db.update(
+            txn,
+            "warehouse",
+            &[w[0].clone(), w[1].clone(), w[2].clone(), Value::F64(9.99)],
+        )
     })?;
 
     // ---- the paper's recovery workflow ----------------------------------

@@ -25,10 +25,12 @@ fn main() -> Result<()> {
                 &["id"],
             )?,
         )?;
-        for (id, owner, balance) in
-            [(1u64, "ada", 100i64), (2, "grace", 250), (3, "edsger", 75)]
-        {
-            db.insert(txn, "accounts", &[Value::U64(id), Value::str(owner), Value::I64(balance)])?;
+        for (id, owner, balance) in [(1u64, "ada", 100i64), (2, "grace", 250), (3, "edsger", 75)] {
+            db.insert(
+                txn,
+                "accounts",
+                &[Value::U64(id), Value::str(owner), Value::I64(balance)],
+            )?;
         }
         Ok(())
     })?;
@@ -42,10 +44,22 @@ fn main() -> Result<()> {
 
     // Changes after the bookmark: a transfer and a deletion.
     db.with_txn(|txn| {
-        let a = db.get_for_update(txn, "accounts", &[Value::U64(1)])?.unwrap();
-        let b = db.get_for_update(txn, "accounts", &[Value::U64(2)])?.unwrap();
-        db.update(txn, "accounts", &[Value::U64(1), a[1].clone(), Value::I64(a[2].as_i64()? - 50)])?;
-        db.update(txn, "accounts", &[Value::U64(2), b[1].clone(), Value::I64(b[2].as_i64()? + 50)])?;
+        let a = db
+            .get_for_update(txn, "accounts", &[Value::U64(1)])?
+            .unwrap();
+        let b = db
+            .get_for_update(txn, "accounts", &[Value::U64(2)])?
+            .unwrap();
+        db.update(
+            txn,
+            "accounts",
+            &[Value::U64(1), a[1].clone(), Value::I64(a[2].as_i64()? - 50)],
+        )?;
+        db.update(
+            txn,
+            "accounts",
+            &[Value::U64(2), b[1].clone(), Value::I64(b[2].as_i64()? + 50)],
+        )?;
         db.delete(txn, "accounts", &[Value::U64(3)])?;
         Ok(())
     })?;

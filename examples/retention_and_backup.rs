@@ -23,7 +23,10 @@ fn main() -> Result<()> {
     // archive_on_truncate keeps truncated log as "log backups" so old
     // backups remain restorable even past the undo interval
     let db = Arc::new(Database::create(DbConfig {
-        log: LogConfig { archive_on_truncate: true, ..LogConfig::default() },
+        log: LogConfig {
+            archive_on_truncate: true,
+            ..LogConfig::default()
+        },
         ..DbConfig::default()
     })?);
     let scale = TpccScale::tiny();
@@ -36,14 +39,23 @@ fn main() -> Result<()> {
 
     // A full backup before the churn (the traditional safety net).
     let backup = take_full_backup(&db)?;
-    println!("full backup: {} MiB at {}", backup.bytes >> 20, backup.taken_at);
+    println!(
+        "full backup: {} MiB at {}",
+        backup.bytes >> 20,
+        backup.taken_at
+    );
 
     // 30 simulated minutes of workload; retention keeps ~10.
     for _ in 0..30 {
         run_mixed(
             &db,
             &scale,
-            &DriverConfig { threads: 2, txns_per_thread: 50, us_per_txn: 600_000, ..Default::default() },
+            &DriverConfig {
+                threads: 2,
+                txns_per_thread: 50,
+                us_per_txn: 600_000,
+                ..Default::default()
+            },
         )?;
         db.checkpoint()?;
         db.enforce_retention();
@@ -59,14 +71,21 @@ fn main() -> Result<()> {
     let recent = db.clock().now().minus_micros(5 * 60_000_000);
     let snap = db.create_snapshot_asof("recent", recent)?;
     let w = snap.table("warehouse")?;
-    println!("as-of {} works: warehouse count = {}", recent, snap.count(&w)?);
+    println!(
+        "as-of {} works: warehouse count = {}",
+        recent,
+        snap.count(&w)?
+    );
     snap.wait_undo_complete();
     db.drop_snapshot("recent")?;
 
     // Outside retention: a clean error — and the backup still covers it.
     let ancient = backup.taken_at.plus_micros(1_000_000);
     match db.create_snapshot_asof("ancient", ancient) {
-        Err(Error::RetentionExceeded { requested, earliest }) => {
+        Err(Error::RetentionExceeded {
+            requested,
+            earliest,
+        }) => {
             println!("as-of {requested} refused: earliest retained is {earliest}");
         }
         other => println!("unexpected: {:?}", other.map(|_| ())),

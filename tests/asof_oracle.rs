@@ -46,9 +46,16 @@ fn run_oracle(fpi_interval: u32, seed: u64) {
     db.clock().advance_secs(1);
     let genesis_time = db.clock().now();
     db.clock().advance_secs(1);
-    db.with_txn(|txn| db.insert(txn, "t", &[Value::U64(9999), Value::U64(0), Value::str("g")]))
+    db.with_txn(|txn| {
+        db.insert(
+            txn,
+            "t",
+            &[Value::U64(9999), Value::U64(0), Value::str("g")],
+        )
+    })
+    .unwrap();
+    db.with_txn(|txn| db.delete(txn, "t", &[Value::U64(9999)]))
         .unwrap();
-    db.with_txn(|txn| db.delete(txn, "t", &[Value::U64(9999)])).unwrap();
 
     for round in 0..8 {
         // one "era": a burst of random committed transactions
@@ -92,7 +99,11 @@ fn run_oracle(fpi_interval: u32, seed: u64) {
         let noise = db.begin();
         for _ in 0..5 {
             let id = 500 + rng.gen_range(0..50u64);
-            let _ = db.insert(&noise, "t", &[Value::U64(id), Value::U64(0), Value::str("noise")]);
+            let _ = db.insert(
+                &noise,
+                "t",
+                &[Value::U64(id), Value::U64(0), Value::str("noise")],
+            );
         }
         db.rollback(noise).unwrap();
 
@@ -110,8 +121,10 @@ fn run_oracle(fpi_interval: u32, seed: u64) {
 
         // full scan equality
         let rows = snap.scan_all(&info).unwrap();
-        let got: BTreeMap<u64, Row> =
-            rows.into_iter().map(|r| (r[0].as_u64().unwrap(), r)).collect();
+        let got: BTreeMap<u64, Row> = rows
+            .into_iter()
+            .map(|r| (r[0].as_u64().unwrap(), r))
+            .collect();
         assert_eq!(&got, expect, "era {i} (fpi={fpi_interval}) scan mismatch");
 
         // point reads, present and absent
@@ -122,9 +135,13 @@ fn run_oracle(fpi_interval: u32, seed: u64) {
 
         // secondary index consistency as-of
         for grp in 0..10u64 {
-            let via_index = snap.scan_index_prefix(&info, "by_grp", &[Value::U64(grp)], 10_000).unwrap();
-            let expect_grp: Vec<&Row> =
-                expect.values().filter(|r| r[1] == Value::U64(grp)).collect();
+            let via_index = snap
+                .scan_index_prefix(&info, "by_grp", &[Value::U64(grp)], 10_000)
+                .unwrap();
+            let expect_grp: Vec<&Row> = expect
+                .values()
+                .filter(|r| r[1] == Value::U64(grp))
+                .collect();
             assert_eq!(via_index.len(), expect_grp.len(), "era {i} index grp {grp}");
         }
 
@@ -137,7 +154,11 @@ fn run_oracle(fpi_interval: u32, seed: u64) {
     // from the insert+delete right after it.
     let genesis = db.create_snapshot_asof("genesis", genesis_time).unwrap();
     let info = genesis.table("t").unwrap();
-    assert_eq!(genesis.count(&info).unwrap(), 0, "table must be empty at genesis");
+    assert_eq!(
+        genesis.count(&info).unwrap(),
+        0,
+        "table must be empty at genesis"
+    );
     db.drop_snapshot("genesis").unwrap();
 }
 

@@ -23,7 +23,10 @@ fn snapshots_are_stable_under_concurrent_writes() {
             txn,
             "counters",
             Schema::new(
-                vec![Column::new("id", DataType::U64), Column::new("n", DataType::U64)],
+                vec![
+                    Column::new("id", DataType::U64),
+                    Column::new("n", DataType::U64),
+                ],
                 &["id"],
             )?,
         )?;
@@ -52,7 +55,9 @@ fn snapshots_are_stable_under_concurrent_writes() {
                 i += 1;
                 let txn = db.begin();
                 let r = (|| {
-                    let row = db.get_for_update(&txn, "counters", &[Value::U64(id)])?.unwrap();
+                    let row = db
+                        .get_for_update(&txn, "counters", &[Value::U64(id)])?
+                        .unwrap();
                     let n = row[1].as_u64()?;
                     db.update(&txn, "counters", &[Value::U64(id), Value::U64(n + 1)])?;
                     Ok(())
@@ -65,6 +70,10 @@ fn snapshots_are_stable_under_concurrent_writes() {
                     Err(e) => panic!("{e}"),
                 }
                 db.clock().advance_micros(500);
+                // Busy-looping writers can starve the snapshots' background
+                // undo threads on small CI machines until the 30s lock gate
+                // times out; yield so undo always gets timely slices.
+                std::thread::yield_now();
             }
         }));
     }
@@ -105,7 +114,10 @@ fn snapshot_of_running_state_is_transactionally_consistent() {
             txn,
             "acct",
             Schema::new(
-                vec![Column::new("id", DataType::U64), Column::new("bal", DataType::I64)],
+                vec![
+                    Column::new("id", DataType::U64),
+                    Column::new("bal", DataType::I64),
+                ],
                 &["id"],
             )?,
         )?;
@@ -126,7 +138,9 @@ fn snapshot_of_running_state_is_transactionally_consistent() {
         writers.push(std::thread::spawn(move || {
             let mut x = t + 1;
             let mut rng = move || {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 x >> 33
             };
             while !stop.load(Ordering::Acquire) {
@@ -140,8 +154,16 @@ fn snapshot_of_running_state_is_transactionally_consistent() {
                     let ra = db.get_for_update(&txn, "acct", &[Value::U64(a)])?.unwrap();
                     let rb = db.get_for_update(&txn, "acct", &[Value::U64(b)])?.unwrap();
                     let amt = (rng() % 50) as i64;
-                    db.update(&txn, "acct", &[Value::U64(a), Value::I64(ra[1].as_i64()? - amt)])?;
-                    db.update(&txn, "acct", &[Value::U64(b), Value::I64(rb[1].as_i64()? + amt)])?;
+                    db.update(
+                        &txn,
+                        "acct",
+                        &[Value::U64(a), Value::I64(ra[1].as_i64()? - amt)],
+                    )?;
+                    db.update(
+                        &txn,
+                        "acct",
+                        &[Value::U64(b), Value::I64(rb[1].as_i64()? + amt)],
+                    )?;
                     Ok(())
                 })();
                 match r {
@@ -152,6 +174,8 @@ fn snapshot_of_running_state_is_transactionally_consistent() {
                     Err(e) => panic!("{e}"),
                 }
                 db.clock().advance_micros(700);
+                // See above: keep the undo threads scheduled on 1-2 core CI.
+                std::thread::yield_now();
             }
         }));
     }
@@ -172,7 +196,10 @@ fn snapshot_of_running_state_is_transactionally_consistent() {
         let info = snap.table("acct").unwrap();
         let rows = snap.scan_all(&info).unwrap();
         let total: i64 = rows.iter().map(|r| r[1].as_i64().unwrap()).sum();
-        assert_eq!(total, 16_000, "snapshot {checked} must be transactionally consistent");
+        assert_eq!(
+            total, 16_000,
+            "snapshot {checked} must be transactionally consistent"
+        );
         snap.wait_undo_complete();
         db.drop_snapshot(&name).unwrap();
         checked += 1;

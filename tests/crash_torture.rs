@@ -42,7 +42,10 @@ fn crash_recover_repeatedly_matches_model() {
             db.with_txn(|txn| {
                 for _ in 0..ops {
                     let id = rng.gen_range(0..300u64);
-                    let row = vec![Value::U64(id), Value::Str(format!("{round}:{}", rng.gen::<u32>()))];
+                    let row = vec![
+                        Value::U64(id),
+                        Value::Str(format!("{round}:{}", rng.gen::<u32>())),
+                    ];
                     match model.entry(id) {
                         std::collections::btree_map::Entry::Occupied(mut e) => {
                             if rng.gen_bool(0.3) {
@@ -80,8 +83,10 @@ fn crash_recover_repeatedly_matches_model() {
         db = Database::recover(artifacts).unwrap();
 
         let rows = db.with_txn(|txn| db.scan_all(txn, "t")).unwrap();
-        let got: BTreeMap<u64, Row> =
-            rows.into_iter().map(|r| (r[0].as_u64().unwrap(), r)).collect();
+        let got: BTreeMap<u64, Row> = rows
+            .into_iter()
+            .map(|r| (r[0].as_u64().unwrap(), r))
+            .collect();
         assert_eq!(got, model, "state after crash {round}");
         db.check_consistency().unwrap();
     }
@@ -101,12 +106,16 @@ fn crash_during_ddl_rolls_it_back() {
     // DDL in flight at the crash: a created table and a dropped table
     let t1 = db.begin();
     db.create_table(&t1, "doomed", schema()).unwrap();
-    db.insert(&t1, "doomed", &[Value::U64(1), Value::str("x")]).unwrap();
+    db.insert(&t1, "doomed", &[Value::U64(1), Value::str("x")])
+        .unwrap();
     std::mem::forget(t1);
 
     let artifacts = db.simulate_crash();
     let db = Database::recover(artifacts).unwrap();
-    assert!(db.table("doomed").is_err(), "uncommitted CREATE TABLE must vanish");
+    assert!(
+        db.table("doomed").is_err(),
+        "uncommitted CREATE TABLE must vanish"
+    );
     assert_eq!(db.count_approx("keep").unwrap(), 1);
 
     // drop in flight
@@ -115,7 +124,11 @@ fn crash_during_ddl_rolls_it_back() {
     std::mem::forget(t2);
     let artifacts = db.simulate_crash();
     let db = Database::recover(artifacts).unwrap();
-    assert_eq!(db.count_approx("keep").unwrap(), 1, "uncommitted DROP TABLE must be undone");
+    assert_eq!(
+        db.count_approx("keep").unwrap(),
+        1,
+        "uncommitted DROP TABLE must be undone"
+    );
     db.with_txn(|txn| {
         assert_eq!(
             db.get(txn, "keep", &[Value::U64(1)])?.unwrap(),

@@ -29,7 +29,10 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 
 fn schema() -> Schema {
     Schema::new(
-        vec![Column::new("k", DataType::U64), Column::new("v", DataType::U64)],
+        vec![
+            Column::new("k", DataType::U64),
+            Column::new("v", DataType::U64),
+        ],
         &["k"],
     )
     .unwrap()
@@ -108,12 +111,18 @@ fn apply(db: &Database, model: &mut BTreeMap<u8, u16>, op: &Op) {
         }
         Op::Delete(k) => {
             if model.remove(k).is_some() {
-                db.with_txn(|txn| db.delete(txn, "t", &[Value::U64(*k as u64)])).unwrap();
+                db.with_txn(|txn| db.delete(txn, "t", &[Value::U64(*k as u64)]))
+                    .unwrap();
             }
         }
         Op::Get(k) => {
-            let got = db.with_txn(|txn| db.get(txn, "t", &[Value::U64(*k as u64)])).unwrap();
-            assert_eq!(got.map(|r| r[1].as_u64().unwrap() as u16), model.get(k).copied());
+            let got = db
+                .with_txn(|txn| db.get(txn, "t", &[Value::U64(*k as u64)]))
+                .unwrap();
+            assert_eq!(
+                got.map(|r| r[1].as_u64().unwrap() as u16),
+                model.get(k).copied()
+            );
         }
         Op::Commit => {
             db.clock().advance_micros(1000);

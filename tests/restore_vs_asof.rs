@@ -54,7 +54,15 @@ fn restore_and_asof_agree_at_every_mark() -> Result<()> {
         )?;
         assert!(report.records_replayed > 0);
 
-        for table in ["warehouse", "district", "customer", "orders", "order_line", "new_order", "stock"] {
+        for table in [
+            "warehouse",
+            "district",
+            "customer",
+            "orders",
+            "order_line",
+            "new_order",
+            "stock",
+        ] {
             let info = snap.table(table)?;
             let a = sorted(snap.scan_all(&info)?);
             let b = sorted(restored.with_txn(|txn| restored.scan_all(txn, table))?);
@@ -78,7 +86,9 @@ fn restore_includes_inflight_undo() -> Result<()> {
 
     // leave a transaction in flight spanning the restore target
     let inflight = db.begin();
-    let w = db.get_for_update(&inflight, "warehouse", &[Value::U64(1)])?.unwrap();
+    let w = db
+        .get_for_update(&inflight, "warehouse", &[Value::U64(1)])?
+        .unwrap();
     db.update(
         &inflight,
         "warehouse",
@@ -86,7 +96,9 @@ fn restore_includes_inflight_undo() -> Result<()> {
     )?;
     db.clock().advance_secs(5);
     db.with_txn(|txn| {
-        let d = db.get_for_update(txn, "district", &[Value::U64(1), Value::U64(1)])?.unwrap();
+        let d = db
+            .get_for_update(txn, "district", &[Value::U64(1), Value::U64(1)])?
+            .unwrap();
         let mut d2 = d.clone();
         d2[4] = Value::F64(123.0);
         db.update(txn, "district", &d2)
@@ -102,11 +114,22 @@ fn restore_includes_inflight_undo() -> Result<()> {
         SimClock::starting_at(t),
     )?;
     assert_eq!(report.losers_undone, 1, "the in-flight txn must be undone");
-    let wrow = restored.with_txn(|txn| restored.get(txn, "warehouse", &[Value::U64(1)]))?.unwrap();
-    assert_ne!(wrow[3], Value::F64(-1.0), "uncommitted update must not survive restore");
-    let drow =
-        restored.with_txn(|txn| restored.get(txn, "district", &[Value::U64(1), Value::U64(1)]))?.unwrap();
-    assert_eq!(drow[4], Value::F64(123.0), "committed update must survive restore");
+    let wrow = restored
+        .with_txn(|txn| restored.get(txn, "warehouse", &[Value::U64(1)]))?
+        .unwrap();
+    assert_ne!(
+        wrow[3],
+        Value::F64(-1.0),
+        "uncommitted update must not survive restore"
+    );
+    let drow = restored
+        .with_txn(|txn| restored.get(txn, "district", &[Value::U64(1), Value::U64(1)]))?
+        .unwrap();
+    assert_eq!(
+        drow[4],
+        Value::F64(123.0),
+        "committed update must survive restore"
+    );
     db.rollback(inflight)?;
     Ok(())
 }
