@@ -1,0 +1,191 @@
+//! Benchmark for the flashback engine: logical-diff throughput and the
+//! concurrent `PreparePageAsOf` fan-out (ROADMAP perf item (c)).
+//!
+//! A wide table (≥ 64 leaf pages) is damaged by one big batch
+//! transaction; the repair's witness snapshot must then prepare every one
+//! of those leaves as of the pre-batch split. The bench measures that
+//! prepare phase serially and with 2/4 fan-out workers over identical
+//! fresh snapshots, reporting measured wall time and **modeled device
+//! time** (the repo's standard metric): random log reads dominate prepare
+//! cost on real media, a serial walk pays them end to end, and the fan-out
+//! pays only the busiest worker's share — so the modeled parallel time is
+//! `max(per-worker stalls)`, not the sum.
+//!
+//! ```text
+//! cargo run --release -p rewind-bench --bin repairbench [-- --quick]
+//! ```
+
+use rewind_common::{MediaModel, Timestamp};
+use rewind_core::{Column, DataType, Database, DbConfig, Schema, Value};
+use rewind_repair::{flashback, harvest_log, ConflictPolicy, RepairConfig, RepairTarget};
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+struct Setup {
+    db: Database,
+    bad_txn: rewind_common::TxnId,
+    rows: u64,
+}
+
+fn build(rows: u64) -> Setup {
+    let db = Database::create(DbConfig::default()).unwrap();
+    let filler = "x".repeat(256);
+    db.with_txn(|txn| {
+        db.create_table(
+            txn,
+            "wide",
+            Schema::new(
+                vec![
+                    Column::new("id", DataType::U64),
+                    Column::new("v", DataType::Str),
+                ],
+                &["id"],
+            )?,
+        )?;
+        Ok(())
+    })
+    .unwrap();
+    // Load in chunks so no single transaction dominates the log.
+    let chunk = 500u64;
+    let mut next = 0u64;
+    while next < rows {
+        let hi = (next + chunk).min(rows);
+        db.with_txn(|txn| {
+            for i in next..hi {
+                db.insert(txn, "wide", &[Value::U64(i), Value::str(&filler)])?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        next = hi;
+    }
+    db.clock().advance_secs(600);
+    db.checkpoint().unwrap();
+
+    // The erroneous batch: one transaction rewrites every row.
+    let bad = "BAD".repeat(85) + "!";
+    let bad_txn = {
+        let txn = db.begin();
+        for i in 0..rows {
+            db.update(&txn, "wide", &[Value::U64(i), Value::str(&bad)])
+                .unwrap();
+        }
+        let id = txn.id();
+        db.commit(txn).unwrap();
+        id
+    };
+    db.clock().advance_secs(600);
+
+    // Later work the repair must preserve (kept on a disjoint table).
+    db.with_txn(|txn| {
+        db.create_table(
+            txn,
+            "after",
+            Schema::new(vec![Column::new("id", DataType::U64)], &["id"])?,
+        )?;
+        for i in 0..200u64 {
+            db.insert(txn, "after", &[Value::U64(i)])?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    Setup { db, bad_txn, rows }
+}
+
+/// One prepare-phase measurement: mount a fresh witness at the repair
+/// split, fan the leaf preparation out over `workers` threads.
+fn measure_prepare(setup: &Setup, workers: usize) -> (f64, u64, u64, u64, usize) {
+    let harvest = harvest_log(
+        setup.db.log(),
+        &RepairTarget::Txns(BTreeSet::from([setup.bad_txn])),
+    )
+    .unwrap();
+    let name = format!("bench-witness-{workers}");
+    let witness = setup
+        .db
+        .create_snapshot_at_lsn(&name, Timestamp::from_secs(0), harvest.split_lsn)
+        .unwrap();
+    let info = witness.table("wide").unwrap();
+    let store = witness.raw().store();
+    let leaves = info.tree().unwrap().unread_leaf_pages(&store).unwrap();
+    let t0 = Instant::now();
+    let outcome = witness.raw().prepare_pages(&leaves, workers).unwrap();
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let prepared = outcome.prepared();
+    let total_reads = outcome.log_reads();
+    let max_worker_reads = outcome.max_worker_log_reads();
+    let leaf_count = leaves.len();
+    setup.db.drop_snapshot(&name).unwrap();
+    (wall_ms, prepared, total_reads, max_worker_reads, leaf_count)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rows = if quick { 3_000 } else { 12_000 };
+    eprintln!("building: {rows} rows, one bad batch over all of them…");
+    let setup = build(rows);
+    let sas = MediaModel::sas_hdd();
+
+    println!("== prepare fan-out scaling (fresh witness per run) ==");
+    let mut serial_modeled_us = 0u64;
+    let mut fanout4_modeled_us = 0u64;
+    let mut leaf_count = 0usize;
+    for workers in [1usize, 2, 4] {
+        let (wall_ms, prepared, total_reads, max_reads, leaves) = measure_prepare(&setup, workers);
+        leaf_count = leaves;
+        // Modeled prepare time: every log read is a potential random stall;
+        // a serial walk pays them all, the pool pays its busiest worker.
+        let modeled_us = sas.random_read_time_us(max_reads);
+        if workers == 1 {
+            serial_modeled_us = modeled_us;
+        }
+        if workers == 4 {
+            fanout4_modeled_us = modeled_us;
+        }
+        println!(
+            "workers={workers}: {leaves} leaves, {prepared} prepared, \
+             {total_reads} log reads (busiest worker {max_reads}), \
+             wall {wall_ms:.1} ms, modeled(sas) {:.1} ms",
+            modeled_us as f64 / 1e3
+        );
+    }
+
+    println!("\n== flashback end-to-end ==");
+    let t0 = Instant::now();
+    let report = flashback(
+        &setup.db,
+        &RepairTarget::Txns(BTreeSet::from([setup.bad_txn])),
+        &RepairConfig {
+            policy: ConflictPolicy::Skip,
+            prefetch_workers: 4,
+        },
+    )
+    .unwrap();
+    let secs = t0.elapsed().as_secs_f64();
+    println!(
+        "repaired {} keys in {:.2} s ({:.0} keys/s), {} noops, {} conflicts, \
+         {} witness pages prefetched",
+        report.applied,
+        secs,
+        report.applied as f64 / secs,
+        report.noops,
+        report.skipped_conflicts.len(),
+        report.pages_prefetched,
+    );
+    assert_eq!(
+        report.applied as u64, setup.rows,
+        "every damaged row reverts"
+    );
+
+    let speedup = serial_modeled_us as f64 / fanout4_modeled_us.max(1) as f64;
+    let wide_enough = leaf_count >= 64;
+    let pass = wide_enough && speedup >= 2.0;
+    println!(
+        "\nfan-out acceptance: {leaf_count} leaf pages (≥64: {wide_enough}), \
+         modeled 4-worker speedup {speedup:.2}x over serial — {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+    if !pass {
+        std::process::exit(1);
+    }
+}

@@ -56,6 +56,19 @@ pub enum Error {
     Io(String),
     /// The requested snapshot does not exist or was dropped.
     SnapshotNotFound(String),
+    /// A restore/repair found the live table's schema incompatible with the
+    /// snapshot's (the schema drifted since the split point). Refusing is
+    /// the only safe move: copying rows across would silently mis-shape them.
+    SchemaDrift {
+        /// The table being restored into.
+        table: String,
+        /// Columns in the snapshot's schema.
+        snapshot_columns: usize,
+        /// Columns in the live schema.
+        live_columns: usize,
+        /// What drifted (column count, type, key shape).
+        detail: String,
+    },
     /// Catch-all for internal invariant violations; always a bug.
     Internal(String),
 }
@@ -93,6 +106,16 @@ impl fmt::Display for Error {
             Error::InvalidArg(msg) => write!(f, "invalid argument: {msg}"),
             Error::Io(msg) => write!(f, "i/o error: {msg}"),
             Error::SnapshotNotFound(name) => write!(f, "snapshot '{name}' not found"),
+            Error::SchemaDrift {
+                table,
+                snapshot_columns,
+                live_columns,
+                detail,
+            } => write!(
+                f,
+                "schema of table '{table}' drifted since the snapshot \
+                 (snapshot {snapshot_columns} columns, live {live_columns}): {detail}"
+            ),
             Error::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }

@@ -760,6 +760,20 @@ impl Database {
         self.finish_snapshot_setup(name, snap)
     }
 
+    /// An as-of snapshot split at an exact LSN (the repair engine's
+    /// witness: "just before transaction T's first record" is an LSN, not a
+    /// wall-clock time). `label` stamps the snapshot for reporting; the
+    /// split alone determines its contents.
+    pub fn create_snapshot_at_lsn(
+        &self,
+        name: &str,
+        label: Timestamp,
+        split: Lsn,
+    ) -> Result<SnapshotDb> {
+        let snap = AsOfSnapshot::create_at_lsn(name, &self.parts, label, split)?;
+        self.finish_snapshot_setup(name, snap)
+    }
+
     /// A regular (copy-on-write) snapshot of the current state (§2.2).
     pub fn create_snapshot(&self, name: &str) -> Result<SnapshotDb> {
         let snap = AsOfSnapshot::create_regular(name, &self.parts, self.clock.now())?;

@@ -21,7 +21,7 @@ use parking_lot::RwLock;
 use rewind_access::keys::{encode_key, prefix_upper_bound};
 use rewind_access::value::decode_row;
 use rewind_access::{Row, Value};
-use rewind_common::{Error, Lsn, ObjectId, Result, Timestamp};
+use rewind_common::{Error, Lsn, ObjectId, PageId, Result, Timestamp};
 use rewind_recovery::AccessKind;
 use rewind_snapshot::{AsOfSnapshot, SnapshotStats};
 use std::collections::HashMap;
@@ -34,6 +34,9 @@ pub struct SnapshotDb {
     snap: Arc<AsOfSnapshot>,
     sys: SysTrees,
     cache: Arc<RwLock<HashMap<String, Arc<TableInfo>>>>,
+    /// Worker threads used to prepare a table's leaf pages ahead of range
+    /// scans (1 = serial, the default).
+    prefetch_workers: usize,
 }
 
 impl SnapshotDb {
@@ -44,7 +47,63 @@ impl SnapshotDb {
             snap,
             sys,
             cache: Arc::new(RwLock::new(HashMap::new())),
+            prefetch_workers: 1,
         })
+    }
+
+    /// Return a handle whose range scans fan out page preparation across
+    /// `workers` threads (ROADMAP perf item (c)). With `workers <= 1` the
+    /// scan path is exactly the serial protocol.
+    pub fn with_prefetch_workers(mut self, workers: usize) -> SnapshotDb {
+        self.prefetch_workers = workers.max(1);
+        self
+    }
+
+    /// Concurrently prepare every leaf page of `table` into the side file,
+    /// returning the number of pages newly prepared. Internal pages are
+    /// prepared serially by the structural walk that discovers the leaves;
+    /// the leaves themselves — the bulk of any real table — prepare in
+    /// parallel. Subsequent reads of those pages are side-file hits.
+    pub fn prefetch_table(&self, table: &TableInfo, workers: usize) -> Result<u64> {
+        if table.kind != TableKind::Tree || workers <= 1 {
+            return Ok(0);
+        }
+        let store = self.snap.store();
+        let leaves = table.tree()?.unread_leaf_pages(&store)?;
+        if leaves.len() < 2 {
+            return Ok(0);
+        }
+        Ok(self.snap.prepare_pages(&leaves, workers)?.prepared())
+    }
+
+    /// Concurrently prepare only the leaf pages that hold `keys`
+    /// (already-encoded key bytes) — the point-read counterpart of
+    /// [`SnapshotDb::prefetch_table`]. Each key's leaf is located by
+    /// reading internal pages only, so preparation work stays proportional
+    /// to the keys actually touched, never to table size.
+    pub fn prefetch_leaves_for_keys(
+        &self,
+        table: &TableInfo,
+        keys: &[&[u8]],
+        workers: usize,
+    ) -> Result<u64> {
+        if table.kind != TableKind::Tree || workers <= 1 {
+            return Ok(0);
+        }
+        let store = self.snap.store();
+        let tree = table.tree()?;
+        let mut leaves: Vec<PageId> = Vec::new();
+        for key in keys {
+            if let Some(pid) = tree.leaf_for_key_unread(&store, key)? {
+                if !leaves.contains(&pid) {
+                    leaves.push(pid);
+                }
+            }
+        }
+        if leaves.len() < 2 {
+            return Ok(0);
+        }
+        Ok(self.snap.prepare_pages(&leaves, workers)?.prepared())
     }
 
     /// Resolve an object id against a snapshot's own catalog (used by the
@@ -194,6 +253,21 @@ impl SnapshotDb {
         }
     }
 
+    /// Point lookup by already-encoded key bytes, returning the stored row
+    /// bytes. The repair engine diffs witness against live at the byte
+    /// level, so decoding is skipped (and unnecessary key decoding — the
+    /// log only yields encoded keys — is avoided entirely).
+    pub fn get_value_bytes(&self, table: &TableInfo, key_bytes: &[u8]) -> Result<Option<Vec<u8>>> {
+        let store = self.snap.store();
+        loop {
+            let found = table.tree()?.get(&store, key_bytes)?;
+            if self.snap.gate_row(table.id, key_bytes)? {
+                continue; // waited for in-flight txn: re-read
+            }
+            return Ok(found);
+        }
+    }
+
     fn scan_gated(
         &self,
         table: &TableInfo,
@@ -201,6 +275,12 @@ impl SnapshotDb {
         hi: Bound<&[u8]>,
         limit: usize,
     ) -> Result<Vec<Row>> {
+        // Fan preparation out only when the scan will visit the whole
+        // table anyway; a bounded scan's working set is its range, and
+        // preparing beyond it would break the touched-pages-only economy.
+        if matches!((lo, hi), (Bound::Unbounded, Bound::Unbounded)) && limit == usize::MAX {
+            self.prefetch_table(table, self.prefetch_workers)?;
+        }
         let store = self.snap.store();
         loop {
             let mut rows: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
@@ -320,9 +400,60 @@ impl SnapshotDb {
     }
 }
 
+/// Check that a live table's schema still matches the snapshot's before
+/// rows are copied across. A drifted schema (columns added/dropped, a type
+/// changed, the key re-shaped) would let `INSERT … SELECT` write mis-shaped
+/// rows; refuse with a typed error instead.
+fn check_restore_schema(snap_info: &TableInfo, live: &TableInfo) -> Result<()> {
+    let drift = |detail: String| Error::SchemaDrift {
+        table: live.name.clone(),
+        snapshot_columns: snap_info.schema.columns.len(),
+        live_columns: live.schema.columns.len(),
+        detail,
+    };
+    if live.kind != snap_info.kind {
+        return Err(drift(format!(
+            "table kind changed ({:?} -> {:?})",
+            snap_info.kind, live.kind
+        )));
+    }
+    if live.schema.columns.len() != snap_info.schema.columns.len() {
+        return Err(drift("column count changed".into()));
+    }
+    for (a, b) in snap_info.schema.columns.iter().zip(&live.schema.columns) {
+        if a.ty != b.ty {
+            return Err(drift(format!(
+                "column '{}' changed type ({:?} -> {:?})",
+                a.name, a.ty, b.ty
+            )));
+        }
+        if a.name != b.name {
+            return Err(drift(format!(
+                "column '{}' renamed to '{}'",
+                a.name, b.name
+            )));
+        }
+    }
+    if live.schema.key != snap_info.schema.key {
+        return Err(drift("primary key shape changed".into()));
+    }
+    // Anything the specific checks above miss: full structural equality is
+    // the actual requirement (it is also what the repair planner demands).
+    if live.schema != snap_info.schema {
+        return Err(drift("schema drifted".into()));
+    }
+    Ok(())
+}
+
 /// The paper's §1 recovery flow: extract `src_table` from the snapshot and
 /// materialize it in the live database as `dest_name` (schema, rows, and
 /// secondary indexes). Returns the number of rows copied.
+///
+/// When `dest_name` already exists (restoring *into a live table*), the live
+/// schema must still match the snapshot's — a drifted schema fails with
+/// [`Error::SchemaDrift`] before any row is written. Matching-schema
+/// restores reconcile row-by-row: missing keys are inserted, diverged rows
+/// are updated, identical rows are left alone.
 pub fn restore_table_from_snapshot(
     db: &Database,
     snap: &SnapshotDb,
@@ -331,22 +462,55 @@ pub fn restore_table_from_snapshot(
 ) -> Result<usize> {
     let info = snap.table(src_table)?;
     let rows = snap.scan_all(&info)?;
-    db.with_txn(|txn| {
-        match info.kind {
-            TableKind::Tree => db.create_table(txn, dest_name, info.schema.clone())?,
-            TableKind::Heap => db.create_heap_table(txn, dest_name, info.schema.clone())?,
-        };
-        for row in &rows {
-            db.insert(txn, dest_name, row)?;
+    let live = match db.table(dest_name) {
+        Ok(live) => Some(live),
+        Err(Error::TableNotFound(_)) => None,
+        Err(e) => return Err(e),
+    };
+    db.with_txn(|txn| match live {
+        Some(live) => {
+            check_restore_schema(&info, &live)?;
+            if live.kind != TableKind::Tree {
+                return Err(Error::InvalidArg(
+                    "restoring into a live heap table is not supported; \
+                     restore into a fresh name instead"
+                        .into(),
+                ));
+            }
+            let mut copied = 0usize;
+            for row in &rows {
+                let key: Vec<Value> = info.schema.key_values(row)?.into_iter().cloned().collect();
+                match db.get_for_update(txn, dest_name, &key)? {
+                    Some(existing) if &existing == row => {}
+                    Some(_) => {
+                        db.update(txn, dest_name, row)?;
+                        copied += 1;
+                    }
+                    None => {
+                        db.insert(txn, dest_name, row)?;
+                        copied += 1;
+                    }
+                }
+            }
+            Ok(copied)
         }
-        for idx in &info.indexes {
-            let col_names: Vec<&str> = idx
-                .cols
-                .iter()
-                .map(|&c| info.schema.columns[c].name.as_str())
-                .collect();
-            db.create_index(txn, dest_name, &idx.name, &col_names)?;
+        None => {
+            match info.kind {
+                TableKind::Tree => db.create_table(txn, dest_name, info.schema.clone())?,
+                TableKind::Heap => db.create_heap_table(txn, dest_name, info.schema.clone())?,
+            };
+            for row in &rows {
+                db.insert(txn, dest_name, row)?;
+            }
+            for idx in &info.indexes {
+                let col_names: Vec<&str> = idx
+                    .cols
+                    .iter()
+                    .map(|&c| info.schema.columns[c].name.as_str())
+                    .collect();
+                db.create_index(txn, dest_name, &idx.name, &col_names)?;
+            }
+            Ok(rows.len())
         }
-        Ok(rows.len())
     })
 }

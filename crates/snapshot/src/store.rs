@@ -57,9 +57,20 @@ impl SnapInner {
 
     /// The §5.3 read protocol.
     pub(crate) fn fetch(&self, pid: PageId) -> Result<Page> {
+        Ok(self.fetch_traced(pid)?.0)
+    }
+
+    /// [`SnapInner::fetch`] plus the prepare cost actually paid: `None` when
+    /// the page was served from the side file, `Some(stats)` when this call
+    /// prepared it. The concurrent prepare fan-out uses the trace to
+    /// attribute undo work to individual workers.
+    pub(crate) fn fetch_traced(
+        &self,
+        pid: PageId,
+    ) -> Result<(Page, Option<rewind_recovery::PrepareStats>)> {
         if let Some(p) = self.side.get(pid) {
             self.stats.side_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(p);
+            return Ok((p, None));
         }
         // Serialize concurrent first-preparations of the same page.
         let gate = {
@@ -69,7 +80,7 @@ impl SnapInner {
         let _g = gate.lock();
         if let Some(p) = self.side.get(pid) {
             self.stats.side_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(p);
+            return Ok((p, None));
         }
         let mut page = self.fm.read_page(pid)?;
         let st =
@@ -88,7 +99,7 @@ impl SnapInner {
             self.stats.fpi_restores.fetch_add(1, Ordering::Relaxed);
         }
         self.side.put(pid, &page);
-        Ok(page)
+        Ok((page, Some(st)))
     }
 
     /// Write a page fixed up by logical undo back to the side file (§5.2:

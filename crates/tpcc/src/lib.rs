@@ -21,5 +21,6 @@ pub use driver::{run_mixed, DriverConfig, RunStats};
 pub use load::{load_initial, LoadSummary};
 pub use schema::{create_schema, TpccScale};
 pub use txns::{
-    delivery, new_order, order_status, payment, stock_level, stock_level_asof, NewOrderLine,
+    bad_credit_batch, delivery, new_order, order_status, payment, stock_level, stock_level_asof,
+    NewOrderLine,
 };

@@ -338,6 +338,26 @@ pub fn stock_level(
     Ok(low)
 }
 
+/// The paper's §1 "application error", batch-job flavour: a promotion
+/// script meant to credit one district's customers is run with a missing
+/// predicate and instead walks **every** customer of the warehouse,
+/// zeroing balances and stamping its marker into `c_data`. Run it inside
+/// the caller's transaction so the whole batch commits as one unit — the
+/// exact shape the flashback engine repairs by `TxnId`. Returns the number
+/// of rows damaged.
+pub fn bad_credit_batch(db: &Database, txn: &Txn, w_id: u64) -> Result<u64> {
+    let customers = db.scan_prefix(txn, "customer", &[Value::U64(w_id)])?;
+    let mut damaged = 0u64;
+    for mut c in customers {
+        c[5] = Value::F64(0.0); // c_balance wiped
+        c[6] = Value::F64(0.0); // c_ytd_payment wiped
+        c[9] = Value::str("PROMO-APPLIED"); // c_data clobbered
+        db.update(txn, "customer", &c)?;
+        damaged += 1;
+    }
+    Ok(damaged)
+}
+
 /// The paper's as-of query (§6.2): StockLevel against an as-of snapshot —
 /// same logic, read through the snapshot's page-access protocol.
 pub fn stock_level_asof(snap: &SnapshotDb, w_id: u64, d_id: u64, threshold: i64) -> Result<usize> {

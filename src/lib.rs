@@ -47,6 +47,9 @@
 
 pub use rewind_core::*;
 
+/// Log-driven application error recovery: flashback targeted transactions.
+pub use rewind_repair as repair;
+
 /// The paper's workload (TPC-C-like schema, transactions, driver).
 pub use rewind_tpcc as tpcc;
 

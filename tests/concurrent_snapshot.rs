@@ -103,6 +103,64 @@ fn snapshots_are_stable_under_concurrent_writes() {
 }
 
 #[test]
+fn parallel_prepare_fanout_equals_serial_scan() {
+    // Two snapshots of the same past instant: one scanned serially, one
+    // with its leaf preparation fanned out over 4 workers. Same rows, and
+    // the fan-out actually prepares pages (misses, not side-file hits).
+    let db = Database::create(DbConfig::default()).unwrap();
+    let filler = "y".repeat(200);
+    db.with_txn(|txn| {
+        db.create_table(
+            txn,
+            "wide",
+            Schema::new(
+                vec![
+                    Column::new("id", DataType::U64),
+                    Column::new("v", DataType::Str),
+                ],
+                &["id"],
+            )?,
+        )?;
+        for i in 0..2000u64 {
+            db.insert(txn, "wide", &[Value::U64(i), Value::str(&filler)])?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    db.clock().advance_secs(10);
+    db.checkpoint().unwrap();
+    let mark = db.clock().now();
+    db.clock().advance_secs(10);
+    // Post-mark churn so preparation has real undo work per leaf.
+    db.with_txn(|txn| {
+        for i in (0..2000u64).step_by(3) {
+            db.update(txn, "wide", &[Value::U64(i), Value::str("post-mark")])?;
+        }
+        Ok(())
+    })
+    .unwrap();
+
+    let serial = db.create_snapshot_asof("serial", mark).unwrap();
+    let st = serial.table("wide").unwrap();
+    let serial_rows = serial.scan_all(&st).unwrap();
+
+    let fanout = db
+        .create_snapshot_asof("fanout", mark)
+        .unwrap()
+        .with_prefetch_workers(4);
+    let ft = fanout.table("wide").unwrap();
+    let prepared = fanout.prefetch_table(&ft, 4).unwrap();
+    assert!(prepared > 8, "fan-out prepared only {prepared} pages");
+    let fanout_rows = fanout.scan_all(&ft).unwrap();
+
+    assert_eq!(serial_rows, fanout_rows);
+    assert_eq!(fanout_rows.len(), 2000);
+    assert!(fanout_rows.iter().all(|r| r[1] != Value::str("post-mark")));
+    db.drop_snapshot("serial").unwrap();
+    db.drop_snapshot("fanout").unwrap();
+}
+
+#[test]
 fn snapshot_of_running_state_is_transactionally_consistent() {
     // Transfers preserve a global invariant (sum == 0 net); any as-of
     // snapshot taken mid-run must also satisfy it, because snapshots are

@@ -1,0 +1,151 @@
+//! `restore_table_from_snapshot` hardening: restoring into a live table
+//! whose schema drifted since the split fails with a typed error before a
+//! single row is written; matching-schema restores reconcile in place.
+
+use rewind::{
+    restore_table_from_snapshot, Column, DataType, Database, DbConfig, Error, Schema, Value,
+};
+
+fn setup() -> Database {
+    let db = Database::create(DbConfig::default()).unwrap();
+    db.with_txn(|txn| {
+        db.create_table(
+            txn,
+            "t",
+            Schema::new(
+                vec![
+                    Column::new("id", DataType::U64),
+                    Column::new("v", DataType::Str),
+                ],
+                &["id"],
+            )?,
+        )?;
+        for i in 1..=5u64 {
+            db.insert(txn, "t", &[Value::U64(i), Value::str(&format!("v{i}"))])?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    db.clock().advance_secs(60);
+    db.checkpoint().unwrap();
+    db
+}
+
+#[test]
+fn schema_drift_fails_typed_without_corrupting_rows() {
+    let db = setup();
+    let before = db.clock().now();
+    db.clock().advance_secs(60);
+
+    // The drift: the table is dropped and recreated under the same name
+    // with an extra column (there is no ALTER TABLE; drop+recreate is how
+    // schemas change here).
+    db.with_txn(|txn| db.drop_table(txn, "t")).unwrap();
+    db.with_txn(|txn| {
+        db.create_table(
+            txn,
+            "t",
+            Schema::new(
+                vec![
+                    Column::new("id", DataType::U64),
+                    Column::new("v", DataType::Str),
+                    Column::new("extra", DataType::I64),
+                ],
+                &["id"],
+            )?,
+        )?;
+        db.insert(txn, "t", &[Value::U64(9), Value::str("new"), Value::I64(1)])
+    })
+    .unwrap();
+
+    let snap = db.create_snapshot_asof("old", before).unwrap();
+    let err = restore_table_from_snapshot(&db, &snap, "t", "t").unwrap_err();
+    match err {
+        Error::SchemaDrift {
+            table,
+            snapshot_columns,
+            live_columns,
+            ..
+        } => {
+            assert_eq!(table, "t");
+            assert_eq!(snapshot_columns, 2);
+            assert_eq!(live_columns, 3);
+        }
+        other => panic!("expected SchemaDrift, got {other:?}"),
+    }
+
+    // Nothing was corrupted: the live (3-column) table is untouched.
+    let txn = db.begin();
+    let rows = db.scan_all(&txn, "t").unwrap();
+    db.commit(txn).unwrap();
+    assert_eq!(
+        rows,
+        vec![vec![Value::U64(9), Value::str("new"), Value::I64(1)]]
+    );
+    db.drop_snapshot("old").unwrap();
+}
+
+#[test]
+fn type_change_is_drift_even_with_same_column_count() {
+    let db = setup();
+    let before = db.clock().now();
+    db.clock().advance_secs(60);
+    db.with_txn(|txn| db.drop_table(txn, "t")).unwrap();
+    db.with_txn(|txn| {
+        db.create_table(
+            txn,
+            "t",
+            Schema::new(
+                vec![
+                    Column::new("id", DataType::U64),
+                    Column::new("v", DataType::I64),
+                ],
+                &["id"],
+            )?,
+        )
+        .map(|_| ())
+    })
+    .unwrap();
+
+    let snap = db.create_snapshot_asof("old2", before).unwrap();
+    let err = restore_table_from_snapshot(&db, &snap, "t", "t").unwrap_err();
+    assert!(
+        matches!(err, Error::SchemaDrift { ref detail, .. } if detail.contains("type")),
+        "got {err:?}"
+    );
+    db.drop_snapshot("old2").unwrap();
+}
+
+#[test]
+fn matching_schema_reconciles_into_live_table() {
+    let db = setup();
+    let before = db.clock().now();
+    db.clock().advance_secs(60);
+
+    // Damage the live table: delete 2, mutate 3, add 7.
+    db.with_txn(|txn| {
+        db.delete(txn, "t", &[Value::U64(2)])?;
+        db.update(txn, "t", &[Value::U64(3), Value::str("mangled")])?;
+        db.insert(txn, "t", &[Value::U64(7), Value::str("post")])
+    })
+    .unwrap();
+
+    let snap = db.create_snapshot_asof("heal", before).unwrap();
+    let copied = restore_table_from_snapshot(&db, &snap, "t", "t").unwrap();
+    assert_eq!(copied, 2, "one re-insert plus one restore-update");
+
+    let txn = db.begin();
+    let rows = db.scan_all(&txn, "t").unwrap();
+    db.commit(txn).unwrap();
+    let expect: Vec<Vec<Value>> = vec![
+        vec![Value::U64(1), Value::str("v1")],
+        vec![Value::U64(2), Value::str("v2")],
+        vec![Value::U64(3), Value::str("v3")],
+        vec![Value::U64(4), Value::str("v4")],
+        vec![Value::U64(5), Value::str("v5")],
+        // reconcile is additive: rows created after the split survive
+        vec![Value::U64(7), Value::str("post")],
+    ];
+    assert_eq!(rows, expect);
+    db.drop_snapshot("heal").unwrap();
+}
