@@ -60,7 +60,58 @@ impl Heap {
         s.with_object_latch(self.object, true, || self.insert_inner(s, row))
     }
 
-    fn insert_inner<S: Store>(&self, s: &S, row: &[u8]) -> Result<Rid> {
+    /// Append many rows in one call; returns their RIDs in order.
+    ///
+    /// Rows landing on the same tail page are framed into the log as ONE
+    /// batched append (`Store::modify_batch`): slots are append-only, so a
+    /// whole run of inserts is known up front — the group-commit fast path
+    /// for multi-row DML. Falls back to growing the heap between batches
+    /// exactly like single inserts.
+    pub fn insert_many<S: Store>(&self, s: &S, rows: &[&[u8]]) -> Result<Vec<Rid>> {
+        for row in rows {
+            Self::check_row(row)?;
+        }
+        s.with_object_latch(self.object, true, || {
+            let mut out = Vec::with_capacity(rows.len());
+            let mut rest = rows;
+            while !rest.is_empty() {
+                let tail = self.tail(s)?;
+                let (base_slot, mut free) =
+                    s.with_page(tail, |p| Ok((p.slot_count(), p.free_space())))?;
+                // Greedily take the prefix of rows that fits on this page.
+                let mut n = 0usize;
+                while n < rest.len() {
+                    let need = rest[n].len() + rewind_pagestore::page::SLOT_ENTRY_SIZE;
+                    if free < need {
+                        break;
+                    }
+                    free -= need;
+                    n += 1;
+                }
+                if n == 0 {
+                    self.grow_tail(s, tail)?;
+                    continue;
+                }
+                let payloads: Vec<LogPayload> = rest[..n]
+                    .iter()
+                    .enumerate()
+                    .map(|(i, row)| LogPayload::InsertRecord {
+                        slot: base_slot + i as u16,
+                        bytes: row.to_vec(),
+                    })
+                    .collect();
+                s.modify_batch(tail, payloads, ModKind::User, rewind_wal::REC_FLAG_HEAP)?;
+                out.extend((0..n).map(|i| Rid {
+                    page: tail,
+                    slot: base_slot + i as u16,
+                }));
+                rest = &rest[n..];
+            }
+            Ok(out)
+        })
+    }
+
+    fn check_row(row: &[u8]) -> Result<()> {
         if row.is_empty() {
             return Err(Error::InvalidArg(
                 "empty heap rows are reserved for tombstones".into(),
@@ -72,6 +123,11 @@ impl Heap {
                 max: crate::btree::MAX_ENTRY,
             });
         }
+        Ok(())
+    }
+
+    fn insert_inner<S: Store>(&self, s: &S, row: &[u8]) -> Result<Rid> {
+        Self::check_row(row)?;
         loop {
             let tail = self.tail(s)?;
             let slot = s.with_page(tail, |p| {
@@ -93,35 +149,39 @@ impl Heap {
                 )?;
                 return Ok(Rid { page: tail, slot });
             }
-            // grow: new tail page (a structure modification)
-            let anchor = s.txn_last_lsn();
-            let q = s.allocate(
-                self.object,
-                PageType::Heap,
-                0,
-                PageId::INVALID,
-                PageId::INVALID,
-                ModKind::Smo,
-            )?;
-            s.modify(
-                tail,
-                LogPayload::SetNextPage {
-                    old: PageId::INVALID,
-                    new: q,
-                },
-                ModKind::Smo,
-            )?;
-            let old_tail_hint = s.with_page(self.first, |p| Ok(p.prev_page()))?;
-            s.modify(
-                self.first,
-                LogPayload::SetPrevPage {
-                    old: old_tail_hint,
-                    new: q,
-                },
-                ModKind::Smo,
-            )?;
-            s.end_smo(anchor)?;
+            self.grow_tail(s, tail)?;
         }
+    }
+
+    /// Chain a fresh page behind `tail` (a structure modification).
+    fn grow_tail<S: Store>(&self, s: &S, tail: PageId) -> Result<()> {
+        let anchor = s.txn_last_lsn();
+        let q = s.allocate(
+            self.object,
+            PageType::Heap,
+            0,
+            PageId::INVALID,
+            PageId::INVALID,
+            ModKind::Smo,
+        )?;
+        s.modify(
+            tail,
+            LogPayload::SetNextPage {
+                old: PageId::INVALID,
+                new: q,
+            },
+            ModKind::Smo,
+        )?;
+        let old_tail_hint = s.with_page(self.first, |p| Ok(p.prev_page()))?;
+        s.modify(
+            self.first,
+            LogPayload::SetPrevPage {
+                old: old_tail_hint,
+                new: q,
+            },
+            ModKind::Smo,
+        )?;
+        s.end_smo(anchor)
     }
 
     /// Read the row at `rid`; `None` if it was deleted (tombstoned).

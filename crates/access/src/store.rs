@@ -58,6 +58,29 @@ pub trait Store {
         extra_flags: u8,
     ) -> Result<Lsn>;
 
+    /// Apply several logged row modifications to page `pid` as one batch.
+    ///
+    /// On logging stores the whole batch is framed into the WAL under a
+    /// single writer-mutex acquisition (group commit's append half) with the
+    /// per-transaction and per-page chains threaded through the batch in
+    /// order. Payloads must be valid *in sequence* against the evolving page
+    /// (e.g. heap appends at consecutive slots); this is the caller's
+    /// contract, checked only as each payload is applied. Returns the
+    /// assigned LSNs in order. The default implementation simply loops
+    /// [`Store::modify_flagged`].
+    fn modify_batch(
+        &self,
+        pid: PageId,
+        payloads: Vec<LogPayload>,
+        kind: ModKind,
+        extra_flags: u8,
+    ) -> Result<Vec<Lsn>> {
+        payloads
+            .into_iter()
+            .map(|p| self.modify_flagged(pid, p, kind, extra_flags))
+            .collect()
+    }
+
     /// Allocate and format a fresh page. `kind` attributes the allocation's
     /// log records: [`ModKind::Smo`] inside structure modifications (not
     /// individually rolled back), [`ModKind::User`] for directly compensable

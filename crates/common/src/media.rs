@@ -113,6 +113,7 @@ struct IoStripe {
     log_cache_hits: AtomicU64,
     log_bytes_written: AtomicU64,
     log_bytes_scanned: AtomicU64,
+    log_flushes: AtomicU64,
     seq_data_bytes: AtomicU64,
 }
 
@@ -167,6 +168,7 @@ impl IoStats {
             out.log_cache_hits += s.log_cache_hits.load(Ordering::Relaxed);
             out.log_bytes_written += s.log_bytes_written.load(Ordering::Relaxed);
             out.log_bytes_scanned += s.log_bytes_scanned.load(Ordering::Relaxed);
+            out.log_flushes += s.log_flushes.load(Ordering::Relaxed);
             out.seq_data_bytes += s.seq_data_bytes.load(Ordering::Relaxed);
         }
         out
@@ -204,6 +206,15 @@ impl IoStats {
             .fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record one physical log flush (a device write barrier). Group commit
+    /// coalesces many committers' requests into one of these; the ratio
+    /// flushes / commits is the quantity `commitbench` gates on. Flushes are
+    /// not part of modeled time — the bytes they move already are.
+    #[inline]
+    pub fn add_log_flush(&self) {
+        self.stripe().log_flushes.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Record `n` bytes scanned sequentially from the log.
     #[inline]
     pub fn add_log_bytes_scanned(&self, n: u64) {
@@ -234,6 +245,8 @@ pub struct IoSnapshot {
     pub log_bytes_written: u64,
     /// See [`IoStats::log_bytes_scanned`].
     pub log_bytes_scanned: u64,
+    /// See [`IoStats::add_log_flush`].
+    pub log_flushes: u64,
     /// See [`IoStats::seq_data_bytes`].
     pub seq_data_bytes: u64,
 }
@@ -252,6 +265,7 @@ impl IoSnapshot {
             log_bytes_scanned: self
                 .log_bytes_scanned
                 .saturating_sub(earlier.log_bytes_scanned),
+            log_flushes: self.log_flushes.saturating_sub(earlier.log_flushes),
             seq_data_bytes: self.seq_data_bytes.saturating_sub(earlier.seq_data_bytes),
         }
     }
@@ -273,13 +287,14 @@ impl fmt::Display for IoSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "reads={} writes={} log_ios={} log_hits={} log_w={}B log_scan={}B seq={}B",
+            "reads={} writes={} log_ios={} log_hits={} log_w={}B log_scan={}B log_flushes={} seq={}B",
             self.page_reads,
             self.page_writes,
             self.log_read_ios,
             self.log_cache_hits,
             self.log_bytes_written,
             self.log_bytes_scanned,
+            self.log_flushes,
             self.seq_data_bytes
         )
     }

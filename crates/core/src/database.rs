@@ -112,7 +112,10 @@ pub struct Database {
     table_cache: RwLock<HashMap<u64, Arc<TableInfo>>>,
     name_cache: RwLock<HashMap<String, u64>>,
     retention_micros: AtomicU64,
-    commit_stamp: Mutex<()>,
+    /// Errors from background maintenance (post-commit checkpoints) that
+    /// must not fail the foreground operation; drained by
+    /// [`Database::take_background_errors`].
+    background_errors: Mutex<Vec<(String, Error)>>,
     snapshots: Mutex<HashMap<String, Arc<AsOfSnapshot>>>,
 }
 
@@ -129,6 +132,18 @@ impl Database {
         let log = Arc::new(LogManager::new(config.log.clone()));
         let db = Self::assemble(fm, Some(fm_mem), log, clock, config, true)?;
         Ok(db)
+    }
+
+    /// Create a fresh database over an arbitrary [`FileManager`] backend
+    /// (fault-injection harnesses, alternative storage). Backends that are
+    /// not [`MemFileManager`] have no backup support.
+    pub fn create_on(
+        fm: Arc<dyn FileManager>,
+        config: DbConfig,
+        clock: SimClock,
+    ) -> Result<Database> {
+        let log = Arc::new(LogManager::new(config.log.clone()));
+        Self::assemble(fm, None, log, clock, config, true)
     }
 
     /// Open a database over an already-consistent file and log (no
@@ -202,7 +217,7 @@ impl Database {
                     retention_micros: config.retention_micros,
                 },
             )?;
-            let commit = LogRecord {
+            let mut commit = LogRecord {
                 lsn: Lsn::NULL,
                 txn: txn.id,
                 prev_lsn: txn.last_lsn(),
@@ -211,10 +226,12 @@ impl Database {
                 object: ObjectId::NONE,
                 undo_next: Lsn::NULL,
                 flags: 0,
-                payload: LogPayload::Commit { at: clock.now() },
+                payload: LogPayload::Commit {
+                    at: Timestamp::ZERO,
+                },
             };
-            let lsn = parts.log.append(&commit);
-            parts.log.flush_to(lsn);
+            let commit_range = parts.log.append_stamped(&mut commit, &|| clock.now());
+            parts.log.flush_up_to(commit_range.end);
             txns.finish(txn.id);
             SysTrees {
                 tables,
@@ -243,7 +260,7 @@ impl Database {
             table_cache: RwLock::new(HashMap::new()),
             name_cache: RwLock::new(HashMap::new()),
             retention_micros: retention,
-            commit_stamp: Mutex::new(()),
+            background_errors: Mutex::new(Vec::new()),
             snapshots: Mutex::new(HashMap::new()),
         };
         if bootstrap {
@@ -314,40 +331,74 @@ impl Database {
 
     /// Commit: append the commit record stamped with the wall clock (the
     /// stamp SplitLSN search keys on, §5.1), force the log, release locks.
+    ///
+    /// The commit path is the group-commit fast path: stamp+append happen
+    /// under ONE writer-mutex acquisition (`append_stamped` folds the clock
+    /// read into the append, keeping stamps monotone in LSN order without a
+    /// separate stamp lock), and the flush coalesces with concurrent
+    /// committers — N commits pay one physical flush, each charged exactly
+    /// its own framed bytes.
+    ///
+    /// Once the flush succeeds the commit is infallible: background
+    /// maintenance (the post-commit checkpoint) can no longer fail it.
+    /// Maintenance errors are deferred to
+    /// [`Database::take_background_errors`] instead of being reported as a
+    /// failure of a transaction that is, in fact, durable.
     pub fn commit(&self, txn: Txn) -> Result<()> {
         let shared = txn.shared;
         if shared.state() != TxnState::Active {
             return Err(Error::TxnFinished(shared.id));
         }
         if shared.last_lsn().is_valid() {
-            // Stamp+append atomically so commit timestamps are monotone in
-            // LSN order.
-            let lsn = {
-                let _stamp = self.commit_stamp.lock();
-                let rec = LogRecord {
-                    lsn: Lsn::NULL,
-                    txn: shared.id,
-                    prev_lsn: shared.last_lsn(),
-                    page: PageId::INVALID,
-                    prev_page_lsn: Lsn::NULL,
-                    object: ObjectId::NONE,
-                    undo_next: Lsn::NULL,
-                    flags: 0,
-                    payload: LogPayload::Commit {
-                        at: self.clock.now(),
-                    },
-                };
-                let lsn = self.parts.log.append(&rec);
-                shared.record_logged(lsn);
-                lsn
+            let mut rec = LogRecord {
+                lsn: Lsn::NULL,
+                txn: shared.id,
+                prev_lsn: shared.last_lsn(),
+                page: PageId::INVALID,
+                prev_page_lsn: Lsn::NULL,
+                object: ObjectId::NONE,
+                undo_next: Lsn::NULL,
+                flags: 0,
+                payload: LogPayload::Commit {
+                    at: Timestamp::ZERO,
+                },
             };
-            self.parts.log.flush_to(lsn);
+            // The returned range's end is the commit record's exact frame
+            // end: flushing through it needs no second writer-mutex trip.
+            let range = self
+                .parts
+                .log
+                .append_stamped(&mut rec, &|| self.clock.now());
+            shared.record_logged(range.start);
+            self.parts.log.flush_up_to(range.end);
         }
         shared.set_state(TxnState::Committed);
         self.locks.release_all(shared.id);
         self.txns.finish(shared.id);
-        self.maybe_checkpoint()?;
+        if let Err(e) = self.maybe_checkpoint() {
+            self.defer_background_error("post-commit checkpoint", e);
+        }
         Ok(())
+    }
+
+    /// Record a background-maintenance failure without failing the
+    /// foreground operation. Bounded: with nothing draining the channel, a
+    /// persistently failing device must not grow memory per commit — only
+    /// the most recent errors are retained, oldest dropped first.
+    fn defer_background_error(&self, what: &str, e: Error) {
+        const MAX_DEFERRED: usize = 64;
+        let mut errs = self.background_errors.lock();
+        if errs.len() >= MAX_DEFERRED {
+            errs.remove(0);
+        }
+        errs.push((what.to_string(), e));
+    }
+
+    /// Drain errors from deferred background maintenance (e.g. a checkpoint
+    /// that failed after a commit was already durable). Empty in healthy
+    /// operation; monitoring should poll this.
+    pub fn take_background_errors(&self) -> Vec<(String, Error)> {
+        std::mem::take(&mut *self.background_errors.lock())
     }
 
     /// Roll the transaction back: walk its chain writing CLRs (§4.2-2),
@@ -362,8 +413,10 @@ impl Database {
             let store = EngineStore::new(&self.parts, &shared);
             let resolver = |obj: ObjectId| self.resolve_access_uncached(obj);
             rewind_recovery::rollback_chain(&store, &self.parts.log, shared.last_lsn(), &resolver)?;
-            self.append_marker(&shared, LogPayload::End);
-            self.parts.log.flush_to(self.parts.log.tail_lsn());
+            let end = self.append_marker(&shared, LogPayload::End);
+            // Record-precise: force exactly through our End marker, not
+            // whatever other transactions have appended since.
+            self.parts.log.flush_to(end);
         }
         shared.set_state(TxnState::Aborted);
         self.locks.release_all(shared.id);
@@ -679,14 +732,11 @@ impl Database {
 
     // ---- checkpoints & retention ------------------------------------------------
 
-    /// Take a fuzzy checkpoint now.
+    /// Take a fuzzy checkpoint now. Marker stamps are issued under the log's
+    /// writer mutex — the same sequencer as commit stamps — so they can
+    /// never be older than the last indexed commit.
     pub fn checkpoint(&self) -> Result<Lsn> {
-        take_checkpoint(
-            &self.parts.log,
-            &self.txns,
-            &self.parts.pool,
-            self.clock.now(),
-        )
+        take_checkpoint(&self.parts.log, &self.txns, &self.parts.pool, &self.clock)
     }
 
     /// Take a checkpoint if enough log accumulated since the last one; also
@@ -871,6 +921,7 @@ impl Database {
             heap.push((loser.last_lsn, loser.id));
         }
         let resolver = |obj: ObjectId| db.resolve_access_uncached(obj);
+        let mut finished: Vec<Arc<TxnShared>> = Vec::new();
         while let Some((lsn, txn)) = heap.pop() {
             let rec = db.parts.log.get_record(lsn)?;
             let sh = shared[&txn.0].clone();
@@ -887,9 +938,29 @@ impl Database {
             if next.is_valid() {
                 heap.push((next, txn));
             } else {
-                db.append_marker(&sh, LogPayload::End);
-                db.txns.finish(txn);
+                finished.push(sh);
             }
+        }
+        // Close every fully-undone loser with ONE batched append: all the
+        // End markers are framed under a single writer-mutex acquisition.
+        let mut ends: Vec<LogRecord> = finished
+            .iter()
+            .map(|sh| LogRecord {
+                lsn: Lsn::NULL,
+                txn: sh.id,
+                prev_lsn: sh.last_lsn(),
+                page: PageId::INVALID,
+                prev_page_lsn: Lsn::NULL,
+                object: ObjectId::NONE,
+                undo_next: Lsn::NULL,
+                flags: 0,
+                payload: LogPayload::End,
+            })
+            .collect();
+        db.parts.log.append_batch(&mut ends);
+        for (sh, rec) in finished.iter().zip(&ends) {
+            sh.record_logged(rec.lsn);
+            db.txns.finish(sh.id);
         }
         db.parts.log.flush_to(db.parts.log.tail_lsn());
         db.checkpoint()?;

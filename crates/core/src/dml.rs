@@ -44,16 +44,7 @@ impl Database {
         self.locks
             .acquire(txn.id(), &LockKey::table(info.id), LockMode::IX)?;
         match info.kind {
-            TableKind::Tree => {
-                let key = info.key_bytes(row)?;
-                self.locks
-                    .acquire(txn.id(), &LockKey::row(info.id, &key), LockMode::X)?;
-                info.tree()?.insert(&store, &key, &encode_row(row))?;
-                for idx in &info.indexes {
-                    let ikey = info.index_key_bytes(idx, row)?;
-                    idx.tree().insert(&store, &ikey, &key)?;
-                }
-            }
+            TableKind::Tree => self.insert_tree_row(txn, &store, &info, row)?,
             TableKind::Heap => {
                 let rid = info.heap()?.insert(&store, &encode_row(row))?;
                 self.locks.acquire(
@@ -61,6 +52,65 @@ impl Database {
                     &LockKey::row(info.id, &Self::rid_lock_bytes(rid)),
                     LockMode::X,
                 )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The shared per-row body of tree inserts: X-lock the key, insert the
+    /// base row, maintain every secondary index. Table intent lock and
+    /// schema check are the caller's job.
+    fn insert_tree_row(
+        &self,
+        txn: &Txn,
+        store: &rewind_recovery::EngineStore<'_>,
+        info: &TableInfo,
+        row: &[Value],
+    ) -> Result<()> {
+        let key = info.key_bytes(row)?;
+        self.locks
+            .acquire(txn.id(), &LockKey::row(info.id, &key), LockMode::X)?;
+        info.tree()?.insert(store, &key, &encode_row(row))?;
+        for idx in &info.indexes {
+            let ikey = info.index_key_bytes(idx, row)?;
+            idx.tree().insert(store, &ikey, &key)?;
+        }
+        Ok(())
+    }
+
+    /// Insert many rows in one call.
+    ///
+    /// Heap tables take the group-commit fast path: every run of rows
+    /// landing on the same tail page is framed into the WAL as ONE batched
+    /// append (`Heap::insert_many` → `Store::modify_batch`), so an N-row
+    /// load pays one log writer-mutex acquisition per page, not per row.
+    /// Tree tables insert row-by-row (slot positions depend on each prior
+    /// insert) but still save the per-call table-lock and catalog overhead.
+    pub fn insert_rows(&self, txn: &Txn, table: &str, rows: &[Vec<Value>]) -> Result<()> {
+        let info = self.table(table)?;
+        for row in rows {
+            info.schema.check_row(row)?;
+        }
+        let store = self.store(txn);
+        self.locks
+            .acquire(txn.id(), &LockKey::table(info.id), LockMode::IX)?;
+        match info.kind {
+            TableKind::Tree => {
+                for row in rows {
+                    self.insert_tree_row(txn, &store, &info, row)?;
+                }
+            }
+            TableKind::Heap => {
+                let encoded: Vec<Vec<u8>> = rows.iter().map(|r| encode_row(r)).collect();
+                let refs: Vec<&[u8]> = encoded.iter().map(|e| e.as_slice()).collect();
+                let rids = info.heap()?.insert_many(&store, &refs)?;
+                for rid in rids {
+                    self.locks.acquire(
+                        txn.id(),
+                        &LockKey::row(info.id, &Self::rid_lock_bytes(rid)),
+                        LockMode::X,
+                    )?;
+                }
             }
         }
         Ok(())

@@ -8,7 +8,7 @@
 //! job, §5.1, via `BufferPool::flush_all`).
 
 use rewind_buffer::BufferPool;
-use rewind_common::{Lsn, Result, Timestamp, TxnId};
+use rewind_common::{Lsn, Result, SimClock, Timestamp, TxnId};
 use rewind_txn::TxnManager;
 use rewind_wal::{CheckpointBody, LogManager, LogPayload, LogRecord};
 
@@ -26,7 +26,15 @@ fn marker(payload: LogPayload) -> LogRecord {
     }
 }
 
-/// Take a checkpoint at wall-clock time `at`; returns the end record's LSN.
+/// Take a checkpoint, reading `clock` for the marker stamps; returns the
+/// end record's LSN.
+///
+/// Both markers are stamped through `LogManager::append_stamped` — i.e.
+/// under the same sequencer (the log writer mutex) as commit records — so a
+/// checkpoint begun while commits race can never push a timestamp older
+/// than the last indexed commit into the time index or the checkpoint
+/// directory, which would break the binary-search invariant SplitLSN and
+/// `checkpoint_before_time` rely on.
 ///
 /// Dirty pages are flushed (like SQL Server's recovery-interval
 /// checkpoints), which is what keeps both crash recovery and as-of snapshot
@@ -36,20 +44,24 @@ pub fn take_checkpoint(
     log: &LogManager,
     txns: &TxnManager,
     pool: &BufferPool,
-    at: Timestamp,
+    clock: &SimClock,
 ) -> Result<Lsn> {
-    let begin_lsn = log.append(&marker(LogPayload::CheckpointBegin { at }));
+    let mut begin = marker(LogPayload::CheckpointBegin {
+        at: Timestamp::ZERO,
+    });
+    let begin_lsn = log.append_stamped(&mut begin, &|| clock.now()).start;
     pool.flush_all()?;
     let att = txns.active_table();
     let dpt = pool.dirty_page_table();
-    let end_lsn = log.append(&marker(LogPayload::CheckpointEnd(CheckpointBody {
-        at,
+    let mut end = marker(LogPayload::CheckpointEnd(CheckpointBody {
+        at: Timestamp::ZERO,
         begin_lsn,
         att,
         dpt,
-    })));
-    log.flush_to(end_lsn);
-    Ok(end_lsn)
+    }));
+    let end = log.append_stamped(&mut end, &|| clock.now());
+    log.flush_up_to(end.end);
+    Ok(end.start)
 }
 
 #[cfg(test)]
@@ -77,7 +89,8 @@ mod tests {
         })
         .unwrap();
 
-        let end = take_checkpoint(&log, &txns, &pool, Timestamp::from_secs(42)).unwrap();
+        let clock = SimClock::starting_at(Timestamp::from_secs(42));
+        let end = take_checkpoint(&log, &txns, &pool, &clock).unwrap();
         let info = log.checkpoint_before(Lsn::MAX).unwrap();
         assert_eq!(info.end_lsn, end);
         assert_eq!(info.at, Timestamp::from_secs(42));

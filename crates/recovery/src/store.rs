@@ -82,6 +82,64 @@ impl<'a> EngineStore<'a> {
     }
 }
 
+/// `ModKind` → (record flags, `undo_next`).
+fn mod_flags(kind: ModKind) -> (u8, Lsn) {
+    match kind {
+        ModKind::User => (0, Lsn::NULL),
+        ModKind::Smo => (REC_FLAG_SYSTEM, Lsn::NULL),
+        ModKind::Clr { undo_next } => (REC_FLAG_CLR, undo_next),
+    }
+}
+
+/// The object a record is attributed to: Format/Reformat carry their own
+/// id (the page header's is stale or not yet written); everything else
+/// uses the page's.
+fn record_object(payload: &LogPayload, page: &Page) -> ObjectId {
+    match payload {
+        LogPayload::Format { object, .. } | LogPayload::Reformat { object, .. } => *object,
+        _ => page.object_id(),
+    }
+}
+
+/// Copy-on-write push for regular snapshots (paper §2.2): the *first*
+/// post-snapshot modification pushes the page's current image;
+/// `before_modify` is expected to ignore later calls.
+fn push_cow(parts: &EngineParts, pid: PageId, page: &Page) {
+    let sinks = parts.cow_sinks.read();
+    for (_, sink) in sinks.iter() {
+        sink.before_modify(pid, page);
+    }
+}
+
+/// FPI cadence (§6.1): emit one `FullPageImage` record of the page's
+/// current state. FPIs are outside any transaction chain — they carry no
+/// logical change, only a faster path backwards.
+fn emit_fpi(
+    parts: &EngineParts,
+    v: &mut rewind_buffer::FrameView<'_>,
+    pid: PageId,
+    object: ObjectId,
+) -> Result<()> {
+    v.reset_fpi_counter();
+    let fpi = LogPayload::FullPageImage {
+        prev_fpi_lsn: v.page().last_fpi_lsn(),
+        image: Box::new(*v.page().image()),
+    };
+    let fpi_rec = LogRecord {
+        lsn: Lsn::NULL,
+        txn: rewind_common::TxnId::NONE,
+        prev_lsn: Lsn::NULL,
+        page: pid,
+        prev_page_lsn: v.page().page_lsn(),
+        object,
+        undo_next: Lsn::NULL,
+        flags: REC_FLAG_SYSTEM,
+        payload: fpi,
+    };
+    let fpi_lsn = parts.log.append(&fpi_rec);
+    fpi_rec.payload.redo(v.page_mut(), pid, fpi_lsn)
+}
+
 impl Store for EngineStore<'_> {
     fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&Page) -> Result<R>) -> Result<R> {
         self.parts.pool.with_page(pid, f)
@@ -98,24 +156,9 @@ impl Store for EngineStore<'_> {
         let parts = self.parts;
         parts.pool.with_page_mut(pid, |v| {
             payload.precheck(v.page())?;
-            // Copy-on-write push for regular snapshots (paper §2.2): the
-            // *first* post-snapshot modification pushes the page's current
-            // image; `before_modify` is expected to ignore later calls.
-            {
-                let sinks = parts.cow_sinks.read();
-                for (_, sink) in sinks.iter() {
-                    sink.before_modify(pid, v.page());
-                }
-            }
-            let (flags, undo_next) = match kind {
-                ModKind::User => (0, Lsn::NULL),
-                ModKind::Smo => (REC_FLAG_SYSTEM, Lsn::NULL),
-                ModKind::Clr { undo_next } => (REC_FLAG_CLR, undo_next),
-            };
-            let object = match &payload {
-                LogPayload::Format { object, .. } | LogPayload::Reformat { object, .. } => *object,
-                _ => v.page().object_id(),
-            };
+            push_cow(parts, pid, v.page());
+            let (flags, undo_next) = mod_flags(kind);
+            let object = record_object(&payload, v.page());
             let rec = LogRecord {
                 lsn: Lsn::NULL,
                 txn: self.txn.id,
@@ -132,32 +175,89 @@ impl Store for EngineStore<'_> {
             rec.payload.redo(v.page_mut(), pid, lsn)?;
             v.mark_dirty(lsn);
 
-            // FPI cadence (§6.1). FPIs are outside any transaction chain:
-            // they carry no logical change, only a faster path backwards.
             if parts.fpi_interval > 0
                 && !matches!(rec.payload, LogPayload::FullPageImage { .. })
                 && v.bump_fpi_counter() >= parts.fpi_interval
             {
-                v.reset_fpi_counter();
-                let fpi = LogPayload::FullPageImage {
-                    prev_fpi_lsn: v.page().last_fpi_lsn(),
-                    image: Box::new(*v.page().image()),
-                };
-                let fpi_rec = LogRecord {
-                    lsn: Lsn::NULL,
-                    txn: rewind_common::TxnId::NONE,
-                    prev_lsn: Lsn::NULL,
-                    page: pid,
-                    prev_page_lsn: v.page().page_lsn(),
-                    object,
-                    undo_next: Lsn::NULL,
-                    flags: REC_FLAG_SYSTEM,
-                    payload: fpi,
-                };
-                let fpi_lsn = parts.log.append(&fpi_rec);
-                fpi_rec.payload.redo(v.page_mut(), pid, fpi_lsn)?;
+                emit_fpi(parts, v, pid, object)?;
             }
             Ok(lsn)
+        })
+    }
+
+    fn modify_batch(
+        &self,
+        pid: PageId,
+        payloads: Vec<LogPayload>,
+        kind: ModKind,
+        extra_flags: u8,
+    ) -> Result<Vec<Lsn>> {
+        if payloads.is_empty() {
+            return Ok(Vec::new());
+        }
+        let _gate = self.parts.mod_gate.read();
+        let parts = self.parts;
+        parts.pool.with_page_mut(pid, |v| {
+            // Validate the WHOLE batch before logging a single byte: replay
+            // the payloads against a scratch copy of the page. The
+            // single-record path prechecks before appending; the batch path
+            // must not weaken that guarantee — a record logged but never
+            // applied would redo (and fail) again at crash recovery.
+            {
+                let mut scratch = v.page().clone();
+                for (i, payload) in payloads.iter().enumerate() {
+                    payload.precheck(&scratch)?;
+                    payload
+                        .redo(&mut scratch, pid, Lsn(u64::MAX))
+                        .map_err(|e| {
+                            Error::Internal(format!("batch payload {i} not applicable: {e}"))
+                        })?;
+                }
+            }
+            push_cow(parts, pid, v.page());
+            let (flags, undo_next) = mod_flags(kind);
+            let n = payloads.len();
+            let mut recs: Vec<LogRecord> = payloads
+                .into_iter()
+                .map(|payload| LogRecord {
+                    lsn: Lsn::NULL,
+                    txn: self.txn.id,
+                    // The first record chains to the transaction's and the
+                    // page's current heads; `append_batch` rewires the rest
+                    // through the batch.
+                    prev_lsn: self.txn.last_lsn(),
+                    page: pid,
+                    prev_page_lsn: v.page().page_lsn(),
+                    object: record_object(&payload, v.page()),
+                    undo_next,
+                    flags: flags | extra_flags,
+                    payload,
+                })
+                .collect();
+            // ONE writer-mutex acquisition for the whole batch.
+            parts.log.append_batch(&mut recs);
+            let mut lsns = Vec::with_capacity(n);
+            for rec in &recs {
+                self.txn.record_logged(rec.lsn);
+                rec.payload.redo(v.page_mut(), pid, rec.lsn)?;
+                lsns.push(rec.lsn);
+            }
+            // rec_lsn (if the frame was clean) is the first record's LSN.
+            v.mark_dirty(lsns[0]);
+
+            // FPI cadence (§6.1): the batch counts as n modifications but
+            // emits at most one image — of the final state.
+            if parts.fpi_interval > 0 {
+                let mut due = false;
+                for _ in 0..n {
+                    due |= v.bump_fpi_counter() >= parts.fpi_interval;
+                }
+                if due {
+                    let object = v.page().object_id();
+                    emit_fpi(parts, v, pid, object)?;
+                }
+            }
+            Ok(lsns)
         })
     }
 

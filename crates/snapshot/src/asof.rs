@@ -150,7 +150,10 @@ impl AsOfSnapshot {
         // durable in the primary file, so the snapshot can always read the
         // primary file and roll backward.
         parts.pool.flush_all()?;
-        parts.log.flush_to(split);
+        // The split is a record *boundary*: everything strictly before it
+        // must be durable; the record at the split is not part of the
+        // snapshot.
+        parts.log.flush_up_to(split);
 
         let io0 = parts.log.io_stats().snapshot();
         let analysis = analyze(&parts.log, split).map_err(retention_of(&parts.log, t))?;

@@ -21,6 +21,11 @@
 //! (random log reads during undo are the paper's Fig. 11 metric), a
 //! checkpoint directory, retention-based truncation (§4.3) and the
 //! wall-clock → SplitLSN search used by as-of snapshot creation (§5.1).
+//! The write path is group-committed: batched appends
+//! ([`LogManager::append_batch`]), clock stamping under the writer mutex
+//! ([`LogManager::append_stamped`]) and a leader/follower flush coalescer
+//! with record-boundary-precise accounting (see the [`logmgr`] module docs
+//! for the commit-path diagram).
 
 pub mod logmgr;
 pub mod record;

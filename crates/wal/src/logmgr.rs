@@ -44,12 +44,55 @@
 //!   so concurrent readers do not serialize on accounting; eviction picks
 //!   the global minimum tick, keeping hit/IO classification identical to
 //!   the previous single-map model for any serial read sequence.
+//!
+//! # Concurrency: the group-commit write path
+//!
+//! The commit path is the write-side twin of the snapshot read path: many
+//! committers must not serialize on per-record mutex acquisitions or on one
+//! flush apiece. Its shape:
+//!
+//! ```text
+//!   committer A ─┐                      ┌─ park ──────────────┐
+//!   committer B ─┼─ stamp+append        │                     │ woken only
+//!   committer C ─┘  (ONE writer-mutex   ├─ enqueue commit LSN ┤ once their
+//!                    acquisition per    │                     │ LSN is
+//!                    batch, stamps      └─ leader: ONE        │ durable
+//!                    monotone in LSN       flush_to(max LSN) ─┘
+//!                    order)                + notify_all
+//! ```
+//!
+//! * **Batched framing.** [`LogManager::append_batch`] frames a whole slice
+//!   of records into the scratch buffer under a single writer-mutex
+//!   acquisition, rewiring intra-batch `prev_lsn`/`prev_page_lsn` chains and
+//!   writing each record's assigned LSN back into the slice. The batch
+//!   becomes visible to readers atomically (one tail publication).
+//! * **Stamping under the sequencer.** [`LogManager::append_stamped`] reads
+//!   the wall clock *inside* the writer mutex and clamps it against the last
+//!   stamp issued, so commit and checkpoint timestamps are monotone in LSN
+//!   order — the binary-search invariant of SplitLSN (§5.1) and the
+//!   checkpoint directory. `push_time` additionally clamps (and
+//!   `debug_assert`s) so a non-monotone stamp from a raw `append` can never
+//!   corrupt the sparse time index.
+//! * **Coalesced flushing.** [`LogManager::flush_to`] is record-boundary
+//!   precise: it makes durable exactly through the end of the record at the
+//!   requested LSN and charges `log_bytes_written` for those bytes only —
+//!   never for other transactions' unflushed tail. Concurrent requests
+//!   coalesce: one leader performs a single sequential flush to the highest
+//!   requested LSN and wakes exactly the followers it covered, so N
+//!   concurrent commits pay one physical flush (`log_flushes` counts them;
+//!   `commitbench` gates on flushes-per-commit < 1).
+//!
+//! **Flush-accounting invariant:** `log_bytes_written` grows by precisely
+//! the framed bytes made durable by explicit flush requests; `flushed_lsn`
+//! always lands on a record boundary (or the tail) and never exceeds the
+//! tail, even under a racing `discard_unflushed`.
 
 use crate::record::{LogPayload, LogPayloadView, LogRecord, LogRecordHeader};
-use parking_lot::Mutex;
-use rewind_common::{Error, IoStats, Lsn, Result, Timestamp};
+use parking_lot::{Condvar, Mutex};
+use rewind_common::{Error, IoStats, Lsn, PageId, Result, Timestamp, TxnId};
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::ops::Range;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -75,6 +118,12 @@ pub struct LogConfig {
     /// for the as-of machinery but remains readable to point-in-time
     /// restore via the `*_deep` methods.
     pub archive_on_truncate: bool,
+    /// Modeled latency of one physical flush, in microseconds (a device
+    /// write barrier / fsync). `0` (the default) makes flushes instantaneous
+    /// — correct for tests — while benchmarks set a realistic sync latency
+    /// so the group-commit coalescer engages the way it would against real
+    /// media.
+    pub flush_delay_us: u64,
 }
 
 impl Default for LogConfig {
@@ -83,6 +132,7 @@ impl Default for LogConfig {
             hot_tail_bytes: 4 * 1024 * 1024,
             cache_blocks: 64,
             archive_on_truncate: false,
+            flush_delay_us: 0,
         }
     }
 }
@@ -206,6 +256,19 @@ struct LogInner {
     /// Sparse time index: (lsn, wall clock) sampled at commits/checkpoints,
     /// ascending. Supports retention decisions and split search narrowing.
     time_index: Vec<(Lsn, Timestamp)>,
+    /// Highest commit/checkpoint stamp seen so far; `append_stamped` and
+    /// `push_time` clamp against it so stamps stay monotone in LSN order.
+    last_stamp: Timestamp,
+}
+
+/// Flush requests coalesced behind a single leader (group commit).
+struct FlushQueue {
+    /// Highest record-end byte offset any waiter has requested and not yet
+    /// seen durable. Clamped back by `discard_unflushed` so a discarded
+    /// request can never cause a later over-flush.
+    requested: u64,
+    /// Whether a leader is currently performing a physical flush.
+    leader_active: bool,
 }
 
 /// The sharded cache model: block id → last-use tick. Sharding keeps
@@ -338,6 +401,9 @@ pub struct LogManager {
     /// Mirror of `LogInner::tail`, for lock-free bounds checks.
     tail: AtomicU64,
     flushed: AtomicU64,
+    /// Group-commit coalescer state; followers park on `flush_cv`.
+    flush_queue: Mutex<FlushQueue>,
+    flush_cv: Condvar,
     cache: ReadCache,
     stats: Arc<IoStats>,
     config: LogConfig,
@@ -355,6 +421,7 @@ impl LogManager {
                 scratch: Vec::new(),
                 checkpoints: Arc::new(Vec::new()),
                 time_index: Vec::new(),
+                last_stamp: Timestamp::ZERO,
             }),
             published: Mutex::new(Arc::new(SealedIndex {
                 version: 1,
@@ -366,6 +433,11 @@ impl LogManager {
             version: AtomicU64::new(1),
             tail: AtomicU64::new(Lsn::FIRST.0),
             flushed: AtomicU64::new(Lsn::FIRST.0),
+            flush_queue: Mutex::new(FlushQueue {
+                requested: Lsn::FIRST.0,
+                leader_active: false,
+            }),
+            flush_cv: Condvar::new(),
             cache: ReadCache::new(),
             stats: Arc::new(IoStats::new()),
             config,
@@ -448,10 +520,11 @@ impl LogManager {
         });
     }
 
-    /// Append a record; assigns and returns its LSN. The record is in memory
-    /// (not durable) until [`LogManager::flush_to`] covers it.
-    pub fn append(&self, rec: &LogRecord) -> Lsn {
-        let mut inner = self.inner.lock();
+    /// Frame one record into the active segment. Writer mutex held; the
+    /// caller publishes `inner.tail` to the atomic mirror when its batch is
+    /// complete (so a multi-record batch becomes visible to readers
+    /// atomically).
+    fn append_locked(&self, inner: &mut LogInner, rec: &LogRecord) -> Lsn {
         let lsn = Lsn(inner.tail);
         // Frame into the reusable scratch buffer: [u32 length][body].
         let mut scratch = std::mem::take(&mut inner.scratch);
@@ -462,14 +535,15 @@ impl LogManager {
         scratch[..4].copy_from_slice(&(body_len as u32).to_le_bytes());
         // Records never straddle segments (a segment is sealed early rather
         // than split a record), so truncation at segment granularity always
-        // lands on a record boundary.
+        // lands on a record boundary. A record larger than `SEGMENT_BYTES`
+        // lands alone in one oversized segment: the empty-active check means
+        // it is never split, and the *next* append seals it.
         if !inner.active.is_empty() && inner.active.len() + scratch.len() > SEGMENT_BYTES as usize {
-            self.seal_active(&mut inner);
+            self.seal_active(inner);
         }
         inner.active.extend_from_slice(&scratch);
         inner.tail += scratch.len() as u64;
         inner.scratch = scratch;
-        self.tail.store(inner.tail, Ordering::Release);
         // Index commit/checkpoint times for retention & split search.
         match &rec.payload {
             LogPayload::Commit { at } | LogPayload::CheckpointBegin { at } => {
@@ -491,6 +565,89 @@ impl LogManager {
         lsn
     }
 
+    /// Append a record; assigns and returns its LSN. The record is in memory
+    /// (not durable) until [`LogManager::flush_to`] covers it.
+    pub fn append(&self, rec: &LogRecord) -> Lsn {
+        let mut inner = self.inner.lock();
+        let lsn = self.append_locked(&mut inner, rec);
+        self.tail.store(inner.tail, Ordering::Release);
+        lsn
+    }
+
+    /// Append a slice of records under ONE writer-mutex acquisition,
+    /// returning the LSN range they occupy (`start` of the first record to
+    /// one past the last). This is the batched half of group commit: a
+    /// transaction's records are framed together instead of paying one mutex
+    /// round-trip each, and the whole batch becomes visible to readers
+    /// atomically.
+    ///
+    /// Chains are rewired *inside* the batch, because callers cannot know
+    /// intermediate LSNs up front: a record's `prev_lsn` is pointed at the
+    /// nearest preceding batch record of the same (valid) transaction, and
+    /// its `prev_page_lsn` at the nearest preceding batch record touching
+    /// the same (valid) page. The first record of each transaction/page in
+    /// the batch keeps its caller-provided linkage. Each record's assigned
+    /// LSN is written back into `rec.lsn`.
+    pub fn append_batch(&self, recs: &mut [LogRecord]) -> Range<Lsn> {
+        let mut inner = self.inner.lock();
+        let first = Lsn(inner.tail);
+        // Batches are small; linear probes beat hashing here.
+        let mut txn_last: Vec<(TxnId, Lsn)> = Vec::new();
+        let mut page_last: Vec<(PageId, Lsn)> = Vec::new();
+        for rec in recs.iter_mut() {
+            if rec.txn.is_valid() {
+                if let Some(&(_, last)) = txn_last.iter().find(|(t, _)| *t == rec.txn) {
+                    rec.prev_lsn = last;
+                }
+            }
+            if rec.page.is_valid() {
+                if let Some(&(_, last)) = page_last.iter().find(|(p, _)| *p == rec.page) {
+                    rec.prev_page_lsn = last;
+                }
+            }
+            let lsn = self.append_locked(&mut inner, rec);
+            rec.lsn = lsn;
+            if rec.txn.is_valid() {
+                match txn_last.iter_mut().find(|(t, _)| *t == rec.txn) {
+                    Some(e) => e.1 = lsn,
+                    None => txn_last.push((rec.txn, lsn)),
+                }
+            }
+            if rec.page.is_valid() {
+                match page_last.iter_mut().find(|(p, _)| *p == rec.page) {
+                    Some(e) => e.1 = lsn,
+                    None => page_last.push((rec.page, lsn)),
+                }
+            }
+        }
+        let end = Lsn(inner.tail);
+        self.tail.store(inner.tail, Ordering::Release);
+        first..end
+    }
+
+    /// Append a commit/checkpoint record, reading its wall-clock stamp from
+    /// `now` *inside* the writer mutex. Folding the stamp into the append's
+    /// mutex acquisition is what makes stamps monotone in LSN order without
+    /// a second lock around the commit path: the stamp is additionally
+    /// clamped against the last stamp issued, so even a non-monotone clock
+    /// (or two clocks racing) cannot produce an out-of-order stamp. The
+    /// stamped record is written back through `rec`.
+    ///
+    /// Returns `record LSN .. frame end`. The end is the exact byte target
+    /// a committer needs durable — pass it to [`LogManager::flush_up_to`]
+    /// so the flush does not have to re-acquire the writer mutex just to
+    /// re-measure the frame it appended.
+    pub fn append_stamped(&self, rec: &mut LogRecord, now: &dyn Fn() -> Timestamp) -> Range<Lsn> {
+        let mut inner = self.inner.lock();
+        let at = now().max(inner.last_stamp);
+        rec.payload.set_stamp(at);
+        let lsn = self.append_locked(&mut inner, rec);
+        rec.lsn = lsn;
+        let end = Lsn(inner.tail);
+        self.tail.store(inner.tail, Ordering::Release);
+        lsn..end
+    }
+
     /// Next LSN that will be assigned (the current end of the log).
     pub fn tail_lsn(&self) -> Lsn {
         Lsn(self.tail.load(Ordering::Acquire))
@@ -506,22 +663,127 @@ impl LogManager {
         Lsn(self.flushed.load(Ordering::Acquire))
     }
 
-    /// Force the log up to (and including the record at) `lsn`. Sequential
-    /// write bytes are accounted; commit latency in benchmarks derives from
-    /// them.
+    /// Force the log up to (and including the record at) `lsn`.
+    ///
+    /// Record-boundary precise: exactly the bytes through the *end of the
+    /// frame at `lsn`* are made durable and charged as `log_bytes_written`
+    /// — never the rest of the tail, so a committer is accounted only its
+    /// own frames, not other in-flight transactions' unflushed bytes.
+    /// `lsn` at or past the tail means "flush everything" (the
+    /// `flush_to(tail_lsn())` idiom).
+    ///
+    /// Concurrent requests are *coalesced*: one leader performs a single
+    /// sequential flush covering every enqueued request and wakes the
+    /// followers it covered — N concurrent committers pay one physical
+    /// flush (counted in `log_flushes`). Returns only once the requested
+    /// record is durable (or has been discarded by crash simulation).
     pub fn flush_to(&self, lsn: Lsn) {
-        // Flushing "through lsn" means everything appended before the
-        // record *after* lsn — conservatively flush the whole tail. The
-        // writer mutex is held across read-tail + advance-flushed so a
-        // concurrent `discard_unflushed` can never observe (or create)
-        // `flushed > tail`.
-        let _ = lsn;
-        let inner = self.inner.lock();
-        let target = inner.tail;
-        let prev = self.flushed.fetch_max(target, Ordering::AcqRel);
-        drop(inner);
-        if target > prev {
-            self.stats.add_log_bytes_written(target - prev);
+        let Some(target) = self.flush_target(lsn) else {
+            return;
+        };
+        self.flush_bytes(target);
+    }
+
+    /// Force the log up to, but *not* including, the record boundary `excl`
+    /// — e.g. a SplitLSN, where everything strictly before the split must be
+    /// durable but the record at the split does not.
+    pub fn flush_up_to(&self, excl: Lsn) {
+        let target = excl.0.min(self.tail.load(Ordering::Acquire));
+        self.flush_bytes(target);
+    }
+
+    /// The byte offset that makes the record at `lsn` durable: the end of
+    /// its frame, or the current tail for `lsn` at/past the tail. `None`
+    /// when there is nothing to do — the record was truncated away
+    /// (truncation never passes the flushed LSN, so it is already durable)
+    /// or does not resolve.
+    fn flush_target(&self, lsn: Lsn) -> Option<u64> {
+        loop {
+            let tail = self.tail.load(Ordering::Acquire);
+            if lsn.0 >= tail {
+                return Some(tail);
+            }
+            let index = self.load_sealed();
+            if lsn.0 < index.trunc {
+                return None;
+            }
+            if lsn.0 < index.sealed_end {
+                if let Some(seg) = SealedIndex::lookup(&index.segs, lsn.0) {
+                    if let Ok((body_off, len)) = seg.frame(lsn) {
+                        return Some(seg.start + (body_off + len) as u64);
+                    }
+                }
+                // Anomalous LSN (mid-record offset, corrupt length prefix):
+                // fall back to flushing the whole tail rather than silently
+                // skipping — callers like the buffer pool's write-back rely
+                // on flush_to upholding the WAL rule unconditionally.
+                return Some(tail);
+            }
+            let inner = self.inner.lock();
+            if inner.active_start > lsn.0 {
+                // Sealed between the snapshot load and the lock; retry.
+                continue;
+            }
+            if lsn.0 + 4 > inner.tail {
+                // Raced a discard; flush whatever still exists.
+                return Some(inner.tail);
+            }
+            let off = (lsn.0 - inner.active_start) as usize;
+            let len = u32::from_le_bytes(inner.active[off..off + 4].try_into().unwrap()) as u64;
+            return Some((lsn.0 + 4 + len).min(inner.tail));
+        }
+    }
+
+    /// Make everything below byte offset `target` durable, coalescing with
+    /// concurrent requests (leader/follower). Followers are woken only once
+    /// their target is covered; a request whose bytes were discarded by a
+    /// racing `discard_unflushed` is abandoned, never spun on.
+    fn flush_bytes(&self, target: u64) {
+        if self.flushed.load(Ordering::Acquire) >= target {
+            return;
+        }
+        let mut queue = self.flush_queue.lock();
+        loop {
+            if self.flushed.load(Ordering::Acquire) >= target {
+                return;
+            }
+            if target > self.tail.load(Ordering::Acquire) {
+                // The requested bytes no longer exist (crash simulation
+                // discarded the unflushed tail); nothing to wait for.
+                return;
+            }
+            if queue.requested < target {
+                queue.requested = target;
+            }
+            if queue.leader_active {
+                // Follower: park until the leader reports completion, then
+                // re-check coverage (no wakeup before durability).
+                self.flush_cv.wait(&mut queue);
+                continue;
+            }
+            // Leader: write everything requested so far in one sequential
+            // flush.
+            let want = queue.requested;
+            queue.leader_active = true;
+            drop(queue);
+            if self.config.flush_delay_us > 0 {
+                // Model the device's sync latency (fsync / write barrier).
+                std::thread::sleep(std::time::Duration::from_micros(self.config.flush_delay_us));
+            }
+            // The writer mutex is held across read-tail + advance-flushed so
+            // a concurrent `discard_unflushed` can never observe (or create)
+            // `flushed > tail`.
+            let inner = self.inner.lock();
+            let want = want.min(inner.tail);
+            let prev = self.flushed.fetch_max(want, Ordering::AcqRel);
+            drop(inner);
+            if want > prev {
+                self.stats.add_log_bytes_written(want - prev);
+                self.stats.add_log_flush();
+            }
+            queue = self.flush_queue.lock();
+            queue.leader_active = false;
+            self.flush_cv.notify_all();
         }
     }
 
@@ -898,6 +1160,15 @@ impl LogManager {
         inner.time_index.retain(|(l, _)| l.0 < tail);
         Arc::make_mut(&mut inner.checkpoints).retain(|c| c.end_lsn.0 < tail);
         self.cache.clear();
+        // Outstanding flush requests above the new tail point at bytes that
+        // no longer exist: clamp them (so a stale high-water mark can never
+        // cause a later over-flush) and wake every parked follower to
+        // re-check — each sees its target past the tail and abandons it.
+        {
+            let mut queue = self.flush_queue.lock();
+            queue.requested = queue.requested.min(tail);
+            self.flush_cv.notify_all();
+        }
         // Discarded tail segments are retired memory too.
         LOG_RETIRE_EPOCH.fetch_add(1, Ordering::Release);
     }
@@ -923,6 +1194,18 @@ impl Drop for LogManager {
 
 impl LogInner {
     fn push_time(&mut self, lsn: Lsn, at: Timestamp) {
+        // Stamps must be monotone in LSN order — the binary-search invariant
+        // of SplitLSN (§5.1) and `checkpoint_before_time`. `append_stamped`
+        // guarantees it at the source; clamp (and loudly flag in debug
+        // builds) anything that arrives out of order through a raw `append`
+        // so one bad stamp cannot corrupt the index.
+        debug_assert!(
+            at >= self.last_stamp,
+            "non-monotone commit/checkpoint stamp at {lsn}: {at:?} < {:?}",
+            self.last_stamp
+        );
+        let at = at.max(self.last_stamp);
+        self.last_stamp = at;
         // keep the index sparse: one entry per 64 KiB of log
         if self
             .time_index
@@ -1217,6 +1500,112 @@ mod tests {
         log.append(&insert_rec(1, 10));
         assert!(log.get_record(log.tail_lsn()).is_err());
         assert!(log.get_record(Lsn(999_999)).is_err());
+    }
+
+    #[test]
+    fn flush_charges_only_requested_frames() {
+        // Regression for the over-flush/over-charge bug: flush_to(lsn) used
+        // to ignore its argument and flush (and charge) the entire tail, so
+        // one committer was billed for other transactions' unflushed bytes.
+        let log = LogManager::new(LogConfig::default());
+        let a = log.append(&insert_rec(1, 100));
+        let b = log.append(&insert_rec(2, 200));
+        let frame_a = log.get_record_ref(a).unwrap().frame_len();
+        let frame_b = log.get_record_ref(b).unwrap().frame_len();
+        let s0 = log.io_stats().snapshot();
+
+        // Committer 1 forces only its own record…
+        log.flush_to(a);
+        let s1 = log.io_stats().snapshot();
+        assert_eq!(s1.log_bytes_written - s0.log_bytes_written, frame_a);
+        assert_eq!(log.flushed_lsn(), b, "flush stops at a's frame end");
+        assert!(log.flushed_lsn() < log.tail_lsn(), "b must stay unflushed");
+
+        // …and committer 2 is charged exactly its own frame afterwards.
+        log.flush_to(b);
+        let s2 = log.io_stats().snapshot();
+        assert_eq!(s2.log_bytes_written - s1.log_bytes_written, frame_b);
+        assert_eq!(log.flushed_lsn(), log.tail_lsn());
+        assert_eq!(s2.log_flushes - s0.log_flushes, 2);
+
+        // Idempotent: re-flushing charges nothing and performs no flush.
+        log.flush_to(a);
+        log.flush_to(b);
+        let s3 = log.io_stats().snapshot();
+        assert_eq!(s3.log_bytes_written, s2.log_bytes_written);
+        assert_eq!(s3.log_flushes, s2.log_flushes);
+    }
+
+    #[test]
+    fn flush_up_to_excludes_the_boundary_record() {
+        let log = LogManager::new(LogConfig::default());
+        let a = log.append(&insert_rec(1, 100));
+        let b = log.append(&insert_rec(1, 100));
+        // Flush strictly before b: a is durable, b is not.
+        log.flush_up_to(b);
+        assert_eq!(log.flushed_lsn(), b);
+        assert!(log.flushed_lsn() < log.tail_lsn());
+        let _ = a;
+    }
+
+    #[test]
+    fn append_batch_chains_and_writes_back_lsns() {
+        let log = LogManager::new(LogConfig::default());
+        let head = log.append(&insert_rec(7, 16));
+        let mut batch: Vec<LogRecord> = (0..5).map(|_| insert_rec(7, 32)).collect();
+        batch[0].prev_lsn = head;
+        batch[0].prev_page_lsn = Lsn(42);
+        let range = log.append_batch(&mut batch);
+        assert_eq!(range.start, batch[0].lsn);
+        assert_eq!(range.end, log.tail_lsn());
+        for (i, rec) in batch.iter().enumerate() {
+            let back = log.get_record(rec.lsn).unwrap();
+            if i == 0 {
+                // The batch head keeps its caller-provided linkage…
+                assert_eq!(back.prev_lsn, head);
+                assert_eq!(back.prev_page_lsn, Lsn(42));
+            } else {
+                // …and the rest are rewired through the batch, both the
+                // per-transaction and the per-page chain.
+                assert_eq!(back.prev_lsn, batch[i - 1].lsn);
+                assert_eq!(back.prev_page_lsn, batch[i - 1].lsn);
+            }
+        }
+        // A batch of differently-keyed records is left unchained.
+        let mut mixed = vec![insert_rec(1, 8), insert_rec(2, 8)];
+        log.append_batch(&mut mixed);
+        let back = log.get_record(mixed[1].lsn).unwrap();
+        assert_eq!(back.prev_lsn, Lsn::NULL);
+    }
+
+    #[test]
+    fn append_stamped_clamps_a_backward_clock() {
+        let log = LogManager::new(LogConfig::default());
+        let mut r1 = rec(
+            1,
+            LogPayload::Commit {
+                at: Timestamp::ZERO,
+            },
+        );
+        log.append_stamped(&mut r1, &|| Timestamp::from_secs(10));
+        // A clock reading behind the last stamp is clamped forward, so
+        // stamps stay monotone in LSN order.
+        let mut r2 = rec(
+            2,
+            LogPayload::Commit {
+                at: Timestamp::ZERO,
+            },
+        );
+        let range2 = log.append_stamped(&mut r2, &|| Timestamp::from_secs(5));
+        assert_eq!(range2.end, log.tail_lsn());
+        match log.get_record(range2.start).unwrap().payload {
+            LogPayload::Commit { at } => assert_eq!(at, Timestamp::from_secs(10)),
+            ref other => panic!("unexpected {other:?}"),
+        }
+        match r2.payload {
+            LogPayload::Commit { at } => assert_eq!(at, Timestamp::from_secs(10)),
+            ref other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -216,6 +216,19 @@ impl LogPayload {
         self.kind().is_page_op()
     }
 
+    /// Overwrite the wall-clock stamp carried by commit/checkpoint payloads;
+    /// a no-op for every other kind. `LogManager::append_stamped` uses this
+    /// to assign the stamp *under the writer mutex*, so stamps are monotone
+    /// in LSN order — the invariant the SplitLSN binary search (§5.1) and
+    /// the checkpoint directory rely on.
+    pub fn set_stamp(&mut self, at: Timestamp) {
+        match self {
+            LogPayload::Commit { at: a } | LogPayload::CheckpointBegin { at: a } => *a = at,
+            LogPayload::CheckpointEnd(body) => body.at = at,
+            _ => {}
+        }
+    }
+
     /// Borrow this payload as a zero-copy view, or `None` for
     /// [`LogPayload::CheckpointEnd`] (whose view form wraps raw bytes).
     /// Views carry the single implementation of redo/undo/compensation.
