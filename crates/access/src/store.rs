@@ -7,8 +7,9 @@
 //!   per-transaction chains), applies it, marks the frame dirty, and
 //!   maintains the FPI cadence (§6.1);
 //! * the **as-of snapshot** (in `rewind-snapshot`): pages come from the side
-//!   file or from the primary file followed by `PreparePageAsOf` (§5.3);
-//!   `modify` is rejected — snapshots are read-only databases;
+//!   file or from the primary — read through the buffer manager with a
+//!   shared latch — followed by `PreparePageAsOf` (§5.3); `modify` is
+//!   rejected — snapshots are read-only databases;
 //! * the **snapshot mutator** (also `rewind-snapshot`): the backdoor used by
 //!   snapshot recovery's logical undo (§5.2) — modifications are applied
 //!   directly to side-file pages *without logging*, because the snapshot is
@@ -38,6 +39,14 @@ pub enum ModKind {
 }
 
 /// Page access + logged modification, as seen by the access methods.
+///
+/// Latching contract: `with_page` holds at most a **shared** page latch for
+/// the duration of `f` and releases it before returning; `modify` takes the
+/// page latch **exclusively**. Implementations must guarantee `f` sees a
+/// consistent image of exactly the requested page (the sharded buffer pool
+/// revalidates the frame after latching and retries if crash simulation
+/// invalidated it). Closures must not re-enter the store for the same page
+/// — latches are not re-entrant.
 pub trait Store {
     /// Run `f` with a (latched) immutable view of page `pid`.
     fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&Page) -> Result<R>) -> Result<R>;

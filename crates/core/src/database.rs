@@ -27,6 +27,10 @@ use std::time::Duration;
 pub struct DbConfig {
     /// Buffer pool size in 8 KiB frames.
     pub buffer_pages: usize,
+    /// Buffer pool page-table shards (0 = the pool's default). Sharding
+    /// changes only contention, never accounting: serial hit/IO/eviction
+    /// classification is identical at every shard count.
+    pub buffer_shards: usize,
     /// Full-page-image interval N (paper §6.1); 0 disables FPIs.
     pub fpi_interval: u32,
     /// Lock wait timeout.
@@ -45,6 +49,7 @@ impl Default for DbConfig {
     fn default() -> Self {
         DbConfig {
             buffer_pages: 4096,
+            buffer_shards: 0,
             fpi_interval: 0,
             lock_timeout: Duration::from_secs(5),
             checkpoint_interval_bytes: 8 << 20,
@@ -163,7 +168,16 @@ impl Database {
         log: Arc<LogManager>,
         config: &DbConfig,
     ) -> Arc<EngineParts> {
-        let pool = Arc::new(BufferPool::new(fm, log.clone(), config.buffer_pages));
+        let pool = if config.buffer_shards > 0 {
+            Arc::new(BufferPool::with_shards(
+                fm,
+                log.clone(),
+                config.buffer_pages,
+                config.buffer_shards,
+            ))
+        } else {
+            Arc::new(BufferPool::new(fm, log.clone(), config.buffer_pages))
+        };
         Arc::new(EngineParts {
             pool,
             log,
@@ -294,6 +308,12 @@ impl Database {
     /// Data-file I/O counters.
     pub fn data_io(&self) -> IoSnapshot {
         self.parts.pool.file_manager().io_stats().snapshot()
+    }
+
+    /// Buffer pool access counters (hits, misses, evictions, shard-lock
+    /// contention).
+    pub fn pool_stats(&self) -> rewind_buffer::PoolStatsView {
+        self.parts.pool.stats()
     }
 
     /// Log I/O counters.

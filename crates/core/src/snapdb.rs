@@ -4,7 +4,10 @@
 //! database (paper §5: "presented to the user as a transactionally
 //! consistent read-only database that supports arbitrary queries"). All
 //! reads run through the snapshot's page-access protocol, so prior versions
-//! are produced only for the data actually touched.
+//! are produced only for the data actually touched. Primary-page reads go
+//! through the (sharded) buffer manager with a shared latch, so concurrent
+//! as-of queries scale with live traffic instead of serializing behind a
+//! global page-table lock.
 //!
 //! Reads gate on the locks reacquired for transactions in flight at the
 //! SplitLSN (§5.2): a read that would observe such a row blocks until the
@@ -164,6 +167,12 @@ impl SnapshotDb {
     /// Pages currently cached in the side file.
     pub fn side_pages(&self) -> usize {
         self.snap.side_pages()
+    }
+
+    /// Per-page prepare-gate entries currently live (bounded by in-flight
+    /// preparations; 0 when quiescent — the gate-leak regression guard).
+    pub fn prepare_gate_entries(&self) -> usize {
+        self.snap.prepare_gate_entries()
     }
 
     /// Whether background undo has completed.

@@ -7,17 +7,34 @@
 //! it as a cache of pages already unwound to the SplitLSN (§5.3) and as the
 //! destination for pages fixed up by background logical undo (§5.2).
 //!
-//! [`SideFile`] reproduces those semantics with a hash-indexed page store.
+//! [`SideFile`] reproduces those semantics with a **sharded** hash-indexed
+//! page store: the map is split into pid-hashed shards, each behind its own
+//! `RwLock`, so concurrent snapshot readers never block behind a writer
+//! (a preparer's `put`, undo's fix-up, or a COW push) landing on an
+//! unrelated shard. Within a shard, reads are shared; only a `put` takes
+//! the shard exclusively.
 
 use crate::page::{Page, PAGE_SIZE};
 use parking_lot::RwLock;
 use rewind_common::PageId;
 use std::collections::HashMap;
 
+/// Number of shards (power of two so the pick is a mask).
+const SIDE_SHARDS: usize = 16;
+
 /// A page-addressed sparse store of page versions.
-#[derive(Default)]
 pub struct SideFile {
-    pages: RwLock<HashMap<u64, Box<[u8; PAGE_SIZE]>>>,
+    shards: Vec<RwLock<HashMap<u64, Box<[u8; PAGE_SIZE]>>>>,
+}
+
+impl Default for SideFile {
+    fn default() -> Self {
+        SideFile {
+            shards: (0..SIDE_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+        }
+    }
 }
 
 impl SideFile {
@@ -26,14 +43,19 @@ impl SideFile {
         Self::default()
     }
 
+    #[inline]
+    fn shard(&self, pid: u64) -> &RwLock<HashMap<u64, Box<[u8; PAGE_SIZE]>>> {
+        &self.shards[rewind_common::shard_index(pid, SIDE_SHARDS)]
+    }
+
     /// Whether the side file holds a version of `pid`.
     pub fn contains(&self, pid: PageId) -> bool {
-        self.pages.read().contains_key(&pid.0)
+        self.shard(pid.0).read().contains_key(&pid.0)
     }
 
     /// Fetch the stored version of `pid`, if any.
     pub fn get(&self, pid: PageId) -> Option<Page> {
-        self.pages.read().get(&pid.0).map(|img| {
+        self.shard(pid.0).read().get(&pid.0).map(|img| {
             let mut p = Page::zeroed();
             p.restore_image(img);
             p
@@ -42,15 +64,17 @@ impl SideFile {
 
     /// Store (or overwrite) the version of `pid`.
     pub fn put(&self, pid: PageId, page: &Page) {
-        self.pages.write().insert(pid.0, Box::new(*page.image()));
+        self.shard(pid.0)
+            .write()
+            .insert(pid.0, Box::new(*page.image()));
     }
 
     /// Store the version of `pid` only if none is present yet. Returns
     /// whether the page was stored. This is the copy-on-write primitive:
     /// only the *first* post-snapshot modification pushes the old image.
     pub fn put_if_absent(&self, pid: PageId, page: &Page) -> bool {
-        let mut pages = self.pages.write();
-        if let std::collections::hash_map::Entry::Vacant(e) = pages.entry(pid.0) {
+        let mut shard = self.shard(pid.0).write();
+        if let std::collections::hash_map::Entry::Vacant(e) = shard.entry(pid.0) {
             e.insert(Box::new(*page.image()));
             true
         } else {
@@ -60,12 +84,12 @@ impl SideFile {
 
     /// Number of page versions stored.
     pub fn len(&self) -> usize {
-        self.pages.read().len()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// Whether the side file is empty.
     pub fn is_empty(&self) -> bool {
-        self.pages.read().is_empty()
+        self.shards.iter().all(|s| s.read().is_empty())
     }
 
     /// Total bytes held (the "size" of the sparse file).
@@ -75,7 +99,11 @@ impl SideFile {
 
     /// Page ids currently stored (diagnostics, tests).
     pub fn page_ids(&self) -> Vec<PageId> {
-        let mut v: Vec<PageId> = self.pages.read().keys().map(|&k| PageId(k)).collect();
+        let mut v: Vec<PageId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().keys().map(|&k| PageId(k)).collect::<Vec<_>>())
+            .collect();
         v.sort();
         v
     }
@@ -134,5 +162,18 @@ mod tests {
             sf.put(PageId(pid), &Page::zeroed());
         }
         assert_eq!(sf.page_ids(), vec![PageId(3), PageId(5), PageId(7)]);
+    }
+
+    #[test]
+    fn many_pages_spread_across_shards() {
+        let sf = SideFile::new();
+        for pid in 1..=200u64 {
+            sf.put(PageId(pid), &Page::zeroed());
+        }
+        assert_eq!(sf.len(), 200);
+        assert_eq!(sf.page_ids().len(), 200);
+        for pid in 1..=200u64 {
+            assert!(sf.contains(PageId(pid)));
+        }
     }
 }

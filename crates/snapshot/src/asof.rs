@@ -171,11 +171,7 @@ impl AsOfSnapshot {
             }
         }
 
-        let inner = Arc::new(SnapInner::new(
-            parts.pool.file_manager().clone(),
-            parts.log.clone(),
-            split,
-        ));
+        let inner = Arc::new(SnapInner::new(parts.pool.clone(), parts.log.clone(), split));
         let cow_token = if cow {
             Some(parts.register_cow(Arc::new(CowPusher {
                 inner: inner.clone(),
@@ -393,6 +389,14 @@ impl AsOfSnapshot {
     /// Number of page versions currently held by the side file.
     pub fn side_pages(&self) -> usize {
         self.inner.side_len()
+    }
+
+    /// Per-page prepare-gate entries currently live. Bounded by the number
+    /// of preparations in flight *right now* — a quiescent snapshot reports
+    /// 0 no matter how many pages it has prepared (the gate-leak
+    /// regression guard).
+    pub fn prepare_gate_entries(&self) -> usize {
+        self.inner.gate_entries()
     }
 
     /// Instrumentation counters.

@@ -15,11 +15,29 @@
 //! additionally lets snapshot recovery's logical undo modify side-file pages
 //! *without logging* — the snapshot is a throwaway replica, as in SQL Server
 //! where undo writes go to the sparse file (§5.2).
+//!
+//! Step (b) reads the primary **through the buffer manager** with a shared
+//! latch (paper §2.1 — every page access, live or as-of, goes through the
+//! buffer pool). The pool's page table is sharded, so an as-of reader never
+//! blocks behind a live writer's exclusive latch on an unrelated shard; a
+//! resident page costs a shared shard probe plus an atomic pin. The image
+//! obtained may be *newer* than the durable version (live writers keep
+//! modifying), which is fine: `PreparePageAsOf` walks the per-page chain
+//! backward from whatever `pageLSN` the image carries.
+//!
+//! Concurrent first-preparations of the same page are serialized by
+//! **per-page gates in a pid-sharded table**. A gate entry lives only while
+//! a preparation is in flight: the preparer removes it once the page is in
+//! the side file (or on error), so the gate table is bounded by the number
+//! of concurrently-preparing pages — it no longer grows with every page a
+//! snapshot ever touched (the pre-shard global `preparing` map leaked one
+//! entry per page for the snapshot's lifetime).
 
 use parking_lot::Mutex;
 use rewind_access::store::{ModKind, Store};
+use rewind_buffer::BufferPool;
 use rewind_common::{Error, Lsn, ObjectId, PageId, Result};
-use rewind_pagestore::{FileManager, Page, PageType, SideFile};
+use rewind_pagestore::{Page, PageType, SideFile};
 use rewind_recovery::prepare_page_as_of;
 use rewind_txn::ObjectLatches;
 use rewind_wal::{LogManager, LogPayload};
@@ -29,27 +47,81 @@ use std::sync::Arc;
 
 use crate::stats::SnapshotStats;
 
-/// Shared snapshot state: the side file, the primary's file manager and log,
+/// Number of prepare-gate shards (power of two).
+const GATE_SHARDS: usize = 16;
+
+/// Per-page first-preparation gates, sharded by pid hash. Entries exist
+/// only while a preparation is in flight (leak-free by construction).
+struct PrepareGates {
+    shards: Vec<Mutex<HashMap<u64, Arc<Mutex<()>>>>>,
+}
+
+impl PrepareGates {
+    fn new() -> Self {
+        PrepareGates {
+            shards: (0..GATE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, pid: u64) -> &Mutex<HashMap<u64, Arc<Mutex<()>>>> {
+        &self.shards[rewind_common::shard_index(pid, GATE_SHARDS)]
+    }
+
+    /// Get (or create) the gate for `pid`.
+    fn enter(&self, pid: u64) -> Arc<Mutex<()>> {
+        self.shard(pid).lock().entry(pid).or_default().clone()
+    }
+
+    /// Remove `pid`'s gate if it is still the one this caller entered
+    /// (idempotent: a later entrant may have re-created the entry).
+    fn leave(&self, pid: u64, gate: &Arc<Mutex<()>>) {
+        let mut map = self.shard(pid).lock();
+        if map.get(&pid).is_some_and(|cur| Arc::ptr_eq(cur, gate)) {
+            map.remove(&pid);
+        }
+    }
+
+    /// Whether `gate` is still the table's entry for `pid`. A waiter that
+    /// acquires a gate *after* its owner retired it (success or error) must
+    /// re-enter through the table, or it would run concurrently with a
+    /// later entrant's fresh gate.
+    fn is_current(&self, pid: u64, gate: &Arc<Mutex<()>>) -> bool {
+        self.shard(pid)
+            .lock()
+            .get(&pid)
+            .is_some_and(|cur| Arc::ptr_eq(cur, gate))
+    }
+
+    /// Gate entries currently live (bounded by in-flight preparations).
+    fn entries(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+/// Shared snapshot state: the side file, the primary's buffer pool and log,
 /// and the SplitLSN.
 pub struct SnapInner {
-    pub(crate) fm: Arc<dyn FileManager>,
+    pub(crate) pool: Arc<BufferPool>,
     pub(crate) log: Arc<LogManager>,
     pub(crate) split: Lsn,
     pub(crate) side: SideFile,
-    preparing: Mutex<HashMap<u64, Arc<Mutex<()>>>>,
+    preparing: PrepareGates,
     pub(crate) stats: SnapshotStats,
     phantom_next: AtomicU64,
 }
 
 impl SnapInner {
-    pub(crate) fn new(fm: Arc<dyn FileManager>, log: Arc<LogManager>, split: Lsn) -> Self {
-        let phantom_base = fm.page_count().max(1) + (1 << 20);
+    pub(crate) fn new(pool: Arc<BufferPool>, log: Arc<LogManager>, split: Lsn) -> Self {
+        let phantom_base = pool.file_manager().page_count().max(1) + (1 << 20);
         SnapInner {
-            fm,
+            pool,
             log,
             split,
             side: SideFile::new(),
-            preparing: Mutex::new(HashMap::new()),
+            preparing: PrepareGates::new(),
             stats: SnapshotStats::default(),
             phantom_next: AtomicU64::new(phantom_base),
         }
@@ -58,6 +130,12 @@ impl SnapInner {
     /// The §5.3 read protocol.
     pub(crate) fn fetch(&self, pid: PageId) -> Result<Page> {
         Ok(self.fetch_traced(pid)?.0)
+    }
+
+    /// Gate entries currently live (regression guard: bounded by in-flight
+    /// preparations, never by pages touched).
+    pub(crate) fn gate_entries(&self) -> usize {
+        self.preparing.entries()
     }
 
     /// [`SnapInner::fetch`] plus the prepare cost actually paid: `None` when
@@ -72,17 +150,34 @@ impl SnapInner {
             self.stats.side_hits.fetch_add(1, Ordering::Relaxed);
             return Ok((p, None));
         }
-        // Serialize concurrent first-preparations of the same page.
-        let gate = {
-            let mut map = self.preparing.lock();
-            map.entry(pid.0).or_default().clone()
-        };
-        let _g = gate.lock();
+        // Serialize concurrent first-preparations of the same page; the
+        // gate entry is removed again on every exit path (including
+        // errors), so a waiter that wakes up holding a retired gate loops
+        // back through the table rather than racing a fresh entrant.
+        loop {
+            let gate = self.preparing.enter(pid.0);
+            let guard = gate.lock();
+            if !self.preparing.is_current(pid.0, &gate) {
+                drop(guard);
+                continue;
+            }
+            let result = self.prepare_gated(pid);
+            drop(guard);
+            self.preparing.leave(pid.0, &gate);
+            return result;
+        }
+    }
+
+    /// The miss path of the §5.3 protocol, run under `pid`'s prepare gate.
+    fn prepare_gated(&self, pid: PageId) -> Result<(Page, Option<rewind_recovery::PrepareStats>)> {
         if let Some(p) = self.side.get(pid) {
             self.stats.side_hits.fetch_add(1, Ordering::Relaxed);
             return Ok((p, None));
         }
-        let mut page = self.fm.read_page(pid)?;
+        // Step (b): read the primary through the buffer manager, shared
+        // latch (the image may be newer than durable; the walk below rolls
+        // it back from whatever pageLSN it carries).
+        let mut page = self.pool.with_page(pid, |p| Ok(p.clone()))?;
         let st =
             prepare_page_as_of(&self.log, &mut page, pid, self.split).map_err(|e| match e {
                 Error::LogTruncated(lsn) => Error::LogTruncated(lsn),
