@@ -372,13 +372,19 @@ impl BufferPool {
     /// a global lock, so a probe bound of `2n+1` is no longer exact —
     /// concurrent hits re-set used bits and transient back-out pins defeat
     /// individual probes without the pool being full. "Exhausted" is
-    /// therefore only reported after several *complete* sweeps in which
-    /// every frame was pinned; sweeps that saw an unpinned frame but lost
-    /// it to churn simply go around again.
+    /// reported after several *complete* sweeps in which every frame was
+    /// pinned; sweeps that saw an unpinned frame but lost it to churn go
+    /// around again with escalating backoff, but only up to a fixed total
+    /// round budget — otherwise long-lived latch holders plus fast-path pin
+    /// flicker (a back-out pin transiently reading 0) could keep resetting
+    /// progress and livelock the claimant forever.
     fn claim_victim(&self) -> Result<usize> {
         let n = self.frames.len();
+        const MAX_ROUNDS: usize = 256;
         let mut fully_pinned_sweeps = 0;
-        while fully_pinned_sweeps < 3 {
+        let mut rounds = 0;
+        while fully_pinned_sweeps < 3 && rounds < MAX_ROUNDS {
+            rounds += 1;
             let mut saw_unpinned = false;
             // Up to two full sweeps per round: the first clears used bits,
             // the second takes any unpinned frame (the serial bound).
@@ -437,14 +443,20 @@ impl BufferPool {
                 return Ok(i);
             }
             if saw_unpinned {
-                // Lost every candidate to concurrent traffic; go again.
-                std::thread::yield_now();
+                // Lost every candidate to concurrent traffic; go again,
+                // backing off harder as rounds accumulate so competing
+                // claimants and latch holders can drain.
+                if rounds > 16 {
+                    std::thread::sleep(std::time::Duration::from_micros((rounds as u64).min(500)));
+                } else {
+                    std::thread::yield_now();
+                }
             } else {
                 fully_pinned_sweeps += 1;
             }
         }
         Err(Error::Internal(
-            "buffer pool exhausted: all frames pinned".into(),
+            "buffer pool exhausted: no evictable frame (all pinned or lost to churn)".into(),
         ))
     }
 

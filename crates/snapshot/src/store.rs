@@ -162,8 +162,14 @@ impl SnapInner {
                 continue;
             }
             let result = self.prepare_gated(pid);
-            drop(guard);
+            // Retire the table entry *before* releasing the gate mutex: a
+            // waiter woken by the unlock must observe `is_current == false`
+            // and loop back through the table. Releasing first would open a
+            // window where the waiter passes `is_current`, a fresh entrant
+            // creates a new gate, and two threads prepare the same pid
+            // concurrently.
             self.preparing.leave(pid.0, &gate);
+            drop(guard);
             return result;
         }
     }
