@@ -22,7 +22,11 @@
 //!   primary's pages through the full §5.3 protocol (gate, primary read,
 //!   `PreparePageAsOf`, side-file install). This is the tracked number:
 //!   the acceptance target is ≥ 2x at 4 threads.
-//! * **as-of warm** — all threads re-read every page (side-file hits).
+//! * **as-of warm** — all threads re-read every page (side-file hits),
+//!   with **clones-per-hit** measured by a counting global allocator
+//!   (page-sized allocations during the warm phase / hits served). The
+//!   seed path cloned 8 KiB per hit (clones/hit = 1.0); the `Arc`-image
+//!   side file serves hits borrowed (clones/hit = 0).
 //! * **live hits** — random resident-page reads through the pool.
 //!
 //! The shard-lock contention counter (`PoolStatsView::map_contended`) is
@@ -36,9 +40,13 @@
 //! miss of the 2x target is reported as WARN (exit 0) by default and the
 //! ratio is always printed as a metric. Set `SNAPBENCH_ENFORCE=1` to turn
 //! the target into a hard gate (exit 1 on < 2x with ≥ 4 cores) — intended
-//! for dedicated perf machines, not the shared CI pool.
+//! for dedicated perf machines, not the shared CI pool. The
+//! **clones-per-hit gate is always hard**: it counts allocator events, not
+//! wall clock, so it is deterministic on any runner — the new path must
+//! perform exactly 0 page-sized allocations across every warm phase.
 
 use rewind_access::store::Store;
+use rewind_common::testalloc::{large_allocations, CountingAllocator};
 use rewind_common::{Lsn, PageId};
 use rewind_core::{Column, DataType, Database, DbConfig, Schema, Value};
 use rewind_pagestore::{FileManager, Page};
@@ -49,6 +57,13 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier, Mutex, RwLock};
 use std::thread;
 use std::time::Instant;
+
+// Every 8 KiB page clone is one large allocation. The clones-per-hit
+// metric divides the warm-phase delta by the hits served; the gate demands
+// exactly 0 for the production path. Same counting implementation as the
+// proof in tests/zero_copy_asof.rs — the gate and the test cannot drift.
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
 
 fn schema() -> Schema {
     Schema::new(
@@ -263,8 +278,9 @@ fn build_workload(rows: u64) -> Workload {
 
 /// Run `threads` workers over disjoint slices of `pids` (worker `w` takes
 /// `w, w+N, …`), then have every worker touch *all* pids once more (warm).
-/// Returns (cold pages/s, warm pages/s).
-fn bench_asof(threads: usize, pids: &[PageId], fetch: impl Fn(PageId) + Sync) -> (f64, f64) {
+/// Returns (cold pages/s, warm pages/s, page-sized allocations during the
+/// warm phase — the clone count behind clones-per-hit).
+fn bench_asof(threads: usize, pids: &[PageId], fetch: impl Fn(PageId) + Sync) -> (f64, f64, u64) {
     let barrier = Barrier::new(threads + 1);
     thread::scope(|scope| {
         for w in 0..threads {
@@ -289,11 +305,15 @@ fn bench_asof(threads: usize, pids: &[PageId], fetch: impl Fn(PageId) + Sync) ->
         barrier.wait();
         barrier.wait();
         let cold = pids.len() as f64 / start.elapsed().as_secs_f64();
+        // Workers only touch pages between the warm barriers, so the
+        // allocator delta across them is attributable to warm hits alone.
+        let allocs0 = large_allocations();
         let start = Instant::now();
         barrier.wait();
         barrier.wait();
         let warm = (pids.len() * threads) as f64 / start.elapsed().as_secs_f64();
-        (cold, warm)
+        let warm_allocs = large_allocations() - allocs0;
+        (cold, warm, warm_allocs)
     })
 }
 
@@ -324,6 +344,11 @@ fn bench_live(threads: usize, pids: &[PageId], reads: u64, read: impl Fn(PageId)
     })
 }
 
+/// Warm-phase hit count: every one of `threads` workers re-reads all pids.
+fn pids_warm_hits(pids: &[PageId], threads: usize) -> u64 {
+    (pids.len() * threads) as u64
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (rows, live_reads) = if quick {
@@ -344,11 +369,20 @@ fn main() {
     let log = w.db.log().clone();
 
     println!(
-        "{:>8} | {:>14} | {:>14} | {:>8} | {:>14} | {:>14}",
-        "threads", "base cold p/s", "new cold p/s", "speedup", "base warm p/s", "new warm p/s"
+        "{:>8} | {:>13} | {:>13} | {:>8} | {:>13} | {:>13} | {:>7} | {:>7}",
+        "threads",
+        "base cold p/s",
+        "new cold p/s",
+        "speedup",
+        "base warm p/s",
+        "new warm p/s",
+        "b cl/hit",
+        "n cl/hit"
     );
-    println!("{}", "-".repeat(88));
+    println!("{}", "-".repeat(104));
     let mut ratio_at_4 = 0.0;
+    let mut new_warm_clones_total = 0u64;
+    let mut new_warm_hits_total = 0u64;
     for threads in [1usize, 2, 4, 8] {
         // Baseline: fresh pre-shard structures per run (cold side file).
         let base = BaselineSnap {
@@ -358,7 +392,8 @@ fn main() {
             side: RwLock::new(HashMap::new()),
             preparing: Mutex::new(HashMap::new()),
         };
-        let (base_cold, base_warm) = bench_asof(threads, &w.pids, |pid| base.fetch(pid));
+        let (base_cold, base_warm, base_clones) =
+            bench_asof(threads, &w.pids, |pid| base.fetch(pid));
 
         // New path: a fresh real snapshot per run (cold side file), reads
         // through the sharded pool / gates / side file. Both pools start
@@ -371,7 +406,7 @@ fn main() {
                 .unwrap();
         snap.wait_undo_complete();
         let store = snap.raw().store();
-        let (new_cold, new_warm) = bench_asof(threads, &w.pids, |pid| {
+        let (new_cold, new_warm, new_clones) = bench_asof(threads, &w.pids, |pid| {
             store.with_page(pid, |_| Ok(())).unwrap();
         });
         assert_eq!(
@@ -385,8 +420,13 @@ fn main() {
         if threads == 4 {
             ratio_at_4 = ratio;
         }
+        let warm_hits = (pids_warm_hits(&w.pids, threads)) as f64;
+        new_warm_clones_total += new_clones;
+        new_warm_hits_total += warm_hits as u64;
         println!(
-            "{threads:>8} | {base_cold:>14.0} | {new_cold:>14.0} | {ratio:>7.2}x | {base_warm:>14.0} | {new_warm:>14.0}"
+            "{threads:>8} | {base_cold:>13.0} | {new_cold:>13.0} | {ratio:>7.2}x | {base_warm:>13.0} | {new_warm:>13.0} | {:>8.2} | {:>8.2}",
+            base_clones as f64 / warm_hits,
+            new_clones as f64 / warm_hits,
         );
     }
 
@@ -422,6 +462,19 @@ fn main() {
     );
 
     println!();
+    // Deterministic gate (allocator counts, not wall clock): warm side-file
+    // hits on the production path must clone zero pages, at every thread
+    // count. The seed path's 1.0 clones/hit is printed alongside as the
+    // baseline metric.
+    if new_warm_clones_total != 0 {
+        println!(
+            "FAIL: {new_warm_clones_total} page clones over {new_warm_hits_total} warm \
+             side-file hits (must be 0 — warm hits are Arc-shared images)"
+        );
+        std::process::exit(1);
+    }
+    println!("PASS: 0 page clones over {new_warm_hits_total} warm side-file hits (clones/hit = 0)");
+
     let cores = thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);

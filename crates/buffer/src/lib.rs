@@ -49,6 +49,36 @@
 //! mapping) on mismatch. Pin counts are never reset: an in-flight accessor
 //! always unpins the frame it pinned.
 //!
+//! # Read guards and the unified `PageRead`
+//!
+//! [`BufferPool::read_page`] returns a [`PageReadGuard`]: a pinned,
+//! shared-latched, revalidated view of one page that dereferences to
+//! [`Page`] and releases latch + pin on drop. `with_page` is now sugar over
+//! it. [`PageRead`] unifies the two ways a borrowed page reaches a reader
+//! in this system — a pool-frame latch ([`PageRead::Frame`]) or an
+//! immutable side-file image ([`PageRead::Image`], an `Arc` clone) — so
+//! snapshot read paths hand out borrowed pages with zero copies regardless
+//! of where the bytes live. The §5.3 step (b) primary read hands the
+//! preparer a `Frame` guard: the one 8 KiB copy on a cold as-of miss is the
+//! copy *into* the prepared image, nothing else.
+//!
+//! # Scan partitions (scan-resistant bulk reads)
+//!
+//! A cold stream larger than the pool (a bulk as-of preparation sweeping a
+//! whole table, ROADMAP item (h)) would march the clock over every frame
+//! and evict the live working set. [`BufferPool::scan_partition`] creates a
+//! pin-limited partition: misses taken through
+//! [`BufferPool::read_page_in`] reuse the partition's **own** frames
+//! ring-style once its bounded budget is reached, so a scan of any length
+//! dirties at most `budget` frames of the shared pool. Partition loads
+//! publish their frames with the reference bit clear, making them the
+//! clock's preferred victims if the live side needs memory — the scan
+//! yields, never the working set. *Hits* are untouched: a scan read of a
+//! resident page pins it exactly like any other reader, and the default
+//! (non-partitioned) path is byte-for-byte the same algorithm as before —
+//! the serial hit/IO/eviction oracle in `tests/prop_pool.rs` proves its
+//! accounting stays bit-exact.
+//!
 //! Invariants enforced by tests (`tests/buffer_torture.rs`,
 //! `tests/prop_pool.rs` in the workspace root and `crates/buffer/tests/`):
 //!
@@ -62,11 +92,11 @@
 //!   evictions for a serial trace equal the pre-shard single-clock oracle,
 //!   for every shard count.
 
-use parking_lot::{RwLock, RwLockReadGuard};
-use rewind_common::{Error, Lsn, PageId, Result};
-use rewind_pagestore::{FileManager, Page};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
+use rewind_common::{Error, Lsn, PageId, Result, StripedCounters};
+use rewind_pagestore::{FileManager, Page, PageImage};
 use rewind_wal::{DptEntry, LogManager};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -146,41 +176,18 @@ struct Shard {
     map: RwLock<HashMap<u64, usize>>,
 }
 
-/// Number of counter stripes (power of two, pick is a mask).
-const STAT_STRIPES: usize = 16;
-
-/// One cache-line-isolated stripe of the pool counters — same discipline as
-/// `IoStats`: a thread increments only its own stripe, so the hot hit path
-/// never bounces a counter line between cores; `snapshot` sums the stripes
-/// and the aggregate is exact.
-#[derive(Debug, Default)]
-#[repr(align(128))]
-struct PoolStatStripe {
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    map_contended: AtomicU64,
-}
-
-static NEXT_STAT_STRIPE: AtomicU64 = AtomicU64::new(0);
-
-thread_local! {
-    static THREAD_STAT_STRIPE: usize =
-        NEXT_STAT_STRIPE.fetch_add(1, Ordering::Relaxed) as usize & (STAT_STRIPES - 1);
-}
+// Pool counter indices into the striped array. The counters are a
+// `rewind_common::StripedCounters` — the same cache-padded, thread-striped,
+// exact-on-sum discipline as `IoStats`, extracted into the shared helper so
+// the idiom is written once (ROADMAP item (i)).
+const PS_HITS: usize = 0;
+const PS_MISSES: usize = 1;
+const PS_EVICTIONS: usize = 2;
+const PS_MAP_CONTENDED: usize = 3;
+const POOL_COUNTERS: usize = 4;
 
 /// Pool access counters (all monotonically increasing), striped per thread.
-#[derive(Debug, Default)]
-struct PoolStats {
-    stripes: [PoolStatStripe; STAT_STRIPES],
-}
-
-impl PoolStats {
-    #[inline]
-    fn stripe(&self) -> &PoolStatStripe {
-        &self.stripes[THREAD_STAT_STRIPE.with(|s| *s)]
-    }
-}
+type PoolStats = StripedCounters<POOL_COUNTERS>;
 
 /// A point-in-time copy of the pool's access counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -206,6 +213,159 @@ impl PoolStatsView {
             evictions: self.evictions.saturating_sub(earlier.evictions),
             map_contended: self.map_contended.saturating_sub(earlier.map_contended),
         }
+    }
+}
+
+/// A pin-limited partition of the pool for cold bulk streams (bulk as-of
+/// preparation, large scans). Created by [`BufferPool::scan_partition`];
+/// passed to [`BufferPool::read_page_in`].
+///
+/// The partition tracks the frames *it* loaded in a bounded ring. Until the
+/// ring reaches its budget, misses claim victims from the global clock like
+/// any other access (the partition's total claim on the shared pool); once
+/// at budget, the oldest ring frame is reused for the next cold page, so a
+/// stream of any length occupies at most `budget` frames. Ring entries lost
+/// to recycling (the global clock taking a scan frame back for live
+/// traffic, or `drop_cache`) or to transient pins are simply dropped — the
+/// partition never evicts a frame it cannot prove is still its own.
+///
+/// The damage bound assumes ring reuse can usually succeed: a miss whose
+/// ring entries are *all* transiently pinned falls back to the global
+/// clock. Callers sharing a partition across N concurrent readers should
+/// therefore budget at least two frames per reader (the snapshot layer's
+/// `prepare_pages_budgeted` enforces exactly that floor).
+///
+/// Shareable across the threads of one fan-out (`Sync`); the ring lock is
+/// taken only on misses, which pay an I/O anyway.
+pub struct ScanPartition {
+    budget: usize,
+    /// (frame index, pid loaded into it) in load order, oldest first.
+    ring: Mutex<VecDeque<(usize, u64)>>,
+    /// Ring frames popped for reuse whose reload has not been recorded yet.
+    /// A reuse holds its budget slot for the whole miss I/O — without this,
+    /// a concurrent worker would see the ring transiently below budget and
+    /// take a fresh global victim, silently exceeding the damage bound.
+    in_flight: AtomicUsize,
+}
+
+impl ScanPartition {
+    /// The bounded frame budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Frames the partition currently holds: recorded ring entries plus
+    /// reuses in flight (≤ budget at rest; diagnostics).
+    pub fn frames_held(&self) -> usize {
+        self.ring.lock().len() + self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// A popped-for-reuse frame was abandoned (racer adopted, read fault):
+    /// its budget slot frees up.
+    fn end_reuse(&self) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn record_load(&self, idx: usize, pid: u64, reused: bool) {
+        let mut ring = self.ring.lock();
+        if reused {
+            self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        }
+        ring.push_back((idx, pid));
+        // Over-budget entries (possible when claims fell back to the global
+        // clock) are forgotten, not evicted: their frames stay resident with
+        // the reference bit clear, first in line for the global clock.
+        while ring.len() > self.budget {
+            ring.pop_front();
+        }
+    }
+}
+
+/// Outcome of asking a [`ScanPartition`] for a victim frame.
+enum RingClaim {
+    /// Below budget: a fill slot was reserved (charged to `in_flight`);
+    /// the caller claims a fresh global victim under it.
+    Fresh,
+    /// A ring frame was claimed for reuse (charged to `in_flight`).
+    Reused(usize),
+    /// Every ring entry was stale or transiently pinned: fall back to an
+    /// *uncharged* global claim so the scan stays live.
+    Fallback,
+}
+
+/// A pinned, shared-latched, revalidated read view of one pool page.
+/// Dereferences to [`Page`]; releases the latch and the pin on drop.
+///
+/// Holding a guard keeps the frame's content stable (writers need the
+/// exclusive latch) and the frame unreclaimable (the pin). Guards must not
+/// be held across a re-entrant access of the same page — frame latches are
+/// not re-entrant — and should not be held across I/O the caller performs.
+pub struct PageReadGuard<'a> {
+    pool: &'a BufferPool,
+    idx: usize,
+    guard: Option<RwLockReadGuard<'a, FrameState>>,
+}
+
+impl std::ops::Deref for PageReadGuard<'_> {
+    type Target = Page;
+
+    #[inline]
+    fn deref(&self) -> &Page {
+        &self.guard.as_ref().expect("guard live until drop").page
+    }
+}
+
+impl Drop for PageReadGuard<'_> {
+    fn drop(&mut self) {
+        // Latch first, then pin — the frame must still be unreclaimable
+        // while the latch is being released.
+        drop(self.guard.take());
+        self.pool.unpin(self.idx);
+    }
+}
+
+/// A borrowed page, wherever its bytes live: a latched pool frame or an
+/// immutable `Arc`-shared image. The unified currency of every read path —
+/// callers consume `&Page` through [`std::ops::Deref`] without knowing (or
+/// copying) the source. Warm snapshot reads are `Image`s (an `Arc` clone,
+/// zero page bytes moved); primary reads are `Frame`s (pin + shared latch,
+/// zero page bytes moved).
+pub enum PageRead<'a> {
+    /// A latched, pinned buffer-pool frame.
+    Frame(PageReadGuard<'a>),
+    /// An immutable shared page image (side file, prepared snapshot page).
+    Image(PageImage),
+}
+
+impl std::ops::Deref for PageRead<'_> {
+    type Target = Page;
+
+    #[inline]
+    fn deref(&self) -> &Page {
+        match self {
+            PageRead::Frame(g) => g,
+            PageRead::Image(img) => img,
+        }
+    }
+}
+
+impl<'a> From<PageReadGuard<'a>> for PageRead<'a> {
+    fn from(g: PageReadGuard<'a>) -> Self {
+        PageRead::Frame(g)
+    }
+}
+
+impl From<PageImage> for PageRead<'_> {
+    fn from(img: PageImage) -> Self {
+        PageRead::Image(img)
+    }
+}
+
+impl PageRead<'_> {
+    /// Whether this read holds a pool latch (as opposed to a free-standing
+    /// image). Latched reads should be dropped promptly.
+    pub fn is_latched(&self) -> bool {
+        matches!(self, PageRead::Frame(_))
     }
 }
 
@@ -290,14 +450,13 @@ impl BufferPool {
 
     /// Access counters (hits, misses, evictions, shard contention).
     pub fn stats(&self) -> PoolStatsView {
-        let mut out = PoolStatsView::default();
-        for s in &self.stats.stripes {
-            out.hits += s.hits.load(Ordering::Relaxed);
-            out.misses += s.misses.load(Ordering::Relaxed);
-            out.evictions += s.evictions.load(Ordering::Relaxed);
-            out.map_contended += s.map_contended.load(Ordering::Relaxed);
+        let s = self.stats.sums();
+        PoolStatsView {
+            hits: s[PS_HITS],
+            misses: s[PS_MISSES],
+            evictions: s[PS_EVICTIONS],
+            map_contended: s[PS_MAP_CONTENDED],
         }
-        out
     }
 
     /// Frames currently pinned (diagnostics: must be 0 when no access is in
@@ -320,10 +479,7 @@ impl BufferPool {
         match shard.map.try_read() {
             Some(g) => g,
             None => {
-                self.stats
-                    .stripe()
-                    .map_contended
-                    .fetch_add(1, Ordering::Relaxed);
+                self.stats.incr(PS_MAP_CONTENDED);
                 shard.map.read()
             }
         }
@@ -333,6 +489,15 @@ impl BufferPool {
     /// needed. The caller must unpin, and must revalidate the frame's pid
     /// under the latch (`drop_cache` may invalidate concurrently).
     fn fetch_pin(&self, pid: PageId) -> Result<usize> {
+        self.fetch_pin_in(pid, None)
+    }
+
+    /// [`BufferPool::fetch_pin`], optionally routing the *miss* path
+    /// through a [`ScanPartition`]. The hit path is identical either way: a
+    /// resident page is pinned and referenced exactly like any other
+    /// access, so partitioned reads change which frames cold pages land in,
+    /// never what counts as a hit.
+    fn fetch_pin_in(&self, pid: PageId, scan: Option<&ScanPartition>) -> Result<usize> {
         if !pid.is_valid() {
             return Err(Error::InvalidPage(pid));
         }
@@ -354,11 +519,11 @@ impl BufferPool {
                         continue;
                     }
                     f.used.store(true, Ordering::Relaxed);
-                    self.stats.stripe().hits.fetch_add(1, Ordering::Relaxed);
+                    self.stats.incr(PS_HITS);
                     return Ok(idx);
                 }
             }
-            if let Some(idx) = self.load_miss(pid)? {
+            if let Some(idx) = self.load_miss_in(pid, scan)? {
                 return Ok(idx);
             }
             // Lost a race; retry from the fast path.
@@ -404,42 +569,7 @@ impl BufferPool {
                 {
                     continue;
                 }
-                // Claimed. Write back a dirty victim *before* unmapping it,
-                // so a flush failure leaves the page reachable + consistent.
-                let tag = f.tag.load(Ordering::Acquire);
-                if tag != TAG_FREE {
-                    {
-                        let mut st = f.state.write();
-                        if st.dirty {
-                            self.log.flush_to(st.page.page_lsn());
-                            if let Err(e) = self.fm.write_page(st.pid, &st.page) {
-                                drop(st);
-                                // The victim is still mapped, so transient
-                                // fast-path pins may be in flight: release
-                                // the claim arithmetically, never by store.
-                                f.pins.fetch_sub(EVICT_CLAIM, Ordering::AcqRel);
-                                return Err(e);
-                            }
-                            st.dirty = false;
-                            st.rec_lsn = Lsn::NULL;
-                        }
-                    }
-                    {
-                        let mut map = self.shard_of_raw(tag).map.write();
-                        if map.get(&tag) == Some(&i) {
-                            map.remove(&tag);
-                        }
-                    }
-                    // Drain fast-path readers that pinned before the
-                    // unmapping.
-                    while f.pins.load(Ordering::Acquire) != EVICT_CLAIM {
-                        std::thread::yield_now();
-                    }
-                    self.stats
-                        .stripe()
-                        .evictions
-                        .fetch_add(1, Ordering::Relaxed);
-                }
+                self.evict_claimed(i)?;
                 return Ok(i);
             }
             if saw_unpinned {
@@ -458,6 +588,47 @@ impl BufferPool {
         Err(Error::Internal(
             "buffer pool exhausted: no evictable frame (all pinned or lost to churn)".into(),
         ))
+    }
+
+    /// Finish evicting a frame the caller has just claimed (its pin count
+    /// is `EVICT_CLAIM`): write back a dirty victim *before* unmapping it
+    /// (WAL rule first; a flush failure leaves the page reachable and
+    /// consistent, with the claim released), drop its old mapping, and
+    /// drain fast-path readers that pinned before the unmapping.
+    fn evict_claimed(&self, idx: usize) -> Result<()> {
+        let f = &self.frames[idx];
+        let tag = f.tag.load(Ordering::Acquire);
+        if tag == TAG_FREE {
+            return Ok(());
+        }
+        {
+            let mut st = f.state.write();
+            if st.dirty {
+                self.log.flush_to(st.page.page_lsn());
+                if let Err(e) = self.fm.write_page(st.pid, &st.page) {
+                    drop(st);
+                    // The victim is still mapped, so transient fast-path
+                    // pins may be in flight: release the claim
+                    // arithmetically, never by store.
+                    f.pins.fetch_sub(EVICT_CLAIM, Ordering::AcqRel);
+                    return Err(e);
+                }
+                st.dirty = false;
+                st.rec_lsn = Lsn::NULL;
+            }
+        }
+        {
+            let mut map = self.shard_of_raw(tag).map.write();
+            if map.get(&tag) == Some(&idx) {
+                map.remove(&tag);
+            }
+        }
+        // Drain fast-path readers that pinned before the unmapping.
+        while f.pins.load(Ordering::Acquire) != EVICT_CLAIM {
+            std::thread::yield_now();
+        }
+        self.stats.incr(PS_EVICTIONS);
+        Ok(())
     }
 
     /// Release a claimed frame back to the free state.
@@ -480,11 +651,99 @@ impl BufferPool {
         f.pins.fetch_sub(EVICT_CLAIM, Ordering::AcqRel);
     }
 
+    /// Claim a victim frame from `part`'s own ring instead of the global
+    /// clock, or reserve a budget slot for a fresh global claim.
+    fn claim_from_ring(&self, part: &ScanPartition) -> Result<RingClaim> {
+        let mut ring = part.ring.lock();
+        // In-flight loads (ring reuses AND pending fresh fills) still own
+        // their budget slots. Reserving the fill slot *under the ring lock*
+        // is what makes the bound hold under concurrency: without it, N
+        // workers could each see the ring one below budget and claim N
+        // fresh global victims.
+        if ring.len() + part.in_flight.load(Ordering::Relaxed) < part.budget {
+            part.in_flight.fetch_add(1, Ordering::Relaxed);
+            return Ok(RingClaim::Fresh);
+        }
+        for _ in 0..ring.len() {
+            let (idx, old_pid) = ring.pop_front().expect("ring non-empty");
+            let f = &self.frames[idx];
+            if f.tag.load(Ordering::Acquire) != old_pid {
+                // The global clock (or drop_cache) recycled this frame for
+                // other traffic since the scan loaded it; the entry is
+                // dead. Do NOT victimize whatever lives there now — that
+                // would be exactly the working-set damage the partition
+                // exists to prevent.
+                continue;
+            }
+            if f.pins
+                .compare_exchange(0, EVICT_CLAIM, Ordering::AcqRel, Ordering::Relaxed)
+                .is_err()
+            {
+                // Transiently pinned (another scan worker, or a live reader
+                // that found the page useful): rotate to the back, try the
+                // next-oldest.
+                ring.push_back((idx, old_pid));
+                continue;
+            }
+            // Re-verify ownership now that the claim blocks recycling: the
+            // global clock may have evicted our page and a live reload may
+            // have landed between the tag check and the CAS. Backing out
+            // drops only the claim (arithmetic — transient back-out pins
+            // may be in flight), leaving the live page untouched; the
+            // entry is dead either way. Only `drop_cache` can change the
+            // tag from here on, and `evict_claimed` copes with that.
+            if f.tag.load(Ordering::Acquire) != old_pid {
+                f.pins.fetch_sub(EVICT_CLAIM, Ordering::AcqRel);
+                continue;
+            }
+            // The popped slot stays charged to the partition until the
+            // reload is recorded (or abandoned).
+            part.in_flight.fetch_add(1, Ordering::Relaxed);
+            drop(ring);
+            if let Err(e) = self.evict_claimed(idx) {
+                part.end_reuse();
+                return Err(e);
+            }
+            return Ok(RingClaim::Reused(idx));
+        }
+        // Every entry was stale or transiently pinned: an *uncharged*
+        // global fallback keeps the scan live. With the two-frames-per-
+        // reader floor the snapshot layer enforces, an all-pinned ring is
+        // not a sustained state, so fallbacks stay rare.
+        Ok(RingClaim::Fallback)
+    }
+
     /// Miss path: claim a victim, load `pid` into it, publish the mapping.
     /// Returns `None` when a racer published `pid` between our fast-path
     /// miss and the publish step *and* we could not adopt its frame.
-    fn load_miss(&self, pid: PageId) -> Result<Option<usize>> {
-        let idx = self.claim_victim()?;
+    ///
+    /// With a [`ScanPartition`], the victim comes from the partition's own
+    /// ring once it is at budget, and the loaded frame is published with
+    /// the reference bit **clear** — cold scan pages are the global clock's
+    /// preferred victims, never its protected residents.
+    fn load_miss_in(&self, pid: PageId, scan: Option<&ScanPartition>) -> Result<Option<usize>> {
+        let (idx, charged) = match scan {
+            Some(part) => match self.claim_from_ring(part)? {
+                RingClaim::Reused(i) => (i, true),
+                RingClaim::Fresh => match self.claim_victim() {
+                    Ok(i) => (i, true),
+                    Err(e) => {
+                        part.end_reuse();
+                        return Err(e);
+                    }
+                },
+                RingClaim::Fallback => (self.claim_victim()?, false),
+            },
+            None => (self.claim_victim()?, false),
+        };
+        // A charged claim (ring reuse or reserved fresh fill) keeps its
+        // budget slot until its load is recorded; abandoning it must
+        // release the slot.
+        let abandon_claim = || {
+            if charged {
+                scan.expect("charged implies a partition").end_reuse();
+            }
+        };
         // A racer may have published `pid` while we were claiming (and
         // possibly writing back) the victim: re-probe before paying the
         // read I/O, handing the claimed frame back free on a hit.
@@ -493,6 +752,7 @@ impl BufferPool {
             if map.contains_key(&pid.0) {
                 drop(map);
                 self.release_claim(idx);
+                abandon_claim();
                 return Ok(None);
             }
         }
@@ -506,6 +766,7 @@ impl BufferPool {
                 Err(e) => {
                     drop(st);
                     self.release_claim(idx);
+                    abandon_claim();
                     return Err(e);
                 }
             }
@@ -515,7 +776,7 @@ impl BufferPool {
             st.mods_since_fpi = 0;
             f.tag.store(pid.0, Ordering::Release);
         }
-        self.stats.stripe().misses.fetch_add(1, Ordering::Relaxed);
+        self.stats.incr(PS_MISSES);
         let shard = self.shard_of_raw(pid.0);
         let mut map = shard.map.write();
         if let Some(&other) = map.get(&pid.0) {
@@ -531,21 +792,29 @@ impl BufferPool {
                 of.pins.fetch_sub(1, Ordering::AcqRel);
                 drop(map);
                 self.release_claim(idx);
+                abandon_claim();
                 std::thread::yield_now();
                 return Ok(None);
             }
             of.used.store(true, Ordering::Relaxed);
             drop(map);
             self.release_claim(idx);
+            abandon_claim();
             return Ok(Some(other));
         }
         // Publish: convert the claim into the caller's pin *before* the
         // mapping becomes visible. Arithmetic, not a store: a stale
         // drop_cache-orphaned mapping may still aim transient back-out
-        // pins at this frame.
+        // pins at this frame. Partition loads leave the reference bit
+        // clear — a use-once scan page must not earn clock protection just
+        // by arriving.
         f.pins.fetch_sub(EVICT_CLAIM - 1, Ordering::AcqRel);
-        f.used.store(true, Ordering::Relaxed);
+        f.used.store(scan.is_none(), Ordering::Relaxed);
         map.insert(pid.0, idx);
+        drop(map);
+        if let Some(part) = scan {
+            part.record_load(idx, pid.0, charged);
+        }
         Ok(Some(idx))
     }
 
@@ -563,23 +832,55 @@ impl BufferPool {
         }
     }
 
-    /// Run `f` with a shared latch on page `pid`.
-    pub fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&Page) -> Result<R>) -> Result<R> {
+    /// Create a pin-limited [`ScanPartition`] over this pool. `budget` is
+    /// clamped to `[1, capacity/2]` — a partition may never monopolize the
+    /// pool it is supposed to protect.
+    pub fn scan_partition(&self, budget: usize) -> ScanPartition {
+        let cap = self.frames.len();
+        ScanPartition {
+            budget: budget.clamp(1, (cap / 2).max(1)),
+            ring: Mutex::new(VecDeque::new()),
+            in_flight: AtomicUsize::new(0),
+        }
+    }
+
+    /// Acquire a shared, revalidated read guard on page `pid`. The guard
+    /// dereferences to [`Page`] and releases latch + pin on drop.
+    pub fn read_page(&self, pid: PageId) -> Result<PageReadGuard<'_>> {
+        self.read_page_in(pid, None)
+    }
+
+    /// [`BufferPool::read_page`], with cold misses optionally routed
+    /// through a [`ScanPartition`] (bounded frame budget, ring reuse).
+    /// Hits — and therefore hit/IO accounting of anything resident — are
+    /// identical to the default path.
+    pub fn read_page_in(
+        &self,
+        pid: PageId,
+        scan: Option<&ScanPartition>,
+    ) -> Result<PageReadGuard<'_>> {
         loop {
-            let idx = self.fetch_pin(pid)?;
-            let frame = &self.frames[idx];
-            let st = frame.state.read();
+            let idx = self.fetch_pin_in(pid, scan)?;
+            let st = self.frames[idx].state.read();
             if st.pid == pid {
-                let res = f(&st.page);
-                drop(st);
-                self.unpin(idx);
-                return res;
+                return Ok(PageReadGuard {
+                    pool: self,
+                    idx,
+                    guard: Some(st),
+                });
             }
             // Invalidated under our pin (crash simulation): clean up, retry.
             drop(st);
             self.unpin(idx);
             self.forget_stale(pid, idx);
         }
+    }
+
+    /// Run `f` with a shared latch on page `pid` (sugar over
+    /// [`BufferPool::read_page`]).
+    pub fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&Page) -> Result<R>) -> Result<R> {
+        let guard = self.read_page(pid)?;
+        f(&guard)
     }
 
     /// Run `f` with an exclusive latch on page `pid`.
@@ -861,6 +1162,85 @@ mod tests {
     fn invalid_page_rejected() {
         let (_fm, _log, pool) = setup(4);
         assert!(pool.with_page(PageId::INVALID, |_| Ok(())).is_err());
+    }
+
+    #[test]
+    fn read_guard_pins_then_releases() {
+        let (_fm, _log, pool) = setup(8);
+        format_on(&pool, PageId(3), Lsn(4));
+        {
+            let g = pool.read_page(PageId(3)).unwrap();
+            assert_eq!(g.page_id(), PageId(3));
+            assert_eq!(g.page_lsn(), Lsn(4));
+            assert_eq!(pool.pinned_frames(), 1, "guard holds the pin");
+            // a second reader shares the latch
+            let g2 = pool.read_page(PageId(3)).unwrap();
+            assert_eq!(g2.page_lsn(), Lsn(4));
+        }
+        assert_eq!(pool.pinned_frames(), 0, "drop releases latch and pin");
+    }
+
+    #[test]
+    fn page_read_unifies_frame_and_image() {
+        let (_fm, _log, pool) = setup(8);
+        format_on(&pool, PageId(5), Lsn(9));
+        let frame: PageRead<'_> = pool.read_page(PageId(5)).unwrap().into();
+        assert!(frame.is_latched());
+        assert_eq!(frame.page_lsn(), Lsn(9));
+        let image: PageRead<'_> = PageImage::new(frame.clone()).into();
+        drop(frame);
+        assert!(!image.is_latched());
+        assert_eq!(image.page_lsn(), Lsn(9));
+        assert_eq!(pool.pinned_frames(), 0);
+    }
+
+    #[test]
+    fn scan_partition_bounds_cold_stream_damage() {
+        let (_fm, _log, pool) = setup(32);
+        // Establish a live working set filling most of the pool.
+        let working: Vec<PageId> = (1..=24u64).map(PageId).collect();
+        for &pid in &working {
+            pool.with_page(pid, |_| Ok(())).unwrap();
+        }
+        // Re-touch so every working frame has its reference bit set.
+        for &pid in &working {
+            pool.with_page(pid, |_| Ok(())).unwrap();
+        }
+        // Cold stream 4x the pool size through a 4-frame partition.
+        let part = pool.scan_partition(4);
+        for pid in 100..=228u64 {
+            let g = pool.read_page_in(PageId(pid), Some(&part)).unwrap();
+            assert_eq!(g.page_id(), PageId(0), "fresh pages read as zeroed");
+        }
+        assert!(part.frames_held() <= part.budget());
+        // The stream may claim at most its budget from the working set
+        // (initial fills come from the global clock until the ring is at
+        // budget; everything after reuses the ring).
+        let still_resident = working.iter().filter(|&&p| pool.contains(p)).count();
+        assert!(
+            still_resident >= working.len() - part.budget(),
+            "scan evicted more than its budget: {} of {} resident",
+            still_resident,
+            working.len()
+        );
+        assert_eq!(pool.pinned_frames(), 0);
+    }
+
+    #[test]
+    fn scan_partition_budget_is_clamped() {
+        let (_fm, _log, pool) = setup(8);
+        assert_eq!(pool.scan_partition(0).budget(), 1);
+        assert_eq!(pool.scan_partition(100).budget(), 4, "at most capacity/2");
+    }
+
+    #[test]
+    fn unpartitioned_path_unaffected_by_partition_existence() {
+        let (_fm, _log, pool) = setup(8);
+        let _part = pool.scan_partition(2);
+        format_on(&pool, PageId(1), Lsn(1)); // miss
+        pool.with_page(PageId(1), |_| Ok(())).unwrap(); // hit
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
     }
 
     #[test]

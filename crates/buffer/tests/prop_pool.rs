@@ -187,6 +187,87 @@ fn replay(ops: &[Op], cap: usize, shards: usize) -> (u64, u64, u64, u64, Vec<u64
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
 
+    /// The default (non-partitioned) read path must stay bit-exact with the
+    /// single-clock oracle even though a scan partition *exists* on the
+    /// pool, and a partitioned cold sweep afterwards must (a) leave the
+    /// phase-1 accounting untouched, (b) still count every cold page as
+    /// exactly one miss/read IO, and (c) disturb at most `budget` of the
+    /// frames the oracle says were resident.
+    #[test]
+    fn scan_partition_keeps_default_path_exact_and_bounds_damage(
+        ops in proptest::collection::vec(op_strategy(24), 1..120),
+        budget in 1usize..6,
+        sweep in 24u64..80,
+    ) {
+        let cap = 16usize;
+        // Phase 1 oracle replay (identical to the main property).
+        let mut oracle = Oracle::new(cap);
+        for op in &ops {
+            match op {
+                Op::Read(p) => oracle.access(*p, false),
+                Op::Write(p) => oracle.access(*p, true),
+                Op::FlushPage(p) => oracle.flush_page(*p),
+                Op::FlushAll => oracle.flush_all(),
+                Op::DropCache => oracle.drop_cache(),
+            }
+        }
+
+        let fm = Arc::new(MemFileManager::new());
+        let log = Arc::new(LogManager::new(LogConfig::default()));
+        let pool = BufferPool::with_shards(fm.clone(), log, cap, 4);
+        // The partition exists for the whole run: its mere existence must
+        // not perturb default-path accounting.
+        let part = pool.scan_partition(budget);
+        let mut lsn = 1u64;
+        for op in &ops {
+            match op {
+                Op::Read(p) => pool.with_page(PageId(*p), |_| Ok(())).unwrap(),
+                Op::Write(p) => pool
+                    .with_page_mut(PageId(*p), |v| {
+                        if v.page().page_type() == PageType::Free {
+                            v.page_mut().format(PageId(*p), ObjectId(1), PageType::Heap);
+                        }
+                        v.page_mut().set_page_lsn(Lsn(lsn));
+                        v.mark_dirty(Lsn(lsn));
+                        lsn += 1;
+                        Ok(())
+                    })
+                    .unwrap(),
+                Op::FlushPage(p) => pool.flush_page(PageId(*p)).unwrap(),
+                Op::FlushAll => pool.flush_all().unwrap(),
+                Op::DropCache => pool.drop_cache(),
+            }
+        }
+        let s1 = pool.stats();
+        prop_assert_eq!(s1.hits, oracle.hits, "default-path hits with partition present");
+        prop_assert_eq!(s1.misses, oracle.misses, "default-path IOs with partition present");
+        prop_assert_eq!(s1.evictions, oracle.evictions, "default-path evictions with partition present");
+
+        // Phase 2: a cold partitioned sweep over pages the trace never
+        // touched (pids 1000..). Serially every page is a fresh miss.
+        let resident_before: Vec<u64> =
+            (1..=512u64).filter(|&p| pool.contains(PageId(p))).collect();
+        let io_before = fm.io_stats().snapshot();
+        for p in 0..sweep {
+            let g = pool.read_page_in(PageId(1000 + p), Some(&part)).unwrap();
+            prop_assert_eq!(g.page_id(), PageId(0)); // zeroed fresh page
+        }
+        let s2 = pool.stats();
+        let io = fm.io_stats().snapshot().delta(io_before);
+        prop_assert_eq!(s2.misses - s1.misses, sweep, "every cold sweep page is one miss");
+        prop_assert_eq!(io.page_reads, sweep, "every cold sweep page is one read IO");
+        let still: usize = resident_before
+            .iter()
+            .filter(|&&p| pool.contains(PageId(p)))
+            .count();
+        prop_assert!(
+            still + budget >= resident_before.len(),
+            "sweep of {} pages evicted {} residents, budget {}",
+            sweep, resident_before.len() - still, budget
+        );
+        prop_assert_eq!(pool.pinned_frames(), 0, "no lost pins after sweep");
+    }
+
     #[test]
     fn sharded_pool_matches_single_clock_oracle(
         ops in proptest::collection::vec(op_strategy(24), 1..250),

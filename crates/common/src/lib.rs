@@ -17,11 +17,14 @@ pub mod codec;
 pub mod error;
 pub mod ids;
 pub mod media;
+pub mod stripe;
+pub mod testalloc;
 
 pub use clock::{SimClock, Timestamp};
 pub use error::{Error, Result};
 pub use ids::{Lsn, ObjectId, PageId, SlotId, TxnId};
 pub use media::{IoSnapshot, IoStats, MediaModel};
+pub use stripe::{StripedCounters, COUNTER_STRIPES};
 
 /// Shard pick for pid-keyed sharded structures (buffer-pool page table,
 /// snapshot side file, prepare gates): Fibonacci multiplicative hash so

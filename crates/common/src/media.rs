@@ -9,8 +9,8 @@
 //! Benchmarks report modeled time for the paper's device classes alongside
 //! actually-measured CPU time.
 
+use crate::stripe::StripedCounters;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Parameters of a storage device class.
 #[derive(Clone, Debug, PartialEq)]
@@ -98,52 +98,29 @@ impl MediaModel {
     }
 }
 
-/// Number of counter stripes. Power of two so the stripe pick is a mask.
-const IO_STRIPES: usize = 16;
-
-/// One cache-line-isolated stripe of the I/O counters. The alignment keeps
-/// two stripes from sharing a cache line, so threads incrementing different
-/// stripes never bounce a line between cores.
-#[derive(Debug, Default)]
-#[repr(align(128))]
-struct IoStripe {
-    page_reads: AtomicU64,
-    page_writes: AtomicU64,
-    log_read_ios: AtomicU64,
-    log_cache_hits: AtomicU64,
-    log_bytes_written: AtomicU64,
-    log_bytes_scanned: AtomicU64,
-    log_flushes: AtomicU64,
-    seq_data_bytes: AtomicU64,
-}
-
-static NEXT_STRIPE_SEED: AtomicU64 = AtomicU64::new(0);
-
-thread_local! {
-    /// Each thread gets a fixed stripe index for its lifetime (round-robin
-    /// assignment), so a thread's increments are uncontended unless more
-    /// than [`IO_STRIPES`] threads are live at once.
-    static THREAD_STRIPE: usize =
-        NEXT_STRIPE_SEED.fetch_add(1, Ordering::Relaxed) as usize & (IO_STRIPES - 1);
-}
-
-#[inline]
-fn thread_stripe() -> usize {
-    THREAD_STRIPE.with(|s| *s)
-}
+// Counter indices into the striped array (see [`StripedCounters`]).
+const IO_PAGE_READS: usize = 0;
+const IO_PAGE_WRITES: usize = 1;
+const IO_LOG_READ_IOS: usize = 2;
+const IO_LOG_CACHE_HITS: usize = 3;
+const IO_LOG_BYTES_WRITTEN: usize = 4;
+const IO_LOG_BYTES_SCANNED: usize = 5;
+const IO_LOG_FLUSHES: usize = 6;
+const IO_SEQ_DATA_BYTES: usize = 7;
+const IO_COUNTERS: usize = 8;
 
 /// Thread-safe I/O counters. One instance is shared by a file manager or log
 /// manager and everything that wants to observe it.
 ///
-/// Internally the counters are *striped*: each thread increments its own
-/// cache-padded stripe, so the hot `fetch_add`s on the lock-free log read
-/// path no longer contend on a single line. [`IoStats::snapshot`] sums the
-/// stripes, so every recorded event appears in the aggregate exactly once —
-/// the totals the paper's Figs. 5–11 are computed from are bit-identical to
-/// the previous single-atomic accounting.
+/// Internally the counters are a [`StripedCounters`]: each thread increments
+/// its own cache-padded stripe, so the hot `fetch_add`s on the lock-free log
+/// read path no longer contend on a single line. [`IoStats::snapshot`] sums
+/// the stripes, so every recorded event appears in the aggregate exactly
+/// once — the totals the paper's Figs. 5–11 are computed from are
+/// bit-identical to the previous single-atomic accounting.
 #[derive(Debug, Default)]
 pub struct IoStats {
-    stripes: [IoStripe; IO_STRIPES],
+    counters: StripedCounters<IO_COUNTERS>,
 }
 
 impl IoStats {
@@ -152,58 +129,50 @@ impl IoStats {
         Self::default()
     }
 
-    #[inline]
-    fn stripe(&self) -> &IoStripe {
-        &self.stripes[thread_stripe()]
-    }
-
     /// Capture a point-in-time copy of the counters (exact aggregate: the
     /// sum over all stripes, each event counted exactly once).
     pub fn snapshot(&self) -> IoSnapshot {
-        let mut out = IoSnapshot::default();
-        for s in &self.stripes {
-            out.page_reads += s.page_reads.load(Ordering::Relaxed);
-            out.page_writes += s.page_writes.load(Ordering::Relaxed);
-            out.log_read_ios += s.log_read_ios.load(Ordering::Relaxed);
-            out.log_cache_hits += s.log_cache_hits.load(Ordering::Relaxed);
-            out.log_bytes_written += s.log_bytes_written.load(Ordering::Relaxed);
-            out.log_bytes_scanned += s.log_bytes_scanned.load(Ordering::Relaxed);
-            out.log_flushes += s.log_flushes.load(Ordering::Relaxed);
-            out.seq_data_bytes += s.seq_data_bytes.load(Ordering::Relaxed);
+        let s = self.counters.sums();
+        IoSnapshot {
+            page_reads: s[IO_PAGE_READS],
+            page_writes: s[IO_PAGE_WRITES],
+            log_read_ios: s[IO_LOG_READ_IOS],
+            log_cache_hits: s[IO_LOG_CACHE_HITS],
+            log_bytes_written: s[IO_LOG_BYTES_WRITTEN],
+            log_bytes_scanned: s[IO_LOG_BYTES_SCANNED],
+            log_flushes: s[IO_LOG_FLUSHES],
+            seq_data_bytes: s[IO_SEQ_DATA_BYTES],
         }
-        out
     }
 
     /// Add `n` random page reads.
     #[inline]
     pub fn add_page_reads(&self, n: u64) {
-        self.stripe().page_reads.fetch_add(n, Ordering::Relaxed);
+        self.counters.add(IO_PAGE_READS, n);
     }
 
     /// Add `n` random page writes.
     #[inline]
     pub fn add_page_writes(&self, n: u64) {
-        self.stripe().page_writes.fetch_add(n, Ordering::Relaxed);
+        self.counters.add(IO_PAGE_WRITES, n);
     }
 
     /// Record a log random-read miss (a media I/O).
     #[inline]
     pub fn add_log_read_io(&self) {
-        self.stripe().log_read_ios.fetch_add(1, Ordering::Relaxed);
+        self.counters.incr(IO_LOG_READ_IOS);
     }
 
     /// Record a log-cache hit.
     #[inline]
     pub fn add_log_cache_hit(&self) {
-        self.stripe().log_cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.counters.incr(IO_LOG_CACHE_HITS);
     }
 
     /// Record `n` bytes appended to the log.
     #[inline]
     pub fn add_log_bytes_written(&self, n: u64) {
-        self.stripe()
-            .log_bytes_written
-            .fetch_add(n, Ordering::Relaxed);
+        self.counters.add(IO_LOG_BYTES_WRITTEN, n);
     }
 
     /// Record one physical log flush (a device write barrier). Group commit
@@ -212,21 +181,19 @@ impl IoStats {
     /// not part of modeled time — the bytes they move already are.
     #[inline]
     pub fn add_log_flush(&self) {
-        self.stripe().log_flushes.fetch_add(1, Ordering::Relaxed);
+        self.counters.incr(IO_LOG_FLUSHES);
     }
 
     /// Record `n` bytes scanned sequentially from the log.
     #[inline]
     pub fn add_log_bytes_scanned(&self, n: u64) {
-        self.stripe()
-            .log_bytes_scanned
-            .fetch_add(n, Ordering::Relaxed);
+        self.counters.add(IO_LOG_BYTES_SCANNED, n);
     }
 
     /// Record `n` bytes of sequential data-file movement (backup/restore).
     #[inline]
     pub fn add_seq_data_bytes(&self, n: u64) {
-        self.stripe().seq_data_bytes.fetch_add(n, Ordering::Relaxed);
+        self.counters.add(IO_SEQ_DATA_BYTES, n);
     }
 }
 
@@ -338,7 +305,7 @@ mod tests {
         // must equal the number of events exactly — no loss, no double
         // counting, regardless of stripe assignment.
         let s = std::sync::Arc::new(IoStats::new());
-        let threads = 2 * super::IO_STRIPES;
+        let threads = 2 * crate::stripe::COUNTER_STRIPES;
         let per_thread = 1000u64;
         let handles: Vec<_> = (0..threads)
             .map(|_| {

@@ -1,0 +1,71 @@
+//! A counting global allocator for zero-copy / zero-alloc proofs.
+//!
+//! Several proofs in this workspace assert allocation behaviour the hard
+//! way — "a warm side-file hit allocates nothing", "a header-only chain
+//! walk allocates nothing per record", "clones-per-hit is exactly 0" — by
+//! registering a counting allocator as the binary's `#[global_allocator]`
+//! and reading counter deltas around the measured section. The counting
+//! logic lives here exactly once so the test and the CI bench gate can
+//! never drift apart in what they measure.
+//!
+//! The type is inert unless a binary opts in:
+//!
+//! ```ignore
+//! use rewind_common::testalloc::{allocations, large_allocations, CountingAllocator};
+//!
+//! #[global_allocator]
+//! static ALLOC: CountingAllocator = CountingAllocator;
+//! ```
+//!
+//! Counters are process-global (there is only one global allocator);
+//! callers measure deltas, so absolute values never matter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Allocations at or above this size count as "large" — sized to the
+/// engine's 8 KiB page, so every page clone lands in
+/// [`large_allocations`]. (`rewind-pagestore` asserts at compile time that
+/// its `PAGE_SIZE` matches.)
+pub const LARGE_ALLOC_MIN: usize = 8192;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static LARGE_ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Forwards to the system allocator, counting every allocation (and
+/// page-sized ones separately). Frees are not counted — the proofs are
+/// about allocation pressure, and `realloc` counts as one allocation.
+pub struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if layout.size() >= LARGE_ALLOC_MIN {
+            LARGE_ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if new_size >= LARGE_ALLOC_MIN {
+            LARGE_ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Total allocations since process start (meaningful as deltas).
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Allocations of [`LARGE_ALLOC_MIN`] bytes or more — page clones, in this
+/// engine (meaningful as deltas).
+pub fn large_allocations() -> u64 {
+    LARGE_ALLOCATIONS.load(Ordering::Relaxed)
+}

@@ -31,6 +31,17 @@ pub struct DbConfig {
     /// changes only contention, never accounting: serial hit/IO/eviction
     /// classification is identical at every shard count.
     pub buffer_shards: usize,
+    /// Frame budget for the scan partition that bulk as-of streams (table
+    /// scans, `prefetch_table`, `prepare_pages`) run in; 0 picks the
+    /// snapshot's default (pool/8). A bulk as-of stream larger than the
+    /// buffer pool disturbs at most this many of the pool's frames — the
+    /// live working set survives snapshot table scans. The effective
+    /// budget is floored at **two frames per prepare worker** (ring reuse
+    /// must be able to proceed past the fan-out's own transient pins) and
+    /// capped at half the pool, so a small budget combined with a wide
+    /// `with_prefetch_workers` fan-out is honoured as `2 × workers`, not
+    /// verbatim.
+    pub asof_scan_budget: usize,
     /// Full-page-image interval N (paper §6.1); 0 disables FPIs.
     pub fpi_interval: u32,
     /// Lock wait timeout.
@@ -50,6 +61,7 @@ impl Default for DbConfig {
         DbConfig {
             buffer_pages: 4096,
             buffer_shards: 0,
+            asof_scan_budget: 0,
             fpi_interval: 0,
             lock_timeout: Duration::from_secs(5),
             checkpoint_interval_bytes: 8 << 20,
@@ -865,7 +877,7 @@ impl Database {
         // *snapshot's own* catalog (as of the SplitLSN).
         let undo_snap = snap.clone();
         snap.spawn_undo(Box::new(move |obj| SnapshotDb::resolve_on(&undo_snap, obj)));
-        SnapshotDb::open(snap)
+        Ok(SnapshotDb::open(snap)?.with_scan_budget(self.config.asof_scan_budget))
     }
 
     /// Retrieve an open snapshot by name.
@@ -876,7 +888,9 @@ impl Database {
             .get(name)
             .cloned()
             .ok_or_else(|| Error::SnapshotNotFound(name.to_string()))?;
-        SnapshotDb::open(snap)
+        // Re-fetched handles honour the configured scan budget just like
+        // freshly created ones.
+        Ok(SnapshotDb::open(snap)?.with_scan_budget(self.config.asof_scan_budget))
     }
 
     /// Drop a snapshot: detach its COW sink and release its log pin.

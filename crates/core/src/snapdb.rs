@@ -24,6 +24,7 @@ use parking_lot::RwLock;
 use rewind_access::keys::{encode_key, prefix_upper_bound};
 use rewind_access::value::decode_row;
 use rewind_access::{Row, Value};
+use rewind_buffer::ScanPartition;
 use rewind_common::{Error, Lsn, ObjectId, PageId, Result, Timestamp};
 use rewind_recovery::AccessKind;
 use rewind_snapshot::{AsOfSnapshot, SnapshotStats};
@@ -40,6 +41,10 @@ pub struct SnapshotDb {
     /// Worker threads used to prepare a table's leaf pages ahead of range
     /// scans (1 = serial, the default).
     prefetch_workers: usize,
+    /// Frame budget for the scan partition bulk preparations run in
+    /// (0 = the snapshot's default). Bulk as-of streams larger than the
+    /// primary's buffer pool disturb at most this many of its frames.
+    scan_budget: usize,
 }
 
 impl SnapshotDb {
@@ -51,6 +56,7 @@ impl SnapshotDb {
             sys,
             cache: Arc::new(RwLock::new(HashMap::new())),
             prefetch_workers: 1,
+            scan_budget: 0,
         })
     }
 
@@ -62,21 +68,69 @@ impl SnapshotDb {
         self
     }
 
+    /// Return a handle whose bulk preparations run inside a scan partition
+    /// of `budget` pool frames (ROADMAP perf item (h); 0 restores the
+    /// default of [`AsOfSnapshot::default_scan_budget`]; the effective
+    /// budget is floored at two frames per prepare worker and capped at
+    /// half the pool).
+    pub fn with_scan_budget(mut self, budget: usize) -> SnapshotDb {
+        self.scan_budget = budget;
+        self
+    }
+
+    /// One scan partition for one bulk operation: the configured budget
+    /// (or the snapshot default), floored at two frames per worker so ring
+    /// reuse never stalls on the fan-out's own transient pins. Everything a
+    /// bulk operation reads — leaf discovery, prefetch fan-out, straggler
+    /// scan reads — must share ONE partition, or each piece would claim
+    /// its own budget from the pool and the configured bound would be a
+    /// multiple of itself.
+    fn scan_partition_for(&self, workers: usize) -> ScanPartition {
+        let budget = if self.scan_budget > 0 {
+            self.scan_budget
+        } else {
+            self.snap.default_scan_budget(workers)
+        };
+        self.snap.scan_partition(budget.max(2 * workers.max(1)))
+    }
+
     /// Concurrently prepare every leaf page of `table` into the side file,
     /// returning the number of pages newly prepared. Internal pages are
     /// prepared serially by the structural walk that discovers the leaves;
     /// the leaves themselves — the bulk of any real table — prepare in
-    /// parallel. Subsequent reads of those pages are side-file hits.
+    /// parallel. All of it runs through one pin-limited scan partition, so
+    /// a table larger than the buffer pool cannot evict the live working
+    /// set. Subsequent reads of those pages are zero-copy side-file hits.
+    ///
+    /// With `workers <= 1` this is a no-op *unless* a scan budget was
+    /// explicitly configured ([`SnapshotDb::with_scan_budget`] /
+    /// `DbConfig::asof_scan_budget`): a configured budget is a promise
+    /// that bulk as-of streams stay inside it, so serial full-table scans
+    /// must take the partitioned path too, not just parallel prefetches.
     pub fn prefetch_table(&self, table: &TableInfo, workers: usize) -> Result<u64> {
-        if table.kind != TableKind::Tree || workers <= 1 {
+        if table.kind != TableKind::Tree || (workers <= 1 && self.scan_budget == 0) {
             return Ok(0);
         }
-        let store = self.snap.store();
+        self.prefetch_table_in(table, workers, &self.scan_partition_for(workers))
+    }
+
+    fn prefetch_table_in(
+        &self,
+        table: &TableInfo,
+        workers: usize,
+        part: &ScanPartition,
+    ) -> Result<u64> {
+        // Discovery reads internal pages — part of the cold stream, so it
+        // runs inside the partition too.
+        let store = self.snap.store_partitioned(part);
         let leaves = table.tree()?.unread_leaf_pages(&store)?;
         if leaves.len() < 2 {
             return Ok(0);
         }
-        Ok(self.snap.prepare_pages(&leaves, workers)?.prepared())
+        Ok(self
+            .snap
+            .prepare_pages_in(&leaves, workers, part)?
+            .prepared())
     }
 
     /// Concurrently prepare only the leaf pages that hold `keys`
@@ -90,6 +144,9 @@ impl SnapshotDb {
         keys: &[&[u8]],
         workers: usize,
     ) -> Result<u64> {
+        // Point-read prefetches are the snapshot's working set, not a cold
+        // stream: a configured budget does not force them through the
+        // partition, so the serial path stays a no-op here.
         if table.kind != TableKind::Tree || workers <= 1 {
             return Ok(0);
         }
@@ -106,7 +163,11 @@ impl SnapshotDb {
         if leaves.len() < 2 {
             return Ok(0);
         }
-        Ok(self.snap.prepare_pages(&leaves, workers)?.prepared())
+        let part = self.scan_partition_for(workers);
+        Ok(self
+            .snap
+            .prepare_pages_in(&leaves, workers, &part)?
+            .prepared())
     }
 
     /// Resolve an object id against a snapshot's own catalog (used by the
@@ -287,10 +348,23 @@ impl SnapshotDb {
         // Fan preparation out only when the scan will visit the whole
         // table anyway; a bounded scan's working set is its range, and
         // preparing beyond it would break the touched-pages-only economy.
-        if matches!((lo, hi), (Bound::Unbounded, Bound::Unbounded)) && limit == usize::MAX {
-            self.prefetch_table(table, self.prefetch_workers)?;
+        // A configured budget bounds *every* bulk tree stream, bounded
+        // ranges included — and the prefetch, the leaf discovery and the
+        // scan's own straggler reads all share ONE partition, so the total
+        // pool damage stays within a single budget.
+        let full_scan =
+            matches!((lo, hi), (Bound::Unbounded, Bound::Unbounded)) && limit == usize::MAX;
+        let part = (self.scan_budget > 0 || (full_scan && self.prefetch_workers > 1))
+            .then(|| self.scan_partition_for(self.prefetch_workers));
+        if full_scan && table.kind == TableKind::Tree {
+            if let Some(p) = &part {
+                self.prefetch_table_in(table, self.prefetch_workers, p)?;
+            }
         }
-        let store = self.snap.store();
+        let store = match &part {
+            Some(p) => self.snap.store_partitioned(p),
+            None => self.snap.store(),
+        };
         loop {
             let mut rows: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
             table.tree()?.scan(&store, lo, hi, |k, v| {
@@ -347,7 +421,16 @@ impl SnapshotDb {
                 self.scan_gated(table, Bound::Unbounded, Bound::Unbounded, usize::MAX)
             }
             TableKind::Heap => {
-                let store = self.snap.store();
+                // Heap chains discover each page from the previous one, so
+                // there is nothing to prefetch — a configured scan budget
+                // instead routes the cold stream itself through a
+                // partition, keeping a heap larger than the pool from
+                // evicting the live working set.
+                let part = (self.scan_budget > 0).then(|| self.scan_partition_for(1));
+                let store = match &part {
+                    Some(p) => self.snap.store_partitioned(p),
+                    None => self.snap.store(),
+                };
                 loop {
                     let mut rows = Vec::new();
                     table.heap()?.scan(&store, |_, bytes| {
@@ -381,6 +464,9 @@ impl SnapshotDb {
         let refs: Vec<&Value> = prefix.iter().collect();
         let lo = encode_key(&refs)?;
         let hi = prefix_upper_bound(&lo);
+        // Index lookups resolve to point reads of the base table — the
+        // snapshot's working set, not a cold stream — so they deliberately
+        // stay off the scan partition.
         let store = self.snap.store();
         loop {
             let mut pks: Vec<Vec<u8>> = Vec::new();

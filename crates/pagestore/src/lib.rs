@@ -10,14 +10,22 @@
 //!   logging, §4.2),
 //! * [`FileManager`] — random page I/O with accounting, in-memory and on-disk
 //!   implementations,
+//! * [`PageImage`] — an immutable, `Arc`-shared page image: the zero-copy
+//!   currency of the snapshot read path,
 //! * [`SideFile`] — the NTFS-sparse-file substitute backing database
-//!   snapshots (§2.2, §5.3).
+//!   snapshots (§2.2, §5.3), a sharded store of [`PageImage`]s.
 
 pub mod alloc;
 pub mod file;
+pub mod image;
 pub mod page;
 pub mod side;
 
 pub use file::{DiskFileManager, FileManager, MemFileManager};
+pub use image::PageImage;
 pub use page::{Page, PageType, HEADER_SIZE, PAGE_SIZE};
 pub use side::SideFile;
+
+// The shared counting allocator's "large allocation" threshold is sized to
+// the page: every 8 KiB page clone must land in its large-alloc counter.
+const _: () = assert!(PAGE_SIZE == rewind_common::testalloc::LARGE_ALLOC_MIN);

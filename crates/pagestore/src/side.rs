@@ -7,13 +7,32 @@
 //! it as a cache of pages already unwound to the SplitLSN (§5.3) and as the
 //! destination for pages fixed up by background logical undo (§5.2).
 //!
-//! [`SideFile`] reproduces those semantics with a **sharded** hash-indexed
-//! page store: the map is split into pid-hashed shards, each behind its own
-//! `RwLock`, so concurrent snapshot readers never block behind a writer
-//! (a preparer's `put`, undo's fix-up, or a COW push) landing on an
-//! unrelated shard. Within a shard, reads are shared; only a `put` takes
-//! the shard exclusively.
+//! [`SideFile`] reproduces those semantics with a **sharded** store of
+//! immutable [`PageImage`]s: the map is split into pid-hashed shards, each
+//! behind its own `RwLock`, so concurrent snapshot readers never block
+//! behind a writer (a preparer's `put`, undo's fix-up, or a COW push)
+//! landing on an unrelated shard. Within a shard, reads are shared; only a
+//! `put` takes the shard exclusively.
+//!
+//! # Zero-copy hits and the copy-on-write epoch invariant
+//!
+//! A [`SideFile::get`] is an `Arc` clone — **no page bytes move** on a hit,
+//! and the shard lock is held only for the map probe. Stored images are
+//! immutable; overwriting an entry (undo's fix-up path) *replaces* the
+//! `Arc`, so a reader that fetched the old image keeps exactly the version
+//! it fetched — an in-flight scan never observes a torn or mixed-epoch
+//! page, which is the PR 4 split-consistency invariant carried down to the
+//! byte level.
+//!
+//! **No shard lock is ever held across an 8 KiB copy.** Borrowing `put`
+//! paths ([`SideFile::put`], [`SideFile::put_if_absent`]) clone the caller's
+//! page into a fresh image *before* taking the shard lock; owning paths
+//! ([`SideFile::put_image`], [`SideFile::put_if_absent_image`]) never copy
+//! at all. (The pre-image `SideFile` copied 8 KiB under the shard lock on
+//! both `get` and `put`, serializing every same-shard reader behind the
+//! memcpy.)
 
+use crate::image::PageImage;
 use crate::page::{Page, PAGE_SIZE};
 use parking_lot::RwLock;
 use rewind_common::PageId;
@@ -22,9 +41,9 @@ use std::collections::HashMap;
 /// Number of shards (power of two so the pick is a mask).
 const SIDE_SHARDS: usize = 16;
 
-/// A page-addressed sparse store of page versions.
+/// A page-addressed sparse store of immutable page-version images.
 pub struct SideFile {
-    shards: Vec<RwLock<HashMap<u64, Box<[u8; PAGE_SIZE]>>>>,
+    shards: Vec<RwLock<HashMap<u64, PageImage>>>,
 }
 
 impl Default for SideFile {
@@ -44,7 +63,7 @@ impl SideFile {
     }
 
     #[inline]
-    fn shard(&self, pid: u64) -> &RwLock<HashMap<u64, Box<[u8; PAGE_SIZE]>>> {
+    fn shard(&self, pid: u64) -> &RwLock<HashMap<u64, PageImage>> {
         &self.shards[rewind_common::shard_index(pid, SIDE_SHARDS)]
     }
 
@@ -53,29 +72,46 @@ impl SideFile {
         self.shard(pid.0).read().contains_key(&pid.0)
     }
 
-    /// Fetch the stored version of `pid`, if any.
-    pub fn get(&self, pid: PageId) -> Option<Page> {
-        self.shard(pid.0).read().get(&pid.0).map(|img| {
-            let mut p = Page::zeroed();
-            p.restore_image(img);
-            p
-        })
+    /// Fetch the stored version of `pid`, if any. An `Arc` clone: zero page
+    /// bytes copied, shard lock held only for the probe.
+    pub fn get(&self, pid: PageId) -> Option<PageImage> {
+        self.shard(pid.0).read().get(&pid.0).cloned()
     }
 
-    /// Store (or overwrite) the version of `pid`.
+    /// Store (or overwrite) the version of `pid` from an owned image — the
+    /// zero-copy install path. Readers holding the previous image keep it
+    /// (epoch stability); new readers see `image`.
+    pub fn put_image(&self, pid: PageId, image: PageImage) {
+        self.shard(pid.0).write().insert(pid.0, image);
+    }
+
+    /// Store (or overwrite) the version of `pid` from a borrowed page. The
+    /// 8 KiB copy into a fresh image happens *before* the shard lock is
+    /// taken.
     pub fn put(&self, pid: PageId, page: &Page) {
-        self.shard(pid.0)
-            .write()
-            .insert(pid.0, Box::new(*page.image()));
+        let image = PageImage::new(page.clone());
+        self.put_image(pid, image);
     }
 
     /// Store the version of `pid` only if none is present yet. Returns
     /// whether the page was stored. This is the copy-on-write primitive:
     /// only the *first* post-snapshot modification pushes the old image.
+    ///
+    /// The copy is made outside the shard lock; a cheap shared-mode probe
+    /// first skips the copy entirely when a version is already present (the
+    /// common case — every modification after the first).
     pub fn put_if_absent(&self, pid: PageId, page: &Page) -> bool {
+        if self.shard(pid.0).read().contains_key(&pid.0) {
+            return false;
+        }
+        self.put_if_absent_image(pid, PageImage::new(page.clone()))
+    }
+
+    /// [`SideFile::put_if_absent`] from an owned image (no copy at all).
+    pub fn put_if_absent_image(&self, pid: PageId, image: PageImage) -> bool {
         let mut shard = self.shard(pid.0).write();
         if let std::collections::hash_map::Entry::Vacant(e) = shard.entry(pid.0) {
-            e.insert(Box::new(*page.image()));
+            e.insert(image);
             true
         } else {
             false
@@ -138,6 +174,35 @@ mod tests {
         assert_eq!(q.page_lsn(), Lsn(44));
         assert_eq!(sf.len(), 1);
         assert_eq!(sf.bytes(), PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn get_is_shared_not_copied() {
+        let sf = SideFile::new();
+        sf.put_image(
+            PageId(4),
+            PageImage::new(Page::formatted(PageId(4), ObjectId(1), PageType::Heap)),
+        );
+        let a = sf.get(PageId(4)).unwrap();
+        let b = sf.get(PageId(4)).unwrap();
+        assert!(a.same_as(&b), "hits share one allocation");
+    }
+
+    #[test]
+    fn overwrite_preserves_in_flight_readers_epoch() {
+        let sf = SideFile::new();
+        let mut v1 = Page::formatted(PageId(9), ObjectId(2), PageType::Heap);
+        v1.set_page_lsn(Lsn(10));
+        sf.put(PageId(9), &v1);
+        let held = sf.get(PageId(9)).unwrap();
+        // undo fix-up overwrites the stored entry...
+        let mut v2 = v1.clone();
+        v2.set_page_lsn(Lsn(20));
+        sf.put_image(PageId(9), PageImage::new(v2));
+        // ...but the in-flight reader keeps the version it fetched
+        assert_eq!(held.page_lsn(), Lsn(10));
+        assert_eq!(sf.get(PageId(9)).unwrap().page_lsn(), Lsn(20));
+        assert!(!held.same_as(&sf.get(PageId(9)).unwrap()));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::stats::SnapshotStatsView;
 use crate::store::{SnapInner, SnapshotMutator, SnapshotStore};
 use parking_lot::{Condvar, Mutex};
+use rewind_buffer::ScanPartition;
 use rewind_common::{Error, Lsn, ObjectId, PageId, Result, Timestamp, TxnId};
 use rewind_pagestore::Page;
 use rewind_recovery::rollback::undo_record_view;
@@ -211,7 +212,25 @@ impl AsOfSnapshot {
         SnapshotStore {
             inner: &self.inner,
             latches: &self.latches,
+            scan: None,
         }
+    }
+
+    /// A store whose cold §5.3 step (b) reads run inside `part` — for bulk
+    /// streams that discover their pages as they read them (heap chains)
+    /// and therefore cannot go through [`AsOfSnapshot::prepare_pages`].
+    pub fn store_partitioned<'a>(&'a self, part: &'a ScanPartition) -> SnapshotStore<'a> {
+        SnapshotStore {
+            inner: &self.inner,
+            latches: &self.latches,
+            scan: Some(part),
+        }
+    }
+
+    /// Create a pin-limited scan partition over the primary's pool (budget
+    /// floored at two frames so serial ring reuse can always proceed).
+    pub fn scan_partition(&self, budget: usize) -> ScanPartition {
+        self.inner.pool.scan_partition(budget.max(2))
     }
 
     fn mutator(&self) -> SnapshotMutator<'_> {
@@ -324,7 +343,13 @@ impl AsOfSnapshot {
     }
 
     /// Prepare `pids` concurrently on a bounded pool of `workers` threads
-    /// (ROADMAP perf item (c): concurrent `PreparePageAsOf` fan-out).
+    /// (ROADMAP perf item (c): concurrent `PreparePageAsOf` fan-out),
+    /// **scan-resistantly** (ROADMAP item (h)): the whole fan-out shares
+    /// one pin-limited [`rewind_buffer::ScanPartition`], so its cold §5.3
+    /// step (b) reads reuse a bounded ring of pool frames instead of
+    /// marching the clock over the live working set. The budget defaults to
+    /// [`AsOfSnapshot::default_scan_budget`]; use
+    /// [`AsOfSnapshot::prepare_pages_budgeted`] to pick one explicitly.
     ///
     /// Distinct pages prepare fully in parallel — the §5.3 protocol already
     /// serializes only *same-page* first-preparations through the per-page
@@ -343,6 +368,50 @@ impl AsOfSnapshot {
     /// Returns per-worker aggregates so callers (repairbench) can model the
     /// parallel stall time as the max over workers rather than the sum.
     pub fn prepare_pages(&self, pids: &[PageId], workers: usize) -> Result<PrefetchOutcome> {
+        let budget = self.default_scan_budget(workers);
+        self.prepare_pages_budgeted(pids, workers, budget)
+    }
+
+    /// The default frame budget for a bulk preparation: an eighth of the
+    /// pool, but at least two frames per worker (so ring reuse never stalls
+    /// the fan-out on its own transient pins) and never more than half the
+    /// pool (a scan must not monopolize the cache it is guarding).
+    pub fn default_scan_budget(&self, workers: usize) -> usize {
+        let cap = self.inner.pool.capacity();
+        (cap / 8).max(2 * workers.max(1)).clamp(1, (cap / 2).max(1))
+    }
+
+    /// [`AsOfSnapshot::prepare_pages`] with an explicit frame budget for
+    /// the shared scan partition. A bulk preparation touching more pages
+    /// than the primary's buffer pool holds will disturb at most `budget`
+    /// frames of it.
+    ///
+    /// The effective budget is raised to two frames per worker (and capped
+    /// at half the pool): with fewer, concurrent workers could keep every
+    /// ring entry transiently pinned, forcing ring reuse to fall back to
+    /// the global clock on each miss — which would quietly void the damage
+    /// bound the budget exists to provide.
+    pub fn prepare_pages_budgeted(
+        &self,
+        pids: &[PageId],
+        workers: usize,
+        budget: usize,
+    ) -> Result<PrefetchOutcome> {
+        let capped = workers.clamp(1, pids.len().max(1));
+        let part = self.inner.pool.scan_partition(budget.max(2 * capped));
+        self.prepare_pages_in(pids, workers, &part)
+    }
+
+    /// [`AsOfSnapshot::prepare_pages`] inside a caller-owned partition, so
+    /// one bounded budget can cover a whole operation — leaf discovery,
+    /// prefetch fan-out and the scan's own straggler reads share a single
+    /// set of frames instead of each claiming their own.
+    pub fn prepare_pages_in(
+        &self,
+        pids: &[PageId],
+        workers: usize,
+        part: &ScanPartition,
+    ) -> Result<PrefetchOutcome> {
         let workers = workers.clamp(1, pids.len().max(1));
         if pids.is_empty() {
             return Ok(PrefetchOutcome::default());
@@ -354,7 +423,7 @@ impl AsOfSnapshot {
                     scope.spawn(move || {
                         let mut stats = PrefetchWorkerStats::default();
                         for &pid in pids.iter().skip(w).step_by(workers) {
-                            let (_, prep) = inner.fetch_traced(pid)?;
+                            let (_, prep) = inner.fetch_traced_in(pid, Some(part))?;
                             stats.pages += 1;
                             if let Some(p) = prep {
                                 stats.prepared += 1;
@@ -389,6 +458,12 @@ impl AsOfSnapshot {
     /// Number of page versions currently held by the side file.
     pub fn side_pages(&self) -> usize {
         self.inner.side_len()
+    }
+
+    /// Page ids currently held by the side file (diagnostics: the warm set
+    /// a zero-copy hit test or benchmark can replay).
+    pub fn side_page_ids(&self) -> Vec<PageId> {
+        self.inner.side.page_ids()
     }
 
     /// Per-page prepare-gate entries currently live. Bounded by the number

@@ -25,6 +25,26 @@
 //! modifying), which is fine: `PreparePageAsOf` walks the per-page chain
 //! backward from whatever `pageLSN` the image carries.
 //!
+//! # Zero-copy reads
+//!
+//! Every page this store serves is a [`PageImage`] — an immutable,
+//! `Arc`-shared allocation. A **warm hit copies nothing**: the side file
+//! hands back an `Arc` clone and the query closure borrows straight from
+//! it. A **cold miss copies exactly once**: step (b) borrows the primary
+//! frame through a [`rewind_buffer::PageRead`] guard (shared latch, no
+//! owned clone), and the single 8 KiB copy is the one *into* the private
+//! page that `PreparePageAsOf` rewinds — which is then frozen into the
+//! image the side file stores and every subsequent reader shares. Because
+//! stored images are immutable and overwrites swap the `Arc`, an in-flight
+//! reader keeps the exact version it fetched while background undo fixes
+//! pages up underneath it (epoch stability — the split-consistency
+//! invariant).
+//!
+//! Bulk preparation (`AsOfSnapshot::prepare_pages`, table prefetch) passes
+//! a [`rewind_buffer::ScanPartition`] down to step (b), so a cold as-of
+//! stream larger than the pool reuses its own bounded frame budget instead
+//! of evicting the live working set (ROADMAP item (h)).
+//!
 //! Concurrent first-preparations of the same page are serialized by
 //! **per-page gates in a pid-sharded table**. A gate entry lives only while
 //! a preparation is in flight: the preparer removes it once the page is in
@@ -35,9 +55,9 @@
 
 use parking_lot::Mutex;
 use rewind_access::store::{ModKind, Store};
-use rewind_buffer::BufferPool;
+use rewind_buffer::{BufferPool, ScanPartition};
 use rewind_common::{Error, Lsn, ObjectId, PageId, Result};
-use rewind_pagestore::{Page, PageType, SideFile};
+use rewind_pagestore::{Page, PageImage, PageType, SideFile};
 use rewind_recovery::prepare_page_as_of;
 use rewind_txn::ObjectLatches;
 use rewind_wal::{LogManager, LogPayload};
@@ -127,9 +147,10 @@ impl SnapInner {
         }
     }
 
-    /// The §5.3 read protocol.
-    pub(crate) fn fetch(&self, pid: PageId) -> Result<Page> {
-        Ok(self.fetch_traced(pid)?.0)
+    /// The §5.3 read protocol: a shared immutable image of `pid` as of the
+    /// SplitLSN. Warm hits are an `Arc` clone — zero page bytes copied.
+    pub(crate) fn fetch_image(&self, pid: PageId) -> Result<PageImage> {
+        Ok(self.fetch_traced_in(pid, None)?.0)
     }
 
     /// Gate entries currently live (regression guard: bounded by in-flight
@@ -138,17 +159,20 @@ impl SnapInner {
         self.preparing.entries()
     }
 
-    /// [`SnapInner::fetch`] plus the prepare cost actually paid: `None` when
-    /// the page was served from the side file, `Some(stats)` when this call
-    /// prepared it. The concurrent prepare fan-out uses the trace to
-    /// attribute undo work to individual workers.
-    pub(crate) fn fetch_traced(
+    /// [`SnapInner::fetch_image`] plus the prepare cost actually paid:
+    /// `None` when the page was served from the side file, `Some(stats)`
+    /// when this call prepared it. The concurrent prepare fan-out uses the
+    /// trace to attribute undo work to individual workers, and passes a
+    /// [`ScanPartition`] so cold step (b) reads stay inside a bounded frame
+    /// budget of the shared pool.
+    pub(crate) fn fetch_traced_in(
         &self,
         pid: PageId,
-    ) -> Result<(Page, Option<rewind_recovery::PrepareStats>)> {
-        if let Some(p) = self.side.get(pid) {
+        scan: Option<&ScanPartition>,
+    ) -> Result<(PageImage, Option<rewind_recovery::PrepareStats>)> {
+        if let Some(img) = self.side.get(pid) {
             self.stats.side_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((p, None));
+            return Ok((img, None));
         }
         // Serialize concurrent first-preparations of the same page; the
         // gate entry is removed again on every exit path (including
@@ -161,7 +185,7 @@ impl SnapInner {
                 drop(guard);
                 continue;
             }
-            let result = self.prepare_gated(pid);
+            let result = self.prepare_gated(pid, scan);
             // Retire the table entry *before* releasing the gate mutex: a
             // waiter woken by the unlock must observe `is_current == false`
             // and loop back through the table. Releasing first would open a
@@ -175,15 +199,25 @@ impl SnapInner {
     }
 
     /// The miss path of the §5.3 protocol, run under `pid`'s prepare gate.
-    fn prepare_gated(&self, pid: PageId) -> Result<(Page, Option<rewind_recovery::PrepareStats>)> {
-        if let Some(p) = self.side.get(pid) {
+    fn prepare_gated(
+        &self,
+        pid: PageId,
+        scan: Option<&ScanPartition>,
+    ) -> Result<(PageImage, Option<rewind_recovery::PrepareStats>)> {
+        if let Some(img) = self.side.get(pid) {
             self.stats.side_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((p, None));
+            return Ok((img, None));
         }
-        // Step (b): read the primary through the buffer manager, shared
-        // latch (the image may be newer than durable; the walk below rolls
-        // it back from whatever pageLSN it carries).
-        let mut page = self.pool.with_page(pid, |p| Ok(p.clone()))?;
+        // Step (b): borrow the primary frame through the buffer manager,
+        // shared latch (the image may be newer than durable; the walk below
+        // rolls it back from whatever pageLSN it carries). The copy out of
+        // the borrowed view into the preparer's private page is the single
+        // 8 KiB copy a cold miss pays; the latch is released before the
+        // backward log walk so no frame latch is ever held across log I/O.
+        let mut page = {
+            let primary = self.pool.read_page_in(pid, scan)?;
+            Page::clone(&primary)
+        };
         let st =
             prepare_page_as_of(&self.log, &mut page, pid, self.split).map_err(|e| match e {
                 Error::LogTruncated(lsn) => Error::LogTruncated(lsn),
@@ -199,14 +233,20 @@ impl SnapInner {
         if st.fpi_restored {
             self.stats.fpi_restores.fetch_add(1, Ordering::Relaxed);
         }
-        self.side.put(pid, &page);
-        Ok((page, Some(st)))
+        // Freeze the prepared page into an immutable image (step (d)):
+        // ownership moves into the Arc, no further copy. Every later reader
+        // of this page shares this allocation.
+        let img = PageImage::new(page);
+        self.side.put_image(pid, img.clone());
+        Ok((img, Some(st)))
     }
 
     /// Write a page fixed up by logical undo back to the side file (§5.2:
-    /// "this modified page is then written back to the side file").
-    pub(crate) fn put(&self, pid: PageId, page: &Page) {
-        self.side.put(pid, page);
+    /// "this modified page is then written back to the side file"). Takes
+    /// the page by value: it is frozen into a fresh immutable image without
+    /// copying; readers holding the previous image keep their epoch.
+    pub(crate) fn put_owned(&self, pid: PageId, page: Page) {
+        self.side.put_image(pid, PageImage::new(page));
     }
 
     /// Allocate a phantom page id for undo-side splits. Phantom pages exist
@@ -218,15 +258,35 @@ impl SnapInner {
 }
 
 /// Read-only [`Store`] over a snapshot: what queries use.
+///
+/// A store may carry a [`ScanPartition`]: §5.3 step (b) reads for pages it
+/// prepares then stay inside the partition's bounded frame budget. Bulk
+/// streams that cannot pre-discover their pages (heap chains, whose next
+/// pointer lives on the page being read) use this to stay scan-resistant —
+/// tree scans prefetch leaves through `prepare_pages` instead.
 pub struct SnapshotStore<'a> {
     pub(crate) inner: &'a SnapInner,
     pub(crate) latches: &'a ObjectLatches,
+    pub(crate) scan: Option<&'a ScanPartition>,
+}
+
+impl SnapshotStore<'_> {
+    /// Unified zero-copy read: the prepared immutable image of `pid` as a
+    /// [`rewind_buffer::PageRead`]. The snapshot side always serves the
+    /// `Image` variant — holding it costs no pool latch, so callers may keep
+    /// it as long as they like (epoch-stable even under background undo).
+    /// Cold preparations honour the store's scan partition, if any.
+    pub fn read_page(&self, pid: PageId) -> Result<rewind_buffer::PageRead<'static>> {
+        let (image, _) = self.inner.fetch_traced_in(pid, self.scan)?;
+        Ok(rewind_buffer::PageRead::Image(image))
+    }
 }
 
 impl Store for SnapshotStore<'_> {
     fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&Page) -> Result<R>) -> Result<R> {
-        let page = self.inner.fetch(pid)?;
-        f(&page)
+        // Borrow straight from the shared image: zero copies on warm hits.
+        let (image, _) = self.inner.fetch_traced_in(pid, self.scan)?;
+        f(&image)
     }
 
     fn modify_flagged(
@@ -288,8 +348,8 @@ pub struct SnapshotMutator<'a> {
 
 impl Store for SnapshotMutator<'_> {
     fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&Page) -> Result<R>) -> Result<R> {
-        let page = self.inner.fetch(pid)?;
-        f(&page)
+        let image = self.inner.fetch_image(pid)?;
+        f(&image)
     }
 
     fn modify_flagged(
@@ -299,11 +359,14 @@ impl Store for SnapshotMutator<'_> {
         _kind: ModKind,
         _extra: u8,
     ) -> Result<Lsn> {
-        let mut page = self.inner.fetch(pid)?;
+        // Copy-on-write at page granularity: derive a private copy, apply
+        // the undo, freeze it into a fresh image. Readers that already hold
+        // the old image keep their epoch; the swap is atomic per page.
+        let mut page = self.inner.fetch_image(pid)?.to_page();
         payload.precheck(&page)?;
         let keep_lsn = page.page_lsn();
         payload.redo(&mut page, pid, keep_lsn)?;
-        self.inner.put(pid, &page);
+        self.inner.put_owned(pid, page);
         self.inner
             .stats
             .undo_records
@@ -326,7 +389,7 @@ impl Store for SnapshotMutator<'_> {
         p.set_next_page(next);
         p.set_prev_page(prev);
         p.set_page_lsn(self.inner.split);
-        self.inner.put(pid, &p);
+        self.inner.put_owned(pid, p);
         Ok(pid)
     }
 
