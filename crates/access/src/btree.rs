@@ -110,7 +110,7 @@ fn leaf_search(page: &Page, key: &[u8]) -> Result<std::result::Result<usize, usi
 fn internal_search(page: &Page, key: &[u8]) -> Result<(usize, PageId)> {
     let n = page.slot_count() as usize;
     if n == 0 {
-        return Err(Error::Corruption(format!(
+        return Err(Error::corruption(format!(
             "empty internal page {:?}",
             page.page_id()
         )));
@@ -152,7 +152,7 @@ fn probe_node(page: &Page, key: &[u8], leaf_need: usize) -> Result<NodeProbe> {
                 needs_split: !page.can_insert(SEP_ENTRY),
             })
         }
-        other => Err(Error::Corruption(format!(
+        other => Err(Error::corruption(format!(
             "page {:?} is not a B-Tree page (type {other:?})",
             page.page_id()
         ))),
@@ -197,7 +197,7 @@ impl BTree {
                     }
                     Err(_) => Ok(Step::Missing),
                 },
-                other => Err(Error::Corruption(format!("unexpected page type {other:?}"))),
+                other => Err(Error::corruption(format!("unexpected page type {other:?}"))),
             })?;
             match step {
                 Step::Descend(c) => cur = c,
@@ -516,7 +516,7 @@ impl BTree {
             let next = s.with_page(cur, |p| match p.try_page_type()? {
                 PageType::BTreeInternal => Ok(Some(internal_search(p, key)?.1)),
                 PageType::BTreeLeaf => Ok(None),
-                other => Err(Error::Corruption(format!(
+                other => Err(Error::corruption(format!(
                     "page {:?}: unexpected type {other:?} in tree {:?}",
                     p.page_id(),
                     self.object
@@ -571,7 +571,7 @@ impl BTree {
                 right.extend(records[idx + 1..].iter().cloned());
                 (k.to_vec(), right)
             }
-            other => return Err(Error::Corruption(format!("split of {other:?} page"))),
+            other => return Err(Error::corruption(format!("split of {other:?} page"))),
         };
 
         let q = s.allocate(self.object, ty, level, old_next, child, ModKind::Smo)?;
@@ -669,7 +669,7 @@ impl BTree {
                 right.extend(records[idx + 1..].iter().cloned());
                 (k.to_vec(), records[..idx].to_vec(), right)
             }
-            other => return Err(Error::Corruption(format!("split of {other:?} root"))),
+            other => return Err(Error::corruption(format!("split of {other:?} root"))),
         };
 
         let left = s.allocate(
@@ -799,7 +799,7 @@ impl BTree {
                     Ok(Some((child, p.level() == 1)))
                 }
                 PageType::BTreeLeaf => Ok(None),
-                other => Err(Error::Corruption(format!(
+                other => Err(Error::corruption(format!(
                     "page {:?}: unexpected type {other:?} in tree {:?}",
                     p.page_id(),
                     self.object
@@ -850,7 +850,7 @@ impl BTree {
         self.scan_inner(s, Bound::Unbounded, Bound::Unbounded, |k, _| {
             if let Some(prev) = &last {
                 if prev.as_slice() >= k {
-                    return Err(Error::Corruption(format!(
+                    return Err(Error::corruption(format!(
                         "keys out of order in tree {:?}",
                         self.object
                     )));
@@ -877,7 +877,7 @@ impl BTree {
         }
         let node = s.with_page(pid, |p| {
             if p.object_id() != self.object {
-                return Err(Error::Corruption(format!(
+                return Err(Error::corruption(format!(
                     "page {pid:?} owned by {:?}, expected {:?}",
                     p.object_id(),
                     self.object
@@ -888,7 +888,7 @@ impl BTree {
                     for i in 0..p.slot_count() as usize {
                         let k = record_key(p, i)?;
                         if k < lower || upper.is_some_and(|u| k >= u) {
-                            return Err(Error::Corruption(format!(
+                            return Err(Error::corruption(format!(
                                 "leaf {pid:?} slot {i} key outside separator bounds"
                             )));
                         }
@@ -903,25 +903,25 @@ impl BTree {
                     }
                     Ok(Node::Internal(p.level(), kids))
                 }
-                other => Err(Error::Corruption(format!("bad page type {other:?}"))),
+                other => Err(Error::corruption(format!("bad page type {other:?}"))),
             }
         })?;
         match node {
             Node::Leaf(level) => {
                 if level != 0 {
-                    return Err(Error::Corruption(format!("leaf {pid:?} at level {level}")));
+                    return Err(Error::corruption(format!("leaf {pid:?} at level {level}")));
                 }
                 Ok(0)
             }
             Node::Internal(level, kids) => {
                 if kids.is_empty() || !kids[0].0.is_empty() {
-                    return Err(Error::Corruption(format!(
+                    return Err(Error::corruption(format!(
                         "internal {pid:?} slot 0 must hold the -inf key"
                     )));
                 }
                 for w in kids.windows(2) {
                     if !w[0].0.is_empty() && w[0].0 >= w[1].0 {
-                        return Err(Error::Corruption(format!(
+                        return Err(Error::corruption(format!(
                             "internal {pid:?} separators out of order"
                         )));
                     }
@@ -931,7 +931,7 @@ impl BTree {
                     let hi = kids.get(i + 1).map(|(k2, _)| k2.as_slice()).or(upper);
                     let child_level = self.verify_node(s, *child, lo, hi)?;
                     if child_level + 1 != level {
-                        return Err(Error::Corruption(format!(
+                        return Err(Error::corruption(format!(
                             "level mismatch under {pid:?}: child {child_level}, parent {level}"
                         )));
                     }

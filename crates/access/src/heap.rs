@@ -192,7 +192,7 @@ impl Heap {
     fn get_inner<S: Store>(&self, s: &S, rid: Rid) -> Result<Option<Vec<u8>>> {
         s.with_page(rid.page, |p| {
             if p.object_id() != self.object || p.try_page_type()? != PageType::Heap {
-                return Err(Error::Corruption(format!(
+                return Err(Error::corruption(format!(
                     "RID {rid:?} not in heap {:?}",
                     self.object
                 )));

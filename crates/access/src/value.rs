@@ -129,7 +129,7 @@ impl DataType {
             4 => DataType::Str,
             5 => DataType::Bytes,
             6 => DataType::Bool,
-            other => return Err(Error::Corruption(format!("unknown data type tag {other}"))),
+            other => return Err(Error::corruption(format!("unknown data type tag {other}"))),
         })
     }
 }
@@ -279,7 +279,7 @@ pub fn decode_row(bytes: &[u8]) -> Result<Row> {
             4 => Value::Str(r.get_str()?.to_string()),
             5 => Value::Bytes(r.get_bytes()?.to_vec()),
             6 => Value::Bool(r.get_u8()? != 0),
-            other => return Err(Error::Corruption(format!("unknown value tag {other}"))),
+            other => return Err(Error::corruption(format!("unknown value tag {other}"))),
         });
     }
     Ok(row)

@@ -79,6 +79,17 @@
 //! the serial hit/IO/eviction oracle in `tests/prop_pool.rs` proves its
 //! accounting stays bit-exact.
 //!
+//! # Media hardening: salvage and bounded retry
+//!
+//! A miss read that fails page verification (checksum mismatch or torn
+//! write) does not kill the access: the pool rebuilds the page from its
+//! per-page log chain ([`salvage::salvage_page`]), writes the repaired
+//! image back (repair-on-read), and serves it — counted in
+//! [`rewind_common::IoStats`] as a page salvage. Transient I/O errors
+//! (`Error::is_transient`) on the miss-read and dirty write-back paths get
+//! a bounded exponential-backoff retry before surfacing, each attempt
+//! counted as an I/O retry.
+//!
 //! Invariants enforced by tests (`tests/buffer_torture.rs`,
 //! `tests/prop_pool.rs` in the workspace root and `crates/buffer/tests/`):
 //!
@@ -92,8 +103,10 @@
 //!   evictions for a serial trace equal the pre-shard single-clock oracle,
 //!   for every shard count.
 
+pub mod salvage;
+
 use parking_lot::{Mutex, RwLock, RwLockReadGuard};
-use rewind_common::{Error, Lsn, PageId, Result, StripedCounters};
+use rewind_common::{CorruptionKind, Error, Lsn, PageId, Result, StripedCounters};
 use rewind_pagestore::{FileManager, Page, PageImage};
 use rewind_wal::{DptEntry, LogManager};
 use std::collections::{HashMap, VecDeque};
@@ -107,6 +120,11 @@ const EVICT_CLAIM: u32 = 1 << 30;
 
 /// Default number of page-table shards (power of two).
 const DEFAULT_SHARDS: usize = 16;
+
+/// Retry budget for transient I/O failures on the miss-read and write-back
+/// paths. Mirrors the log-flush retry bound: enough attempts for a device
+/// hiccup, small enough that a dead device fails in well under a second.
+const MAX_IO_RETRIES: u32 = 8;
 
 /// Raw tag value of a frame that holds no page.
 const TAG_FREE: u64 = u64::MAX;
@@ -485,6 +503,50 @@ impl BufferPool {
         }
     }
 
+    /// Run `op`, retrying transient I/O failures ([`Error::is_transient`])
+    /// up to [`MAX_IO_RETRIES`] times with exponential backoff. Each retry
+    /// is counted in the I/O stats; corruption and structural errors are
+    /// never retried — re-reading bad bytes returns the same bad bytes.
+    fn with_io_retry<T>(&self, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Err(e) if e.is_transient() && attempt < MAX_IO_RETRIES => {
+                    attempt += 1;
+                    self.fm.io_stats().add_io_retry();
+                    std::thread::sleep(std::time::Duration::from_micros(10u64 << attempt.min(6)));
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Miss-read with media hardening: transient errors are retried, and a
+    /// checksum/torn-write failure triggers salvage from the per-page log
+    /// chain plus a repair-on-read write-back of the rebuilt image.
+    fn read_page_hardened(&self, pid: PageId) -> Result<Page> {
+        match self.with_io_retry(|| self.fm.read_page(pid)) {
+            Ok(page) => Ok(page),
+            Err(cause)
+                if matches!(
+                    cause.corruption_kind(),
+                    Some(CorruptionKind::PageChecksum | CorruptionKind::TornPage)
+                ) =>
+            {
+                let page = salvage::salvage_page(&self.log, pid, &cause)?;
+                // Repair on read: overwrite the damaged on-media image so
+                // the next miss does not pay the salvage again. The chain
+                // only reaches flushed records, so the WAL rule holds by
+                // construction; the flush_to is a cheap no-op guard.
+                self.log.flush_to(page.page_lsn());
+                self.with_io_retry(|| self.fm.write_page(pid, &page))?;
+                self.fm.io_stats().add_page_salvage();
+                Ok(page)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
     /// Pin the frame holding `pid`, loading (and possibly evicting) as
     /// needed. The caller must unpin, and must revalidate the frame's pid
     /// under the latch (`drop_cache` may invalidate concurrently).
@@ -605,7 +667,7 @@ impl BufferPool {
             let mut st = f.state.write();
             if st.dirty {
                 self.log.flush_to(st.page.page_lsn());
-                if let Err(e) = self.fm.write_page(st.pid, &st.page) {
+                if let Err(e) = self.with_io_retry(|| self.fm.write_page(st.pid, &st.page)) {
                     drop(st);
                     // The victim is still mapped, so transient fast-path
                     // pins may be in flight: release the claim
@@ -761,7 +823,7 @@ impl BufferPool {
             // Exclusive by construction: the frame is claimed and unmapped,
             // so only crash simulation can race this latch.
             let mut st = f.state.write();
-            match self.fm.read_page(pid) {
+            match self.read_page_hardened(pid) {
                 Ok(page) => st.page = page,
                 Err(e) => {
                     drop(st);
@@ -926,7 +988,7 @@ impl BufferPool {
         let mut st = self.frames[idx].state.write();
         if st.pid == pid && st.dirty {
             self.log.flush_to(st.page.page_lsn());
-            self.fm.write_page(st.pid, &st.page)?;
+            self.with_io_retry(|| self.fm.write_page(st.pid, &st.page))?;
             st.dirty = false;
             st.rec_lsn = Lsn::NULL;
         }
@@ -941,7 +1003,7 @@ impl BufferPool {
             let mut st = frame.state.write();
             if st.pid.is_valid() && st.dirty {
                 self.log.flush_to(st.page.page_lsn());
-                self.fm.write_page(st.pid, &st.page)?;
+                self.with_io_retry(|| self.fm.write_page(st.pid, &st.page))?;
                 st.dirty = false;
                 st.rec_lsn = Lsn::NULL;
             }

@@ -120,7 +120,7 @@ impl<'a> ByteReader<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         if self.remaining() < n {
-            return Err(Error::Corruption(format!(
+            return Err(Error::corruption(format!(
                 "decode underrun: wanted {n} bytes, {} remain",
                 self.remaining()
             )));
@@ -174,7 +174,7 @@ impl<'a> ByteReader<'a> {
     /// Read a length-prefixed UTF-8 string.
     pub fn get_str(&mut self) -> Result<&'a str> {
         let b = self.get_bytes()?;
-        std::str::from_utf8(b).map_err(|_| Error::Corruption("invalid utf-8 string".into()))
+        std::str::from_utf8(b).map_err(|_| Error::corruption("invalid utf-8 string"))
     }
 }
 

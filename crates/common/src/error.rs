@@ -7,6 +7,47 @@ use std::fmt;
 /// The engine-wide result alias.
 pub type Result<T> = std::result::Result<T, Error>;
 
+/// What kind of media damage a [`Error::Corruption`] describes.
+///
+/// The kind drives the recovery policy: a [`CorruptionKind::LogBlock`] past
+/// the durable point truncates the log tail (same semantics as discarding
+/// unflushed records); a [`CorruptionKind::PageChecksum`] or
+/// [`CorruptionKind::TornPage`] triggers page salvage from the per-page log
+/// chain; a [`CorruptionKind::CheckpointAnchor`] falls back to the older of
+/// the two anchor slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionKind {
+    /// A log record frame failed its CRC-32C, or its length prefix was
+    /// structurally impossible.
+    LogBlock,
+    /// A page image failed its checksum with a *consistent* trailer — the
+    /// whole image is suspect (bit rot, misdirected write).
+    PageChecksum,
+    /// A page image failed its checksum and the trailer disagrees with the
+    /// header pageLSN — the classic torn 8 KiB write (only part of the page
+    /// reached the media).
+    TornPage,
+    /// A checkpoint anchor slot failed its CRC-32C.
+    CheckpointAnchor,
+    /// A logical/structural invariant was violated (bad slot directory,
+    /// impossible record shape, catalog inconsistency) — the bytes may be
+    /// intact but their meaning is not.
+    Structure,
+}
+
+impl fmt::Display for CorruptionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CorruptionKind::LogBlock => "log-block",
+            CorruptionKind::PageChecksum => "page-checksum",
+            CorruptionKind::TornPage => "torn-page",
+            CorruptionKind::CheckpointAnchor => "checkpoint-anchor",
+            CorruptionKind::Structure => "structure",
+        };
+        f.write_str(s)
+    }
+}
+
 /// Every failure the engine can surface.
 ///
 /// The variants are deliberately specific: callers (the TPC-C driver, the
@@ -45,9 +86,19 @@ pub enum Error {
     LogTruncated(Lsn),
     /// A write was attempted against a read-only database (e.g. a snapshot).
     ReadOnly,
-    /// The page image failed an integrity check (checksum, id mismatch,
-    /// structural invariant).
-    Corruption(String),
+    /// Media or structural damage was detected (checksum mismatch, torn
+    /// write, impossible structure). `kind` selects the degraded-mode
+    /// policy; `lsn`/`pid` locate the damage when known.
+    Corruption {
+        /// What failed — see [`CorruptionKind`] for the policy each implies.
+        kind: CorruptionKind,
+        /// Log position of the damaged frame, when the damage is in the log.
+        lsn: Option<Lsn>,
+        /// Page id of the damaged page, when the damage is in the data file.
+        pid: Option<PageId>,
+        /// Human-readable description.
+        detail: String,
+    },
     /// A page id was out of the database's range or otherwise invalid.
     InvalidPage(PageId),
     /// An argument or configuration value was rejected.
@@ -71,6 +122,71 @@ pub enum Error {
     },
     /// Catch-all for internal invariant violations; always a bug.
     Internal(String),
+}
+
+impl Error {
+    /// Structural corruption with no media location — the migration-friendly
+    /// constructor used by logical integrity checks (bad slot directory,
+    /// impossible record shape, catalog inconsistency).
+    #[inline]
+    pub fn corruption(detail: impl Into<String>) -> Error {
+        Error::Corruption {
+            kind: CorruptionKind::Structure,
+            lsn: None,
+            pid: None,
+            detail: detail.into(),
+        }
+    }
+
+    /// A log frame failed its CRC or length check at `lsn`.
+    #[inline]
+    pub fn log_corruption(lsn: Lsn, detail: impl Into<String>) -> Error {
+        Error::Corruption {
+            kind: CorruptionKind::LogBlock,
+            lsn: Some(lsn),
+            pid: None,
+            detail: detail.into(),
+        }
+    }
+
+    /// A page image failed its checksum/torn-write check.
+    #[inline]
+    pub fn page_corruption(kind: CorruptionKind, pid: PageId, detail: impl Into<String>) -> Error {
+        Error::Corruption {
+            kind,
+            lsn: None,
+            pid: Some(pid),
+            detail: detail.into(),
+        }
+    }
+
+    /// A checkpoint anchor slot failed its CRC.
+    #[inline]
+    pub fn anchor_corruption(detail: impl Into<String>) -> Error {
+        Error::Corruption {
+            kind: CorruptionKind::CheckpointAnchor,
+            lsn: None,
+            pid: None,
+            detail: detail.into(),
+        }
+    }
+
+    /// The [`CorruptionKind`] if this is a corruption error.
+    #[inline]
+    pub fn corruption_kind(&self) -> Option<CorruptionKind> {
+        match self {
+            Error::Corruption { kind, .. } => Some(*kind),
+            _ => None,
+        }
+    }
+
+    /// True for failures worth a bounded retry (the device may answer on the
+    /// next attempt): transient I/O errors, but never corruption — re-reading
+    /// a checksum-bad page returns the same bad bytes.
+    #[inline]
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Error::Io(_))
+    }
 }
 
 impl fmt::Display for Error {
@@ -101,7 +217,21 @@ impl fmt::Display for Error {
                 write!(f, "log record at {lsn} has been truncated away")
             }
             Error::ReadOnly => write!(f, "database is read-only"),
-            Error::Corruption(msg) => write!(f, "corruption detected: {msg}"),
+            Error::Corruption {
+                kind,
+                lsn,
+                pid,
+                detail,
+            } => {
+                write!(f, "corruption detected [{kind}")?;
+                if let Some(lsn) = lsn {
+                    write!(f, " at {lsn}")?;
+                }
+                if let Some(pid) = pid {
+                    write!(f, " on {pid}")?;
+                }
+                write!(f, "]: {detail}")
+            }
             Error::InvalidPage(p) => write!(f, "invalid page id {p}"),
             Error::InvalidArg(msg) => write!(f, "invalid argument: {msg}"),
             Error::Io(msg) => write!(f, "i/o error: {msg}"),
@@ -145,6 +275,23 @@ mod tests {
         assert!(Error::TableNotFound("orders".into())
             .to_string()
             .contains("orders"));
+    }
+
+    #[test]
+    fn corruption_display_carries_kind_and_location() {
+        let e = Error::log_corruption(Lsn(4096), "crc mismatch");
+        let s = e.to_string();
+        assert!(s.contains("log-block"), "{s}");
+        assert!(s.contains("crc mismatch"), "{s}");
+        assert_eq!(e.corruption_kind(), Some(CorruptionKind::LogBlock));
+        let e = Error::page_corruption(CorruptionKind::TornPage, PageId(7), "trailer mismatch");
+        assert!(e.to_string().contains("torn-page"));
+        assert_eq!(e.corruption_kind(), Some(CorruptionKind::TornPage));
+        assert!(Error::corruption("bad slot dir")
+            .to_string()
+            .contains("structure"));
+        assert!(!Error::corruption("x").is_transient());
+        assert!(Error::Io("eio".into()).is_transient());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 pub mod clock;
 pub mod codec;
+pub mod crc;
 pub mod error;
 pub mod ids;
 pub mod media;
@@ -21,7 +22,8 @@ pub mod stripe;
 pub mod testalloc;
 
 pub use clock::{SimClock, Timestamp};
-pub use error::{Error, Result};
+pub use crc::{crc32c, crc32c_append};
+pub use error::{CorruptionKind, Error, Result};
 pub use ids::{Lsn, ObjectId, PageId, SlotId, TxnId};
 pub use media::{IoSnapshot, IoStats, MediaModel};
 pub use stripe::{StripedCounters, COUNTER_STRIPES};

@@ -107,7 +107,10 @@ const IO_LOG_BYTES_WRITTEN: usize = 4;
 const IO_LOG_BYTES_SCANNED: usize = 5;
 const IO_LOG_FLUSHES: usize = 6;
 const IO_SEQ_DATA_BYTES: usize = 7;
-const IO_COUNTERS: usize = 8;
+const IO_PAGE_SALVAGES: usize = 8;
+const IO_CORRUPTIONS_DETECTED: usize = 9;
+const IO_RETRIES: usize = 10;
+const IO_COUNTERS: usize = 11;
 
 /// Thread-safe I/O counters. One instance is shared by a file manager or log
 /// manager and everything that wants to observe it.
@@ -142,6 +145,9 @@ impl IoStats {
             log_bytes_scanned: s[IO_LOG_BYTES_SCANNED],
             log_flushes: s[IO_LOG_FLUSHES],
             seq_data_bytes: s[IO_SEQ_DATA_BYTES],
+            page_salvages: s[IO_PAGE_SALVAGES],
+            corruptions_detected: s[IO_CORRUPTIONS_DETECTED],
+            io_retries: s[IO_RETRIES],
         }
     }
 
@@ -195,6 +201,29 @@ impl IoStats {
     pub fn add_seq_data_bytes(&self, n: u64) {
         self.counters.add(IO_SEQ_DATA_BYTES, n);
     }
+
+    /// Record a successful page salvage: a checksum-bad or torn page was
+    /// re-materialized from its per-page log chain instead of failing the
+    /// read. The log reads the replay performs are charged separately.
+    #[inline]
+    pub fn add_page_salvage(&self) {
+        self.counters.incr(IO_PAGE_SALVAGES);
+    }
+
+    /// Record one detected media corruption (bad log frame CRC, page
+    /// checksum/torn mismatch, bad checkpoint anchor) — counted at detection
+    /// time, whether or not it was subsequently repaired or routed around.
+    #[inline]
+    pub fn add_corruption_detected(&self) {
+        self.counters.incr(IO_CORRUPTIONS_DETECTED);
+    }
+
+    /// Record one retry of a transiently-failed I/O (e.g. EIO answered by a
+    /// bounded retry/backoff loop).
+    #[inline]
+    pub fn add_io_retry(&self) {
+        self.counters.incr(IO_RETRIES);
+    }
 }
 
 /// A point-in-time copy of [`IoStats`], supporting deltas and cost modeling.
@@ -216,6 +245,12 @@ pub struct IoSnapshot {
     pub log_flushes: u64,
     /// See [`IoStats::seq_data_bytes`].
     pub seq_data_bytes: u64,
+    /// See [`IoStats::add_page_salvage`].
+    pub page_salvages: u64,
+    /// See [`IoStats::add_corruption_detected`].
+    pub corruptions_detected: u64,
+    /// See [`IoStats::add_io_retry`].
+    pub io_retries: u64,
 }
 
 impl IoSnapshot {
@@ -234,6 +269,11 @@ impl IoSnapshot {
                 .saturating_sub(earlier.log_bytes_scanned),
             log_flushes: self.log_flushes.saturating_sub(earlier.log_flushes),
             seq_data_bytes: self.seq_data_bytes.saturating_sub(earlier.seq_data_bytes),
+            page_salvages: self.page_salvages.saturating_sub(earlier.page_salvages),
+            corruptions_detected: self
+                .corruptions_detected
+                .saturating_sub(earlier.corruptions_detected),
+            io_retries: self.io_retries.saturating_sub(earlier.io_retries),
         }
     }
 
@@ -263,7 +303,15 @@ impl fmt::Display for IoSnapshot {
             self.log_bytes_scanned,
             self.log_flushes,
             self.seq_data_bytes
-        )
+        )?;
+        if self.page_salvages + self.corruptions_detected + self.io_retries > 0 {
+            write!(
+                f,
+                " salvages={} corruptions={} retries={}",
+                self.page_salvages, self.corruptions_detected, self.io_retries
+            )?;
+        }
+        Ok(())
     }
 }
 

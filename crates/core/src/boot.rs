@@ -49,15 +49,15 @@ pub struct BootInfo {
 pub fn read_boot<S: Store>(s: &S) -> Result<BootInfo> {
     s.with_page(PageId::BOOT, |p| {
         if p.page_type() != PageType::Boot {
-            return Err(Error::Corruption("page 0 is not a boot page".into()));
+            return Err(Error::corruption("page 0 is not a boot page"));
         }
         let b = p.body();
         if &b[OFF_MAGIC..OFF_MAGIC + 8] != MAGIC {
-            return Err(Error::Corruption("bad boot magic".into()));
+            return Err(Error::corruption("bad boot magic"));
         }
         let version = rewind_common::codec::read_u32_at(b, OFF_VERSION);
         if version != VERSION {
-            return Err(Error::Corruption(format!(
+            return Err(Error::corruption(format!(
                 "unsupported format version {version}"
             )));
         }

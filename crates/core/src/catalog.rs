@@ -40,7 +40,7 @@ impl TableKind {
         match v {
             0 => Ok(TableKind::Tree),
             1 => Ok(TableKind::Heap),
-            other => Err(Error::Corruption(format!("unknown table kind {other}"))),
+            other => Err(Error::corruption(format!("unknown table kind {other}"))),
         }
     }
 }
@@ -230,7 +230,7 @@ pub fn table_row(info: &TableInfo) -> Vec<u8> {
 fn parse_table_row(bytes: &[u8]) -> Result<TableInfo> {
     let row = decode_row(bytes)?;
     if row.len() != 5 {
-        return Err(Error::Corruption("malformed sys_tables row".into()));
+        return Err(Error::corruption("malformed sys_tables row"));
     }
     Ok(TableInfo {
         id: ObjectId(row[0].as_u64()?),
@@ -239,7 +239,7 @@ fn parse_table_row(bytes: &[u8]) -> Result<TableInfo> {
         root: PageId(row[3].as_u64()?),
         schema: match &row[4] {
             Value::Bytes(b) => decode_schema(b)?,
-            other => return Err(Error::Corruption(format!("schema blob is {other:?}"))),
+            other => return Err(Error::corruption(format!("schema blob is {other:?}"))),
         },
         indexes: Vec::new(),
     })
@@ -269,7 +269,7 @@ pub fn index_row(table: ObjectId, info: &IndexInfo) -> Vec<u8> {
 fn parse_index_row(bytes: &[u8]) -> Result<(ObjectId, IndexInfo)> {
     let row = decode_row(bytes)?;
     if row.len() != 5 {
-        return Err(Error::Corruption("malformed sys_indexes row".into()));
+        return Err(Error::corruption("malformed sys_indexes row"));
     }
     let cols = match &row[4] {
         Value::Bytes(b) => {
@@ -281,7 +281,7 @@ fn parse_index_row(bytes: &[u8]) -> Result<(ObjectId, IndexInfo)> {
             }
             cols
         }
-        other => return Err(Error::Corruption(format!("index cols blob is {other:?}"))),
+        other => return Err(Error::corruption(format!("index cols blob is {other:?}"))),
     };
     Ok((
         ObjectId(row[1].as_u64()?),

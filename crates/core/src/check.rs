@@ -71,7 +71,7 @@ pub fn check_consistency<S: Store>(store: &S) -> Result<CheckReport> {
     // Each region's map page is allocated but not "reachable" from the
     // catalog; region 0's is accounted above. Allow for extra regions.
     if report.allocated_pages < report.reachable_pages {
-        return Err(Error::Corruption(format!(
+        return Err(Error::corruption(format!(
             "allocation map says {} pages allocated but {} are reachable",
             report.allocated_pages, report.reachable_pages
         )));
@@ -80,7 +80,7 @@ pub fn check_consistency<S: Store>(store: &S) -> Result<CheckReport> {
     // every non-region-0 map page accounts for at most one extra
     let max_extra_maps = 8;
     if leaked > max_extra_maps {
-        return Err(Error::Corruption(format!(
+        return Err(Error::corruption(format!(
             "{leaked} allocated pages are unreachable from the catalog (leak)"
         )));
     }
@@ -95,12 +95,12 @@ fn claim_pages<S: Store>(
 ) -> Result<()> {
     for pid in pages {
         if let Some(prev) = owner_of.insert(pid, object) {
-            return Err(Error::Corruption(format!(
+            return Err(Error::corruption(format!(
                 "page {pid:?} owned by both {prev:?} and {object:?}"
             )));
         }
         if !rewind_access::allocator::is_allocated(store, pid)? {
-            return Err(Error::Corruption(format!(
+            return Err(Error::corruption(format!(
                 "page {pid:?} of {object:?} is reachable but not allocated"
             )));
         }
@@ -152,10 +152,10 @@ fn check_table<S: Store>(
                     Ok(true)
                 })?;
                 if let Some(msg) = err {
-                    return Err(Error::Corruption(msg));
+                    return Err(Error::corruption(msg));
                 }
                 if seen != expected.len() {
-                    return Err(Error::Corruption(format!(
+                    return Err(Error::corruption(format!(
                         "index '{}' has {seen} entries for {} base rows",
                         idx.name,
                         expected.len()

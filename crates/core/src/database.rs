@@ -931,6 +931,12 @@ impl Database {
             config,
         } = artifacts;
         log.discard_unflushed();
+        // Media hardening: a CRC-bad frame in the surviving log is treated
+        // as end-of-log at the damage point — the same semantics a real
+        // restart applies to a half-written tail. Everything before the
+        // first bad frame recovers normally; nothing after it can be
+        // trusted (frame lengths chain, so one bad frame unmoors the rest).
+        log.discard_corrupt_tail();
         // Repeat history before touching any structure (the boot page itself
         // may only exist in the log).
         let parts = Self::make_parts(fm, log, &config);

@@ -19,11 +19,11 @@
 //! page 0 is the boot page. Map pages and the boot page are marked allocated
 //! in their own bitmaps at format time.
 
-use crate::page::{Page, PageType, HEADER_SIZE, PAGE_SIZE};
+use crate::page::{Page, PageType, HEADER_SIZE, PAGE_SIZE, TRAILER_SIZE};
 use rewind_common::{Error, ObjectId, PageId, Result};
 
 /// Number of page-state bit-pairs that fit in one allocation-map page body.
-pub const MAP_CAPACITY: usize = (PAGE_SIZE - HEADER_SIZE) * 4;
+pub const MAP_CAPACITY: usize = (PAGE_SIZE - HEADER_SIZE - TRAILER_SIZE) * 4;
 
 /// Pages per allocation region: one map page + the pages it covers
 /// (including itself).
@@ -155,7 +155,7 @@ pub fn format_map_page(map_pid: PageId) -> Page {
 
 fn check_map(map: &Page, index: usize) -> Result<()> {
     if map.page_type() != PageType::AllocMap {
-        return Err(Error::Corruption(format!(
+        return Err(Error::corruption(format!(
             "page {:?} is not an allocation map (type {:?})",
             map.page_id(),
             map.page_type()

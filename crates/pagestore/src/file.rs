@@ -7,7 +7,22 @@
 //! endured) and [`DiskFileManager`] (real files, for durability-oriented
 //! integration tests).
 //!
-//! Both verify page checksums on read and stamp them on write.
+//! # Media hardening: checksum + torn-write trailer
+//!
+//! Both implementations stamp every outgoing page image twice — first the
+//! torn-write trailer (the low 32 bits of the pageLSN mirrored into the
+//! page's last 4 bytes), then the CRC-32C checksum covering the whole image
+//! including that trailer — and verify the checksum on every incoming read.
+//! A mismatch is classified by the trailer (see [`Page::verify_checksum`]):
+//! trailer disagreeing with the header pageLSN means a torn multi-sector
+//! write ([`rewind_common::CorruptionKind::TornPage`]); a consistent trailer
+//! means whole-image damage
+//! ([`rewind_common::CorruptionKind::PageChecksum`]). Either way the read
+//! fails with a typed error and the detection is counted in
+//! [`IoStats::add_corruption_detected`] — the buffer pool above decides
+//! whether to salvage the page from its per-page log chain. For
+//! deterministic fault injection against either backend, wrap it in
+//! [`crate::FaultInjector`].
 
 use crate::page::{Page, PAGE_SIZE};
 use parking_lot::RwLock;
@@ -78,7 +93,10 @@ impl MemFileManager {
         let page = match pages.get(pid.0 as usize) {
             Some(Some(img)) => {
                 let p = Page::from_image(&img[..])?;
-                p.verify_checksum()?;
+                if let Err(e) = p.verify_checksum() {
+                    self.stats.add_corruption_detected();
+                    return Err(e);
+                }
                 p
             }
             _ => Page::zeroed(),
@@ -91,6 +109,7 @@ impl MemFileManager {
             return Err(Error::InvalidPage(pid));
         }
         let mut stamped = page.clone();
+        stamped.stamp_trailer();
         stamped.stamp_checksum();
         let mut pages = self.pages.write();
         let idx = pid.0 as usize;
@@ -104,6 +123,24 @@ impl MemFileManager {
     /// Deep-copy the entire file (used by backup to capture an image).
     pub fn clone_contents(&self) -> Vec<Option<Box<[u8; PAGE_SIZE]>>> {
         self.pages.read().clone()
+    }
+
+    /// Fault-injection hook: the raw stored image of `pid`, if one was ever
+    /// written. Bypasses checksum verification and all accounting.
+    pub fn raw_image(&self, pid: PageId) -> Option<Box<[u8; PAGE_SIZE]>> {
+        self.pages.read().get(pid.0 as usize).cloned().flatten()
+    }
+
+    /// Fault-injection hook: overwrite the raw stored image of `pid` without
+    /// re-stamping trailer or checksum — this is how [`crate::FaultInjector`]
+    /// plants damaged images "at rest".
+    pub fn store_raw(&self, pid: PageId, img: Box<[u8; PAGE_SIZE]>) {
+        let mut pages = self.pages.write();
+        let idx = pid.0 as usize;
+        if pages.len() <= idx {
+            pages.resize_with(idx + 1, || None);
+        }
+        pages[idx] = Some(img);
     }
 
     /// Replace the entire contents (used by restore).
@@ -198,7 +235,10 @@ impl DiskFileManager {
             }
         }
         let p = Page::from_image(&buf)?;
-        p.verify_checksum()?;
+        if let Err(e) = p.verify_checksum() {
+            self.stats.add_corruption_detected();
+            return Err(e);
+        }
         Ok(p)
     }
 
@@ -207,6 +247,7 @@ impl DiskFileManager {
             return Err(Error::InvalidPage(pid));
         }
         let mut stamped = page.clone();
+        stamped.stamp_trailer();
         stamped.stamp_checksum();
         self.file
             .write_all_at(&stamped.image()[..], pid.0 * PAGE_SIZE as u64)?;

@@ -16,11 +16,13 @@
 //!   snapshots (§2.2, §5.3), a sharded store of [`PageImage`]s.
 
 pub mod alloc;
+pub mod fault;
 pub mod file;
 pub mod image;
 pub mod page;
 pub mod side;
 
+pub use fault::FaultInjector;
 pub use file::{DiskFileManager, FileManager, MemFileManager};
 pub use image::PageImage;
 pub use page::{Page, PageType, HEADER_SIZE, PAGE_SIZE};

@@ -4,11 +4,14 @@
 //!
 //! ```text
 //! +--------------------------------------------------------------+ 0
-//! | header (64 bytes): pageLSN, lastFpiLSN, id, object, type ... |
+//! | header (64 bytes): pageLSN, lastFpiLSN, id, object, type,    |
+//! |                    ..., checksum (CRC-32C)                   |
 //! +--------------------------------------------------------------+ 64
 //! | record data, growing upward                                  |
 //! |                     ...free space...                         |
 //! | slot directory (4 bytes per slot), growing downward          |
+//! +--------------------------------------------------------------+ 8188
+//! | torn-write trailer (4 bytes): low 32 bits of pageLSN         |
 //! +--------------------------------------------------------------+ 8192
 //! ```
 //!
@@ -23,16 +26,21 @@
 //! physical byte placement may differ after compaction.
 
 use rewind_common::codec::{read_u16_at, read_u64_at, write_u16_at, write_u32_at, write_u64_at};
-use rewind_common::{Error, Lsn, ObjectId, PageId, Result};
+use rewind_common::{crc32c_append, CorruptionKind, Error, Lsn, ObjectId, PageId, Result};
 
 /// Size of every database page in bytes.
 pub const PAGE_SIZE: usize = 8192;
 /// Size of the fixed page header in bytes.
 pub const HEADER_SIZE: usize = 64;
+/// Bytes of the torn-write trailer at the very end of the page: a mirror of
+/// the low 32 bits of the header's pageLSN. Header and trailer sit in
+/// different 512 B sectors, so a torn 8 KiB write (only a prefix of sectors
+/// reaching the media) makes them disagree — the InnoDB FIL-trailer idea.
+pub const TRAILER_SIZE: usize = 4;
 /// Bytes consumed by one slot-directory entry (offset + length).
 pub const SLOT_ENTRY_SIZE: usize = 4;
 /// Largest record payload a page can hold (one record, one slot entry).
-pub const MAX_RECORD_SIZE: usize = PAGE_SIZE - HEADER_SIZE - SLOT_ENTRY_SIZE;
+pub const MAX_RECORD_SIZE: usize = PAGE_SIZE - HEADER_SIZE - TRAILER_SIZE - SLOT_ENTRY_SIZE;
 
 // Header field offsets.
 const OFF_PAGE_LSN: usize = 0;
@@ -48,6 +56,8 @@ const OFF_PREV_PAGE: usize = 48;
 const OFF_LEVEL: usize = 56;
 const OFF_GARBAGE: usize = 58;
 const OFF_CHECKSUM: usize = 60;
+/// Offset of the torn-write trailer (the last 4 bytes of the page).
+const OFF_TRAILER: usize = PAGE_SIZE - TRAILER_SIZE;
 
 /// What kind of data a page holds. Stored in the header; determines how the
 /// record area is interpreted.
@@ -78,7 +88,7 @@ impl PageType {
             3 => PageType::BTreeLeaf,
             4 => PageType::BTreeInternal,
             5 => PageType::Heap,
-            other => return Err(Error::Corruption(format!("unknown page type {other}"))),
+            other => return Err(Error::corruption(format!("unknown page type {other}"))),
         })
     }
 }
@@ -144,7 +154,7 @@ impl Page {
     /// Construct from a raw image (e.g. read from a file or a log record).
     pub fn from_image(image: &[u8]) -> Result<Page> {
         if image.len() != PAGE_SIZE {
-            return Err(Error::Corruption(format!(
+            return Err(Error::corruption(format!(
                 "page image of {} bytes",
                 image.len()
             )));
@@ -293,31 +303,42 @@ impl Page {
         write_u16_at(&mut self.buf[..], OFF_FLAGS, f);
     }
 
-    // ---- checksums ---------------------------------------------------------
+    // ---- checksums & torn-write trailer ------------------------------------
 
-    /// Compute the page checksum (FNV-1a over the image with the checksum
-    /// field zeroed).
+    /// Compute the page checksum: CRC-32C over the image with the checksum
+    /// field zeroed (the trailer IS covered — a stale trailer is a checksum
+    /// mismatch, which the torn-write classifier then inspects).
     pub fn compute_checksum(&self) -> u32 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for (i, &b) in self.buf.iter().enumerate() {
-            let b = if (OFF_CHECKSUM..OFF_CHECKSUM + 4).contains(&i) {
-                0
-            } else {
-                b
-            };
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100_0000_01b3);
-        }
-        (h ^ (h >> 32)) as u32
+        let c = crc32c_append(0, &self.buf[..OFF_CHECKSUM]);
+        let c = crc32c_append(c, &[0u8; 4]);
+        crc32c_append(c, &self.buf[OFF_CHECKSUM + 4..])
     }
 
-    /// Stamp the checksum field (done by file managers before writing).
+    /// Stamp the checksum field (done by file managers before writing,
+    /// after [`Page::stamp_trailer`] so the checksum covers the trailer).
     pub fn stamp_checksum(&mut self) {
         let c = self.compute_checksum();
         write_u32_at(&mut self.buf[..], OFF_CHECKSUM, c);
     }
 
+    /// Stamp the torn-write trailer: mirror the low 32 bits of the
+    /// header's pageLSN into the last 4 bytes of the page.
+    pub fn stamp_trailer(&mut self) {
+        let low = self.page_lsn().0 as u32;
+        write_u32_at(&mut self.buf[..], OFF_TRAILER, low);
+    }
+
+    /// Whether the trailer agrees with the header pageLSN. On a
+    /// checksum-failing page this is the torn-write discriminator: a
+    /// consistent trailer means the whole image is suspect (bit rot); an
+    /// inconsistent one means only part of the write reached the media.
+    pub fn trailer_consistent(&self) -> bool {
+        rewind_common::codec::read_u32_at(&self.buf[..], OFF_TRAILER) == self.page_lsn().0 as u32
+    }
+
     /// Verify the checksum field; all-zero pages (never written) pass.
+    /// A mismatch is classified via the trailer as
+    /// [`CorruptionKind::TornPage`] or [`CorruptionKind::PageChecksum`].
     pub fn verify_checksum(&self) -> Result<()> {
         let stored = rewind_common::codec::read_u32_at(&self.buf[..], OFF_CHECKSUM);
         if stored == 0 && self.buf.iter().all(|&b| b == 0) {
@@ -325,22 +346,35 @@ impl Page {
         }
         let actual = self.compute_checksum();
         if stored != actual {
-            return Err(Error::Corruption(format!(
-                "checksum mismatch on {:?}: stored {stored:#x}, computed {actual:#x}",
-                self.page_id()
-            )));
+            let (kind, what) = if self.trailer_consistent() {
+                (CorruptionKind::PageChecksum, "checksum mismatch")
+            } else {
+                (
+                    CorruptionKind::TornPage,
+                    "torn write (trailer/pageLSN mismatch)",
+                )
+            };
+            return Err(Error::page_corruption(
+                kind,
+                self.page_id(),
+                format!(
+                    "{what} on {:?}: stored {stored:#x}, computed {actual:#x}",
+                    self.page_id()
+                ),
+            ));
         }
         Ok(())
     }
 
     // ---- slotted record area ----------------------------------------------
 
+    // The slot directory grows downward from the trailer, not the page end.
     fn slot_dir_start(&self) -> usize {
-        PAGE_SIZE - SLOT_ENTRY_SIZE * self.slot_count() as usize
+        OFF_TRAILER - SLOT_ENTRY_SIZE * self.slot_count() as usize
     }
 
     fn slot_entry_off(&self, idx: usize) -> usize {
-        PAGE_SIZE - SLOT_ENTRY_SIZE * (idx + 1)
+        OFF_TRAILER - SLOT_ENTRY_SIZE * (idx + 1)
     }
 
     fn slot_entry(&self, idx: usize) -> (usize, usize) {
@@ -376,15 +410,15 @@ impl Page {
     /// Read the record in slot `idx`.
     pub fn record(&self, idx: usize) -> Result<&[u8]> {
         if idx >= self.slot_count() as usize {
-            return Err(Error::Corruption(format!(
+            return Err(Error::corruption(format!(
                 "slot {idx} out of range on {:?} ({} slots)",
                 self.page_id(),
                 self.slot_count()
             )));
         }
         let (off, len) = self.slot_entry(idx);
-        if off < HEADER_SIZE || off + len > PAGE_SIZE {
-            return Err(Error::Corruption(format!("slot {idx} points outside page")));
+        if off < HEADER_SIZE || off + len > OFF_TRAILER {
+            return Err(Error::corruption(format!("slot {idx} points outside page")));
         }
         Ok(&self.buf[off..off + len])
     }
@@ -519,14 +553,15 @@ impl Page {
     }
 
     /// Direct access to the record area of non-slotted pages (allocation
-    /// maps, boot page).
+    /// maps, boot page). Ends before the torn-write trailer so map/boot
+    /// data can never clobber (or be clobbered by) the trailer stamp.
     pub fn body(&self) -> &[u8] {
-        &self.buf[HEADER_SIZE..]
+        &self.buf[HEADER_SIZE..OFF_TRAILER]
     }
 
     /// Mutable access to the record area of non-slotted pages.
     pub fn body_mut(&mut self) -> &mut [u8] {
-        &mut self.buf[HEADER_SIZE..]
+        &mut self.buf[HEADER_SIZE..OFF_TRAILER]
     }
 }
 
@@ -547,7 +582,7 @@ mod tests {
         assert_eq!(p.slot_count(), 0);
         assert_eq!(p.page_lsn(), Lsn::NULL);
         assert_eq!(p.next_page(), PageId::INVALID);
-        assert_eq!(p.free_space(), PAGE_SIZE - HEADER_SIZE);
+        assert_eq!(p.free_space(), PAGE_SIZE - HEADER_SIZE - TRAILER_SIZE);
     }
 
     #[test]

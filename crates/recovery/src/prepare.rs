@@ -68,7 +68,7 @@ pub fn prepare_page_as_of(
                 fpi_cursor = prev_fpi_lsn;
             }
             other => {
-                return Err(Error::Corruption(format!(
+                return Err(Error::corruption(format!(
                     "FPI chain of {pid:?} hit non-FPI record {other:?} at {fpi_cursor}"
                 )))
             }
@@ -93,7 +93,7 @@ pub fn prepare_page_as_of(
         stats.records_undone += 1;
         let (header, view) = rec.view()?;
         if header.page != pid {
-            return Err(Error::Corruption(format!(
+            return Err(Error::corruption(format!(
                 "page chain of {pid:?} reached record for {:?} at {cur}",
                 header.page
             )));

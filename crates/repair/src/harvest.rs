@@ -164,7 +164,7 @@ pub fn harvest(log: &LogManager, target: &RepairTarget) -> Result<Harvest> {
         match header.kind {
             PayloadKind::Commit if !header.is_system() => {
                 let at = view.time_stamp().ok_or_else(|| {
-                    Error::Corruption(format!("commit at {} without stamp", header.lsn))
+                    Error::corruption(format!("commit at {} without stamp", header.lsn))
                 })?;
                 let buf = pending.remove(&header.txn.0).unwrap_or_default();
                 committed.push((

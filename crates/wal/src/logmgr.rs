@@ -1,9 +1,38 @@
 //! The log manager: the append-only virtual log stream.
 //!
-//! The stream is a sequence of `[u32 length][record body]` entries; a
-//! record's LSN is the byte offset of its length prefix. The stream is held
-//! in fixed-size in-memory segments; truncation (retention enforcement,
-//! §4.3) drops whole segments from the front.
+//! The stream is a sequence of `[u32 length][u32 CRC-32C][record body]`
+//! frames; a record's LSN is the byte offset of its length prefix. The
+//! stream is held in fixed-size in-memory segments; truncation (retention
+//! enforcement, §4.3) drops whole segments from the front.
+//!
+//! # Media hardening: checksummed frames
+//!
+//! Every frame carries a CRC-32C of its body, computed once at append time
+//! (inside the same scratch-buffer pass that writes the length prefix) and
+//! verified on every read — sealed-segment reads in [`SealedSeg::frame`],
+//! tail reads under the writer mutex. A mismatch surfaces as a typed
+//! [`Error::Corruption`] with [`CorruptionKind::LogBlock`] and the frame's
+//! LSN, never as a garbage decode. Two degraded-mode policies follow:
+//!
+//! * **Tail corruption at restart** — [`LogManager::discard_corrupt_tail`]
+//!   forward-verifies every retained frame and cuts the log at the first
+//!   bad one, exactly as [`LogManager::discard_unflushed`] cuts at the
+//!   flush point: whole later segments evaporate, the damaged segment is
+//!   *replaced* by a shorter copy (sealed bytes are never mutated in
+//!   place), and the time/checkpoint indexes are trimmed to the cut. A
+//!   torn or bit-flipped device tail therefore recovers the longest clean
+//!   record prefix.
+//! * **Mid-retention corruption at read time** — random reads and scans
+//!   return the typed error to the caller, which decides (page salvage
+//!   fails, repair skips the region, queries abort) — the log itself never
+//!   guesses around damage inside the retained window.
+//!
+//! The checkpoint directory is additionally mirrored into two alternating
+//! checksummed **anchor slots** (InnoDB-style), written on every
+//! checkpoint-end append. Crash simulation rebuilds the directory from the
+//! newest valid anchor, so a corrupt latest anchor degrades to the older
+//! one (a longer analysis scan, same answer) rather than losing the
+//! directory.
 //!
 //! Random record reads (`get_record*`) are how `PreparePageAsOf` walks
 //! per-page chains. Each read is classified as a *log cache hit* or a *log
@@ -89,7 +118,7 @@
 
 use crate::record::{LogPayload, LogPayloadView, LogRecord, LogRecordHeader};
 use parking_lot::{Condvar, Mutex};
-use rewind_common::{Error, IoStats, Lsn, PageId, Result, Timestamp, TxnId};
+use rewind_common::{crc32c, Error, IoStats, Lsn, PageId, Result, Timestamp, TxnId};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::ops::Range;
@@ -98,6 +127,16 @@ use std::sync::Arc;
 
 /// Size of one in-memory log segment.
 const SEGMENT_BYTES: u64 = 1 << 20;
+/// Bytes of frame header preceding each record body:
+/// `[u32 length][u32 CRC-32C of body]`.
+const FRAME_HEADER: usize = 8;
+/// Bounded retry budget for a transiently-failing physical flush. Each
+/// attempt consumes one injected fault token; a real device failing this
+/// many consecutive write barriers is dead, not transient.
+const MAX_FLUSH_RETRIES: u32 = 8;
+/// Encoded size of one checkpoint anchor slot:
+/// `[u64 seq][u64 end_lsn][u64 begin_lsn][u64 at_micros][u32 CRC-32C]`.
+const ANCHOR_SLOT_BYTES: usize = 36;
 /// Cache-model block size: one "log page" worth of records.
 const CACHE_BLOCK_BYTES: u64 = 64 * 1024;
 /// Shards of the cache model's block map.
@@ -160,23 +199,38 @@ impl SealedSeg {
         self.start + self.data.len() as u64
     }
 
-    /// Resolve the `[u32 length][body]` frame at `lsn`, returning the
-    /// body's offset and length within this segment. The single place the
-    /// length prefix is parsed and bounds-checked for sealed data.
-    fn frame(&self, lsn: Lsn) -> Result<(usize, usize)> {
+    /// Resolve the `[u32 length][u32 crc][body]` frame at `lsn`, returning
+    /// the body's offset and length within this segment. The single place
+    /// sealed frames are parsed: the length prefix is bounds-checked and the
+    /// body is verified against its CRC-32C, so a bit flip or torn frame
+    /// surfaces here as a typed [`CorruptionKind::LogBlock`] error instead
+    /// of reaching the record decoder.
+    fn frame(&self, lsn: Lsn, stats: &IoStats) -> Result<(usize, usize)> {
         let off = (lsn.0 - self.start) as usize;
-        if off + 4 > self.data.len() {
-            return Err(Error::Corruption(format!(
-                "log read at {lsn} past segment end"
-            )));
+        if off + FRAME_HEADER > self.data.len() {
+            return Err(Error::log_corruption(
+                lsn,
+                format!("log read at {lsn} past segment end"),
+            ));
         }
         let len = u32::from_le_bytes(self.data[off..off + 4].try_into().unwrap()) as usize;
-        if off + 4 + len > self.data.len() {
-            return Err(Error::Corruption(format!(
-                "log record at {lsn} overruns segment"
-            )));
+        if off + FRAME_HEADER + len > self.data.len() {
+            return Err(Error::log_corruption(
+                lsn,
+                format!("log record at {lsn} overruns segment"),
+            ));
         }
-        Ok((off + 4, len))
+        let stored = u32::from_le_bytes(self.data[off + 4..off + 8].try_into().unwrap());
+        let body = &self.data[off + FRAME_HEADER..off + FRAME_HEADER + len];
+        let actual = crc32c(body);
+        if stored != actual {
+            stats.add_corruption_detected();
+            return Err(Error::log_corruption(
+                lsn,
+                format!("frame crc mismatch (stored {stored:08x}, computed {actual:08x})"),
+            ));
+        }
+        Ok((off + FRAME_HEADER, len))
     }
 }
 
@@ -259,6 +313,43 @@ struct LogInner {
     /// Highest commit/checkpoint stamp seen so far; `append_stamped` and
     /// `push_time` clamp against it so stamps stay monotone in LSN order.
     last_stamp: Timestamp,
+    /// Two alternating checksummed checkpoint anchor slots (the durable
+    /// image of the directory's newest entries): slot `seq % 2` is
+    /// overwritten on each checkpoint-end append, so the previous anchor is
+    /// always intact while the newer one is being written. `None` = never
+    /// written.
+    anchor_slots: [Option<[u8; ANCHOR_SLOT_BYTES]>; 2],
+    /// Sequence number of the next anchor write (selects the slot).
+    anchor_seq: u64,
+}
+
+/// Encode one checkpoint anchor slot:
+/// `[u64 seq][u64 end_lsn][u64 begin_lsn][u64 at_micros][u32 CRC-32C]`.
+fn encode_anchor(seq: u64, info: &CheckpointInfo) -> [u8; ANCHOR_SLOT_BYTES] {
+    let mut slot = [0u8; ANCHOR_SLOT_BYTES];
+    slot[0..8].copy_from_slice(&seq.to_le_bytes());
+    slot[8..16].copy_from_slice(&info.end_lsn.0.to_le_bytes());
+    slot[16..24].copy_from_slice(&info.begin_lsn.0.to_le_bytes());
+    slot[24..32].copy_from_slice(&info.at.as_micros().to_le_bytes());
+    let crc = crc32c(&slot[..32]);
+    slot[32..36].copy_from_slice(&crc.to_le_bytes());
+    slot
+}
+
+/// Decode and CRC-validate one anchor slot. `None` if the slot's checksum
+/// does not match its contents (a torn or bit-flipped anchor write).
+fn decode_anchor(slot: &[u8; ANCHOR_SLOT_BYTES]) -> Option<(u64, CheckpointInfo)> {
+    let stored = u32::from_le_bytes(slot[32..36].try_into().unwrap());
+    if crc32c(&slot[..32]) != stored {
+        return None;
+    }
+    let seq = u64::from_le_bytes(slot[0..8].try_into().unwrap());
+    let info = CheckpointInfo {
+        end_lsn: Lsn(u64::from_le_bytes(slot[8..16].try_into().unwrap())),
+        begin_lsn: Lsn(u64::from_le_bytes(slot[16..24].try_into().unwrap())),
+        at: Timestamp::from_micros(u64::from_le_bytes(slot[24..32].try_into().unwrap())),
+    };
+    Some((seq, info))
 }
 
 /// Flush requests coalesced behind a single leader (group commit).
@@ -366,10 +457,10 @@ impl RecordRef {
         &self.data[self.off..self.off + self.len]
     }
 
-    /// Total framed length (length prefix + body): the distance to the next
-    /// record's LSN.
+    /// Total framed length (length prefix + CRC + body): the distance to
+    /// the next record's LSN.
     pub fn frame_len(&self) -> u64 {
-        self.len as u64 + 4
+        self.len as u64 + FRAME_HEADER as u64
     }
 
     /// Decode only the fixed header fields — no payload walk, no allocation.
@@ -407,6 +498,10 @@ pub struct LogManager {
     cache: ReadCache,
     stats: Arc<IoStats>,
     config: LogConfig,
+    /// Fault injection: number of upcoming physical flush attempts that
+    /// fail transiently (each attempt consumes one token). The leader's
+    /// bounded retry loop absorbs them; see [`LogManager::set_flush_faults`].
+    flush_faults: AtomicU64,
 }
 
 impl LogManager {
@@ -422,6 +517,8 @@ impl LogManager {
                 checkpoints: Arc::new(Vec::new()),
                 time_index: Vec::new(),
                 last_stamp: Timestamp::ZERO,
+                anchor_slots: [None, None],
+                anchor_seq: 0,
             }),
             published: Mutex::new(Arc::new(SealedIndex {
                 version: 1,
@@ -441,7 +538,17 @@ impl LogManager {
             cache: ReadCache::new(),
             stats: Arc::new(IoStats::new()),
             config,
+            flush_faults: AtomicU64::new(0),
         }
+    }
+
+    /// Fault injection: make the next `n` physical flush attempts fail
+    /// transiently (a device EIO that clears on retry). The leader retries
+    /// with bounded backoff — followers stay parked until the retry
+    /// actually succeeds, never waking on a failed attempt — and each retry
+    /// is counted in [`IoStats::add_io_retry`].
+    pub fn set_flush_faults(&self, n: u64) {
+        self.flush_faults.store(n, Ordering::Release);
     }
 
     /// The shared I/O counters for this log.
@@ -526,13 +633,15 @@ impl LogManager {
     /// atomically).
     fn append_locked(&self, inner: &mut LogInner, rec: &LogRecord) -> Lsn {
         let lsn = Lsn(inner.tail);
-        // Frame into the reusable scratch buffer: [u32 length][body].
+        // Frame into the reusable scratch buffer: [u32 length][u32 crc][body].
         let mut scratch = std::mem::take(&mut inner.scratch);
         scratch.clear();
-        scratch.extend_from_slice(&[0u8; 4]);
+        scratch.extend_from_slice(&[0u8; FRAME_HEADER]);
         rec.encode_into(&mut scratch);
-        let body_len = scratch.len() - 4;
+        let body_len = scratch.len() - FRAME_HEADER;
+        let crc = crc32c(&scratch[FRAME_HEADER..]);
         scratch[..4].copy_from_slice(&(body_len as u32).to_le_bytes());
+        scratch[4..8].copy_from_slice(&crc.to_le_bytes());
         // Records never straddle segments (a segment is sealed early rather
         // than split a record), so truncation at segment granularity always
         // lands on a record boundary. A record larger than `SEGMENT_BYTES`
@@ -557,6 +666,13 @@ impl LogManager {
                     at: body.at,
                 };
                 Arc::make_mut(&mut inner.checkpoints).push(info);
+                // Mirror the entry into the alternating anchor slots: the
+                // durable half of the directory. Writing slot `seq % 2`
+                // leaves the previous anchor untouched, so a torn anchor
+                // write can never destroy both.
+                let seq = inner.anchor_seq;
+                inner.anchor_slots[(seq % 2) as usize] = Some(encode_anchor(seq, &info));
+                inner.anchor_seq = seq + 1;
                 let at = body.at;
                 inner.push_time(lsn, at);
             }
@@ -709,7 +825,7 @@ impl LogManager {
             }
             if lsn.0 < index.sealed_end {
                 if let Some(seg) = SealedIndex::lookup(&index.segs, lsn.0) {
-                    if let Ok((body_off, len)) = seg.frame(lsn) {
+                    if let Ok((body_off, len)) = seg.frame(lsn, &self.stats) {
                         return Some(seg.start + (body_off + len) as u64);
                     }
                 }
@@ -724,13 +840,13 @@ impl LogManager {
                 // Sealed between the snapshot load and the lock; retry.
                 continue;
             }
-            if lsn.0 + 4 > inner.tail {
+            if lsn.0 + FRAME_HEADER as u64 > inner.tail {
                 // Raced a discard; flush whatever still exists.
                 return Some(inner.tail);
             }
             let off = (lsn.0 - inner.active_start) as usize;
             let len = u32::from_le_bytes(inner.active[off..off + 4].try_into().unwrap()) as u64;
-            return Some((lsn.0 + 4 + len).min(inner.tail));
+            return Some((lsn.0 + FRAME_HEADER as u64 + len).min(inner.tail));
         }
     }
 
@@ -766,9 +882,31 @@ impl LogManager {
             let want = queue.requested;
             queue.leader_active = true;
             drop(queue);
-            if self.config.flush_delay_us > 0 {
-                // Model the device's sync latency (fsync / write barrier).
-                std::thread::sleep(std::time::Duration::from_micros(self.config.flush_delay_us));
+            // Physical flush attempt, with bounded retry/backoff against
+            // transient device errors. `leader_active` stays set across
+            // retries, so followers remain parked through every failed
+            // attempt and are only woken (below) after the flush that
+            // actually succeeded — a follower can never observe a wakeup
+            // for bytes that are not durable yet.
+            let mut attempt = 0;
+            loop {
+                if self.config.flush_delay_us > 0 {
+                    // Model the device's sync latency (fsync / write barrier).
+                    std::thread::sleep(std::time::Duration::from_micros(
+                        self.config.flush_delay_us,
+                    ));
+                }
+                let transient_fault = self
+                    .flush_faults
+                    .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
+                    .is_ok();
+                if !transient_fault || attempt >= MAX_FLUSH_RETRIES {
+                    break;
+                }
+                attempt += 1;
+                self.stats.add_io_retry();
+                // Exponential backoff, capped: 10 µs, 20 µs, 40 µs, …
+                std::thread::sleep(std::time::Duration::from_micros(10u64 << attempt.min(6)));
             }
             // The writer mutex is held across read-tail + advance-flushed so
             // a concurrent `discard_unflushed` can never observe (or create)
@@ -803,16 +941,16 @@ impl LogManager {
             if lsn.0 < index.trunc {
                 if deep {
                     if let Some(seg) = SealedIndex::lookup(&index.archive, lsn.0) {
-                        return Self::ref_in_segment(seg, lsn);
+                        return Self::ref_in_segment(seg, lsn, &self.stats);
                     }
                 }
                 return Err(Error::LogTruncated(lsn));
             }
             if lsn.0 < index.sealed_end {
                 let seg = SealedIndex::lookup(&index.segs, lsn.0).ok_or_else(|| {
-                    Error::Corruption(format!("log offset {} out of range", lsn.0))
+                    Error::corruption(format!("log offset {} out of range", lsn.0))
                 })?;
-                return Self::ref_in_segment(seg, lsn);
+                return Self::ref_in_segment(seg, lsn, &self.stats);
             }
             // Tail range: read under the writer mutex, copying the frame out.
             let inner = self.inner.lock();
@@ -823,20 +961,30 @@ impl LogManager {
                 index = self.load_sealed();
                 continue;
             }
-            if lsn.0 + 4 > inner.tail {
-                return Err(Error::Corruption(format!(
-                    "log read at {lsn} past tail {}",
-                    inner.tail
-                )));
+            if lsn.0 + FRAME_HEADER as u64 > inner.tail {
+                return Err(Error::log_corruption(
+                    lsn,
+                    format!("log read at {lsn} past tail {}", inner.tail),
+                ));
             }
             let off = (lsn.0 - inner.active_start) as usize;
             let len = u32::from_le_bytes(inner.active[off..off + 4].try_into().unwrap()) as usize;
-            if lsn.0 + 4 + len as u64 > inner.tail {
-                return Err(Error::Corruption(format!(
-                    "log record at {lsn} overruns tail"
-                )));
+            if lsn.0 + (FRAME_HEADER + len) as u64 > inner.tail {
+                return Err(Error::log_corruption(
+                    lsn,
+                    format!("log record at {lsn} overruns tail"),
+                ));
             }
-            let body: Arc<[u8]> = Arc::from(&inner.active[off + 4..off + 4 + len]);
+            let stored = u32::from_le_bytes(inner.active[off + 4..off + 8].try_into().unwrap());
+            let body_bytes = &inner.active[off + FRAME_HEADER..off + FRAME_HEADER + len];
+            if crc32c(body_bytes) != stored {
+                self.stats.add_corruption_detected();
+                return Err(Error::log_corruption(
+                    lsn,
+                    format!("frame crc mismatch at {lsn} (tail)"),
+                ));
+            }
+            let body: Arc<[u8]> = Arc::from(body_bytes);
             return Ok(RecordRef {
                 data: body,
                 off: 0,
@@ -846,8 +994,8 @@ impl LogManager {
         }
     }
 
-    fn ref_in_segment(seg: &SealedSeg, lsn: Lsn) -> Result<RecordRef> {
-        let (body_off, len) = seg.frame(lsn)?;
+    fn ref_in_segment(seg: &SealedSeg, lsn: Lsn, stats: &IoStats) -> Result<RecordRef> {
+        let (body_off, len) = seg.frame(lsn, stats)?;
         Ok(RecordRef {
             data: seg.data.clone(),
             off: body_off,
@@ -894,9 +1042,9 @@ impl LogManager {
                     &self.stats,
                 );
                 let seg = SealedIndex::lookup(&index.segs, lsn.0).ok_or_else(|| {
-                    Error::Corruption(format!("log offset {} out of range", lsn.0))
+                    Error::corruption(format!("log offset {} out of range", lsn.0))
                 })?;
-                let (body_off, len) = seg.frame(lsn)?;
+                let (body_off, len) = seg.frame(lsn, &self.stats)?;
                 LogRecord::decode_header(lsn, &seg.data[body_off..body_off + len])
             })())
         });
@@ -1158,7 +1306,28 @@ impl LogManager {
         });
         let tail = inner.tail;
         inner.time_index.retain(|(l, _)| l.0 < tail);
-        Arc::make_mut(&mut inner.checkpoints).retain(|c| c.end_lsn.0 < tail);
+        // The in-memory checkpoint directory is volatile: what survives a
+        // crash is the pair of checksummed anchor slots. Rebuild the
+        // directory from the valid anchors (ascending by sequence), dropping
+        // entries whose records did not survive the discarded tail. A
+        // corrupt newest anchor therefore degrades to the older one —
+        // analysis scans from an earlier checkpoint, same answer — and two
+        // corrupt anchors degrade to a full scan from the truncation point.
+        let mut anchors: Vec<(u64, CheckpointInfo)> = Vec::new();
+        for bytes in inner.anchor_slots.iter().flatten() {
+            match decode_anchor(bytes) {
+                Some(entry) => anchors.push(entry),
+                None => self.stats.add_corruption_detected(),
+            }
+        }
+        anchors.sort_by_key(|&(seq, _)| seq);
+        inner.checkpoints = Arc::new(
+            anchors
+                .into_iter()
+                .map(|(_, info)| info)
+                .filter(|c| c.end_lsn.0 < tail && c.begin_lsn.0 >= old.trunc)
+                .collect(),
+        );
         self.cache.clear();
         // Outstanding flush requests above the new tail point at bytes that
         // no longer exist: clamp them (so a stale high-water mark can never
@@ -1171,6 +1340,170 @@ impl LogManager {
         }
         // Discarded tail segments are retired memory too.
         LOG_RETIRE_EPOCH.fetch_add(1, Ordering::Release);
+    }
+
+    /// Forward-verify every retained frame (length sanity + CRC-32C) and
+    /// cut the log at the first damaged one, treating it as end-of-log —
+    /// the restart-time half of the media-hardening contract. Returns the
+    /// cut LSN when damage was found, `None` for a clean log.
+    ///
+    /// The cut has exactly the semantics of [`LogManager::discard_unflushed`]
+    /// applied at the damage point: whole later segments evaporate, the
+    /// damaged segment is *replaced* by a shorter copy (sealed bytes are
+    /// never mutated in place), the flushed LSN is pulled back, and the
+    /// time/checkpoint indexes are trimmed. Everything before the first bad
+    /// frame — the longest clean durable prefix — stays readable.
+    pub fn discard_corrupt_tail(&self) -> Option<Lsn> {
+        /// First structurally-bad or CRC-bad frame offset in `data`, whose
+        /// first byte sits at stream offset `base`. `data` is assumed to
+        /// begin on a frame boundary (segments always do).
+        fn first_bad_frame(base: u64, data: &[u8]) -> Option<u64> {
+            let mut off = 0usize;
+            while off < data.len() {
+                if off + FRAME_HEADER > data.len() {
+                    return Some(base + off as u64);
+                }
+                let len = u32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as usize;
+                let Some(end) = (off + FRAME_HEADER).checked_add(len) else {
+                    return Some(base + off as u64);
+                };
+                if end > data.len() {
+                    return Some(base + off as u64);
+                }
+                let stored = u32::from_le_bytes(data[off + 4..off + 8].try_into().unwrap());
+                if crc32c(&data[off + FRAME_HEADER..end]) != stored {
+                    return Some(base + off as u64);
+                }
+                off = end;
+            }
+            None
+        }
+
+        let mut inner = self.inner.lock();
+        let old = self.published.lock().clone();
+        let mut cut: Option<u64> = None;
+        for seg in &old.segs {
+            if let Some(bad) = first_bad_frame(seg.start, &seg.data) {
+                cut = Some(bad);
+                break;
+            }
+        }
+        if cut.is_none() {
+            cut = first_bad_frame(inner.active_start, &inner.active);
+        }
+        let cut = cut?;
+        self.stats.add_corruption_detected();
+
+        let mut segs = old.segs.clone();
+        while segs.last().is_some_and(|s| s.start >= cut) {
+            segs.pop();
+        }
+        if let Some(last) = segs.last_mut() {
+            let keep = (cut - last.start) as usize;
+            if keep < last.data.len() {
+                last.data = Arc::from(&last.data[..keep]);
+            }
+        }
+        if inner.active_start >= cut {
+            inner.active.clear();
+        } else {
+            let keep = (cut - inner.active_start) as usize;
+            if keep < inner.active.len() {
+                inner.active.truncate(keep);
+            }
+        }
+        inner.tail = cut.max(old.trunc);
+        if inner.active.is_empty() {
+            inner.active_start = inner.tail;
+        }
+        self.tail.store(inner.tail, Ordering::Release);
+        // The damaged bytes were "durable" on the failed media; the clean
+        // prefix is the new durability horizon.
+        let tail = inner.tail;
+        if self.flushed.load(Ordering::Acquire) > tail {
+            self.flushed.store(tail, Ordering::Release);
+        }
+        self.publish(SealedIndex {
+            version: old.version + 1,
+            trunc: old.trunc,
+            sealed_end: inner.active_start,
+            segs,
+            archive: old.archive.clone(),
+        });
+        inner.time_index.retain(|(l, _)| l.0 < tail);
+        Arc::make_mut(&mut inner.checkpoints).retain(|c| c.end_lsn.0 < tail);
+        self.cache.clear();
+        {
+            let mut queue = self.flush_queue.lock();
+            queue.requested = queue.requested.min(tail);
+            self.flush_cv.notify_all();
+        }
+        LOG_RETIRE_EPOCH.fetch_add(1, Ordering::Release);
+        Some(Lsn(cut))
+    }
+
+    /// Fault injection: XOR one byte of the retained log at stream offset
+    /// `offset`. Sealed-segment immutability is preserved by *replacing*
+    /// the containing segment with a freshly-corrupted copy and publishing
+    /// a new index — live readers holding the old `Arc` keep the clean
+    /// bytes; new reads see the damage. Returns `false` if the offset is
+    /// not in the retained window.
+    pub fn corrupt_byte_at(&self, offset: u64, xor: u8) -> bool {
+        if xor == 0 {
+            return false;
+        }
+        let mut inner = self.inner.lock();
+        if offset >= inner.tail {
+            return false;
+        }
+        if offset >= inner.active_start {
+            let off = (offset - inner.active_start) as usize;
+            if off >= inner.active.len() {
+                return false;
+            }
+            inner.active[off] ^= xor;
+            return true;
+        }
+        let old = self.published.lock().clone();
+        let mut segs = old.segs.clone();
+        for seg in segs.iter_mut() {
+            if offset >= seg.start && offset < seg.end() {
+                let mut data = seg.data.to_vec();
+                data[(offset - seg.start) as usize] ^= xor;
+                seg.data = Arc::from(data.into_boxed_slice());
+                self.publish(SealedIndex {
+                    version: old.version + 1,
+                    trunc: old.trunc,
+                    sealed_end: old.sealed_end,
+                    segs,
+                    archive: old.archive.clone(),
+                });
+                LOG_RETIRE_EPOCH.fetch_add(1, Ordering::Release);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Fault injection: flip a byte inside checkpoint anchor slot
+    /// `slot % 2`, so its CRC no longer validates. Returns `false` if the
+    /// slot was never written.
+    pub fn corrupt_anchor_slot(&self, slot: usize) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.anchor_slots[slot % 2].as_mut() {
+            Some(bytes) => {
+                bytes[8] ^= 0x40;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The anchor slot holding the *newest* checkpoint anchor, if any
+    /// anchor has been written (the other slot holds the previous one).
+    pub fn newest_anchor_slot(&self) -> Option<usize> {
+        let inner = self.inner.lock();
+        (inner.anchor_seq > 0).then(|| ((inner.anchor_seq - 1) % 2) as usize)
     }
 
     /// Total bytes currently retained.
@@ -1221,7 +1554,7 @@ impl LogInner {
 mod tests {
     use super::*;
     use crate::record::{CheckpointBody, LogPayload};
-    use rewind_common::{ObjectId, PageId, TxnId};
+    use rewind_common::{CorruptionKind, ObjectId, PageId, TxnId};
 
     fn rec(txn: u64, payload: LogPayload) -> LogRecord {
         LogRecord {
@@ -1628,5 +1961,179 @@ mod tests {
         ));
         assert_eq!(held.decode().unwrap(), expect);
         assert_eq!(held.header().unwrap(), expect.header());
+    }
+
+    fn end_checkpoint(log: &LogManager, at_secs: u64) -> Lsn {
+        let b = log.append(&rec(
+            0,
+            LogPayload::CheckpointBegin {
+                at: Timestamp::from_secs(at_secs),
+            },
+        ));
+        log.append(&rec(
+            0,
+            LogPayload::CheckpointEnd(CheckpointBody {
+                at: Timestamp::from_secs(at_secs),
+                begin_lsn: b,
+                att: vec![],
+                dpt: vec![],
+            }),
+        ))
+    }
+
+    #[test]
+    fn crc_framing_detects_bit_flip() {
+        let log = LogManager::new(LogConfig::default());
+        let a = log.append(&insert_rec(1, 64));
+        let b = log.append(&insert_rec(1, 64));
+        log.flush_to(log.tail_lsn());
+        assert!(log.get_record(b).is_ok());
+        // Flip one bit in b's body; the frame CRC must catch it.
+        assert!(log.corrupt_byte_at(b.0 + FRAME_HEADER as u64 + 3, 0x10));
+        let err = log.get_record(b).unwrap_err();
+        assert_eq!(err.corruption_kind(), Some(CorruptionKind::LogBlock));
+        assert!(err.to_string().contains("crc"), "{err}");
+        assert!(log.io_stats().snapshot().corruptions_detected >= 1);
+        // Undamaged records stay readable.
+        assert!(log.get_record(a).is_ok());
+        // Out-of-range and no-op corruption requests are rejected.
+        assert!(!log.corrupt_byte_at(log.tail_lsn().0 + 100, 0x10));
+        assert!(!log.corrupt_byte_at(a.0, 0));
+    }
+
+    #[test]
+    fn discard_corrupt_tail_cuts_at_first_bad_frame() {
+        let log = LogManager::new(LogConfig::default());
+        let mut lsns = Vec::new();
+        for i in 0..20 {
+            lsns.push(log.append(&insert_rec(i, 200)));
+        }
+        log.flush_to(log.tail_lsn());
+        assert_eq!(log.discard_corrupt_tail(), None, "clean log: no cut");
+        // Damage record 12's body: the durable prefix is records 0..12.
+        assert!(log.corrupt_byte_at(lsns[12].0 + FRAME_HEADER as u64 + 1, 0x80));
+        assert_eq!(log.discard_corrupt_tail(), Some(lsns[12]));
+        assert_eq!(log.tail_lsn(), lsns[12]);
+        assert_eq!(log.flushed_lsn(), lsns[12], "durable horizon pulled back");
+        for &l in &lsns[..12] {
+            assert!(log.get_record(l).is_ok(), "clean prefix must survive");
+        }
+        let mut seen = 0;
+        log.scan(lsns[0], Lsn::MAX, |_| {
+            seen += 1;
+            Ok(true)
+        })
+        .unwrap();
+        assert_eq!(seen, 12, "scan sees exactly the clean prefix");
+        // The log remains appendable after the cut.
+        let next = log.append(&insert_rec(99, 10));
+        assert_eq!(next, lsns[12]);
+        log.flush_to(log.tail_lsn());
+        assert!(log.get_record(next).is_ok());
+        // Idempotent: the repaired log is clean again.
+        assert_eq!(log.discard_corrupt_tail(), None);
+    }
+
+    #[test]
+    fn discard_corrupt_tail_cuts_inside_sealed_segment() {
+        let log = LogManager::new(LogConfig::default());
+        let mut lsns = Vec::new();
+        // Large records force several sealed segments.
+        for i in 0..600 {
+            lsns.push(log.append(&insert_rec(i, 5000)));
+        }
+        log.flush_to(log.tail_lsn());
+        assert!(log.load_sealed().segs.len() > 1, "need sealed history");
+        assert!(
+            lsns[50].0 < log.load_sealed().sealed_end,
+            "target is sealed"
+        );
+        // Live readers holding the old index keep the clean bytes.
+        let held = log.get_record_ref(lsns[50]).unwrap();
+        assert!(log.corrupt_byte_at(lsns[50].0 + FRAME_HEADER as u64, 0x01));
+        assert_eq!(log.discard_corrupt_tail(), Some(lsns[50]));
+        assert_eq!(log.tail_lsn(), lsns[50]);
+        assert!(log.get_record(lsns[49]).is_ok());
+        assert!(held.decode().is_ok(), "sealed bytes are never mutated");
+    }
+
+    #[test]
+    fn anchor_fallback_uses_older_slot_when_newest_corrupt() {
+        let log = LogManager::new(LogConfig::default());
+        log.append(&insert_rec(1, 10));
+        let e1 = end_checkpoint(&log, 5);
+        log.append(&insert_rec(1, 10));
+        let e2 = end_checkpoint(&log, 9);
+        log.append(&insert_rec(1, 10));
+        log.flush_to(log.tail_lsn());
+        // Crash with both anchors intact: both checkpoints survive.
+        log.discard_unflushed();
+        let cps = log.checkpoints();
+        assert_eq!(
+            cps.iter().map(|c| c.end_lsn).collect::<Vec<_>>(),
+            vec![e1, e2]
+        );
+        // Corrupt the newest anchor: recovery degrades to the older one.
+        let newest = log.newest_anchor_slot().unwrap();
+        assert!(log.corrupt_anchor_slot(newest));
+        let before = log.io_stats().snapshot().corruptions_detected;
+        log.discard_unflushed();
+        let cps = log.checkpoints();
+        assert_eq!(
+            cps.iter().map(|c| c.end_lsn).collect::<Vec<_>>(),
+            vec![e1],
+            "older anchor must carry recovery"
+        );
+        assert_eq!(log.io_stats().snapshot().corruptions_detected, before + 1);
+        // Corrupt the other slot too: the directory degrades to empty
+        // (analysis falls back to a scan from the truncation point).
+        assert!(log.corrupt_anchor_slot(1 - newest));
+        log.discard_unflushed();
+        assert!(log.checkpoints().is_empty());
+    }
+
+    #[test]
+    fn flush_retries_transient_faults_and_counts_them() {
+        let log = LogManager::new(LogConfig::default());
+        let a = log.append(&insert_rec(1, 100));
+        log.set_flush_faults(3);
+        log.flush_to(a);
+        assert_eq!(log.flushed_lsn(), log.tail_lsn(), "flush must succeed");
+        assert_eq!(log.io_stats().snapshot().io_retries, 3);
+    }
+
+    #[test]
+    fn followers_never_wake_before_durability_across_retries() {
+        // Regression for the leader/follower coalescer: a leader whose
+        // physical flush fails transiently and succeeds on retry must keep
+        // followers parked for the whole retry sequence — a follower that
+        // returns from flush_to must always observe its bytes durable.
+        let log = Arc::new(LogManager::new(LogConfig {
+            flush_delay_us: 50,
+            ..LogConfig::default()
+        }));
+        for round in 0..20u64 {
+            let target = log.append(&insert_rec(round, 512));
+            log.set_flush_faults(4);
+            let followers: Vec<_> = (0..4)
+                .map(|_| {
+                    let log = log.clone();
+                    std::thread::spawn(move || {
+                        log.flush_to(target);
+                        let flushed = log.flushed_lsn();
+                        assert!(
+                            flushed > target,
+                            "follower woke before durability: flushed {flushed} <= target {target}"
+                        );
+                    })
+                })
+                .collect();
+            log.flush_to(target);
+            assert!(log.flushed_lsn() > target);
+            for f in followers {
+                f.join().unwrap();
+            }
+        }
+        assert!(log.io_stats().snapshot().io_retries > 0, "faults consumed");
     }
 }

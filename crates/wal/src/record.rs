@@ -564,7 +564,7 @@ impl LogPayload {
             },
             16 => LogPayload::CheckpointEnd(decode_checkpoint_body(r)?),
             other => {
-                return Err(Error::Corruption(format!(
+                return Err(Error::corruption(format!(
                     "unknown log payload tag {other}"
                 )))
             }
@@ -678,7 +678,7 @@ impl PayloadKind {
             16 => PayloadKind::CheckpointEnd,
             17 => PayloadKind::RestoreImage,
             other => {
-                return Err(Error::Corruption(format!(
+                return Err(Error::corruption(format!(
                     "unknown log payload tag {other}"
                 )))
             }
@@ -905,7 +905,7 @@ impl<'a> LogPayloadView<'a> {
             }
         };
         if !r.is_exhausted() {
-            return Err(Error::Corruption(format!(
+            return Err(Error::corruption(format!(
                 "{} trailing bytes after log payload",
                 r.remaining()
             )));
@@ -1022,7 +1022,7 @@ impl<'a> LogPayloadView<'a> {
                 let mut r = ByteReader::new(raw);
                 let body = decode_checkpoint_body(&mut r)?;
                 if !r.is_exhausted() {
-                    return Err(Error::Corruption(format!(
+                    return Err(Error::corruption(format!(
                         "{} trailing bytes after checkpoint body",
                         r.remaining()
                     )));
@@ -1322,7 +1322,7 @@ impl LogRecord {
     /// walk, no allocation. `lsn` is the offset the body was read from.
     pub fn decode_header(lsn: Lsn, bytes: &[u8]) -> Result<LogRecordHeader> {
         if bytes.len() < RECORD_HEADER_BYTES + 1 {
-            return Err(Error::Corruption(format!(
+            return Err(Error::corruption(format!(
                 "log record at {lsn} too short for header ({} bytes)",
                 bytes.len()
             )));
@@ -1346,7 +1346,17 @@ impl LogRecord {
     pub fn decode_view(lsn: Lsn, bytes: &[u8]) -> Result<(LogRecordHeader, LogPayloadView<'_>)> {
         let header = Self::decode_header(lsn, bytes)?;
         let view = LogPayloadView::decode(&bytes[RECORD_HEADER_BYTES..]).map_err(|e| match e {
-            Error::Corruption(msg) => Error::Corruption(format!("{msg} at {lsn}")),
+            Error::Corruption {
+                kind,
+                lsn: at,
+                pid,
+                detail,
+            } => Error::Corruption {
+                kind,
+                lsn: Some(at.unwrap_or(lsn)),
+                pid,
+                detail: format!("{detail} at {lsn}"),
+            },
             other => other,
         })?;
         Ok((header, view))
@@ -1367,7 +1377,7 @@ impl LogRecord {
             payload: LogPayload::decode_from(&mut r)?,
         };
         if !r.is_exhausted() {
-            return Err(Error::Corruption(format!(
+            return Err(Error::corruption(format!(
                 "{} trailing bytes after log record at {lsn}",
                 r.remaining()
             )));
