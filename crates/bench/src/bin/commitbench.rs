@@ -58,6 +58,11 @@ struct RunStats {
     bytes_written: u64,
     bytes_logged: u64,
     secs: f64,
+    /// Commit-latency histogram samples recorded during the run (count
+    /// exactness: must equal `commits`).
+    commit_samples: u64,
+    /// Full engine metrics at the end of the run.
+    metrics: rewind_obs::MetricsSnapshot,
 }
 
 /// `threads` committers, each committing `per_thread` single-row inserts.
@@ -70,6 +75,7 @@ fn run(threads: u64, per_thread: u64) -> RunStats {
     .unwrap();
     let s0 = db.log_io();
     let logged0 = db.log().total_bytes();
+    let samples0 = db.obs().commit_latency().count;
     let start = Instant::now();
     let handles: Vec<_> = (0..threads)
         .map(|t| {
@@ -96,6 +102,8 @@ fn run(threads: u64, per_thread: u64) -> RunStats {
         bytes_written: s1.log_bytes_written - s0.log_bytes_written,
         bytes_logged: db.log().total_bytes() - logged0,
         secs,
+        commit_samples: db.obs().commit_latency().count - samples0,
+        metrics: db.metrics(),
     }
 }
 
@@ -153,11 +161,26 @@ fn main() {
 
     let mut fpc_at_4 = f64::MAX;
     let mut aggregate_exact = true;
+    let mut samples_exact = true;
+    let mut commits_per_s_at_4 = 0.0;
+    let mut metrics_at_4 = None;
     for threads in [1u64, 2, 4, 8] {
         let r = run(threads, per_thread);
         let fpc = r.flushes as f64 / r.commits as f64;
         if threads == 4 {
             fpc_at_4 = fpc;
+            commits_per_s_at_4 = r.commits as f64 / r.secs;
+            metrics_at_4 = Some(r.metrics.clone());
+        }
+        // Count exactness: exactly one commit-latency sample per durable
+        // commit, at every thread count. Deterministic — counter events,
+        // not wall clock.
+        if r.commit_samples != r.commits {
+            samples_exact = false;
+            println!(
+                "!! {} commit-latency samples for {} commits at {} threads",
+                r.commit_samples, r.commits, threads
+            );
         }
         // Every byte the committers logged is charged exactly once: the last
         // commit record is the last record in the log, so its flush covers
@@ -201,6 +224,30 @@ fn main() {
     } else {
         println!("FAIL: log_bytes_written attribution is inexact");
         failed = true;
+    }
+    if samples_exact {
+        println!("PASS: one commit-latency sample per durable commit at every thread count");
+    } else {
+        println!("FAIL: commit-latency histogram count diverges from the commit count");
+        failed = true;
+    }
+    if let Some(metrics) = &metrics_at_4 {
+        let p95 = metrics
+            .hist("commit_latency_us")
+            .map(|h| h.p95())
+            .unwrap_or(0);
+        match rewind_bench::report::write_bench_json(
+            "commitbench",
+            &[
+                ("flushes_per_commit_4t", fpc_at_4),
+                ("commits_per_s_4t", commits_per_s_at_4),
+                ("commit_p95_us_4t", p95 as f64),
+            ],
+            metrics,
+        ) {
+            Ok(path) => println!("wrote {path}"),
+            Err(e) => println!("WARN: could not write bench json: {e}"),
+        }
     }
     if failed {
         std::process::exit(1);

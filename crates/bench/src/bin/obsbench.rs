@@ -1,0 +1,234 @@
+//! Observability smoke gates: run a small serial workload and check the
+//! obs subsystem's **deterministic** invariants — counter and histogram
+//! counts, not wall clock:
+//!
+//! * `obs_events_dropped == 0` at the default ring capacity for this
+//!   workload size (the ring is provisioned for real traces);
+//! * the commit-latency histogram holds exactly one sample per durable
+//!   commit, the flush-stall histogram exactly one per counted log flush,
+//!   and the as-of prepare histogram exactly one per `pages_prepared`
+//!   increment — the count-exactness invariants that make the histograms
+//!   trustworthy denominators;
+//! * the event ring's `commit_durable` events match the commit count;
+//! * the Prometheus-style exposition round-trips through
+//!   [`MetricsSnapshot::parse_text`] and agrees with the snapshot;
+//! * a disabled-obs engine ([`ObsConfig::enabled`] = false) runs the same
+//!   workload with **bit-identical** log I/O accounting — observability
+//!   off means off.
+//!
+//! Wall clock is printed but never gated (WARN only): this binary must be
+//! green on any shared runner.
+//!
+//! ```text
+//! cargo run -p rewind-bench --release --bin obsbench [-- --quick]
+//! ```
+
+use rewind_core::{Column, DataType, Database, DbConfig, Schema, Value};
+use rewind_obs::{EventKind, MetricsSnapshot};
+use std::time::Instant;
+
+fn schema() -> Schema {
+    Schema::new(
+        vec![
+            Column::new("id", DataType::U64),
+            Column::new("v", DataType::Str),
+        ],
+        &["id"],
+    )
+    .unwrap()
+}
+
+fn make_db(obs_enabled: bool) -> Database {
+    let mut config = DbConfig {
+        checkpoint_interval_bytes: 0, // keep the trace fully serial
+        ..DbConfig::default()
+    };
+    config.log.obs.enabled = obs_enabled;
+    Database::create(config).expect("create db")
+}
+
+/// The workload: `commits` single-row insert transactions, then a burst of
+/// updates and one as-of scan back to before the burst.
+fn run_workload(db: &Database, commits: u64) -> u64 {
+    db.with_txn(|txn| {
+        db.create_table(txn, "t", schema())?;
+        Ok(())
+    })
+    .unwrap();
+    for i in 0..commits {
+        db.with_txn(|txn| db.insert(txn, "t", &[Value::U64(i), Value::str("obsbench")]))
+            .unwrap();
+    }
+    db.clock().advance_secs(10);
+    db.checkpoint().unwrap();
+    let t0 = db.clock().now();
+    db.clock().advance_secs(10);
+    db.with_txn(|txn| {
+        for i in (0..commits).step_by(4) {
+            db.update(txn, "t", &[Value::U64(i), Value::str("post-split")])?;
+        }
+        Ok(())
+    })
+    .unwrap();
+
+    let snap = db.create_snapshot_asof("obsbench", t0).unwrap();
+    snap.wait_undo_complete();
+    let table = snap.table("t").unwrap();
+    let rows = snap.scan_all(&table).unwrap();
+    assert_eq!(rows.len() as u64, commits, "as-of scan sees pre-burst rows");
+    let prepared = snap.stats().pages_prepared;
+    db.drop_snapshot("obsbench").unwrap();
+    prepared
+}
+
+struct Gate {
+    failed: bool,
+}
+
+impl Gate {
+    fn check(&mut self, ok: bool, what: &str) {
+        if ok {
+            println!("PASS: {what}");
+        } else {
+            println!("FAIL: {what}");
+            self.failed = true;
+        }
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let commits: u64 = if quick { 150 } else { 400 };
+    let started = Instant::now();
+    let mut gate = Gate { failed: false };
+
+    println!("# observability smoke: {commits} serial commits + as-of scan\n");
+
+    // ---- enabled engine: count-exactness over a serial trace ----
+    let db = make_db(true);
+    let obs = db.obs().clone();
+    let commit_samples0 = obs.commit_latency().count;
+    let flush_samples0 = obs.flush_stall().count;
+    let prepare_samples0 = obs.asof_prepare().count;
+    let flushes0 = db.log_io().log_flushes;
+    let durable0 = obs
+        .events()
+        .iter()
+        .filter(|e| e.kind == EventKind::CommitDurable)
+        .count() as u64;
+
+    let prepared = run_workload(&db, commits);
+
+    let commit_samples = obs.commit_latency().count - commit_samples0;
+    let flush_samples = obs.flush_stall().count - flush_samples0;
+    let prepare_samples = obs.asof_prepare().count - prepare_samples0;
+    let flushes = db.log_io().log_flushes - flushes0;
+    // `commits` inserts + create-table + update burst = commits + 2
+    // durable commits through `Database::commit`.
+    let durable_commits = commits + 2;
+    let durable_events = obs
+        .events()
+        .iter()
+        .filter(|e| e.kind == EventKind::CommitDurable)
+        .count() as u64
+        - durable0;
+
+    println!(
+        "durable commits {durable_commits}, log flushes {flushes}, pages prepared {prepared}, \
+         events recorded {} (dropped {})\n",
+        obs.events_recorded(),
+        obs.events_dropped()
+    );
+
+    gate.check(
+        obs.events_dropped() == 0,
+        "no events dropped at the default ring capacity",
+    );
+    gate.check(
+        commit_samples == durable_commits,
+        "commit-latency histogram count == durable commit count",
+    );
+    gate.check(
+        flush_samples == flushes,
+        "flush-stall histogram count == counted log flushes",
+    );
+    gate.check(
+        prepare_samples == prepared,
+        "as-of prepare histogram count == pages prepared",
+    );
+    gate.check(
+        durable_events == durable_commits,
+        "ring commit_durable events == durable commit count",
+    );
+
+    // ---- exposition round-trip ----
+    let metrics = db.metrics();
+    match MetricsSnapshot::parse_text(&metrics.to_text()) {
+        Ok(parsed) => {
+            gate.check(true, "text exposition parses");
+            gate.check(
+                parsed.get("obs_enabled") == Some(&1),
+                "exposition reports obs_enabled 1",
+            );
+            gate.check(
+                parsed.get("commit_latency_us_count").copied()
+                    == metrics.hist("commit_latency_us").map(|h| h.count),
+                "exposition histogram count agrees with the snapshot",
+            );
+            gate.check(
+                parsed.get("io_log_log_flushes").copied()
+                    == Some(metrics.get("io_log_log_flushes")),
+                "exposition counters agree with the snapshot",
+            );
+        }
+        Err(e) => gate.check(false, &format!("text exposition parses ({e})")),
+    }
+
+    // ---- disabled engine: observability off is bit-exact off ----
+    let db_off = make_db(false);
+    let _ = run_workload(&db_off, commits);
+    gate.check(
+        !db_off.obs().is_enabled(),
+        "disabled engine reports disabled",
+    );
+    gate.check(
+        db_off.obs().events_recorded() == 0 && db_off.obs().commit_latency().count == 0,
+        "disabled engine records nothing",
+    );
+    let on_io = db.log_io();
+    let off_io = db_off.log_io();
+    gate.check(
+        on_io.fields() == off_io.fields(),
+        "log I/O accounting is bit-identical with obs on vs off",
+    );
+    gate.check(
+        db.metrics().counters.get("pool_misses") == db_off.metrics().counters.get("pool_misses"),
+        "pool accounting is identical with obs on vs off",
+    );
+
+    let secs = started.elapsed().as_secs_f64();
+    if secs > 60.0 {
+        println!("WARN: obsbench took {secs:.1}s (> 60s) — slow runner, not gated");
+    } else {
+        println!("wall clock {secs:.1}s (informational)");
+    }
+
+    match rewind_bench::report::write_bench_json(
+        "obsbench",
+        &[
+            ("durable_commits", durable_commits as f64),
+            ("events_recorded", obs.events_recorded() as f64),
+            ("events_dropped", obs.events_dropped() as f64),
+            ("pages_prepared", prepared as f64),
+        ],
+        &metrics,
+    ) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => println!("WARN: could not write bench json: {e}"),
+    }
+
+    if gate.failed {
+        std::process::exit(1);
+    }
+    println!("\nall observability gates green");
+}

@@ -185,6 +185,18 @@ fn main() {
          modeled 4-worker speedup {speedup:.2}x over serial — {}",
         if pass { "PASS" } else { "FAIL" }
     );
+    match rewind_bench::report::write_bench_json(
+        "repairbench",
+        &[
+            ("prepare_speedup_modeled_4w", speedup),
+            ("repaired_keys_per_s", report.applied as f64 / secs),
+            ("leaf_pages", leaf_count as f64),
+        ],
+        &setup.db.metrics(),
+    ) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => println!("WARN: could not write bench json: {e}"),
+    }
     if !pass {
         std::process::exit(1);
     }

@@ -461,6 +461,21 @@ fn main() {
         w.db.pool_stats().map_contended - contended0
     );
 
+    match rewind_bench::report::write_bench_json(
+        "snapbench",
+        &[
+            ("cold_speedup_4t", ratio_at_4),
+            (
+                "warm_clones_per_hit",
+                new_warm_clones_total as f64 / new_warm_hits_total.max(1) as f64,
+            ),
+        ],
+        &w.db.metrics(),
+    ) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => println!("WARN: could not write bench json: {e}"),
+    }
+
     println!();
     // Deterministic gate (allocator counts, not wall clock): warm side-file
     // hits on the production path must clone zero pages, at every thread

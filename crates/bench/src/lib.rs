@@ -8,6 +8,8 @@
 //! [`MediaModel`]s — exactly the terms the paper's hardware exposes.
 //! Measured CPU time is reported alongside.
 
+pub mod report;
+
 use rewind_backup::{restore_to_point_in_time, take_full_backup};
 use rewind_common::{IoSnapshot, MediaModel, Timestamp};
 use rewind_core::{Database, DbConfig, Result, SimClock};

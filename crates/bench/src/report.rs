@@ -1,0 +1,35 @@
+//! `BENCH_*.json` emission.
+//!
+//! Every bench binary prints human-readable tables; alongside them it now
+//! writes one machine-readable artifact — the headline numbers it gates on
+//! plus a full engine [`MetricsSnapshot`] — so trajectory tooling can diff
+//! runs across commits without scraping stdout.
+
+use rewind_obs::MetricsSnapshot;
+use std::fmt::Write as _;
+
+/// Write `BENCH_<name>.json` into the current directory and return the
+/// path. `headline` entries land under `"headline"`; non-finite values are
+/// clamped to 0 to keep the file valid JSON.
+pub fn write_bench_json(
+    name: &str,
+    headline: &[(&str, f64)],
+    metrics: &MetricsSnapshot,
+) -> std::io::Result<String> {
+    let path = format!("BENCH_{name}.json");
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"{name}\",");
+    let _ = write!(out, "  \"headline\": {{");
+    for (i, (key, value)) in headline.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let value = if value.is_finite() { *value } else { 0.0 };
+        let _ = write!(out, "{sep}\n    \"{key}\": {value}");
+    }
+    let _ = write!(out, "\n  }},\n  \"metrics\": ");
+    // `to_json` renders a complete JSON object; embed it verbatim.
+    out.push_str(metrics.to_json().trim_end());
+    out.push_str("\n}\n");
+    std::fs::write(&path, &out)?;
+    Ok(path)
+}

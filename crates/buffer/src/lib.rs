@@ -107,6 +107,7 @@ pub mod salvage;
 
 use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 use rewind_common::{CorruptionKind, Error, Lsn, PageId, Result, StripedCounters};
+use rewind_obs::{EventKind, Obs};
 use rewind_pagestore::{FileManager, Page, PageImage};
 use rewind_wal::{DptEntry, LogManager};
 use std::collections::{HashMap, VecDeque};
@@ -396,6 +397,8 @@ pub struct BufferPool {
     stats: PoolStats,
     fm: Arc<dyn FileManager>,
     log: Arc<LogManager>,
+    /// The engine's observability handle, shared from the log manager.
+    obs: Arc<Obs>,
 }
 
 impl BufferPool {
@@ -442,6 +445,7 @@ impl BufferPool {
             hand: AtomicUsize::new(0),
             stats: PoolStats::default(),
             fm,
+            obs: log.obs().clone(),
             log,
         }
     }
@@ -541,6 +545,8 @@ impl BufferPool {
                 self.log.flush_to(page.page_lsn());
                 self.with_io_retry(|| self.fm.write_page(pid, &page))?;
                 self.fm.io_stats().add_page_salvage();
+                self.obs
+                    .record(EventKind::PageSalvage, page.page_lsn().0, pid.0, 0);
                 Ok(page)
             }
             Err(e) => Err(e),
@@ -690,6 +696,7 @@ impl BufferPool {
             std::thread::yield_now();
         }
         self.stats.incr(PS_EVICTIONS);
+        self.obs.record(EventKind::BufferEvict, 0, tag, 0);
         Ok(())
     }
 
@@ -819,6 +826,7 @@ impl BufferPool {
             }
         }
         let f = &self.frames[idx];
+        let fill_started = self.obs.now_us();
         {
             // Exclusive by construction: the frame is claimed and unmapped,
             // so only crash simulation can race this latch.
@@ -839,6 +847,12 @@ impl BufferPool {
             f.tag.store(pid.0, Ordering::Release);
         }
         self.stats.incr(PS_MISSES);
+        self.obs.record(
+            EventKind::BufferMiss,
+            0,
+            pid.0,
+            self.obs.now_us().saturating_sub(fill_started),
+        );
         let shard = self.shard_of_raw(pid.0);
         let mut map = shard.map.write();
         if let Some(&other) = map.get(&pid.0) {

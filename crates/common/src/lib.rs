@@ -26,7 +26,7 @@ pub use crc::{crc32c, crc32c_append};
 pub use error::{CorruptionKind, Error, Result};
 pub use ids::{Lsn, ObjectId, PageId, SlotId, TxnId};
 pub use media::{IoSnapshot, IoStats, MediaModel};
-pub use stripe::{StripedCounters, COUNTER_STRIPES};
+pub use stripe::{thread_stripe, StripedCounters, COUNTER_STRIPES};
 
 /// Shard pick for pid-keyed sharded structures (buffer-pool page table,
 /// snapshot side file, prepare gates): Fibonacci multiplicative hash so

@@ -47,9 +47,12 @@ thread_local! {
         NEXT_STRIPE_SEED.fetch_add(1, Ordering::Relaxed) as usize & (COUNTER_STRIPES - 1);
 }
 
-/// The calling thread's stripe index.
+/// The calling thread's stripe index. Public so striped structures built
+/// *outside* this module (the observability layer's histograms and event
+/// ring) share the same thread→stripe assignment as the counters — one
+/// thread always lands on one stripe, whatever it is recording into.
 #[inline]
-fn thread_stripe() -> usize {
+pub fn thread_stripe() -> usize {
     THREAD_STRIPE.with(|s| *s)
 }
 
@@ -84,6 +87,25 @@ impl<const N: usize> StripedCounters<N> {
     #[inline]
     pub fn incr(&self, counter: usize) {
         self.add(counter, 1);
+    }
+
+    /// Raise counter `counter` on the calling thread's stripe to at least
+    /// `v` (a striped running maximum; read back with
+    /// [`StripedCounters::max_of`]). Mixing `add` and `max_up` on the same
+    /// counter index is a caller bug — `sums` would add stripe maxima.
+    #[inline]
+    pub fn max_up(&self, counter: usize, v: u64) {
+        self.stripes[thread_stripe()].0[counter].fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Aggregate of a [`StripedCounters::max_up`]-maintained counter: the
+    /// maximum over all stripes.
+    pub fn max_of(&self, counter: usize) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| s.0[counter].load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Exact aggregate of every counter (sum over stripes).

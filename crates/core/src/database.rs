@@ -9,6 +9,7 @@ use rewind_access::store::{ModKind, Store};
 use rewind_access::{BTree, Heap, Schema};
 use rewind_buffer::BufferPool;
 use rewind_common::{Error, IoSnapshot, Lsn, ObjectId, PageId, Result, SimClock, Timestamp, TxnId};
+use rewind_obs::{EventKind, FnSource, IoStatsSource, MetricsRegistry, MetricsSnapshot, Obs};
 use rewind_pagestore::{FileManager, MemFileManager, PageType};
 use rewind_recovery::{
     analyze, redo_pass, rollback::undo_record, take_checkpoint, AccessKind, EngineParts,
@@ -103,6 +104,44 @@ pub struct DbStats {
     pub active_txns: usize,
 }
 
+/// Per-phase accounting of one ARIES restart ([`Database::recover`]):
+/// wall-clock time and record counts for analysis, redo and undo. The
+/// paper's recovery-cost story ("bound by the amount of log scanned",
+/// §6.2) is exactly these three numbers over the log window.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecoveryReport {
+    /// Analysis pass duration (µs).
+    pub analysis_us: u64,
+    /// Log records visited by the analysis scan.
+    pub records_scanned: u64,
+    /// In-flight transactions found at the crash point.
+    pub losers: u64,
+    /// Redo pass duration (µs).
+    pub redo_us: u64,
+    /// Page operations re-applied by redo.
+    pub records_redone: u64,
+    /// Undo sweep duration (µs).
+    pub undo_us: u64,
+    /// Loser records compensated (CLRs written).
+    pub records_undone: u64,
+}
+
+impl std::fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "recovery: analysis {:.3}ms ({} records, {} losers) | redo {:.3}ms ({} applied) | undo {:.3}ms ({} compensated)",
+            self.analysis_us as f64 / 1000.0,
+            self.records_scanned,
+            self.losers,
+            self.redo_us as f64 / 1000.0,
+            self.records_redone,
+            self.undo_us as f64 / 1000.0,
+            self.records_undone,
+        )
+    }
+}
+
 /// What survives a crash: the database file, the durable log, and the clock.
 pub struct CrashArtifacts {
     /// The database file.
@@ -133,7 +172,11 @@ pub struct Database {
     /// must not fail the foreground operation; drained by
     /// [`Database::take_background_errors`].
     background_errors: Mutex<Vec<(String, Error)>>,
-    snapshots: Mutex<HashMap<String, Arc<AsOfSnapshot>>>,
+    /// Shared with the metrics registry's snapshot gauge source.
+    snapshots: Arc<Mutex<HashMap<String, Arc<AsOfSnapshot>>>>,
+    metrics: Arc<MetricsRegistry>,
+    /// Phase report from the restart that produced this instance, if any.
+    last_recovery: Mutex<Option<RecoveryReport>>,
 }
 
 impl Database {
@@ -275,6 +318,9 @@ impl Database {
             sys
         };
 
+        let snapshots: Arc<Mutex<HashMap<String, Arc<AsOfSnapshot>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let metrics = Self::build_metrics(&parts, &txns, &snapshots);
         let db = Database {
             parts,
             fm_mem,
@@ -287,12 +333,76 @@ impl Database {
             name_cache: RwLock::new(HashMap::new()),
             retention_micros: retention,
             background_errors: Mutex::new(Vec::new()),
-            snapshots: Mutex::new(HashMap::new()),
+            snapshots,
+            metrics,
+            last_recovery: Mutex::new(None),
         };
         if bootstrap {
             db.checkpoint()?;
         }
         Ok(db)
+    }
+
+    /// Compose the engine-wide metrics registry: every layer's counters
+    /// under stable names, plus the obs event/histogram source. Sources
+    /// only read (atomics and one snapshot-map lock), so a registry
+    /// snapshot never blocks the write path.
+    fn build_metrics(
+        parts: &Arc<EngineParts>,
+        txns: &Arc<TxnManager>,
+        snapshots: &Arc<Mutex<HashMap<String, Arc<AsOfSnapshot>>>>,
+    ) -> Arc<MetricsRegistry> {
+        let reg = MetricsRegistry::new();
+        reg.register(Box::new(IoStatsSource {
+            prefix: "io_data",
+            stats: parts.pool.file_manager().io_stats().clone(),
+        }));
+        reg.register(Box::new(IoStatsSource {
+            prefix: "io_log",
+            stats: parts.log.io_stats().clone(),
+        }));
+        let pool = parts.pool.clone();
+        reg.register(Box::new(FnSource(move |out: &mut MetricsSnapshot| {
+            let s = pool.stats();
+            out.counter("pool_hits", s.hits);
+            out.counter("pool_misses", s.misses);
+            out.counter("pool_evictions", s.evictions);
+            out.counter("pool_map_contended", s.map_contended);
+            out.counter("pool_pinned", pool.pinned_frames() as u64);
+        })));
+        let log = parts.log.clone();
+        reg.register(Box::new(FnSource(move |out: &mut MetricsSnapshot| {
+            out.counter("log_total_bytes", log.total_bytes());
+            out.counter("log_retained_bytes", log.retained_bytes());
+        })));
+        let t = txns.clone();
+        reg.register(Box::new(FnSource(move |out: &mut MetricsSnapshot| {
+            out.counter("txn_active", t.active_count() as u64);
+        })));
+        let snaps = snapshots.clone();
+        reg.register(Box::new(FnSource(move |out: &mut MetricsSnapshot| {
+            let snaps = snaps.lock();
+            let mut side_pages = 0u64;
+            let mut view = rewind_snapshot::stats::SnapshotStatsView::default();
+            for s in snaps.values() {
+                side_pages += s.side_pages() as u64;
+                let v = s.stats();
+                view.side_hits += v.side_hits;
+                view.pages_prepared += v.pages_prepared;
+                view.records_undone += v.records_undone;
+                view.fpi_restores += v.fpi_restores;
+                view.undo_records += v.undo_records;
+            }
+            out.counter("asof_open", snaps.len() as u64);
+            out.counter("asof_side_pages", side_pages);
+            out.counter("asof_side_hits", view.side_hits);
+            out.counter("asof_pages_prepared", view.pages_prepared);
+            out.counter("asof_records_undone", view.records_undone);
+            out.counter("asof_fpi_restores", view.fpi_restores);
+            out.counter("asof_bg_undo_records", view.undo_records);
+        })));
+        reg.register(Box::new(parts.log.obs().clone()));
+        Arc::new(reg)
     }
 
     // ---- accessors -----------------------------------------------------------
@@ -331,6 +441,28 @@ impl Database {
     /// Log I/O counters.
     pub fn log_io(&self) -> IoSnapshot {
         self.parts.log.io_stats().snapshot()
+    }
+
+    /// The engine's observability handle (event ring + latency
+    /// histograms). Owned by the log manager; see `LogConfig::obs`.
+    pub fn obs(&self) -> &Arc<Obs> {
+        self.parts.log.obs()
+    }
+
+    /// The unified metrics registry (register extra sources here).
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// One coherent point-in-time snapshot of every registered metric.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Phase timings of the restart that produced this instance; `None`
+    /// for instances not created by [`Database::recover`].
+    pub fn last_recovery(&self) -> Option<RecoveryReport> {
+        *self.last_recovery.lock()
     }
 
     /// Current engine statistics.
@@ -382,6 +514,9 @@ impl Database {
             return Err(Error::TxnFinished(shared.id));
         }
         if shared.last_lsn().is_valid() {
+            let obs = self.parts.log.obs();
+            let commit_started = obs.now_us();
+            obs.record(EventKind::CommitBegin, shared.last_lsn().0, shared.id.0, 0);
             let mut rec = LogRecord {
                 lsn: Lsn::NULL,
                 txn: shared.id,
@@ -403,6 +538,12 @@ impl Database {
                 .append_stamped(&mut rec, &|| self.clock.now());
             shared.record_logged(range.start);
             self.parts.log.flush_up_to(range.end);
+            // The flush returned: this commit is durable. One histogram
+            // sample per durable commit — the count-exactness invariant
+            // the obs tests and the CI smoke gate assert.
+            let dur = obs.now_us().saturating_sub(commit_started);
+            obs.commit_latency_us(dur);
+            obs.record(EventKind::CommitDurable, range.start.0, shared.id.0, dur);
         }
         shared.set_state(TxnState::Committed);
         self.locks.release_all(shared.id);
@@ -940,14 +1081,31 @@ impl Database {
         // Repeat history before touching any structure (the boot page itself
         // may only exist in the log).
         let parts = Self::make_parts(fm, log, &config);
+        let obs = parts.log.obs().clone();
+        let analysis_started = obs.now_us();
         let analysis = analyze(&parts.log, Lsn::MAX)?;
-        redo_pass(
+        let analysis_us = obs.now_us().saturating_sub(analysis_started);
+        obs.record(
+            EventKind::RecoveryAnalysis,
+            analysis.redo_start.0,
+            analysis.records_scanned,
+            analysis_us,
+        );
+        let redo_started = obs.now_us();
+        let records_redone = redo_pass(
             &parts.log,
             &parts.pool,
             &analysis.dpt,
             analysis.redo_start,
             Lsn::MAX,
         )?;
+        let redo_us = obs.now_us().saturating_sub(redo_started);
+        obs.record(
+            EventKind::RecoveryRedo,
+            analysis.redo_start.0,
+            records_redone,
+            redo_us,
+        );
 
         let db = Self::assemble_from_parts(parts, fm_mem, clock, config, false)?;
         db.txns.bump_next_id(analysis.max_txn_id);
@@ -962,6 +1120,8 @@ impl Database {
         }
         let resolver = |obj: ObjectId| db.resolve_access_uncached(obj);
         let mut finished: Vec<Arc<TxnShared>> = Vec::new();
+        let undo_started = obs.now_us();
+        let mut records_undone = 0u64;
         while let Some((lsn, txn)) = heap.pop() {
             let rec = db.parts.log.get_record(lsn)?;
             let sh = shared[&txn.0].clone();
@@ -973,6 +1133,7 @@ impl Database {
                 // correctly even across restarts.
                 sh.set_last_lsn(lsn);
                 undo_record(&store, &rec, &resolver)?;
+                records_undone += 1;
                 rec.prev_lsn
             };
             if next.is_valid() {
@@ -1003,6 +1164,21 @@ impl Database {
             db.txns.finish(sh.id);
         }
         db.parts.log.flush_to(db.parts.log.tail_lsn());
+        let undo_us = obs.now_us().saturating_sub(undo_started);
+        obs.record(EventKind::RecoveryUndo, 0, records_undone, undo_us);
+        let report = RecoveryReport {
+            analysis_us,
+            records_scanned: analysis.records_scanned,
+            losers: analysis.losers.len() as u64,
+            redo_us,
+            records_redone,
+            undo_us,
+            records_undone,
+        };
+        if obs.is_enabled() {
+            eprintln!("{report}");
+        }
+        *db.last_recovery.lock() = Some(report);
         db.checkpoint()?;
         Ok(db)
     }

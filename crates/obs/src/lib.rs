@@ -1,0 +1,310 @@
+//! # rewind-obs — engine-wide observability
+//!
+//! The paper's setting (SQL Azure fleets, §2) is one where engines are
+//! operated through their counters and logs: an error-recovery feature is
+//! only usable in production if the operator can see what the engine did
+//! and how long it took. This crate is that substrate — three layers, all
+//! dependency-free and safe to call from the hottest paths:
+//!
+//! 1. **[`event::EventRing`]** — a lock-free, per-thread-striped,
+//!    fixed-capacity ring of typed [`event::Event`]s (commit begin/durable,
+//!    group-commit leader/follower, flush, checkpoint, buffer miss/evict/
+//!    salvage, as-of prepare, repair and recovery phases), each carrying an
+//!    LSN and a duration. Overwrite-oldest; zero allocation per record.
+//! 2. **[`hist::Histogram`]** — HDR-style log-bucketed latency histograms
+//!    (16 sub-buckets per power-of-two octave) with p50/p95/p99/max
+//!    extraction, built on the same striped-counter substrate the engine's
+//!    I/O accounting uses.
+//! 3. **[`registry::MetricsRegistry`]** — composes every layer's counters
+//!    (IoStats, pool stripes, snapshot stats, the histograms above) into
+//!    one [`registry::MetricsSnapshot`] with `delta()` support,
+//!    Prometheus-style text exposition, and JSON.
+//!
+//! The front door is [`Obs`]: one handle owned by the log manager and
+//! shared (via `Arc`) by every engine layer. It carries the ring, the four
+//! engine histograms, and the master switch. Two off-switches exist:
+//!
+//! * **Runtime** — `ObsConfig { enabled: false }` builds an [`Obs`] whose
+//!   recording methods test one bool and return; nothing is allocated.
+//! * **Compile time** — building this crate with `--no-default-features`
+//!   removes the `enabled` feature and every recording body compiles to
+//!   nothing at all.
+//!
+//! Invariant (see ROADMAP): recording never takes a lock shared with the
+//! commit path, and a disabled `Obs` is allocation-free on every path —
+//! both are enforced by tests (`tests/zero_alloc.rs`).
+
+pub mod event;
+pub mod hist;
+pub mod registry;
+
+pub use event::{Event, EventKind, EventRing};
+pub use hist::{Histogram, HistogramSnapshot};
+pub use registry::{FnSource, IoStatsSource, MetricSource, MetricsRegistry, MetricsSnapshot};
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Configuration for an [`Obs`] instance. Lives on `LogConfig` so the log
+/// manager — the first engine component constructed — can own the handle.
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    /// Master runtime switch. `false` builds a no-op handle.
+    pub enabled: bool,
+    /// Total event-ring capacity (split across 8 stripes; a serial
+    /// workload lands on one stripe and sees 1/8 of this as its overwrite
+    /// horizon).
+    pub ring_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            enabled: true,
+            ring_capacity: 32 * 1024,
+        }
+    }
+}
+
+/// Everything a live `Obs` owns. Boxed behind an `Option` so a disabled
+/// handle allocates none of it.
+struct ObsInner {
+    ring: EventRing,
+    /// Commit begin → durable, microseconds. One sample per durable commit.
+    commit_latency: Histogram,
+    /// Physical log-flush wall time, microseconds. One sample per flush.
+    flush_stall: Histogram,
+    /// As-of page prepare (§5.3 miss path), microseconds. One sample per
+    /// prepared page.
+    asof_prepare: Histogram,
+    /// Bulk as-of scan batch time, microseconds.
+    scan_batch: Histogram,
+}
+
+/// Process-wide observability epoch: all `at_us` timestamps are micros
+/// since the first `Obs::now_us` call anywhere in the process, so events
+/// from multiple engine instances (e.g. pre- and post-recovery) share one
+/// time axis.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+#[inline]
+fn epoch_us() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+/// The engine's observability handle. Cheap to share (`Arc<Obs>`); every
+/// recording method is lock-free, allocation-free, and a no-op when the
+/// handle is disabled.
+pub struct Obs {
+    inner: Option<Box<ObsInner>>,
+}
+
+impl Obs {
+    /// Build from config. With `enabled: false` (or with this crate built
+    /// `--no-default-features`) the result is a no-op handle that owns no
+    /// ring and no histograms.
+    pub fn new(config: &ObsConfig) -> Obs {
+        #[cfg(feature = "enabled")]
+        if config.enabled {
+            return Obs {
+                inner: Some(Box::new(ObsInner {
+                    ring: EventRing::new(config.ring_capacity),
+                    commit_latency: Histogram::new(),
+                    flush_stall: Histogram::new(),
+                    asof_prepare: Histogram::new(),
+                    scan_batch: Histogram::new(),
+                })),
+            };
+        }
+        let _ = config;
+        Obs { inner: None }
+    }
+
+    /// A hard-off handle, regardless of features.
+    pub fn disabled() -> Obs {
+        Obs { inner: None }
+    }
+
+    /// Whether recording is live.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Microseconds since the process observability epoch — the timebase
+    /// for event timestamps and durations. Returns 0 when disabled, so
+    /// instrumentation sites can unconditionally compute
+    /// `obs.now_us() - t0` without branching themselves.
+    #[inline]
+    pub fn now_us(&self) -> u64 {
+        if self.inner.is_some() {
+            epoch_us()
+        } else {
+            0
+        }
+    }
+
+    /// Record one event (timestamped now). Lock-free, allocation-free.
+    #[inline]
+    pub fn record(&self, kind: EventKind, lsn: u64, arg: u64, dur_us: u64) {
+        if let Some(inner) = &self.inner {
+            inner.ring.record(kind, epoch_us(), lsn, arg, dur_us);
+        }
+    }
+
+    /// Record one commit-latency sample (µs, begin → durable). Callers
+    /// record exactly one sample per durable commit so the histogram count
+    /// equals the commit count on a serial trace.
+    #[inline]
+    pub fn commit_latency_us(&self, v: u64) {
+        if let Some(inner) = &self.inner {
+            inner.commit_latency.record(v);
+        }
+    }
+
+    /// Record one physical-flush stall sample (µs). One sample per
+    /// counted log flush.
+    #[inline]
+    pub fn flush_stall_us(&self, v: u64) {
+        if let Some(inner) = &self.inner {
+            inner.flush_stall.record(v);
+        }
+    }
+
+    /// Record one as-of page-prepare sample (µs). One sample per
+    /// `pages_prepared` increment.
+    #[inline]
+    pub fn asof_prepare_us(&self, v: u64) {
+        if let Some(inner) = &self.inner {
+            inner.asof_prepare.record(v);
+        }
+    }
+
+    /// Record one bulk-scan batch-time sample (µs).
+    #[inline]
+    pub fn scan_batch_us(&self, v: u64) {
+        if let Some(inner) = &self.inner {
+            inner.scan_batch.record(v);
+        }
+    }
+
+    /// Snapshot the event ring (empty when disabled).
+    pub fn events(&self) -> Vec<Event> {
+        match &self.inner {
+            Some(inner) => inner.ring.events(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Total events ever recorded.
+    pub fn events_recorded(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.ring.recorded())
+    }
+
+    /// Events lost to ring overwrite.
+    pub fn events_dropped(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.ring.dropped())
+    }
+
+    /// Snapshot of the commit-latency histogram.
+    pub fn commit_latency(&self) -> HistogramSnapshot {
+        self.inner
+            .as_ref()
+            .map_or_else(HistogramSnapshot::empty, |i| i.commit_latency.snapshot())
+    }
+
+    /// Snapshot of the flush-stall histogram.
+    pub fn flush_stall(&self) -> HistogramSnapshot {
+        self.inner
+            .as_ref()
+            .map_or_else(HistogramSnapshot::empty, |i| i.flush_stall.snapshot())
+    }
+
+    /// Snapshot of the as-of prepare histogram.
+    pub fn asof_prepare(&self) -> HistogramSnapshot {
+        self.inner
+            .as_ref()
+            .map_or_else(HistogramSnapshot::empty, |i| i.asof_prepare.snapshot())
+    }
+
+    /// Snapshot of the scan-batch histogram.
+    pub fn scan_batch(&self) -> HistogramSnapshot {
+        self.inner
+            .as_ref()
+            .map_or_else(HistogramSnapshot::empty, |i| i.scan_batch.snapshot())
+    }
+}
+
+impl MetricSource for Obs {
+    fn collect(&self, out: &mut MetricsSnapshot) {
+        out.counter("obs_enabled", self.is_enabled() as u64);
+        out.counter("obs_events_recorded", self.events_recorded());
+        out.counter("obs_events_dropped", self.events_dropped());
+        out.histogram("commit_latency_us", self.commit_latency());
+        out.histogram("flush_stall_us", self.flush_stall());
+        out.histogram("asof_prepare_us", self.asof_prepare());
+        out.histogram("scan_batch_us", self.scan_batch());
+    }
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.is_enabled())
+            .field("events_recorded", &self.events_recorded())
+            .field("events_dropped", &self.events_dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_obs_is_inert() {
+        let obs = Obs::disabled();
+        assert!(!obs.is_enabled());
+        assert_eq!(obs.now_us(), 0);
+        obs.record(EventKind::CommitDurable, 1, 2, 3);
+        obs.commit_latency_us(42);
+        assert_eq!(obs.events_recorded(), 0);
+        assert_eq!(obs.events(), Vec::new());
+        assert_eq!(obs.commit_latency().count, 0);
+        let obs2 = Obs::new(&ObsConfig {
+            enabled: false,
+            ring_capacity: 1024,
+        });
+        assert!(!obs2.is_enabled());
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn enabled_obs_records_events_and_samples() {
+        let obs = Obs::new(&ObsConfig::default());
+        assert!(obs.is_enabled());
+        obs.record(EventKind::LogFlush, 512, 4096, 10);
+        obs.flush_stall_us(10);
+        obs.commit_latency_us(120);
+        let events = obs.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::LogFlush);
+        assert_eq!(events[0].lsn, 512);
+        assert_eq!(obs.flush_stall().count, 1);
+        assert_eq!(obs.commit_latency().max, 120);
+        let mut snap = MetricsSnapshot::new();
+        obs.collect(&mut snap);
+        assert_eq!(snap.get("obs_events_recorded"), 1);
+        assert_eq!(snap.get("obs_events_dropped"), 0);
+        assert_eq!(snap.hist("flush_stall_us").unwrap().count, 1);
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn feature_off_makes_every_handle_inert() {
+        let obs = Obs::new(&ObsConfig::default());
+        assert!(!obs.is_enabled());
+        obs.record(EventKind::CommitDurable, 1, 2, 3);
+        assert_eq!(obs.events_recorded(), 0);
+    }
+}

@@ -1,0 +1,321 @@
+//! The unified metrics registry.
+//!
+//! Every layer of the engine keeps its own counters close to the hot path
+//! it instruments ([`rewind_common::IoStats`], pool stripes, snapshot
+//! stats, the obs histograms). The registry is the *composition* point: a
+//! list of [`MetricSource`]s, each of which knows how to dump its numbers
+//! into a [`MetricsSnapshot`] — one flat, stably-named view of the whole
+//! engine that can be diffed (`delta`), rendered as Prometheus-style text
+//! (`to_text`), or as JSON (`to_json`).
+//!
+//! Naming convention: `<subsystem>_<what>` with the `rewind_` prefix added
+//! at exposition time only (snapshot keys stay short for programmatic
+//! use). All maps are `BTreeMap`s so every rendering is deterministic —
+//! a requirement for the CI gates that diff expositions across runs.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use rewind_common::IoStats;
+
+use crate::hist::HistogramSnapshot;
+
+/// Anything that can contribute metrics to a snapshot.
+pub trait MetricSource: Send + Sync {
+    /// Dump current values into `out`. Called under no engine locks; the
+    /// implementation must only read (atomics, try-locks, its own state).
+    fn collect(&self, out: &mut MetricsSnapshot);
+}
+
+impl<T: MetricSource + ?Sized> MetricSource for Arc<T> {
+    fn collect(&self, out: &mut MetricsSnapshot) {
+        (**self).collect(out)
+    }
+}
+
+/// A closure-backed [`MetricSource`], for layers that would otherwise need
+/// a one-off adapter struct.
+pub struct FnSource<F: Fn(&mut MetricsSnapshot) + Send + Sync>(pub F);
+
+impl<F: Fn(&mut MetricsSnapshot) + Send + Sync> MetricSource for FnSource<F> {
+    fn collect(&self, out: &mut MetricsSnapshot) {
+        (self.0)(out)
+    }
+}
+
+/// Adapter exposing an [`IoStats`] under a prefix (`io_data_page_reads`,
+/// `io_log_log_flushes`, ...). Field names come from
+/// [`rewind_common::IoSnapshot::fields`], so a counter added to `IoStats`
+/// shows up here without touching this crate.
+pub struct IoStatsSource {
+    pub prefix: &'static str,
+    pub stats: Arc<IoStats>,
+}
+
+impl MetricSource for IoStatsSource {
+    fn collect(&self, out: &mut MetricsSnapshot) {
+        for (name, value) in self.stats.snapshot().fields() {
+            out.counter(&format!("{}_{}", self.prefix, name), value);
+        }
+    }
+}
+
+/// A flat point-in-time view of every registered metric.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters and gauges, by stable name.
+    pub counters: BTreeMap<String, u64>,
+    /// Latency distributions, by stable name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    pub fn new() -> MetricsSnapshot {
+        MetricsSnapshot::default()
+    }
+
+    /// Set counter `name` to `value` (sources call this from `collect`).
+    pub fn counter(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_string(), value);
+    }
+
+    /// Attach histogram `name` (sources call this from `collect`).
+    pub fn histogram(&mut self, name: &str, snap: HistogramSnapshot) {
+        self.histograms.insert(name.to_string(), snap);
+    }
+
+    /// Counter value by name (0 if absent — absent and zero are
+    /// indistinguishable by design: sources always emit their full set).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram by name.
+    pub fn hist(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Per-metric difference `self − earlier` (saturating). Meaningful for
+    /// monotonic counters; gauges (e.g. `pool_pinned`, `asof_open`) come
+    /// out as the saturated difference of two instantaneous values —
+    /// consult the absolute snapshot for those.
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| {
+                (
+                    k.clone(),
+                    v.saturating_sub(earlier.counters.get(k).copied().unwrap_or(0)),
+                )
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, v)| {
+                let d = match earlier.histograms.get(k) {
+                    Some(e) => v.delta(e),
+                    None => v.clone(),
+                };
+                (k.clone(), d)
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            histograms,
+        }
+    }
+
+    /// Prometheus-style text exposition. One `rewind_<name>` line per
+    /// counter; histograms expose `_count`/`_sum`/`_max` plus quantile
+    /// gauges `_p50`/`_p95`/`_p99` (microsecond-valued, bucket upper
+    /// bounds). Deterministic order (BTreeMap iteration).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "# TYPE rewind_{name} counter");
+            let _ = writeln!(out, "rewind_{name} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE rewind_{name} summary");
+            let _ = writeln!(out, "rewind_{name}_count {}", h.count);
+            let _ = writeln!(out, "rewind_{name}_sum {}", h.sum);
+            let _ = writeln!(out, "rewind_{name}_max {}", h.max);
+            let _ = writeln!(out, "rewind_{name}_p50 {}", h.p50());
+            let _ = writeln!(out, "rewind_{name}_p95 {}", h.p95());
+            let _ = writeln!(out, "rewind_{name}_p99 {}", h.p99());
+        }
+        out
+    }
+
+    /// JSON rendering (hand-rolled — the workspace carries no serde).
+    /// Histograms are summarized (count/sum/max/quantiles), not dumped
+    /// bucket-by-bucket.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{name}\": {value}");
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    \"{name}\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                h.count,
+                h.sum,
+                h.max,
+                h.p50(),
+                h.p95(),
+                h.p99()
+            );
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Parse a [`MetricsSnapshot::to_text`] exposition back into
+    /// `name → value` pairs. Shared by the obs tests and the CI smoke
+    /// gate: if this returns `Err`, the exposition is malformed.
+    pub fn parse_text(text: &str) -> Result<BTreeMap<String, u64>, String> {
+        let mut out = BTreeMap::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (name, value) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(n), Some(v), None) => (n, v),
+                _ => {
+                    return Err(format!(
+                        "line {}: expected `name value`: {line:?}",
+                        lineno + 1
+                    ))
+                }
+            };
+            let Some(short) = name.strip_prefix("rewind_") else {
+                return Err(format!(
+                    "line {}: metric lacks rewind_ prefix: {name}",
+                    lineno + 1
+                ));
+            };
+            let value: u64 = value
+                .parse()
+                .map_err(|e| format!("line {}: bad value {value:?}: {e}", lineno + 1))?;
+            if out.insert(short.to_string(), value).is_some() {
+                return Err(format!("line {}: duplicate metric {name}", lineno + 1));
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// An ordered list of [`MetricSource`]s, snapshotted on demand.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    sources: RwLock<Vec<Box<dyn MetricSource>>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Add a source. Registration order is irrelevant to output order —
+    /// snapshots sort by metric name.
+    pub fn register(&self, source: Box<dyn MetricSource>) {
+        self.sources.write().push(source);
+    }
+
+    /// Collect every source into one snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::new();
+        for source in self.sources.read().iter() {
+            source.collect(&mut out);
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("sources", &self.sources.read().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    #[test]
+    fn snapshot_composes_sources_and_text_roundtrips() {
+        let reg = MetricsRegistry::new();
+        reg.register(Box::new(FnSource(|out: &mut MetricsSnapshot| {
+            out.counter("alpha_ops", 7);
+            out.counter("beta_ops", 0);
+        })));
+        let h = Arc::new(Histogram::new());
+        h.record(100);
+        h.record(200);
+        let hc = h.clone();
+        reg.register(Box::new(FnSource(move |out: &mut MetricsSnapshot| {
+            out.histogram("alpha_latency_us", hc.snapshot());
+        })));
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("alpha_ops"), 7);
+        assert_eq!(snap.get("beta_ops"), 0);
+        assert_eq!(snap.get("missing"), 0);
+        assert_eq!(snap.hist("alpha_latency_us").unwrap().count, 2);
+
+        let parsed = MetricsSnapshot::parse_text(&snap.to_text()).unwrap();
+        assert_eq!(parsed["alpha_ops"], 7);
+        assert_eq!(parsed["alpha_latency_us_count"], 2);
+        assert_eq!(parsed["alpha_latency_us_sum"], 300);
+        assert_eq!(parsed["alpha_latency_us_max"], 200);
+
+        // Deterministic: two renderings are byte-identical.
+        assert_eq!(snap.to_text(), reg.snapshot().to_text());
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_histograms() {
+        let mut a = MetricsSnapshot::new();
+        a.counter("ops", 10);
+        let mut b = MetricsSnapshot::new();
+        b.counter("ops", 25);
+        b.counter("fresh", 3);
+        let d = b.delta(&a);
+        assert_eq!(d.get("ops"), 15);
+        assert_eq!(d.get("fresh"), 3);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_expositions() {
+        assert!(MetricsSnapshot::parse_text("rewind_a 1\nrewind_a 2").is_err());
+        assert!(MetricsSnapshot::parse_text("naked_name 1").is_err());
+        assert!(MetricsSnapshot::parse_text("rewind_a notanumber").is_err());
+        assert!(MetricsSnapshot::parse_text("rewind_a").is_err());
+        assert!(MetricsSnapshot::parse_text("# comment\n\nrewind_a 1").is_ok());
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed_enough() {
+        let mut s = MetricsSnapshot::new();
+        s.counter("x", 1);
+        s.histogram("h", HistogramSnapshot::empty());
+        let j = s.to_json();
+        assert!(j.contains("\"x\": 1"));
+        assert!(j.contains("\"h\": {\"count\": 0"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

@@ -47,6 +47,9 @@ pub struct AnalysisResult {
     pub max_txn_id: TxnId,
     /// Number of committed transactions observed in the window.
     pub committed: u64,
+    /// Log records visited by the forward scan (the analysis-phase work
+    /// metric recovery reports).
+    pub records_scanned: u64,
 }
 
 fn lock_for(
@@ -91,6 +94,7 @@ pub fn analyze(log: &LogManager, bound: Lsn) -> Result<AnalysisResult> {
     let mut dpt: HashMap<PageId, Lsn> = HashMap::new();
     let mut max_txn = TxnId::NONE;
     let mut committed = 0u64;
+    let mut records_scanned = 0u64;
 
     let checkpoint = log.checkpoint_before(bound);
     let scan_start = match &checkpoint {
@@ -127,6 +131,7 @@ pub fn analyze(log: &LogManager, bound: Lsn) -> Result<AnalysisResult> {
         Lsn(bound.0 + 1)
     };
     log.scan_views_deep(scan_start, scan_to, |header, view| {
+        records_scanned += 1;
         if header.txn.is_valid() {
             max_txn = max_txn.max(header.txn);
             match header.kind {
@@ -216,5 +221,6 @@ pub fn analyze(log: &LogManager, bound: Lsn) -> Result<AnalysisResult> {
         scan_start,
         max_txn_id: max_txn,
         committed,
+        records_scanned,
     })
 }

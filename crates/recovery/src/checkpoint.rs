@@ -46,10 +46,13 @@ pub fn take_checkpoint(
     pool: &BufferPool,
     clock: &SimClock,
 ) -> Result<Lsn> {
+    let obs = log.obs().clone();
+    let started = obs.now_us();
     let mut begin = marker(LogPayload::CheckpointBegin {
         at: Timestamp::ZERO,
     });
     let begin_lsn = log.append_stamped(&mut begin, &|| clock.now()).start;
+    obs.record(rewind_obs::EventKind::CheckpointBegin, begin_lsn.0, 0, 0);
     pool.flush_all()?;
     let att = txns.active_table();
     let dpt = pool.dirty_page_table();
@@ -61,6 +64,12 @@ pub fn take_checkpoint(
     }));
     let end = log.append_stamped(&mut end, &|| clock.now());
     log.flush_up_to(end.end);
+    obs.record(
+        rewind_obs::EventKind::CheckpointEnd,
+        end.start.0,
+        0,
+        obs.now_us().saturating_sub(started),
+    );
     Ok(end.start)
 }
 

@@ -52,6 +52,13 @@ pub struct EngineParts {
 }
 
 impl EngineParts {
+    /// The engine's observability handle. The log manager owns it (see
+    /// `LogConfig::obs`); everything reached through `EngineParts` shares
+    /// that one instance.
+    pub fn obs(&self) -> &Arc<rewind_obs::Obs> {
+        self.log.obs()
+    }
+
     /// Register a copy-on-write sink; returns a token for deregistration.
     pub fn register_cow(&self, sink: Arc<dyn CowSink>) -> u64 {
         let token = self

@@ -11,6 +11,7 @@ use crate::harvest::{self, ConflictInfo, Harvest, RepairTarget, TargetTxn};
 use crate::plan::{self, KeyRepair, RepairAction, RepairPlan, UnsupportedNote};
 use rewind_common::{Lsn, Result, TxnId};
 use rewind_core::Database;
+use rewind_obs::EventKind;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// What to do with a key whose witness restore would destroy a later
@@ -102,7 +103,15 @@ pub fn plan_flashback(db: &Database, target: &RepairTarget) -> Result<RepairRepo
 /// Surgically revert the effects of the target transactions while
 /// preserving all later non-conflicting work.
 pub fn flashback(db: &Database, target: &RepairTarget, cfg: &RepairConfig) -> Result<RepairReport> {
+    let obs = db.log().obs().clone();
+    let harvest_started = obs.now_us();
     let harvest = harvest::harvest(db.log(), target)?;
+    obs.record(
+        EventKind::RepairHarvest,
+        harvest.split_lsn.0,
+        harvest.targets.len() as u64,
+        obs.now_us().saturating_sub(harvest_started),
+    );
     let witness_name = format!(
         "repair-witness@{}#{}",
         harvest.split_lsn,
@@ -117,7 +126,9 @@ pub fn flashback(db: &Database, target: &RepairTarget, cfg: &RepairConfig) -> Re
     let witness = db
         .create_snapshot_at_lsn(&witness_name, label, harvest.split_lsn)?
         .with_prefetch_workers(cfg.prefetch_workers.max(1));
+    obs.record(EventKind::RepairWitness, harvest.split_lsn.0, 0, 0);
     let result = (|| {
+        let plan_started = obs.now_us();
         let mut plan = plan::build_plan(db, &witness, &harvest, cfg.prefetch_workers.max(1))?;
         // Close the harvest→plan window: a transaction that committed
         // while the plan was being built is visible to the plan's live
@@ -132,7 +143,21 @@ pub fn flashback(db: &Database, target: &RepairTarget, cfg: &RepairConfig) -> Re
                     .copied();
             }
         }
-        apply(db, &harvest, plan, cfg)
+        obs.record(
+            EventKind::RepairDiff,
+            harvest.split_lsn.0,
+            plan.entries.len() as u64,
+            obs.now_us().saturating_sub(plan_started),
+        );
+        let apply_started = obs.now_us();
+        let report = apply(db, &harvest, plan, cfg)?;
+        obs.record(
+            EventKind::RepairApply,
+            harvest.split_lsn.0,
+            report.applied as u64,
+            obs.now_us().saturating_sub(apply_started),
+        );
+        Ok(report)
     })();
     // The witness is scratch state; whatever happened above is the outcome
     // that matters. (Dropping a snapshot we created cannot meaningfully

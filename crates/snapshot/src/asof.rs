@@ -5,6 +5,7 @@ use crate::store::{SnapInner, SnapshotMutator, SnapshotStore};
 use parking_lot::{Condvar, Mutex};
 use rewind_buffer::ScanPartition;
 use rewind_common::{Error, Lsn, ObjectId, PageId, Result, Timestamp, TxnId};
+use rewind_obs::EventKind;
 use rewind_pagestore::Page;
 use rewind_recovery::rollback::undo_record_view;
 use rewind_recovery::{analyze, AccessKind, CowSink, EngineParts, LoserTxn};
@@ -421,6 +422,7 @@ impl AsOfSnapshot {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     scope.spawn(move || {
+                        let batch_started = inner.obs.now_us();
                         let mut stats = PrefetchWorkerStats::default();
                         for &pid in pids.iter().skip(w).step_by(workers) {
                             let (_, prep) = inner.fetch_traced_in(pid, Some(part))?;
@@ -431,6 +433,11 @@ impl AsOfSnapshot {
                                 stats.fpi_chain_reads += p.fpi_chain_reads;
                             }
                         }
+                        // One scan batch per worker: its whole stride of
+                        // the bulk preparation.
+                        let dur = inner.obs.now_us().saturating_sub(batch_started);
+                        inner.obs.scan_batch_us(dur);
+                        inner.obs.record(EventKind::ScanBatch, 0, stats.pages, dur);
                         Ok(stats)
                     })
                 })

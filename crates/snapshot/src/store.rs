@@ -57,6 +57,7 @@ use parking_lot::Mutex;
 use rewind_access::store::{ModKind, Store};
 use rewind_buffer::{BufferPool, ScanPartition};
 use rewind_common::{Error, Lsn, ObjectId, PageId, Result};
+use rewind_obs::{EventKind, Obs};
 use rewind_pagestore::{Page, PageImage, PageType, SideFile};
 use rewind_recovery::prepare_page_as_of;
 use rewind_txn::ObjectLatches;
@@ -130,6 +131,8 @@ pub struct SnapInner {
     pub(crate) side: SideFile,
     preparing: PrepareGates,
     pub(crate) stats: SnapshotStats,
+    /// The engine's observability handle, shared from the log manager.
+    pub(crate) obs: Arc<Obs>,
     phantom_next: AtomicU64,
 }
 
@@ -138,6 +141,7 @@ impl SnapInner {
         let phantom_base = pool.file_manager().page_count().max(1) + (1 << 20);
         SnapInner {
             pool,
+            obs: log.obs().clone(),
             log,
             split,
             side: SideFile::new(),
@@ -208,6 +212,9 @@ impl SnapInner {
             self.stats.side_hits.fetch_add(1, Ordering::Relaxed);
             return Ok((img, None));
         }
+        let prepare_started = self.obs.now_us();
+        self.obs
+            .record(EventKind::AsOfPrepareStart, self.split.0, pid.0, 0);
         // Step (b): borrow the primary frame through the buffer manager,
         // shared latch (the image may be newer than durable; the walk below
         // rolls it back from whatever pageLSN it carries). The copy out of
@@ -224,6 +231,12 @@ impl SnapInner {
                 other => other,
             })?;
         self.stats.pages_prepared.fetch_add(1, Ordering::Relaxed);
+        // Adjacent to the `pages_prepared` increment so the histogram
+        // count equals the prepared-page count exactly.
+        let dur = self.obs.now_us().saturating_sub(prepare_started);
+        self.obs.asof_prepare_us(dur);
+        self.obs
+            .record(EventKind::AsOfPrepareDone, self.split.0, pid.0, dur);
         self.stats
             .records_undone
             .fetch_add(st.records_undone, Ordering::Relaxed);

@@ -119,6 +119,7 @@
 use crate::record::{LogPayload, LogPayloadView, LogRecord, LogRecordHeader};
 use parking_lot::{Condvar, Mutex};
 use rewind_common::{crc32c, Error, IoStats, Lsn, PageId, Result, Timestamp, TxnId};
+use rewind_obs::{EventKind, Obs, ObsConfig};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::ops::Range;
@@ -163,6 +164,11 @@ pub struct LogConfig {
     /// so the group-commit coalescer engages the way it would against real
     /// media.
     pub flush_delay_us: u64,
+    /// Observability configuration. The log manager is the first engine
+    /// component constructed, so it owns the engine's [`Obs`] handle;
+    /// every other layer (pool, snapshots, recovery, the database facade)
+    /// shares it via [`LogManager::obs`].
+    pub obs: ObsConfig,
 }
 
 impl Default for LogConfig {
@@ -172,6 +178,7 @@ impl Default for LogConfig {
             cache_blocks: 64,
             archive_on_truncate: false,
             flush_delay_us: 0,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -497,6 +504,9 @@ pub struct LogManager {
     flush_cv: Condvar,
     cache: ReadCache,
     stats: Arc<IoStats>,
+    /// The engine's observability handle (event ring + histograms); see
+    /// [`LogConfig::obs`] for why it lives here.
+    obs: Arc<Obs>,
     config: LogConfig,
     /// Fault injection: number of upcoming physical flush attempts that
     /// fail transiently (each attempt consumes one token). The leader's
@@ -537,6 +547,7 @@ impl LogManager {
             flush_cv: Condvar::new(),
             cache: ReadCache::new(),
             stats: Arc::new(IoStats::new()),
+            obs: Arc::new(Obs::new(&config.obs)),
             config,
             flush_faults: AtomicU64::new(0),
         }
@@ -554,6 +565,13 @@ impl LogManager {
     /// The shared I/O counters for this log.
     pub fn io_stats(&self) -> &Arc<IoStats> {
         &self.stats
+    }
+
+    /// The engine's observability handle. Layers built on top of the log
+    /// (buffer pool, snapshots, recovery) clone this instead of carrying
+    /// their own configuration — the engine's `Obs` *is* the log's `Obs`.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
     }
 
     /// Run `f` against the current sealed index: one atomic version check
@@ -874,7 +892,14 @@ impl LogManager {
             if queue.leader_active {
                 // Follower: park until the leader reports completion, then
                 // re-check coverage (no wakeup before durability).
+                let parked_at = self.obs.now_us();
                 self.flush_cv.wait(&mut queue);
+                self.obs.record(
+                    EventKind::GroupFollowerWait,
+                    target,
+                    0,
+                    self.obs.now_us().saturating_sub(parked_at),
+                );
                 continue;
             }
             // Leader: write everything requested so far in one sequential
@@ -882,6 +907,7 @@ impl LogManager {
             let want = queue.requested;
             queue.leader_active = true;
             drop(queue);
+            let flush_started = self.obs.now_us();
             // Physical flush attempt, with bounded retry/backoff against
             // transient device errors. `leader_active` stays set across
             // retries, so followers remain parked through every failed
@@ -918,6 +944,12 @@ impl LogManager {
             if want > prev {
                 self.stats.add_log_bytes_written(want - prev);
                 self.stats.add_log_flush();
+                // Recorded in the same branch as `add_log_flush` so the
+                // flush-stall histogram count equals `log_flushes` exactly.
+                let dur = self.obs.now_us().saturating_sub(flush_started);
+                self.obs.flush_stall_us(dur);
+                self.obs.record(EventKind::LogFlush, want, want - prev, dur);
+                self.obs.record(EventKind::GroupLeaderFlush, want, 0, dur);
             }
             queue = self.flush_queue.lock();
             queue.leader_active = false;
