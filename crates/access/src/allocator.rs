@@ -106,11 +106,9 @@ pub fn allocate_page<S: Store>(
 ) -> Result<PageId> {
     for r in 0..MAX_REGIONS {
         let map_pid = ensure_map(s, r, kind)?;
-        let found = s.with_page(map_pid, |p| {
-            Ok(find_free(p, 0).map(|idx| {
-                let st = get_state(p, idx).expect("index in range");
-                (idx, st)
-            }))
+        let found = s.with_page(map_pid, |p| match find_free(p, 0) {
+            Some(idx) => Ok(Some((idx, get_state(p, idx)?))),
+            None => Ok(None),
         })?;
         let (idx, st) = match found {
             Some(x) => x,

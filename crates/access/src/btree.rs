@@ -21,7 +21,7 @@
 //! serve the live database and as-of snapshots (paper §5.3).
 
 use crate::store::{ModKind, Store};
-use rewind_common::codec::read_u16_at;
+use rewind_common::codec::{read_u16_at, read_u64_at};
 use rewind_common::{Error, Lsn, ObjectId, PageId, Result};
 use rewind_pagestore::{Page, PageType};
 use rewind_wal::LogPayload;
@@ -72,7 +72,7 @@ fn internal_record(key: &[u8], child: PageId) -> Vec<u8> {
 fn decode_internal(rec: &[u8]) -> (&[u8], PageId) {
     let klen = read_u16_at(rec, 0) as usize;
     let key = &rec[2..2 + klen];
-    let child = u64::from_le_bytes(rec[2 + klen..2 + klen + 8].try_into().unwrap());
+    let child = read_u64_at(rec, 2 + klen);
     (key, PageId(child))
 }
 

@@ -23,6 +23,7 @@ use rewind_common::{Lsn, ObjectId, PageId, TxnId};
 use rewind_wal::{LogConfig, LogManager, LogPayload, LogRecord};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+// tidy: allow(std-sync) -- the seed-era mutex read path is the baseline under measurement
 use std::sync::{Arc, Barrier, Mutex};
 use std::thread;
 use std::time::Instant;
@@ -31,16 +32,21 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: pure pass-through to `System` plus relaxed atomic counting — every
+// GlobalAlloc contract obligation is discharged by the system allocator.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: delegates to `System.alloc` with the caller's layout unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
 
+    // SAFETY: delegates to `System.dealloc`; `ptr`/`layout` come from `alloc`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: delegates to `System.realloc` with the caller's arguments unchanged.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)

@@ -54,6 +54,7 @@ use rewind_recovery::prepare_page_as_of;
 use rewind_wal::LogManager;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+// tidy: allow(std-sync) -- the deliberately-naive MutexPool baseline under measurement uses std locks
 use std::sync::{Arc, Barrier, Mutex, RwLock};
 use std::thread;
 use std::time::Instant;

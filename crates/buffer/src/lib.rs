@@ -330,6 +330,7 @@ impl std::ops::Deref for PageReadGuard<'_> {
 
     #[inline]
     fn deref(&self) -> &Page {
+        // tidy: allow(no-panic) -- Option is Some from construction until Drop takes it
         &self.guard.as_ref().expect("guard live until drop").page
     }
 }
@@ -672,7 +673,9 @@ impl BufferPool {
         {
             let mut st = f.state.write();
             if st.dirty {
+                // tidy: allow(lock-across-io) -- frame latch must cover WAL-first flush of the victim
                 self.log.flush_to(st.page.page_lsn());
+                // tidy: allow(lock-across-io) -- writeback under the frame latch; pool-level locks are not held
                 if let Err(e) = self.with_io_retry(|| self.fm.write_page(st.pid, &st.page)) {
                     drop(st);
                     // The victim is still mapped, so transient fast-path
@@ -734,7 +737,9 @@ impl BufferPool {
             return Ok(RingClaim::Fresh);
         }
         for _ in 0..ring.len() {
-            let (idx, old_pid) = ring.pop_front().expect("ring non-empty");
+            let Some((idx, old_pid)) = ring.pop_front() else {
+                break; // rotation never grows the ring past its scan length
+            };
             let f = &self.frames[idx];
             if f.tag.load(Ordering::Acquire) != old_pid {
                 // The global clock (or drop_cache) recycled this frame for
@@ -809,8 +814,8 @@ impl BufferPool {
         // budget slot until its load is recorded; abandoning it must
         // release the slot.
         let abandon_claim = || {
-            if charged {
-                scan.expect("charged implies a partition").end_reuse();
+            if let (true, Some(part)) = (charged, scan) {
+                part.end_reuse();
             }
         };
         // A racer may have published `pid` while we were claiming (and
@@ -1001,7 +1006,9 @@ impl BufferPool {
         };
         let mut st = self.frames[idx].state.write();
         if st.pid == pid && st.dirty {
+            // tidy: allow(lock-across-io) -- frame latch must cover WAL-first flush of this page
             self.log.flush_to(st.page.page_lsn());
+            // tidy: allow(lock-across-io) -- writeback under the frame latch; pool-level locks are not held
             self.with_io_retry(|| self.fm.write_page(st.pid, &st.page))?;
             st.dirty = false;
             st.rec_lsn = Lsn::NULL;
@@ -1016,7 +1023,9 @@ impl BufferPool {
         for frame in &self.frames {
             let mut st = frame.state.write();
             if st.pid.is_valid() && st.dirty {
+                // tidy: allow(lock-across-io) -- frame latch must cover WAL-first flush of this page
                 self.log.flush_to(st.page.page_lsn());
+                // tidy: allow(lock-across-io) -- writeback under the frame latch; pool-level locks are not held
                 self.with_io_retry(|| self.fm.write_page(st.pid, &st.page))?;
                 st.dirty = false;
                 st.rec_lsn = Lsn::NULL;

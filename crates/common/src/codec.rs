@@ -137,27 +137,27 @@ impl<'a> ByteReader<'a> {
 
     /// Read a little-endian `u16`.
     pub fn get_u16(&mut self) -> Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(array_at(self.take(2)?, 0)))
     }
 
     /// Read a little-endian `u32`.
     pub fn get_u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(array_at(self.take(4)?, 0)))
     }
 
     /// Read a little-endian `u64`.
     pub fn get_u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(array_at(self.take(8)?, 0)))
     }
 
     /// Read a little-endian `i64`.
     pub fn get_i64(&mut self) -> Result<i64> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(array_at(self.take(8)?, 0)))
     }
 
     /// Read a little-endian IEEE-754 `f64`.
     pub fn get_f64(&mut self) -> Result<f64> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(array_at(self.take(8)?, 0)))
     }
 
     /// Read `n` raw bytes.
@@ -178,10 +178,23 @@ impl<'a> ByteReader<'a> {
     }
 }
 
+/// Copy `N` bytes at `off` out of `buf` into an array — the shared core
+/// of every fixed-width read. Infallible by construction (no
+/// `try_into().unwrap()`): the subslice is exactly `N` long, so
+/// `copy_from_slice` cannot mismatch; out-of-range offsets trip the slice
+/// bounds check, which is the caller's contract everywhere this is used
+/// (frame and anchor readers length-check before decoding).
+#[inline]
+pub fn array_at<const N: usize>(buf: &[u8], off: usize) -> [u8; N] {
+    let mut a = [0u8; N];
+    a.copy_from_slice(&buf[off..off + N]);
+    a
+}
+
 /// Read a little-endian `u16` at a fixed offset in a buffer (page headers).
 #[inline]
 pub fn read_u16_at(buf: &[u8], off: usize) -> u16 {
-    u16::from_le_bytes(buf[off..off + 2].try_into().unwrap())
+    u16::from_le_bytes(array_at(buf, off))
 }
 
 /// Write a little-endian `u16` at a fixed offset in a buffer.
@@ -193,7 +206,7 @@ pub fn write_u16_at(buf: &mut [u8], off: usize, v: u16) {
 /// Read a little-endian `u32` at a fixed offset in a buffer.
 #[inline]
 pub fn read_u32_at(buf: &[u8], off: usize) -> u32 {
-    u32::from_le_bytes(buf[off..off + 4].try_into().unwrap())
+    u32::from_le_bytes(array_at(buf, off))
 }
 
 /// Write a little-endian `u32` at a fixed offset in a buffer.
@@ -205,7 +218,7 @@ pub fn write_u32_at(buf: &mut [u8], off: usize, v: u32) {
 /// Read a little-endian `u64` at a fixed offset in a buffer.
 #[inline]
 pub fn read_u64_at(buf: &[u8], off: usize) -> u64 {
-    u64::from_le_bytes(buf[off..off + 8].try_into().unwrap())
+    u64::from_le_bytes(array_at(buf, off))
 }
 
 /// Write a little-endian `u64` at a fixed offset in a buffer.

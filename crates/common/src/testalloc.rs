@@ -37,7 +37,10 @@ static LARGE_ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 /// about allocation pressure, and `realloc` counts as one allocation.
 pub struct CountingAllocator;
 
+// SAFETY: pure pass-through to `System` plus relaxed atomic counting — every
+// GlobalAlloc contract obligation is discharged by the system allocator.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: delegates to `System.alloc` with the caller's layout unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         if layout.size() >= LARGE_ALLOC_MIN {
@@ -46,10 +49,12 @@ unsafe impl GlobalAlloc for CountingAllocator {
         System.alloc(layout)
     }
 
+    // SAFETY: delegates to `System.dealloc`; `ptr`/`layout` come from `alloc`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: delegates to `System.realloc` with the caller's arguments unchanged.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         if new_size >= LARGE_ALLOC_MIN {

@@ -213,6 +213,7 @@ impl SysTrees {
 
 /// Key bytes for a `sys_tables` row.
 pub fn table_key(id: ObjectId) -> Vec<u8> {
+    // tidy: allow(no-panic) -- a literal single-U64 key always encodes
     encode_key_owned(&[Value::U64(id.0)]).expect("non-empty")
 }
 
@@ -247,6 +248,7 @@ fn parse_table_row(bytes: &[u8]) -> Result<TableInfo> {
 
 /// Key bytes for a `sys_indexes` row.
 pub fn index_key(id: ObjectId) -> Vec<u8> {
+    // tidy: allow(no-panic) -- a literal single-U64 key always encodes
     encode_key_owned(&[Value::U64(id.0)]).expect("non-empty")
 }
 
@@ -296,6 +298,7 @@ fn parse_index_row(bytes: &[u8]) -> Result<(ObjectId, IndexInfo)> {
 
 /// Key bytes for a `sys_columns` row.
 pub fn column_key(table: ObjectId, ord: usize) -> Vec<u8> {
+    // tidy: allow(no-panic) -- a literal two-U64 key always encodes
     encode_key_owned(&[Value::U64(table.0), Value::U64(ord as u64)]).expect("non-empty")
 }
 

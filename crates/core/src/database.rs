@@ -1175,9 +1175,6 @@ impl Database {
             undo_us,
             records_undone,
         };
-        if obs.is_enabled() {
-            eprintln!("{report}");
-        }
         *db.last_recovery.lock() = Some(report);
         db.checkpoint()?;
         Ok(db)

@@ -1,0 +1,439 @@
+//! A hand-rolled Rust lexer, sufficient for token-level lints.
+//!
+//! This is not a full rustc lexer: it does not classify keywords, does not
+//! parse numeric suffixes precisely, and treats every operator character as
+//! an individual [`TokKind::Punct`]. What it does do **correctly** — and
+//! what regex-based "lints" always get wrong — is skip the places where
+//! code-looking text is not code:
+//!
+//! * line comments (`//`, `///`, `//!`) to end of line;
+//! * block comments (`/* */`, `/** */`), **nested** to arbitrary depth;
+//! * string literals with escapes (`"ab\"c"`), including multi-line;
+//! * raw strings with any hash count (`r"…"`, `r#"…"#`, `br##"…"##`,
+//!   `c"…"`);
+//! * byte strings and byte/char literals (`b"…"`, `b'x'`, `'\n'`,
+//!   `'\u{1F4A9}'`);
+//! * lifetimes vs char literals (`'a` vs `'a'`).
+//!
+//! Comments are kept as tokens (the tidy directives and `// SAFETY:`
+//! audits live in them); literal *contents* are opaque — an `unwrap()`
+//! inside a string is just a string.
+
+/// What a token is. Just enough classification for the lints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `fn`, `r#match` — raw identifiers
+    /// keep their `r#` prefix stripped).
+    Ident,
+    /// `'a` — a lifetime or loop label, *not* a char literal.
+    Lifetime,
+    /// Any numeric literal (`0xFF`, `1_000`, `2.5e3`).
+    Number,
+    /// `"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `c"…"` — all string shapes.
+    Str,
+    /// `'x'`, `b'\n'` — char and byte literals.
+    Char,
+    /// `// …` to end of line (doc comments included).
+    LineComment,
+    /// `/* … */`, nested. Doc block comments included.
+    BlockComment,
+    /// A single operator/delimiter character: `. , ; : { } ( ) [ ] ! # = < > & * + - / % | ^ ? @ ~ $`
+    Punct,
+}
+
+/// One lexed token: kind plus byte span into the source and 1-based line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the source it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Lex `src` into tokens, comments included. Never fails: unterminated
+/// literals/comments are closed at end of input (a lint pass must not die
+/// on a file rustc itself will reject with a better message).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run(src)
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, off: usize) -> u8 {
+        *self.src.get(self.pos + off).unwrap_or(&0)
+    }
+
+    /// Advance one byte, counting lines.
+    fn bump(&mut self) {
+        if self.peek(0) == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn emit(&mut self, kind: TokKind, start: usize, line: u32) {
+        self.out.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+        });
+    }
+
+    fn run(mut self, src_str: &str) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let c = self.peek(0);
+            let start = self.pos;
+            let line = self.line;
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == b'/' => {
+                    while self.pos < self.src.len() && self.peek(0) != b'\n' {
+                        self.bump();
+                    }
+                    self.emit(TokKind::LineComment, start, line);
+                }
+                b'/' if self.peek(1) == b'*' => {
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1usize;
+                    while self.pos < self.src.len() && depth > 0 {
+                        if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                            depth += 1;
+                            self.bump();
+                            self.bump();
+                        } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                            depth -= 1;
+                            self.bump();
+                            self.bump();
+                        } else {
+                            self.bump();
+                        }
+                    }
+                    self.emit(TokKind::BlockComment, start, line);
+                }
+                b'"' => {
+                    self.cooked_string();
+                    self.emit(TokKind::Str, start, line);
+                }
+                b'\'' => {
+                    self.char_or_lifetime(start, line);
+                }
+                b'0'..=b'9' => {
+                    // Numbers: consume digits, letters (hex / suffixes / e
+                    // notation), underscores, and a decimal point followed
+                    // by a digit. `1.max(2)` keeps the `.` as punct.
+                    self.bump();
+                    loop {
+                        let c = self.peek(0);
+                        let dot = c == b'.' && self.peek(1).is_ascii_digit();
+                        if c.is_ascii_alphanumeric() || c == b'_' || dot {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.emit(TokKind::Number, start, line);
+                }
+                c if c == b'_' || c.is_ascii_alphabetic() => {
+                    self.ident_or_prefixed_literal(start, line, src_str);
+                }
+                _ => {
+                    self.bump();
+                    self.emit(TokKind::Punct, start, line);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Consume a `"`-delimited string with `\` escapes (cursor on the
+    /// opening quote).
+    fn cooked_string(&mut self) {
+        self.bump(); // opening "
+        while self.pos < self.src.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    if self.pos < self.src.len() {
+                        self.bump();
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Consume a raw string `r##"…"##` — cursor on the first `#` or `"`
+    /// after the `r`/`br`/`cr` prefix has been consumed.
+    fn raw_string(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            hashes += 1;
+            self.bump();
+        }
+        debug_assert_eq!(self.peek(0), b'"');
+        self.bump(); // opening "
+        while self.pos < self.src.len() {
+            if self.peek(0) == b'"' {
+                // A closing quote must be followed by `hashes` hash marks.
+                let mut ok = true;
+                for i in 0..hashes {
+                    if self.peek(1 + i) != b'#' {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.bump();
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// `'` — either a char/byte literal or a lifetime. Rust's own rule:
+    /// `'` followed by an identifier char NOT followed by a closing `'`
+    /// is a lifetime; everything else is a (possibly escaped) char.
+    fn char_or_lifetime(&mut self, start: usize, line: u32) {
+        self.bump(); // '
+        let c = self.peek(0);
+        if c == b'\\' {
+            // Escaped char literal: consume escape then to closing quote.
+            self.bump();
+            self.bump();
+            while self.pos < self.src.len() && self.peek(0) != b'\'' {
+                self.bump();
+            }
+            if self.pos < self.src.len() {
+                self.bump();
+            }
+            self.emit(TokKind::Char, start, line);
+        } else if (c == b'_' || c.is_ascii_alphanumeric()) && self.peek(1) != b'\'' {
+            // Lifetime: consume the identifier.
+            while {
+                let c = self.peek(0);
+                c == b'_' || c.is_ascii_alphanumeric()
+            } {
+                self.bump();
+            }
+            self.emit(TokKind::Lifetime, start, line);
+        } else {
+            // Plain char literal `'x'` (or `''` which rustc rejects — we
+            // just consume to the closing quote).
+            self.bump();
+            while self.pos < self.src.len() && self.peek(0) != b'\'' {
+                self.bump();
+            }
+            if self.pos < self.src.len() {
+                self.bump();
+            }
+            self.emit(TokKind::Char, start, line);
+        }
+    }
+
+    /// An identifier — or a literal prefix (`r"`, `br#"`, `b"`, `b'`,
+    /// `c"`, `r#ident`).
+    fn ident_or_prefixed_literal(&mut self, start: usize, line: u32, src_str: &str) {
+        // Raw identifier r#name: skip the prefix, lex as ident.
+        if self.peek(0) == b'r' && self.peek(1) == b'#' && {
+            let c = self.peek(2);
+            c == b'_' || c.is_ascii_alphabetic()
+        } {
+            self.bump();
+            self.bump();
+            while {
+                let c = self.peek(0);
+                c == b'_' || c.is_ascii_alphanumeric()
+            } {
+                self.bump();
+            }
+            self.emit(TokKind::Ident, start, line);
+            return;
+        }
+        // Consume the identifier body first.
+        while {
+            let c = self.peek(0);
+            c == b'_' || c.is_ascii_alphanumeric()
+        } {
+            self.bump();
+        }
+        let text = &src_str[start..self.pos];
+        // Literal prefixes: ident immediately followed by a quote (or by
+        // `#…"` for raw shapes).
+        let next = self.peek(0);
+        let raw = matches!(text, "r" | "br" | "cr" | "rb");
+        let cooked = matches!(text, "b" | "c");
+        if raw && (next == b'"' || (next == b'#' && self.raw_hashes_then_quote())) {
+            self.raw_string();
+            self.emit(TokKind::Str, start, line);
+        } else if (cooked || raw) && next == b'"' {
+            self.cooked_string();
+            self.emit(TokKind::Str, start, line);
+        } else if text == "b" && next == b'\'' {
+            self.char_or_lifetime(start, line);
+            // char_or_lifetime emitted a token starting at the quote; fix
+            // it up to cover the `b` prefix.
+            if let Some(last) = self.out.last_mut() {
+                last.start = start;
+                last.line = line;
+            }
+        } else {
+            self.emit(TokKind::Ident, start, line);
+        }
+    }
+
+    /// At `#…` — true if a run of `#` ends at `"` (raw string opener).
+    fn raw_hashes_then_quote(&self) -> bool {
+        let mut i = 0;
+        while self.peek(i) == b'#' {
+            i += 1;
+        }
+        i > 0 && self.peek(i) == b'"'
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let got = kinds("foo.bar(x)?;");
+        let texts: Vec<&str> = got.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, ["foo", ".", "bar", "(", "x", ")", "?", ";"]);
+        assert_eq!(got[0].0, TokKind::Ident);
+        assert_eq!(got[1].0, TokKind::Punct);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = r#"let s = "a.unwrap() // not a comment"; x.unwrap();"#;
+        let got = kinds(src);
+        let unwraps = got
+            .iter()
+            .filter(|(k, t)| *k == TokKind::Ident && t == "unwrap")
+            .count();
+        assert_eq!(unwraps, 1, "{got:?}");
+        assert!(got.iter().all(|(k, _)| *k != TokKind::LineComment));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r###"let s = r#"quote " inside, panic!()"#; done()"###;
+        let got = kinds(src);
+        assert!(got
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("panic")));
+        assert!(got.iter().any(|(k, t)| *k == TokKind::Ident && t == "done"));
+        assert!(!got
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "panic"));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let src = r###"let a = b"bytes"; let b2 = br#"raw"#; let c1 = c"cstr";"###;
+        let got = kinds(src);
+        let strs = got.iter().filter(|(k, _)| *k == TokKind::Str).count();
+        assert_eq!(strs, 3, "{got:?}");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let got = kinds(src);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].1, "a");
+        assert_eq!(got[1].0, TokKind::BlockComment);
+        assert_eq!(got[2].1, "b");
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let u = '\\u{41}'; }";
+        let got = kinds(src);
+        let lifetimes = got.iter().filter(|(k, _)| *k == TokKind::Lifetime).count();
+        let chars = got.iter().filter(|(k, _)| *k == TokKind::Char).count();
+        assert_eq!(lifetimes, 2, "{got:?}");
+        assert_eq!(chars, 3, "{got:?}");
+    }
+
+    #[test]
+    fn line_numbers_are_exact() {
+        let src = "a\nb\n\n  c /* x\n y */ d\ne";
+        let toks = lex(src);
+        let lines: Vec<(String, u32)> = toks
+            .iter()
+            .map(|t| (t.text(src).to_string(), t.line))
+            .collect();
+        assert_eq!(lines[0], ("a".into(), 1));
+        assert_eq!(lines[1], ("b".into(), 2));
+        assert_eq!(lines[2], ("c".into(), 4));
+        assert_eq!(lines[4], ("d".into(), 5));
+        assert_eq!(lines[5], ("e".into(), 6));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_method_calls() {
+        let src = "let x = 1.max(2); let y = 1.5; let z = 0xFF_u32;";
+        let got = kinds(src);
+        assert!(got.iter().any(|(k, t)| *k == TokKind::Ident && t == "max"));
+        assert!(got.iter().any(|(k, t)| *k == TokKind::Number && t == "1.5"));
+        assert!(got
+            .iter()
+            .any(|(k, t)| *k == TokKind::Number && t == "0xFF_u32"));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let got = kinds("let r#match = 1;");
+        assert!(got
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "r#match"));
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_hang() {
+        for src in ["\"abc", "/* never closed", "r#\"raw", "'"] {
+            let _ = lex(src); // must terminate
+        }
+    }
+}

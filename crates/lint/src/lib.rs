@@ -1,0 +1,74 @@
+//! # rewind-tidy (`rewind-lint`)
+//!
+//! A zero-dependency static pass that enforces the ROADMAP's "do not
+//! regress" invariants at `cargo run` speed, modeled on rustc's own
+//! `tidy` tool. The tests-enforce-it model breaks down exactly where
+//! this engine is headed (concurrent recovery, lock-heavy multicore
+//! paths — see PAPERS.md): a latent `unwrap()` or a latch held across a
+//! page read only fails when a test happens to schedule the bad
+//! interleaving. A token-level pass fails it on every compile.
+//!
+//! Pipeline: [`walk`] discovers engine sources and masks test code →
+//! [`lexer`] tokenizes (comments kept, literal contents opaque) →
+//! [`lints`] run per-file and globally → [`report`] applies
+//! `// tidy: allow` escapes and renders text or JSON.
+//!
+//! See the README "Static analysis" section for the lint catalog and the
+//! escape-comment syntax.
+
+pub mod lexer;
+pub mod lints;
+pub mod report;
+pub mod walk;
+
+use report::{apply_allows, parse_directives, Allow, Finding};
+use walk::FileCtx;
+
+/// Everything one pass produced.
+pub struct RunResult {
+    /// Findings that survived the allow pass (non-empty ⇒ exit 1).
+    pub findings: Vec<Finding>,
+    /// Every well-formed allow in the tree, used or not (reported so the
+    /// escape count is visible in review and in the JSON artifact).
+    pub allows: Vec<Allow>,
+    pub files_scanned: usize,
+}
+
+/// Run the full pass over pre-built file contexts (the workspace walk in
+/// production; hand-built snippets in fixture tests).
+pub fn run(files: &[FileCtx]) -> RunResult {
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut meta: Vec<Finding> = Vec::new();
+    let mut allows: Vec<Allow> = Vec::new();
+    let mut facts = Vec::new();
+    for ctx in files {
+        let directives = parse_directives(ctx);
+        allows.extend(directives.allows);
+        facts.extend(directives.lock_orders);
+        meta.extend(directives.malformed);
+        lints::run_file(ctx, &mut raw);
+    }
+    lints::run_global(files, &facts, &mut raw);
+
+    let mut findings = apply_allows(raw, &mut allows);
+    // Stale escapes are findings too — an allow that suppresses nothing
+    // documents a danger that no longer exists.
+    for a in allows.iter().filter(|a| !a.used) {
+        meta.push(Finding {
+            lint: "unused-allow",
+            path: a.path.clone(),
+            line: a.line,
+            message: format!(
+                "`tidy: allow({})` suppresses nothing — remove it (reason was: {})",
+                a.lint, a.reason
+            ),
+        });
+    }
+    findings.extend(meta);
+    findings.sort_by(|a, b| (&a.path, a.line, a.lint).cmp(&(&b.path, b.line, b.lint)));
+    RunResult {
+        findings,
+        allows,
+        files_scanned: files.len(),
+    }
+}

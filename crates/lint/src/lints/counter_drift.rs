@@ -1,0 +1,325 @@
+//! `counter-drift`: the obs crate's name tables cannot silently drift.
+//!
+//! Every observable has *three* appearances that must stay in sync by
+//! hand — exactly the kind of invariant a reviewer stops re-checking by
+//! PR 12:
+//!
+//! * an [`EventKind`] variant must be decodable (`from_u64`) and
+//!   text-renderable (`name()`), or ring readers silently drop it /
+//!   renderings misname it;
+//! * a histogram field on `ObsInner` must be exposed by
+//!   `impl MetricSource for Obs`, or it records forever and never
+//!   reaches `to_text()` — a counter that lies by omission.
+//!
+//! The check is textual over token streams (this tool does not expand
+//! macros or run code), which is precisely enough: the three sites are
+//! plain `match` arms and method calls in `crates/obs`.
+
+use crate::lexer::TokKind;
+use crate::report::Finding;
+use crate::walk::FileCtx;
+
+const EVENT_FILE: &str = "crates/obs/src/event.rs";
+const OBS_FILE: &str = "crates/obs/src/lib.rs";
+
+pub fn check(files: &[FileCtx], out: &mut Vec<Finding>) {
+    let event = files.iter().find(|f| f.path == EVENT_FILE);
+    let lib = files.iter().find(|f| f.path == OBS_FILE);
+    // Outside a full workspace run (fixture tests hand-build file sets)
+    // the obs sources may simply be absent; nothing to check then.
+    if let Some(event) = event {
+        check_event_kind(event, out);
+    }
+    if let Some(lib) = lib {
+        check_histograms(lib, out);
+    }
+}
+
+/// Every variant of `enum EventKind` appears as an ident inside both the
+/// `fn from_u64` body and the `fn name` body.
+fn check_event_kind(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let Some(variants) = enum_variants(ctx, "EventKind") else {
+        out.push(Finding::new(
+            "counter-drift",
+            ctx,
+            1,
+            "expected `enum EventKind { … }` in this file (the drift check \
+             tracks it; update crates/lint if it moved)"
+                .to_string(),
+        ));
+        return;
+    };
+    for (fn_name, purpose) in [
+        (
+            "from_u64",
+            "ring slots with this kind decode to None and are dropped",
+        ),
+        ("name", "text renderings cannot name this kind"),
+    ] {
+        let Some(body) = fn_body_idents(ctx, fn_name) else {
+            out.push(Finding::new(
+                "counter-drift",
+                ctx,
+                1,
+                format!("expected `fn {fn_name}` in this file (drift check anchor)"),
+            ));
+            continue;
+        };
+        for (variant, line) in &variants {
+            if !body.iter().any(|b| b == variant) {
+                out.push(Finding::new(
+                    "counter-drift",
+                    ctx,
+                    *line,
+                    format!("`EventKind::{variant}` is missing from `fn {fn_name}` — {purpose}"),
+                ));
+            }
+        }
+    }
+}
+
+/// Every `Histogram`-typed field of `struct ObsInner` is exposed under a
+/// name it prefixes in `impl MetricSource for Obs`.
+fn check_histograms(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let Some(fields) = struct_fields(ctx, "ObsInner") else {
+        out.push(Finding::new(
+            "counter-drift",
+            ctx,
+            1,
+            "expected `struct ObsInner { … }` in this file (the drift check \
+             tracks it; update crates/lint if it moved)"
+                .to_string(),
+        ));
+        return;
+    };
+    let exposed = exposed_histogram_names(ctx);
+    for (field, ty, line) in &fields {
+        if ty != "Histogram" {
+            continue;
+        }
+        if !exposed.iter().any(|e| e.starts_with(field.as_str())) {
+            out.push(Finding::new(
+                "counter-drift",
+                ctx,
+                *line,
+                format!(
+                    "histogram `ObsInner::{field}` is never exposed: add \
+                     `out.histogram(\"{field}_us\", …)` to \
+                     `impl MetricSource for Obs` or it will record samples \
+                     that no exposition ever shows"
+                ),
+            ));
+        }
+    }
+    if exposed.is_empty() && fields.iter().any(|(_, ty, _)| ty == "Histogram") {
+        out.push(Finding::new(
+            "counter-drift",
+            ctx,
+            1,
+            "found no `out.histogram(\"…\", …)` exposition calls — \
+             `impl MetricSource for Obs` is the registry's view of obs"
+                .to_string(),
+        ));
+    }
+}
+
+/// Find `enum <name> { … }`; return `(variant ident, line)` at brace
+/// depth 1.
+fn enum_variants(ctx: &FileCtx, name: &str) -> Option<Vec<(String, u32)>> {
+    let code: Vec<usize> = (0..ctx.tokens.len()).filter(|&i| ctx.is_code(i)).collect();
+    let mut k = 0;
+    while k + 2 < code.len() {
+        if ctx.text(code[k]) == "enum" && ctx.text(code[k + 1]) == name {
+            // Scan to the opening brace then collect depth-1 variant
+            // idents: an ident directly following `{` or `,` (skipping
+            // the `= <num>` discriminants and `(<types>)` payloads).
+            let mut j = k + 2;
+            while j < code.len() && ctx.text(code[j]) != "{" {
+                j += 1;
+            }
+            let mut depth = 0usize;
+            let mut variants = Vec::new();
+            let mut expect_variant = false;
+            while j < code.len() {
+                let t = ctx.text(code[j]);
+                match t {
+                    "{" => {
+                        depth += 1;
+                        if depth == 1 {
+                            expect_variant = true;
+                        }
+                    }
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some(variants);
+                        }
+                    }
+                    "," if depth == 1 => expect_variant = true,
+                    "[" => {
+                        // Attribute/bracket group: skip to the matching `]`
+                        // so its contents are not mistaken for variants.
+                        let mut b = 1usize;
+                        while b > 0 && j + 1 < code.len() {
+                            j += 1;
+                            match ctx.text(code[j]) {
+                                "[" => b += 1,
+                                "]" => b -= 1,
+                                _ => {}
+                            }
+                        }
+                    }
+                    _ => {
+                        if depth == 1
+                            && expect_variant
+                            && ctx.tokens[code[j]].kind == TokKind::Ident
+                        {
+                            variants.push((t.to_string(), ctx.tokens[code[j]].line));
+                            expect_variant = false;
+                        }
+                    }
+                }
+                j += 1;
+            }
+            return Some(variants);
+        }
+        k += 1;
+    }
+    None
+}
+
+/// All idents inside the brace body of the first `fn <name>` in the file.
+fn fn_body_idents(ctx: &FileCtx, name: &str) -> Option<Vec<String>> {
+    let code: Vec<usize> = (0..ctx.tokens.len()).filter(|&i| ctx.is_code(i)).collect();
+    let mut k = 0;
+    while k + 1 < code.len() {
+        if ctx.text(code[k]) == "fn" && ctx.text(code[k + 1]) == name {
+            let mut j = k + 2;
+            while j < code.len() && ctx.text(code[j]) != "{" {
+                j += 1;
+            }
+            let mut depth = 0usize;
+            let mut idents = Vec::new();
+            while j < code.len() {
+                match ctx.text(code[j]) {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some(idents);
+                        }
+                    }
+                    t => {
+                        if ctx.tokens[code[j]].kind == TokKind::Ident {
+                            idents.push(t.to_string());
+                        }
+                    }
+                }
+                j += 1;
+            }
+            return Some(idents);
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Fields of `struct <name> { field: Type, … }` as `(field, head type
+/// ident, line)`.
+fn struct_fields(ctx: &FileCtx, name: &str) -> Option<Vec<(String, String, u32)>> {
+    let code: Vec<usize> = (0..ctx.tokens.len()).filter(|&i| ctx.is_code(i)).collect();
+    let mut k = 0;
+    while k + 2 < code.len() {
+        if ctx.text(code[k]) == "struct" && ctx.text(code[k + 1]) == name {
+            let mut j = k + 2;
+            while j < code.len() && ctx.text(code[j]) != "{" {
+                j += 1;
+            }
+            let mut depth = 0usize;
+            let mut fields = Vec::new();
+            while j < code.len() {
+                let t = ctx.text(code[j]);
+                match t {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some(fields);
+                        }
+                    }
+                    ":" if depth == 1 => {
+                        // field ident is the previous code token; the head
+                        // type ident is the next (skipping `pub` paths is
+                        // unnecessary — `:` binds the field).
+                        let prev = code[j - 1];
+                        let next = code.get(j + 1).copied();
+                        if ctx.tokens[prev].kind == TokKind::Ident {
+                            // Double-colon paths produce `:` `:`; skip the
+                            // second half of a `::`.
+                            if ctx.text(prev) == ":" || next.map(|n| ctx.text(n)) == Some(":") {
+                                j += 1;
+                                continue;
+                            }
+                            let ty = next
+                                .filter(|&n| ctx.tokens[n].kind == TokKind::Ident)
+                                .map(|n| ctx.text(n).to_string())
+                                .unwrap_or_default();
+                            fields.push((ctx.text(prev).to_string(), ty, ctx.tokens[prev].line));
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            return Some(fields);
+        }
+        k += 1;
+    }
+    None
+}
+
+/// String literals passed as the first argument of `.histogram(` calls
+/// inside `impl MetricSource for Obs { … }`.
+fn exposed_histogram_names(ctx: &FileCtx) -> Vec<String> {
+    let code: Vec<usize> = (0..ctx.tokens.len()).filter(|&i| ctx.is_code(i)).collect();
+    let mut out = Vec::new();
+    let mut k = 0;
+    while k + 3 < code.len() {
+        if ctx.text(code[k]) == "impl"
+            && ctx.text(code[k + 1]) == "MetricSource"
+            && ctx.text(code[k + 2]) == "for"
+            && ctx.text(code[k + 3]) == "Obs"
+        {
+            let mut j = k + 4;
+            while j < code.len() && ctx.text(code[j]) != "{" {
+                j += 1;
+            }
+            let mut depth = 0usize;
+            while j < code.len() {
+                match ctx.text(code[j]) {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return out;
+                        }
+                    }
+                    // `.histogram("name", …)`
+                    "histogram"
+                        if j + 2 < code.len()
+                            && ctx.text(code[j + 1]) == "("
+                            && ctx.tokens[code[j + 2]].kind == TokKind::Str =>
+                    {
+                        let s = ctx.text(code[j + 2]).trim_matches('"');
+                        out.push(s.to_string());
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            return out;
+        }
+        k += 1;
+    }
+    out
+}

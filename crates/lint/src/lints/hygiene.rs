@@ -1,0 +1,140 @@
+//! Determinism & observability hygiene: `wall-clock`, `output-hygiene`,
+//! `std-sync`.
+//!
+//! * **wall-clock** — `Instant`/`SystemTime` outside `crates/obs` (the
+//!   timebase owner) and `crates/bench` (whose job is timing). Engine
+//!   decisions must not read the clock: serial traces are replayed in
+//!   tests and CI gates diff their accounting bit-for-bit, so a
+//!   time-dependent branch is a nondeterminism bug. Wall-clock-by-design
+//!   sites (lock-wait deadlines) take an explained allow.
+//! * **output-hygiene** — `println!`/`eprintln!`/`print!`/`eprint!`/
+//!   `dbg!` in library crates. Operator output goes through the obs
+//!   exposition (`MetricsSnapshot::to_text`), not stray stdio that CI
+//!   harnesses and embedders cannot capture or disable.
+//! * **std-sync** — `std::sync::{Mutex,RwLock,Condvar}`. The workspace
+//!   mandates the `parking_lot` shim: no lock poisoning (a panicking
+//!   thread must not convert every later lock into a second panic —
+//!   see `no-panic`), and one switch point when the real parking_lot
+//!   is available. (`std::sync::{Arc,atomic,mpsc,OnceLock}` stay fine.)
+
+use super::next_code;
+use crate::lexer::TokKind;
+use crate::report::Finding;
+use crate::walk::{CrateKind, FileCtx};
+
+/// Crates allowed to read the wall clock.
+const CLOCK_CRATES: &[&str] = &["obs", "bench"];
+
+const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
+
+const BANNED_SYNC: &[&str] = &["Mutex", "RwLock", "Condvar"];
+
+pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let clock_ok = CLOCK_CRATES.contains(&ctx.crate_name.as_str());
+    for i in 0..ctx.tokens.len() {
+        if !ctx.is_code(i) || ctx.tokens[i].kind != TokKind::Ident {
+            continue;
+        }
+        let text = ctx.text(i);
+        let line = ctx.tokens[i].line;
+        match text {
+            "Instant" | "SystemTime" if !clock_ok => {
+                out.push(Finding::new(
+                    "wall-clock",
+                    ctx,
+                    line,
+                    format!(
+                        "`{text}` outside crates/obs and crates/bench — route \
+                         timing through `Obs::now_us` (or justify with \
+                         `// tidy: allow(wall-clock) -- <why wall time is the semantics>`)"
+                    ),
+                ));
+            }
+            _ if PRINT_MACROS.contains(&text)
+                && ctx.kind == CrateKind::Library
+                && next_code(ctx, i).is_some_and(|n| ctx.text(n) == "!") =>
+            {
+                out.push(Finding::new(
+                    "output-hygiene",
+                    ctx,
+                    line,
+                    format!(
+                        "`{text}!` in library code — expose state through \
+                         the obs metrics registry, not stdio"
+                    ),
+                ));
+            }
+            "sync" => check_std_sync(ctx, i, out),
+            _ => {}
+        }
+    }
+}
+
+/// At an ident `sync`: flag `std :: sync :: Mutex|RwLock|Condvar` and the
+/// grouped import `std :: sync :: { …, Mutex, … }`.
+fn check_std_sync(ctx: &FileCtx, i: usize, out: &mut Vec<Finding>) {
+    // Require the `std :: ` prefix (two `:` puncts then `std`), walking
+    // strictly backwards over code tokens.
+    let mut back = Vec::new();
+    let mut j = i;
+    while back.len() < 3 {
+        match super::prev_code(ctx, j) {
+            Some(p) => {
+                back.push(p);
+                j = p;
+            }
+            None => return,
+        }
+    }
+    if ctx.text(back[0]) != ":" || ctx.text(back[1]) != ":" || ctx.text(back[2]) != "std" {
+        return;
+    }
+    // Forward: `:: <Banned>` or `:: { … }`.
+    let Some(c1) = next_code(ctx, i) else { return };
+    let Some(c2) = next_code(ctx, c1) else { return };
+    if ctx.text(c1) != ":" || ctx.text(c2) != ":" {
+        return;
+    }
+    let Some(head) = next_code(ctx, c2) else {
+        return;
+    };
+    let flag = |out: &mut Vec<Finding>, line: u32, name: &str| {
+        out.push(Finding::new(
+            "std-sync",
+            ctx,
+            line,
+            format!(
+                "`std::sync::{name}` — use the `parking_lot` shim \
+                 (poison-free; see ROADMAP build note)"
+            ),
+        ));
+    };
+    let head_text = ctx.text(head);
+    if BANNED_SYNC.contains(&head_text) {
+        flag(out, ctx.tokens[head].line, head_text);
+    } else if head_text == "{" {
+        // Grouped import: scan to the matching `}`.
+        let mut depth = 0usize;
+        let mut k = head;
+        loop {
+            let t = ctx.text(k);
+            match t {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ if ctx.tokens[k].kind == TokKind::Ident && BANNED_SYNC.contains(&t) => {
+                    flag(out, ctx.tokens[k].line, t);
+                }
+                _ => {}
+            }
+            k = match next_code(ctx, k) {
+                Some(n) => n,
+                None => break,
+            };
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! `unsafe-audit`: every `unsafe` carries a `// SAFETY:` proof.
+//!
+//! The rule rustc applies to its own tree: an `unsafe` block, fn, or impl
+//! must be immediately preceded — same line or the line above — by a
+//! comment beginning `SAFETY:` stating the invariant that makes it sound.
+//! The comment is part of the code: when the surrounding logic changes,
+//! a stale proof is easier to spot than a bare `unsafe`.
+
+use crate::lexer::TokKind;
+use crate::report::Finding;
+use crate::walk::FileCtx;
+
+pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    for i in 0..ctx.tokens.len() {
+        if !ctx.is_code(i) || ctx.tokens[i].kind != TokKind::Ident || ctx.text(i) != "unsafe" {
+            continue;
+        }
+        let line = ctx.tokens[i].line;
+        if !has_safety_comment(ctx, line) {
+            out.push(Finding::new(
+                "unsafe-audit",
+                ctx,
+                line,
+                "`unsafe` without an immediately preceding `// SAFETY:` \
+                 comment — state the invariant that makes this sound"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// True if the comment run immediately above `line` (or a comment on
+/// `line` itself) mentions `SAFETY:`. A "run" is consecutive lines each
+/// covered by a comment token, so a proof wrapped over several `//`
+/// lines counts as one unit; a multi-line `/* */` counts by its span.
+fn has_safety_comment(ctx: &FileCtx, line: u32) -> bool {
+    // Line coverage and SAFETY mentions per comment token.
+    let mut covered: Vec<(u32, u32, bool)> = Vec::new(); // (first, last, has_safety)
+    for t in &ctx.tokens {
+        if !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+            continue;
+        }
+        let text = t.text(&ctx.source);
+        let last = t.line + text.bytes().filter(|&b| b == b'\n').count() as u32;
+        covered.push((t.line, last, text.contains("SAFETY:")));
+    }
+    // A trailing comment on the same line.
+    if covered.iter().any(|&(f, l, s)| s && f <= line && line <= l) {
+        return true;
+    }
+    // Walk the run of comment-covered lines ending at `line - 1`.
+    let mut cursor = line.saturating_sub(1);
+    loop {
+        let Some(&(first, _, safety)) = covered
+            .iter()
+            .find(|&&(f, l, _)| f <= cursor && cursor <= l)
+        else {
+            return false;
+        };
+        if safety {
+            return true;
+        }
+        if first == 0 || first > cursor {
+            return false;
+        }
+        cursor = first.saturating_sub(1);
+        if cursor == 0 {
+            return false;
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! `rewind-lint` — the rewind-tidy CLI.
+//!
+//! ```text
+//! cargo run -p rewind-lint --release              # lint the workspace, exit 1 on findings
+//! cargo run -p rewind-lint --release -- --json tidy-report.json
+//! cargo run -p rewind-lint --release -- --list    # lint catalog
+//! cargo run -p rewind-lint --release -- --root /path/to/workspace
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rewind_lint::{lints, run, walk};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    let mut json_path: Option<Option<PathBuf>> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" => {
+                for (name, summary) in lints::ALL {
+                    println!("{name:16} {summary}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => {
+                // Optional file operand; bare `--json` prints to stdout.
+                json_path = Some(args.next().map(PathBuf::from));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "rewind-tidy: static enforcement of the ROADMAP invariants\n\
+                     \n\
+                     usage: rewind-lint [--root DIR] [--json [FILE]] [--list]\n\
+                     \n\
+                     Exits 0 when the tree is clean, 1 on findings, 2 on usage/IO errors.\n\
+                     Escape hatch: `// tidy: allow(<lint>) -- <reason>` on or above the line."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| walk::find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "could not locate the workspace root (no Cargo.toml with [workspace]); pass --root"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let files = match walk::walk_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("walking {} failed: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let result = run(&files);
+
+    if let Some(dest) = &json_path {
+        let json =
+            rewind_lint::report::to_json(&result.findings, &result.allows, result.files_scanned);
+        match dest {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, &json) {
+                    eprintln!("writing {} failed: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+            None => print!("{json}"),
+        }
+    }
+
+    for f in &result.findings {
+        println!("{}:{}: [{}] {}", f.path, f.line, f.lint, f.message);
+    }
+    println!(
+        "tidy: {} files, {} finding{}, {} explained allow{}",
+        result.files_scanned,
+        result.findings.len(),
+        if result.findings.len() == 1 { "" } else { "s" },
+        result.allows.len(),
+        if result.allows.len() == 1 { "" } else { "s" },
+    );
+    if !result.allows.is_empty() && result.findings.is_empty() {
+        for a in &result.allows {
+            println!("  allow {}:{} [{}] -- {}", a.path, a.line, a.lint, a.reason);
+        }
+    }
+    if result.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,31 @@
+// Fixture standing in for crates/obs/src/event.rs with one variant
+// (`ScanBatch`) missing from `from_u64` and another (`LogFlush`) missing
+// from `name` — expected: 2 counter-drift findings.
+
+#[repr(u8)]
+pub enum EventKind {
+    /// Doc comments and attributes must not read as variants.
+    CommitBegin = 1,
+    #[allow(dead_code)]
+    LogFlush = 5,
+    ScanBatch = 13,
+}
+
+impl EventKind {
+    fn from_u64(v: u64) -> Option<EventKind> {
+        use EventKind::*;
+        Some(match v {
+            1 => CommitBegin,
+            5 => LogFlush,
+            _ => return None,
+        })
+    }
+
+    pub fn name(self) -> &'static str {
+        use EventKind::*;
+        match self {
+            CommitBegin => "commit_begin",
+            ScanBatch => "scan_batch",
+        }
+    }
+}

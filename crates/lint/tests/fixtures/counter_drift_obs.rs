@@ -1,0 +1,18 @@
+// Fixture standing in for crates/obs/src/lib.rs with one histogram field
+// (`scan_batch`) never exposed by `impl MetricSource for Obs` —
+// expected: 1 counter-drift finding.
+
+struct ObsInner {
+    ring: EventRing,
+    commit_latency: Histogram,
+    flush_stall: Histogram,
+    scan_batch: Histogram,
+}
+
+impl MetricSource for Obs {
+    fn collect(&self, out: &mut MetricsSnapshot) {
+        out.counter("obs_enabled", self.is_enabled() as u64);
+        out.histogram("commit_latency_us", self.commit_latency());
+        out.histogram("flush_stall_us", self.flush_stall());
+    }
+}

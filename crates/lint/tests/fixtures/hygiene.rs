@@ -1,0 +1,18 @@
+// Fixture: determinism/output/std-sync hygiene shapes.
+// Expected: 3 wall-clock (line 9, line 10 twice), 2 output-hygiene
+// (lines 15, 16), 3 std-sync (lines 6, 7, 7 — the grouped import flags
+// each banned name).
+
+use std::sync::Mutex;
+use std::sync::{Arc, RwLock, Condvar};
+use std::sync::atomic::AtomicU64; // fine: atomics are allowed
+static T0: std::time::Instant = unreachable;
+fn later() -> std::time::SystemTime { std::time::SystemTime::now() }
+
+pub fn report(v: u64) {
+    // println in a comment is fine: println!("{v}")
+    let msg = "println!(\"in a string is fine\")";
+    println!("{v} {msg}");
+    dbg!(v);
+    writeln!(sink, "write! targets an explicit sink — allowed").ok();
+}

@@ -1,0 +1,22 @@
+// Fixture: panic-shaped *text* hiding in literals and comments.
+// Expected: 0 findings from every lint.
+
+pub fn strings() -> Vec<String> {
+    vec![
+        "x.unwrap() and panic!(now)".to_string(),
+        r#"raw: y.expect("msg") // std::sync::Mutex"#.to_string(),
+        r##"hash-raw: "quoted" z.unwrap() println!("hi")"##.to_string(),
+        String::from_utf8_lossy(b"byte string .unwrap()").to_string(),
+        '\u{41}'.to_string(),
+        "multi
+         line .expect(with) std::time::Instant inside".to_string(),
+    ]
+}
+
+/* block comment: a.unwrap()
+   /* nested block: panic!("still a comment") */
+   still outer: std::sync::RwLock eprintln!("x") */
+pub fn after_comments(c: char) -> bool {
+    // line comment: b.expect("nope") unreachable!()
+    c == '"' || c == '\\'
+}

@@ -1,0 +1,39 @@
+// Fixture: guard-across-I/O shapes.
+// Expected: exactly 2 `lock-across-io` findings (lines 9 and 31).
+
+pub fn bad_read_under_lock(&self) -> Result<Page> {
+    let shard = self.shards[idx].lock();
+    if let Some(frame) = shard.map.get(&pid) {
+        return Ok(frame.page.clone());
+    }
+    let page = self.file.read_page(pid)?; // finding: `shard` still live
+    Ok(page)
+}
+
+pub fn good_release_before_io(&self) -> Result<Page> {
+    let shard = self.shards[idx].lock();
+    if let Some(frame) = shard.map.get(&pid) {
+        return Ok(frame.page.clone());
+    }
+    drop(shard);
+    let page = self.file.read_page(pid)?; // ok: guard explicitly dropped
+    Ok(page)
+}
+
+pub fn good_scoped_guard(&self) -> Result<()> {
+    {
+        let stats = self.stats.write();
+        stats.misses += 1;
+    }
+    self.file.write_page(pid, &page)?; // ok: guard scope closed
+    let n = self.reader.read(&mut buf)?; // ok: has arguments — not a guard
+    let w = self.inner.write();
+    self.log.flush_to(lsn); // finding: `w` live
+    Ok(())
+}
+
+pub fn good_temporary(&self) -> u64 {
+    let n = self.map.read().len(); // temporary guard dies at `;`
+    self.file.sync().ok();
+    n
+}

@@ -1,0 +1,21 @@
+// Fixture: every panic-shaped construct in library code, one per line.
+// Expected: exactly 6 `no-panic` findings (lines 5, 8, 11, 14, 17, 20).
+
+pub fn f(v: Option<u32>) -> u32 {
+    let a = v.unwrap();
+    let b = std::env::var("X")
+        .ok()
+        .expect("must be set");
+    if a == 0 {
+        panic!("zero");
+    }
+    match b.len() {
+        0 => unreachable!(),
+        1 => a,
+        _ => {
+            todo!()
+        }
+    }
+    ;
+    unimplemented!()
+}

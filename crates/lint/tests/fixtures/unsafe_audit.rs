@@ -1,0 +1,26 @@
+// Fixture: unsafe with and without SAFETY proof.
+// Expected: exactly 2 `unsafe-audit` findings (lines 5 and 18).
+
+pub fn missing_proof(ptr: *const u8, len: usize) -> &'static [u8] {
+    unsafe { std::slice::from_raw_parts(ptr, len) }
+}
+
+pub fn with_proof(ptr: *const u8, len: usize) -> &'static [u8] {
+    // SAFETY: caller contract guarantees `ptr` is valid for `len` bytes
+    // and outlives 'static per the pool's leak-on-shutdown design.
+    unsafe { std::slice::from_raw_parts(ptr, len) }
+}
+
+/* SAFETY: block-comment proofs count too — zeroed is a valid bit
+   pattern for this POD struct. */
+unsafe fn block_comment_proof() {}
+
+unsafe impl Send for Thing {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_unsafe_is_exempt() {
+        unsafe { core::hint::unreachable_unchecked() }
+    }
+}

@@ -145,10 +145,14 @@ pub fn format_map_page(map_pid: PageId) -> Page {
         ever_allocated: true,
     };
     if map_pid.0 == 1 {
-        set_state(&mut p, 0, perm).unwrap(); // boot page
-        set_state(&mut p, 1, perm).unwrap(); // the map itself
+        // Boot page, then the map itself.
+        // tidy: allow(no-panic) -- index 0 on a freshly formatted map page is within capacity
+        set_state(&mut p, 0, perm).unwrap();
+        // tidy: allow(no-panic) -- index 1 on a freshly formatted map page is within capacity
+        set_state(&mut p, 1, perm).unwrap();
     } else {
-        set_state(&mut p, 0, perm).unwrap(); // the map itself
+        // tidy: allow(no-panic) -- index 0 on a freshly formatted map page is within capacity
+        set_state(&mut p, 0, perm).unwrap();
     }
     p
 }

@@ -272,7 +272,7 @@ pub fn harvest(log: &LogManager, target: &RepairTarget) -> Result<Harvest> {
         .iter()
         .map(|t| t.first_lsn)
         .min()
-        .expect("targets verified non-empty");
+        .ok_or_else(|| Error::Internal("harvest matched no target transactions".into()))?;
     out.split_lsn = Lsn(first.0.saturating_sub(1));
 
     // Conflicts: non-target transactions that committed after the split and

@@ -95,9 +95,12 @@ pub fn diff_table(db: &Database, snap: &SnapshotDb, table: &str) -> Result<Vec<T
     let mut out = Vec::new();
     for (_, (s, l)) in by_key {
         if s != l {
+            let Some(row) = s.as_ref().or(l.as_ref()) else {
+                continue; // both None would have compared equal
+            };
             let key = live_info
                 .schema
-                .key_values(s.as_ref().or(l.as_ref()).expect("one side present"))?
+                .key_values(row)?
                 .into_iter()
                 .cloned()
                 .collect();

@@ -444,7 +444,10 @@ impl AsOfSnapshot {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("prefetch worker panicked"))
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(_) => Err(Error::Internal("prefetch worker panicked".into())),
+                })
                 .collect()
         });
         let mut out = PrefetchOutcome::default();

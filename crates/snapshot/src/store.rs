@@ -99,6 +99,9 @@ impl PrepareGates {
     /// Remove `pid`'s gate if it is still the one this caller entered
     /// (idempotent: a later entrant may have re-created the entry).
     fn leave(&self, pid: u64, gate: &Arc<Mutex<()>>) {
+        // tidy: lock-order(snapshot_page_gate < snapshot_gate_table) -- the
+        // per-page gate stays held while its table entry is retired; `enter`
+        // never takes a gate under the table shard lock.
         let mut map = self.shard(pid).lock();
         if map.get(&pid).is_some_and(|cur| Arc::ptr_eq(cur, gate)) {
             map.remove(&pid);

@@ -106,6 +106,8 @@ pub fn run_mixed(db: &Arc<Database>, scale: &TpccScale, cfg: &DriverConfig) -> R
         retries: AtomicU64::new(0),
     };
     let sim_start = db.clock().now();
+    #[allow(clippy::disallowed_methods)]
+    // tidy: allow(wall-clock) -- benchmark throughput is measured in real elapsed time
     let real_start = std::time::Instant::now();
 
     std::thread::scope(|s| {
@@ -139,7 +141,8 @@ pub fn run_mixed(db: &Arc<Database>, scale: &TpccScale, cfg: &DriverConfig) -> R
             }));
         }
         for h in handles {
-            h.join().expect("worker panicked")?;
+            h.join()
+                .map_err(|_| Error::Internal("tpcc worker panicked".into()))??;
         }
         Ok::<(), Error>(())
     })?;

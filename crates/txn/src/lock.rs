@@ -238,6 +238,8 @@ impl LockManager {
                 }
             }
         }
+        #[allow(clippy::disallowed_methods)]
+        // tidy: allow(wall-clock) -- lock-wait deadlines are real elapsed time, not sim time
         let deadline = std::time::Instant::now() + self.timeout;
         loop {
             if st.grantable(key, txn, mode) {
@@ -326,6 +328,8 @@ impl LockManager {
     /// loser transaction to be released.
     pub fn wait_until_free(&self, key: &LockKey, mode: LockMode) -> Result<()> {
         let mut st = self.state.lock();
+        #[allow(clippy::disallowed_methods)]
+        // tidy: allow(wall-clock) -- lock-wait deadlines are real elapsed time, not sim time
         let deadline = std::time::Instant::now() + self.timeout;
         loop {
             let blocked = st
@@ -349,6 +353,8 @@ impl LockManager {
     /// reacquired locks are still held.
     pub fn wait_until_object_free(&self, object: ObjectId) -> Result<()> {
         let mut st = self.state.lock();
+        #[allow(clippy::disallowed_methods)]
+        // tidy: allow(wall-clock) -- lock-wait deadlines are real elapsed time, not sim time
         let deadline = std::time::Instant::now() + self.timeout;
         loop {
             let blocked = st.entries.iter().any(|(k, e)| {

@@ -118,6 +118,7 @@
 
 use crate::record::{LogPayload, LogPayloadView, LogRecord, LogRecordHeader};
 use parking_lot::{Condvar, Mutex};
+use rewind_common::codec::{read_u32_at, read_u64_at};
 use rewind_common::{crc32c, Error, IoStats, Lsn, PageId, Result, Timestamp, TxnId};
 use rewind_obs::{EventKind, Obs, ObsConfig};
 use std::cell::RefCell;
@@ -220,14 +221,14 @@ impl SealedSeg {
                 format!("log read at {lsn} past segment end"),
             ));
         }
-        let len = u32::from_le_bytes(self.data[off..off + 4].try_into().unwrap()) as usize;
+        let len = read_u32_at(&self.data, off) as usize;
         if off + FRAME_HEADER + len > self.data.len() {
             return Err(Error::log_corruption(
                 lsn,
                 format!("log record at {lsn} overruns segment"),
             ));
         }
-        let stored = u32::from_le_bytes(self.data[off + 4..off + 8].try_into().unwrap());
+        let stored = read_u32_at(&self.data, off + 4);
         let body = &self.data[off + FRAME_HEADER..off + FRAME_HEADER + len];
         let actual = crc32c(body);
         if stored != actual {
@@ -346,15 +347,15 @@ fn encode_anchor(seq: u64, info: &CheckpointInfo) -> [u8; ANCHOR_SLOT_BYTES] {
 /// Decode and CRC-validate one anchor slot. `None` if the slot's checksum
 /// does not match its contents (a torn or bit-flipped anchor write).
 fn decode_anchor(slot: &[u8; ANCHOR_SLOT_BYTES]) -> Option<(u64, CheckpointInfo)> {
-    let stored = u32::from_le_bytes(slot[32..36].try_into().unwrap());
+    let stored = read_u32_at(slot, 32);
     if crc32c(&slot[..32]) != stored {
         return None;
     }
-    let seq = u64::from_le_bytes(slot[0..8].try_into().unwrap());
+    let seq = read_u64_at(slot, 0);
     let info = CheckpointInfo {
-        end_lsn: Lsn(u64::from_le_bytes(slot[8..16].try_into().unwrap())),
-        begin_lsn: Lsn(u64::from_le_bytes(slot[16..24].try_into().unwrap())),
-        at: Timestamp::from_micros(u64::from_le_bytes(slot[24..32].try_into().unwrap())),
+        end_lsn: Lsn(read_u64_at(slot, 8)),
+        begin_lsn: Lsn(read_u64_at(slot, 16)),
+        at: Timestamp::from_micros(read_u64_at(slot, 24)),
     };
     Some((seq, info))
 }
@@ -863,7 +864,7 @@ impl LogManager {
                 return Some(inner.tail);
             }
             let off = (lsn.0 - inner.active_start) as usize;
-            let len = u32::from_le_bytes(inner.active[off..off + 4].try_into().unwrap()) as u64;
+            let len = read_u32_at(&inner.active, off) as u64;
             return Some((lsn.0 + FRAME_HEADER as u64 + len).min(inner.tail));
         }
     }
@@ -1000,14 +1001,14 @@ impl LogManager {
                 ));
             }
             let off = (lsn.0 - inner.active_start) as usize;
-            let len = u32::from_le_bytes(inner.active[off..off + 4].try_into().unwrap()) as usize;
+            let len = read_u32_at(&inner.active, off) as usize;
             if lsn.0 + (FRAME_HEADER + len) as u64 > inner.tail {
                 return Err(Error::log_corruption(
                     lsn,
                     format!("log record at {lsn} overruns tail"),
                 ));
             }
-            let stored = u32::from_le_bytes(inner.active[off + 4..off + 8].try_into().unwrap());
+            let stored = read_u32_at(&inner.active, off + 4);
             let body_bytes = &inner.active[off + FRAME_HEADER..off + FRAME_HEADER + len];
             if crc32c(body_bytes) != stored {
                 self.stats.add_corruption_detected();
@@ -1190,6 +1191,8 @@ impl LogManager {
     /// freed when the last holder drops.
     pub fn truncate_before(&self, lsn: Lsn) -> Lsn {
         let archive_cfg = self.config.archive_on_truncate;
+        // tidy: lock-order(log_inner < log_published) -- the writer mutex is
+        // held across every published-index swap, never the reverse.
         let mut inner = self.inner.lock();
         let limit = lsn.0.min(self.flushed.load(Ordering::Acquire));
         let old = self.published.lock().clone();
@@ -1395,14 +1398,14 @@ impl LogManager {
                 if off + FRAME_HEADER > data.len() {
                     return Some(base + off as u64);
                 }
-                let len = u32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as usize;
+                let len = read_u32_at(data, off) as usize;
                 let Some(end) = (off + FRAME_HEADER).checked_add(len) else {
                     return Some(base + off as u64);
                 };
                 if end > data.len() {
                     return Some(base + off as u64);
                 }
-                let stored = u32::from_le_bytes(data[off + 4..off + 8].try_into().unwrap());
+                let stored = read_u32_at(data, off + 4);
                 if crc32c(&data[off + FRAME_HEADER..end]) != stored {
                     return Some(base + off as u64);
                 }

@@ -207,7 +207,25 @@ pub enum LogPayload {
 impl LogPayload {
     /// The payload's kind tag.
     pub fn kind(&self) -> PayloadKind {
-        PayloadKind::from_tag(self.tag()).expect("owned payloads always carry a valid tag")
+        match self {
+            LogPayload::Commit { .. } => PayloadKind::Commit,
+            LogPayload::Abort => PayloadKind::Abort,
+            LogPayload::End => PayloadKind::End,
+            LogPayload::Format { .. } => PayloadKind::Format,
+            LogPayload::Preformat { .. } => PayloadKind::Preformat,
+            LogPayload::Reformat { .. } => PayloadKind::Reformat,
+            LogPayload::InsertRecord { .. } => PayloadKind::InsertRecord,
+            LogPayload::DeleteRecord { .. } => PayloadKind::DeleteRecord,
+            LogPayload::UpdateRecord { .. } => PayloadKind::UpdateRecord,
+            LogPayload::SetNextPage { .. } => PayloadKind::SetNextPage,
+            LogPayload::SetPrevPage { .. } => PayloadKind::SetPrevPage,
+            LogPayload::AllocSet { .. } => PayloadKind::AllocSet,
+            LogPayload::BootWrite { .. } => PayloadKind::BootWrite,
+            LogPayload::FullPageImage { .. } => PayloadKind::FullPageImage,
+            LogPayload::CheckpointBegin { .. } => PayloadKind::CheckpointBegin,
+            LogPayload::CheckpointEnd(_) => PayloadKind::CheckpointEnd,
+            LogPayload::RestoreImage { .. } => PayloadKind::RestoreImage,
+        }
     }
 
     /// Whether this payload modifies a page (and therefore participates in
@@ -609,9 +627,8 @@ fn read_image(r: &mut ByteReader<'_>) -> Result<Box<[u8; PAGE_SIZE]>> {
 
 fn read_image_ref<'a>(r: &mut ByteReader<'a>) -> Result<&'a [u8; PAGE_SIZE]> {
     let raw = r.get_raw(PAGE_SIZE)?;
-    Ok(raw
-        .try_into()
-        .expect("get_raw returns exactly PAGE_SIZE bytes"))
+    raw.try_into()
+        .map_err(|_| Error::log_corruption(Lsn(0), "page image shorter than PAGE_SIZE"))
 }
 
 /// The kind of operation a log record carries, decodable from the record's

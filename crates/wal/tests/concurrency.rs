@@ -4,10 +4,11 @@
 //! `append` (crash-point semantics: everything at or below the flushed LSN
 //! survives, nothing after it does).
 
+use parking_lot::Mutex;
 use rewind_common::{Error, Lsn, ObjectId, PageId, Timestamp, TxnId};
 use rewind_wal::{LogConfig, LogManager, LogPayload, LogRecord};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread;
 
 fn payload_rec(txn: u64, marker: u64, n: usize) -> LogRecord {
@@ -72,7 +73,7 @@ fn concurrent_readers_writer_truncator_no_torn_reads() {
                 if i % 64 == 0 {
                     log.flush_to(lsn);
                 }
-                appended.lock().unwrap().push((lsn, i));
+                appended.lock().push((lsn, i));
             }
             log.flush_to(log.tail_lsn());
             stop.store(true, Ordering::Release);
@@ -105,7 +106,7 @@ fn concurrent_readers_writer_truncator_no_torn_reads() {
                 let mut rng = XorShift(0x9E3779B97F4A7C15 ^ (seed as u64 + 1));
                 while !stop.load(Ordering::Acquire) {
                     let pick = {
-                        let list = appended.lock().unwrap();
+                        let list = appended.lock();
                         if list.is_empty() {
                             continue;
                         }

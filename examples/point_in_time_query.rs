@@ -50,6 +50,7 @@ fn main() -> Result<()> {
         let name = format!("pitq_{i}");
         let log0 = db.log_io();
         let snap = db.create_snapshot_asof(&name, t)?;
+        #[allow(clippy::disallowed_methods)] // demo prints real elapsed time
         let t0 = std::time::Instant::now();
         let low = stock_level_asof(&snap, 1, 1, 15)?;
         let ms = t0.elapsed().as_secs_f64() * 1e3;

@@ -101,7 +101,9 @@ fn snapshots_are_stable_under_concurrent_writes() {
     // wait for the first commit (bounded) before stopping, so the assert
     // below checks what it means to check — that writers *can* progress
     // under concurrent snapshots, not how the OS happened to schedule them.
+    #[allow(clippy::disallowed_methods)] // test watchdog: wall-clock is the point
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    #[allow(clippy::disallowed_methods)]
     while committed.load(Ordering::Acquire) == 0 && std::time::Instant::now() < deadline {
         std::thread::yield_now();
     }
