@@ -1,0 +1,232 @@
+//! Parallel-restart benchmark: partitioned-redo scaling plus the
+//! bit-identical accounting gate.
+//!
+//! The same deterministic workload is built fresh per run (recovery
+//! mutates its artifacts, so one crash image cannot be restarted twice),
+//! crashed at the same log position, and restarted with 1/2/4/16 redo
+//! workers. Two kinds of result:
+//!
+//! * **Hard gate** — restart accounting (records scanned / redone /
+//!   undone, loser count) and an FNV digest of the complete post-restart
+//!   backing file must be identical at every worker count. Partitioned
+//!   redo is a pure performance feature; any divergence is a correctness
+//!   bug and fails the run.
+//! * **WARN only** — redo wall time should drop from 1 worker to 4. CI
+//!   boxes with few cores or noisy neighbours make wall time unreliable,
+//!   so a missing speedup only warns.
+//!
+//! ```text
+//! cargo run --release -p rewind-bench --bin recoverybench [-- --quick]
+//! ```
+
+use rewind_core::{Column, DataType, Database, DbConfig, Schema, Value};
+use std::time::Instant;
+
+struct RunOutcome {
+    workers: usize,
+    wall_ms: f64,
+    redo_ms: f64,
+    scanned: u64,
+    redone: u64,
+    undone: u64,
+    losers: u64,
+    digest: u64,
+    metrics: rewind_obs::MetricsSnapshot,
+}
+
+fn schema() -> Schema {
+    Schema::new(
+        vec![
+            Column::new("id", DataType::U64),
+            Column::new("v", DataType::Str),
+        ],
+        &["id"],
+    )
+    .unwrap()
+}
+
+/// FNV-1a over every page of the backing file (presence included), so two
+/// runs match only if their post-restart files are byte-identical.
+fn image_digest(db: &Database) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut upd = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    };
+    for page in db.mem_file().expect("mem backend").clone_contents() {
+        match page {
+            Some(img) => img.iter().for_each(|&b| upd(b)),
+            None => upd(0xFF),
+        }
+    }
+    h
+}
+
+/// Build the deterministic workload, crash, restart with `workers` redo
+/// threads, and capture accounting + digest.
+fn run(rows: u64, workers: usize) -> RunOutcome {
+    let db = Database::create(DbConfig {
+        // A pool big enough to hold every dirty page: nothing is flushed
+        // before the crash, so redo must replay the whole workload.
+        buffer_pages: 8192,
+        // No background checkpoint daemon: its checkpoints would land at
+        // nondeterministic log positions and break cross-run comparison.
+        checkpoint_interval_bytes: 0,
+        redo_workers: workers,
+        ..DbConfig::default()
+    })
+    .unwrap();
+    db.with_txn(|txn| {
+        db.create_table(txn, "t", schema())?;
+        Ok(())
+    })
+    .unwrap();
+    let filler = "r".repeat(400);
+    let chunk = 1_000u64;
+    let mut next = 0u64;
+    while next < rows {
+        let hi = (next + chunk).min(rows);
+        db.with_txn(|txn| {
+            for i in next..hi {
+                // Multiplicative permutation: inserts land at random leaf
+                // positions, so redo's applies do real slot work instead
+                // of appending at the rightmost leaf.
+                let id = i.wrapping_mul(0x9E37_79B9) % rows;
+                db.insert(txn, "t", &[Value::U64(id), Value::str(&filler)])?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        next = hi;
+    }
+    // A sparse update pass puts multi-record chains on many pages.
+    db.with_txn(|txn| {
+        for i in (0..rows).step_by(5) {
+            db.update(txn, "t", &[Value::U64(i), Value::Str(format!("u{i}"))])?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    // One loser so the undo phase has work to account for.
+    let loser = db.begin();
+    for i in 0..500u64 {
+        db.insert(
+            &loser,
+            "t",
+            &[Value::U64(10_000_000 + i), Value::str("doomed")],
+        )
+        .unwrap();
+    }
+    db.log().flush_to(db.log().tail_lsn());
+    std::mem::forget(loser);
+
+    let t0 = Instant::now();
+    let db = Database::recover(db.simulate_crash()).unwrap();
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let report = db.last_recovery().expect("recover() leaves a report");
+    assert_eq!(report.redo_workers, workers as u64);
+    RunOutcome {
+        workers,
+        wall_ms,
+        redo_ms: report.redo_us as f64 / 1e3,
+        scanned: report.records_scanned,
+        redone: report.records_redone,
+        undone: report.records_undone,
+        losers: report.losers,
+        digest: image_digest(&db),
+        metrics: db.metrics(),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // Powers of two so the bench's multiplicative permutation of insert
+    // order is a bijection (odd multiplier mod 2^k is invertible).
+    let rows: u64 = if quick { 16_384 } else { 65_536 };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!("building + restarting: {rows} rows per run, workers 1/2/4/16, {cores} core(s)…");
+
+    let outcomes: Vec<RunOutcome> = [1usize, 2, 4, 16].iter().map(|&w| run(rows, w)).collect();
+
+    println!("== partitioned restart scaling (fresh engine per run) ==");
+    for o in &outcomes {
+        println!(
+            "workers={:>2}: redo {:>8.1} ms, restart wall {:>8.1} ms, \
+             {} scanned, {} redone, {} undone, digest {:016x}",
+            o.workers, o.redo_ms, o.wall_ms, o.scanned, o.redone, o.undone, o.digest
+        );
+    }
+
+    // Hard gate: accounting and the backing file are bit-identical at
+    // every worker count.
+    let base = &outcomes[0];
+    let mut identical = true;
+    for o in &outcomes[1..] {
+        if (o.scanned, o.redone, o.undone, o.losers, o.digest)
+            != (
+                base.scanned,
+                base.redone,
+                base.undone,
+                base.losers,
+                base.digest,
+            )
+        {
+            identical = false;
+            println!(
+                "FAIL: workers={} diverged from workers=1 \
+                 (scanned {} vs {}, redone {} vs {}, undone {} vs {}, digest {:016x} vs {:016x})",
+                o.workers,
+                o.scanned,
+                base.scanned,
+                o.redone,
+                base.redone,
+                o.undone,
+                base.undone,
+                o.digest,
+                base.digest
+            );
+        }
+    }
+    let redo_work = base.redone > 0;
+    if !redo_work {
+        println!("FAIL: the workload produced no redo work — the bench measured nothing");
+    }
+
+    // WARN only: wall-clock should improve 1 → 4 workers.
+    let redo_1 = outcomes[0].redo_ms;
+    let redo_4 = outcomes[2].redo_ms;
+    let speedup = redo_1 / redo_4.max(1e-6);
+    if speedup < 1.0 {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        println!(
+            "WARN: no redo speedup at 4 workers ({redo_1:.1} ms -> {redo_4:.1} ms) \
+             on {cores} core(s); wall time is machine-dependent, not gated"
+        );
+    } else {
+        println!("redo speedup 1 -> 4 workers: {speedup:.2}x");
+    }
+
+    let pass = identical && redo_work;
+    println!(
+        "\nacceptance: counts+digest identical across 1/2/4/16 workers: {identical}, \
+         redo work present: {redo_work} — {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+    match rewind_bench::report::write_bench_json(
+        "recoverybench",
+        &[
+            ("redo_ms_1w", redo_1),
+            ("redo_ms_4w", redo_4),
+            ("redo_speedup_4w", speedup),
+            ("records_redone", base.redone as f64),
+            ("counts_identical", if identical { 1.0 } else { 0.0 }),
+        ],
+        &outcomes[0].metrics,
+    ) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => println!("WARN: could not write bench json: {e}"),
+    }
+    if !pass {
+        std::process::exit(1);
+    }
+}

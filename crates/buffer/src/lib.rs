@@ -1034,6 +1034,27 @@ impl BufferPool {
         Ok(())
     }
 
+    /// Flush dirty pages whose recLSN is older than `before` (blocking on
+    /// in-flight latches). The incremental half of fuzzy checkpointing:
+    /// after this, every page first dirtied before `before` is durable, so
+    /// the dirty-page table a subsequent checkpoint captures has
+    /// `recLSN >= before` — which is what bounds the crash-redo window to
+    /// the checkpoint cadence instead of the whole log.
+    pub fn flush_older_than(&self, before: Lsn) -> Result<()> {
+        for frame in &self.frames {
+            let mut st = frame.state.write();
+            if st.pid.is_valid() && st.dirty && st.rec_lsn < before {
+                // tidy: allow(lock-across-io) -- frame latch must cover WAL-first flush of this page
+                self.log.flush_to(st.page.page_lsn());
+                // tidy: allow(lock-across-io) -- writeback under the frame latch; pool-level locks are not held
+                self.with_io_retry(|| self.fm.write_page(st.pid, &st.page))?;
+                st.dirty = false;
+                st.rec_lsn = Lsn::NULL;
+            }
+        }
+        Ok(())
+    }
+
     /// The ARIES dirty-page table: (page, recLSN) for every dirty frame.
     pub fn dirty_page_table(&self) -> Vec<DptEntry> {
         let mut dpt = Vec::new();

@@ -43,6 +43,20 @@ impl Lsn {
     pub fn bytes_since(self, earlier: Lsn) -> u64 {
         self.0.saturating_sub(earlier.0)
     }
+
+    /// Exclusive scan end for a scan that must *include* a record starting
+    /// at `self`: one past this LSN, saturating at [`Lsn::MAX`].
+    ///
+    /// Scan ranges in this engine are half-open `[from, to)`, so including
+    /// a bound record means passing `bound.scan_end()`. The naive
+    /// `Lsn(bound.0 + 1)` overflows to `Lsn::NULL` when the bound is
+    /// `Lsn::MAX` (the "no bound" sentinel), turning an unbounded scan
+    /// into an empty one; saturation keeps the sentinel meaning "to the
+    /// end of the log".
+    #[inline]
+    pub fn scan_end(self) -> Lsn {
+        Lsn(self.0.saturating_add(1))
+    }
 }
 
 impl fmt::Debug for Lsn {
@@ -199,6 +213,15 @@ mod tests {
         assert_eq!(Lsn(100).bytes_since(Lsn(40)), 60);
         assert_eq!(Lsn(40).bytes_since(Lsn(100)), 0);
         assert_eq!(Lsn(40).bytes_since(Lsn::NULL), 40);
+    }
+
+    #[test]
+    fn lsn_scan_end_saturates_at_max() {
+        assert_eq!(Lsn(100).scan_end(), Lsn(101));
+        // The "no bound" sentinel must stay a no-bound sentinel: +1 on
+        // u64::MAX would wrap to 0 (= Lsn::NULL) and scan nothing.
+        assert_eq!(Lsn::MAX.scan_end(), Lsn::MAX);
+        assert_eq!(Lsn(u64::MAX - 1).scan_end(), Lsn::MAX);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use crate::boot::{self, BootInfo};
 use crate::catalog::{self, IndexInfo, SysTrees, TableInfo, TableKind};
 use crate::snapdb::SnapshotDb;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, RwLock};
 use rewind_access::store::{ModKind, Store};
 use rewind_access::{BTree, Heap, Schema};
 use rewind_buffer::BufferPool;
@@ -12,8 +12,8 @@ use rewind_common::{Error, IoSnapshot, Lsn, ObjectId, PageId, Result, SimClock, 
 use rewind_obs::{EventKind, FnSource, IoStatsSource, MetricsRegistry, MetricsSnapshot, Obs};
 use rewind_pagestore::{FileManager, MemFileManager, PageType};
 use rewind_recovery::{
-    analyze, redo_pass, rollback::undo_record, take_checkpoint, AccessKind, EngineParts,
-    EngineStore,
+    pipelined_restart, rollback::undo_record, take_checkpoint, take_checkpoint_incremental,
+    AccessKind, EngineParts, EngineStore, RestartOutcome,
 };
 use rewind_snapshot::AsOfSnapshot;
 use rewind_txn::{LockKey, LockManager, LockMode, ObjectLatches, TxnManager, TxnShared, TxnState};
@@ -48,8 +48,17 @@ pub struct DbConfig {
     /// Lock wait timeout.
     pub lock_timeout: Duration,
     /// Take a checkpoint after this many log bytes (0 = manual only). The
-    /// paper's "target recovery interval" expressed in log volume.
+    /// paper's "target recovery interval" expressed in log volume. Commits
+    /// that cross the interval kick a background daemon which takes a
+    /// *fuzzy incremental* checkpoint (flushing only pages first dirtied
+    /// before `tail - interval`), so restart time tracks this interval
+    /// while commits never stall behind a pool flush.
     pub checkpoint_interval_bytes: u64,
+    /// Redo worker threads for partitioned crash restart; 0 resolves to
+    /// the machine's available parallelism at recovery time. Restart
+    /// accounting (records applied, analysis tables, post-restart state)
+    /// is bit-identical at every worker count.
+    pub redo_workers: usize,
     /// Log manager tuning.
     pub log: LogConfig,
     /// Initial retention period in microseconds (paper §4.3); 0 retains
@@ -66,6 +75,7 @@ impl Default for DbConfig {
             fpi_interval: 0,
             lock_timeout: Duration::from_secs(5),
             checkpoint_interval_bytes: 8 << 20,
+            redo_workers: 0,
             log: LogConfig::default(),
             retention_micros: 0,
         }
@@ -108,18 +118,32 @@ pub struct DbStats {
 /// wall-clock time and record counts for analysis, redo and undo. The
 /// paper's recovery-cost story ("bound by the amount of log scanned",
 /// §6.2) is exactly these three numbers over the log window.
-#[derive(Clone, Copy, Debug, Default)]
+///
+/// Durations come from the process monotonic timebase
+/// ([`rewind_obs::monotonic_us`]), not the obs handle, so they are real
+/// even on a disabled-obs engine. Analysis and redo overlap by design —
+/// restart pipelines the two passes over one forward scan.
+#[derive(Clone, Debug, Default)]
 pub struct RecoveryReport {
-    /// Analysis pass duration (µs).
+    /// Analysis duration (µs): restart start until the loser/lock tables
+    /// were final.
     pub analysis_us: u64,
     /// Log records visited by the analysis scan.
     pub records_scanned: u64,
     /// In-flight transactions found at the crash point.
     pub losers: u64,
-    /// Redo pass duration (µs).
+    /// Ids of those transactions, ascending.
+    pub loser_txns: Vec<TxnId>,
+    /// Redo duration (µs): restart start until the last redo worker
+    /// drained.
     pub redo_us: u64,
     /// Page operations re-applied by redo.
     pub records_redone: u64,
+    /// Redo worker threads used by the partitioned dispatcher.
+    pub redo_workers: u64,
+    /// Records applied by each redo worker (shows partition skew; sums to
+    /// `records_redone`).
+    pub redone_per_worker: Vec<u64>,
     /// Undo sweep duration (µs).
     pub undo_us: u64,
     /// Loser records compensated (CLRs written).
@@ -130,12 +154,13 @@ impl std::fmt::Display for RecoveryReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "recovery: analysis {:.3}ms ({} records, {} losers) | redo {:.3}ms ({} applied) | undo {:.3}ms ({} compensated)",
+            "recovery: analysis {:.3}ms ({} records, {} losers) | redo {:.3}ms ({} applied, {} workers) | undo {:.3}ms ({} compensated)",
             self.analysis_us as f64 / 1000.0,
             self.records_scanned,
             self.losers,
             self.redo_us as f64 / 1000.0,
             self.records_redone,
+            self.redo_workers,
             self.undo_us as f64 / 1000.0,
             self.records_undone,
         )
@@ -167,16 +192,20 @@ pub struct Database {
     pub(crate) sys: SysTrees,
     table_cache: RwLock<HashMap<u64, Arc<TableInfo>>>,
     name_cache: RwLock<HashMap<String, u64>>,
-    retention_micros: AtomicU64,
-    /// Errors from background maintenance (post-commit checkpoints) that
+    /// Shared with the checkpoint daemon's retention enforcement.
+    retention_micros: Arc<AtomicU64>,
+    /// Errors from background maintenance (the checkpoint daemon) that
     /// must not fail the foreground operation; drained by
-    /// [`Database::take_background_errors`].
-    background_errors: Mutex<Vec<(String, Error)>>,
+    /// [`Database::take_background_errors`]. Shared with the daemon thread.
+    background_errors: Arc<Mutex<Vec<(String, Error)>>>,
     /// Shared with the metrics registry's snapshot gauge source.
     snapshots: Arc<Mutex<HashMap<String, Arc<AsOfSnapshot>>>>,
     metrics: Arc<MetricsRegistry>,
     /// Phase report from the restart that produced this instance, if any.
     last_recovery: Mutex<Option<RecoveryReport>>,
+    /// Background checkpoint daemon; `None` when
+    /// `checkpoint_interval_bytes` is 0 (manual checkpoints only).
+    checkpointer: Option<Checkpointer>,
 }
 
 impl Database {
@@ -266,7 +295,7 @@ impl Database {
     ) -> Result<Database> {
         let txns = Arc::new(TxnManager::new());
         let locks = Arc::new(LockManager::new(config.lock_timeout));
-        let retention = AtomicU64::new(config.retention_micros);
+        let retention = Arc::new(AtomicU64::new(config.retention_micros));
 
         let sys = if bootstrap {
             // Bootstrap: system trees + boot page, all logged in one txn.
@@ -321,6 +350,18 @@ impl Database {
         let snapshots: Arc<Mutex<HashMap<String, Arc<AsOfSnapshot>>>> =
             Arc::new(Mutex::new(HashMap::new()));
         let metrics = Self::build_metrics(&parts, &txns, &snapshots);
+        let background_errors: Arc<Mutex<Vec<(String, Error)>>> = Arc::new(Mutex::new(Vec::new()));
+        let checkpointer = (config.checkpoint_interval_bytes > 0).then(|| {
+            Checkpointer::start(MaintenanceCtx {
+                parts: parts.clone(),
+                txns: txns.clone(),
+                clock: clock.clone(),
+                interval: config.checkpoint_interval_bytes,
+                retention_micros: retention.clone(),
+                snapshots: snapshots.clone(),
+                errors: background_errors.clone(),
+            })
+        });
         let db = Database {
             parts,
             fm_mem,
@@ -332,10 +373,11 @@ impl Database {
             table_cache: RwLock::new(HashMap::new()),
             name_cache: RwLock::new(HashMap::new()),
             retention_micros: retention,
-            background_errors: Mutex::new(Vec::new()),
+            background_errors,
             snapshots,
             metrics,
             last_recovery: Mutex::new(None),
+            checkpointer,
         };
         if bootstrap {
             db.checkpoint()?;
@@ -462,7 +504,7 @@ impl Database {
     /// Phase timings of the restart that produced this instance; `None`
     /// for instances not created by [`Database::recover`].
     pub fn last_recovery(&self) -> Option<RecoveryReport> {
-        *self.last_recovery.lock()
+        self.last_recovery.lock().clone()
     }
 
     /// Current engine statistics.
@@ -548,30 +590,33 @@ impl Database {
         shared.set_state(TxnState::Committed);
         self.locks.release_all(shared.id);
         self.txns.finish(shared.id);
-        if let Err(e) = self.maybe_checkpoint() {
-            self.defer_background_error("post-commit checkpoint", e);
+        // Checkpoint cadence runs off the commit path: when this commit
+        // crossed the interval, kick the daemon and return immediately.
+        if self.checkpoint_due() {
+            if let Some(c) = &self.checkpointer {
+                c.kick();
+            }
         }
         Ok(())
     }
 
-    /// Record a background-maintenance failure without failing the
-    /// foreground operation. Bounded: with nothing draining the channel, a
-    /// persistently failing device must not grow memory per commit — only
-    /// the most recent errors are retained, oldest dropped first.
-    fn defer_background_error(&self, what: &str, e: Error) {
-        const MAX_DEFERRED: usize = 64;
-        let mut errs = self.background_errors.lock();
-        if errs.len() >= MAX_DEFERRED {
-            errs.remove(0);
-        }
-        errs.push((what.to_string(), e));
-    }
-
     /// Drain errors from deferred background maintenance (e.g. a checkpoint
     /// that failed after a commit was already durable). Empty in healthy
-    /// operation; monitoring should poll this.
+    /// operation; monitoring should poll this. Tests wanting deterministic
+    /// observation should [`Database::quiesce_checkpoints`] first.
     pub fn take_background_errors(&self) -> Vec<(String, Error)> {
         std::mem::take(&mut *self.background_errors.lock())
+    }
+
+    /// Wait until the background checkpoint daemon has processed every kick
+    /// issued so far. After this returns, maintenance triggered by earlier
+    /// commits has completed (successfully or into
+    /// [`Database::take_background_errors`]). No-op when the daemon is
+    /// disabled (`checkpoint_interval_bytes == 0`).
+    pub fn quiesce_checkpoints(&self) {
+        if let Some(c) = &self.checkpointer {
+            c.quiesce();
+        }
     }
 
     /// Roll the transaction back: walk its chain writing CLRs (§4.2-2),
@@ -912,12 +957,12 @@ impl Database {
         take_checkpoint(&self.parts.log, &self.txns, &self.parts.pool, &self.clock)
     }
 
-    /// Take a checkpoint if enough log accumulated since the last one; also
-    /// enforces the retention policy.
-    pub fn maybe_checkpoint(&self) -> Result<()> {
+    /// Whether enough log has accumulated since the last checkpoint to
+    /// warrant another (always false when the interval is 0).
+    fn checkpoint_due(&self) -> bool {
         let interval = self.config.checkpoint_interval_bytes;
         if interval == 0 {
-            return Ok(());
+            return false;
         }
         let last = self
             .parts
@@ -925,7 +970,15 @@ impl Database {
             .checkpoint_before(Lsn::MAX)
             .map(|c| c.end_lsn)
             .unwrap_or(Lsn::FIRST);
-        if self.parts.log.tail_lsn().bytes_since(last) >= interval {
+        self.parts.log.tail_lsn().bytes_since(last) >= interval
+    }
+
+    /// Synchronously take a checkpoint if enough log accumulated since the
+    /// last one; also enforces the retention policy. Manual-maintenance
+    /// entry point — commits instead kick the background daemon, which
+    /// takes *incremental* checkpoints off the commit path.
+    pub fn maybe_checkpoint(&self) -> Result<()> {
+        if self.checkpoint_due() {
             self.checkpoint()?;
             self.enforce_retention();
         }
@@ -952,25 +1005,13 @@ impl Database {
     /// Truncate log that is older than the retention period and not needed
     /// by crash recovery, active transactions or open snapshots.
     pub fn enforce_retention(&self) {
-        let retention = self.retention_micros.load(Ordering::Acquire);
-        if retention == 0 {
-            return;
-        }
-        let floor_t = self.clock.now().minus_micros(retention);
-        let Some(ck) = self.parts.log.checkpoint_before_time(floor_t) else {
-            return;
-        };
-        let mut cut = ck.begin_lsn;
-        if let Some(l) = self.txns.oldest_active_first_lsn() {
-            cut = cut.min(l);
-        }
-        for e in self.parts.pool.dirty_page_table() {
-            cut = cut.min(e.rec_lsn);
-        }
-        for snap in self.snapshots.lock().values() {
-            cut = cut.min(snap.min_needed_lsn());
-        }
-        self.parts.log.truncate_before(cut);
+        enforce_retention_on(
+            &self.parts,
+            &self.txns,
+            &self.clock,
+            self.retention_micros.load(Ordering::Acquire),
+            &self.snapshots,
+        );
     }
 
     // ---- snapshots ----------------------------------------------------------------
@@ -1051,6 +1092,11 @@ impl Database {
     /// lock tables, unflushed log tail) is lost; the file, the durable log
     /// and the clock survive.
     pub fn simulate_crash(self) -> CrashArtifacts {
+        // Stop maintenance first: a daemon checkpoint racing the teardown
+        // would append log records after the "crash" point.
+        if let Some(c) = &self.checkpointer {
+            c.stop();
+        }
         self.parts.pool.drop_cache();
         self.parts.log.discard_unflushed();
         CrashArtifacts {
@@ -1079,31 +1125,31 @@ impl Database {
         // trusted (frame lengths chain, so one bad frame unmoors the rest).
         log.discard_corrupt_tail();
         // Repeat history before touching any structure (the boot page itself
-        // may only exist in the log).
+        // may only exist in the log). Analysis and redo run as ONE pipelined
+        // forward scan, with redo hash-partitioned by page across workers —
+        // accounting is bit-identical at every worker count.
         let parts = Self::make_parts(fm, log, &config);
         let obs = parts.log.obs().clone();
-        let analysis_started = obs.now_us();
-        let analysis = analyze(&parts.log, Lsn::MAX)?;
-        let analysis_us = obs.now_us().saturating_sub(analysis_started);
+        let workers = match config.redo_workers {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        };
+        let RestartOutcome {
+            analysis,
+            redo,
+            analysis_us,
+            redo_us,
+        } = pipelined_restart(&parts.log, &parts.pool, Lsn::MAX, workers)?;
         obs.record(
             EventKind::RecoveryAnalysis,
             analysis.redo_start.0,
             analysis.records_scanned,
             analysis_us,
         );
-        let redo_started = obs.now_us();
-        let records_redone = redo_pass(
-            &parts.log,
-            &parts.pool,
-            &analysis.dpt,
-            analysis.redo_start,
-            Lsn::MAX,
-        )?;
-        let redo_us = obs.now_us().saturating_sub(redo_started);
         obs.record(
             EventKind::RecoveryRedo,
             analysis.redo_start.0,
-            records_redone,
+            redo.applied,
             redo_us,
         );
 
@@ -1120,7 +1166,9 @@ impl Database {
         }
         let resolver = |obj: ObjectId| db.resolve_access_uncached(obj);
         let mut finished: Vec<Arc<TxnShared>> = Vec::new();
-        let undo_started = obs.now_us();
+        // Monotonic timebase, not `obs.now_us()`: the report must carry
+        // real durations even on a disabled-obs engine.
+        let undo_started = rewind_obs::monotonic_us();
         let mut records_undone = 0u64;
         while let Some((lsn, txn)) = heap.pop() {
             let rec = db.parts.log.get_record(lsn)?;
@@ -1164,19 +1212,194 @@ impl Database {
             db.txns.finish(sh.id);
         }
         db.parts.log.flush_to(db.parts.log.tail_lsn());
-        let undo_us = obs.now_us().saturating_sub(undo_started);
+        let undo_us = rewind_obs::monotonic_us().saturating_sub(undo_started);
         obs.record(EventKind::RecoveryUndo, 0, records_undone, undo_us);
         let report = RecoveryReport {
             analysis_us,
             records_scanned: analysis.records_scanned,
             losers: analysis.losers.len() as u64,
+            loser_txns: analysis.losers.iter().map(|l| l.id).collect(),
             redo_us,
-            records_redone,
+            records_redone: redo.applied,
+            redo_workers: redo.per_worker.len() as u64,
+            redone_per_worker: redo.per_worker,
             undo_us,
             records_undone,
         };
         *db.last_recovery.lock() = Some(report);
         db.checkpoint()?;
         Ok(db)
+    }
+}
+
+impl Drop for Database {
+    fn drop(&mut self) {
+        // Join the daemon so a checkpoint can't run against parts whose
+        // other owners are being torn down. Idempotent with the explicit
+        // stop in `simulate_crash`.
+        if let Some(c) = &self.checkpointer {
+            c.stop();
+        }
+    }
+}
+
+// ---- background checkpoint daemon --------------------------------------------
+
+/// Record a background-maintenance failure without failing the foreground
+/// operation. Bounded: with nothing draining the channel, a persistently
+/// failing device must not grow memory per checkpoint — only the most
+/// recent errors are retained, oldest dropped first.
+fn defer_error(errors: &Mutex<Vec<(String, Error)>>, what: &str, e: Error) {
+    const MAX_DEFERRED: usize = 64;
+    let mut errs = errors.lock();
+    if errs.len() >= MAX_DEFERRED {
+        errs.remove(0);
+    }
+    errs.push((what.to_string(), e));
+}
+
+/// Truncate log older than `retention_micros` and not needed by crash
+/// recovery, active transactions or open snapshots. Free-standing so the
+/// checkpoint daemon can run it without a `Database` handle.
+fn enforce_retention_on(
+    parts: &EngineParts,
+    txns: &TxnManager,
+    clock: &SimClock,
+    retention_micros: u64,
+    snapshots: &Mutex<HashMap<String, Arc<AsOfSnapshot>>>,
+) {
+    if retention_micros == 0 {
+        return;
+    }
+    let floor_t = clock.now().minus_micros(retention_micros);
+    let Some(ck) = parts.log.checkpoint_before_time(floor_t) else {
+        return;
+    };
+    let mut cut = ck.begin_lsn;
+    if let Some(l) = txns.oldest_active_first_lsn() {
+        cut = cut.min(l);
+    }
+    for e in parts.pool.dirty_page_table() {
+        cut = cut.min(e.rec_lsn);
+    }
+    for snap in snapshots.lock().values() {
+        cut = cut.min(snap.min_needed_lsn());
+    }
+    parts.log.truncate_before(cut);
+}
+
+/// Everything the checkpoint daemon needs, cloned out of the database so
+/// the thread borrows nothing.
+struct MaintenanceCtx {
+    parts: Arc<EngineParts>,
+    txns: Arc<TxnManager>,
+    clock: SimClock,
+    interval: u64,
+    retention_micros: Arc<AtomicU64>,
+    snapshots: Arc<Mutex<HashMap<String, Arc<AsOfSnapshot>>>>,
+    errors: Arc<Mutex<Vec<(String, Error)>>>,
+}
+
+#[derive(Default)]
+struct CkptState {
+    /// Checkpoint generation requested by commits.
+    kicks: u64,
+    /// Generation the daemon has fully processed.
+    done: u64,
+    shutdown: bool,
+}
+
+struct CheckpointerShared {
+    state: Mutex<CkptState>,
+    cv: Condvar,
+}
+
+/// The background checkpoint daemon. Commits *kick* it when a commit
+/// crosses [`DbConfig::checkpoint_interval_bytes`]; it responds with a
+/// fuzzy *incremental* checkpoint (flushing only pages first dirtied
+/// before `tail - interval`) plus retention enforcement, keeping the
+/// crash-redo window proportional to the interval while commits never
+/// stall behind a pool flush. Kicks issued while a checkpoint runs
+/// coalesce: the daemon jumps `done` to the latest requested generation,
+/// so a burst of commits costs at most one catch-up checkpoint.
+struct Checkpointer {
+    shared: Arc<CheckpointerShared>,
+    handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Checkpointer {
+    fn start(ctx: MaintenanceCtx) -> Checkpointer {
+        let shared = Arc::new(CheckpointerShared {
+            state: Mutex::new(CkptState::default()),
+            cv: Condvar::new(),
+        });
+        let sh = shared.clone();
+        let handle = std::thread::spawn(move || loop {
+            let target = {
+                let mut st = sh.state.lock();
+                while st.kicks == st.done && !st.shutdown {
+                    sh.cv.wait(&mut st);
+                }
+                if st.kicks == st.done {
+                    return; // shutdown with nothing pending
+                }
+                st.kicks
+            };
+            let cutoff = Lsn(ctx.parts.log.tail_lsn().0.saturating_sub(ctx.interval));
+            match take_checkpoint_incremental(
+                &ctx.parts.log,
+                &ctx.txns,
+                &ctx.parts.pool,
+                &ctx.clock,
+                cutoff,
+            ) {
+                Ok(_) => enforce_retention_on(
+                    &ctx.parts,
+                    &ctx.txns,
+                    &ctx.clock,
+                    ctx.retention_micros.load(Ordering::Acquire),
+                    &ctx.snapshots,
+                ),
+                // Same label the synchronous path historically used, so
+                // monitoring that matches on it keeps working.
+                Err(e) => defer_error(&ctx.errors, "post-commit checkpoint", e),
+            }
+            let mut st = sh.state.lock();
+            st.done = target;
+            sh.cv.notify_all();
+        });
+        Checkpointer {
+            shared,
+            handle: Mutex::new(Some(handle)),
+        }
+    }
+
+    /// Request a checkpoint. Never blocks on the work itself.
+    fn kick(&self) {
+        let mut st = self.shared.state.lock();
+        if !st.shutdown {
+            st.kicks += 1;
+            self.shared.cv.notify_all();
+        }
+    }
+
+    /// Wait until every kick issued so far has been processed.
+    fn quiesce(&self) {
+        let mut st = self.shared.state.lock();
+        while st.done != st.kicks && !st.shutdown {
+            self.shared.cv.wait(&mut st);
+        }
+    }
+
+    /// Stop and join the daemon (idempotent).
+    fn stop(&self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+            self.shared.cv.notify_all();
+        }
+        if let Some(h) = self.handle.lock().take() {
+            let _ = h.join();
+        }
     }
 }

@@ -79,6 +79,9 @@ struct ObsInner {
     asof_prepare: Histogram,
     /// Bulk as-of scan batch time, microseconds.
     scan_batch: Histogram,
+    /// Per-worker busy time in partitioned redo, microseconds. One sample
+    /// per redo worker per restart.
+    redo_worker: Histogram,
 }
 
 /// Process-wide observability epoch: all `at_us` timestamps are micros
@@ -90,6 +93,20 @@ static EPOCH: OnceLock<Instant> = OnceLock::new();
 #[inline]
 fn epoch_us() -> u64 {
     EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+/// Microseconds since the process observability epoch, independent of any
+/// [`Obs`] handle's enabled state.
+///
+/// [`Obs::now_us`] deliberately returns 0 when the handle is disabled so
+/// that *recording* sites stay branch-free; but phase timings that feed
+/// user-facing reports (e.g. the recovery report's analysis/redo/undo
+/// durations) must be real even on a disabled-obs engine. Those sites use
+/// this free function. This crate is the workspace's timebase owner, so
+/// routing through here keeps `Instant` out of engine crates.
+#[inline]
+pub fn monotonic_us() -> u64 {
+    epoch_us()
 }
 
 /// The engine's observability handle. Cheap to share (`Arc<Obs>`); every
@@ -113,6 +130,7 @@ impl Obs {
                     flush_stall: Histogram::new(),
                     asof_prepare: Histogram::new(),
                     scan_batch: Histogram::new(),
+                    redo_worker: Histogram::new(),
                 })),
             };
         }
@@ -188,6 +206,16 @@ impl Obs {
         }
     }
 
+    /// Record one redo-worker busy-time sample (µs). One sample per worker
+    /// per partitioned restart, so the histogram count equals
+    /// `restarts × workers` and its spread shows partition skew.
+    #[inline]
+    pub fn redo_worker_us(&self, v: u64) {
+        if let Some(inner) = &self.inner {
+            inner.redo_worker.record(v);
+        }
+    }
+
     /// Snapshot the event ring (empty when disabled).
     pub fn events(&self) -> Vec<Event> {
         match &self.inner {
@@ -233,6 +261,13 @@ impl Obs {
             .as_ref()
             .map_or_else(HistogramSnapshot::empty, |i| i.scan_batch.snapshot())
     }
+
+    /// Snapshot of the redo-worker busy-time histogram.
+    pub fn redo_worker(&self) -> HistogramSnapshot {
+        self.inner
+            .as_ref()
+            .map_or_else(HistogramSnapshot::empty, |i| i.redo_worker.snapshot())
+    }
 }
 
 impl MetricSource for Obs {
@@ -244,6 +279,7 @@ impl MetricSource for Obs {
         out.histogram("flush_stall_us", self.flush_stall());
         out.histogram("asof_prepare_us", self.asof_prepare());
         out.histogram("scan_batch_us", self.scan_batch());
+        out.histogram("redo_worker_us", self.redo_worker());
     }
 }
 

@@ -10,11 +10,23 @@
 //! * per-loser **lock sets** — the row locks snapshot recovery reacquires so
 //!   queries cannot observe data of in-flight transactions before the
 //!   background undo fixes it (§5.2). B-Tree rows are keyed by their key
-//!   bytes; heap rows (flagged records) coarsen to a table lock.
+//!   bytes; heap rows (flagged records) coarsen to a table lock. A
+//!   key-changing update locks *both* keys: the old image's row must stay
+//!   invisible until undo restores it, and the new image's row must stay
+//!   invisible until undo removes it.
+//!
+//! The pass is built around [`AnalysisBuilder`], a record-at-a-time state
+//! machine: [`analyze`] drives it over a plain forward scan, and the
+//! pipelined restart path (`restart` module) drives the *same* builder from
+//! the scan that simultaneously dispatches redo work — which is what makes
+//! "analysis output streams to redo" a refactor rather than a fork of the
+//! analysis logic.
 
-use rewind_common::{Lsn, PageId, Result, TxnId};
+use rewind_common::{Lsn, ObjectId, PageId, Result, TxnId};
 use rewind_txn::{LockKey, LockMode};
-use rewind_wal::{DptEntry, LogManager, LogPayload, LogPayloadView, PayloadKind, REC_FLAG_HEAP};
+use rewind_wal::{
+    DptEntry, LogManager, LogPayload, LogPayloadView, LogRecordHeader, PayloadKind, REC_FLAG_HEAP,
+};
 use std::collections::HashMap;
 
 /// A transaction found in flight at the recovery bound.
@@ -52,30 +64,259 @@ pub struct AnalysisResult {
     pub records_scanned: u64,
 }
 
-fn lock_for(
-    rec_flags: u8,
-    object: rewind_common::ObjectId,
-    payload: &LogPayloadView<'_>,
-) -> Option<LockKey> {
-    let row_bytes: Option<&[u8]> = match *payload {
-        LogPayloadView::InsertRecord { bytes, .. } => Some(bytes),
-        LogPayloadView::DeleteRecord { old, .. } => Some(old),
-        LogPayloadView::UpdateRecord { old, .. } => Some(old),
-        _ => return None,
-    };
-    if rec_flags & REC_FLAG_HEAP != 0 {
-        // Heap rows: coarsen to the table (insert-mostly heaps; cheap and safe).
-        return Some(LockKey::table(object));
-    }
-    let rec = row_bytes?;
+/// Extract the B-Tree row-lock key from serialized row bytes
+/// (`[klen: u16 LE][key][rest]`), coarsening to a table lock when the
+/// encoding is not parseable as such.
+fn row_key(object: ObjectId, rec: &[u8]) -> LockKey {
     if rec.len() < 2 {
-        return Some(LockKey::table(object));
+        return LockKey::table(object);
     }
     let klen = u16::from_le_bytes([rec[0], rec[1]]) as usize;
     if 2 + klen > rec.len() {
-        return Some(LockKey::table(object));
+        return LockKey::table(object);
     }
-    Some(LockKey::row(object, &rec[2..2 + klen]))
+    LockKey::row(object, &rec[2..2 + klen])
+}
+
+/// The lock keys a loser must reacquire for one record: the row key of the
+/// changed image, plus — for a key-changing update — the row key of the
+/// *new* image. Locking only the old key would leave the new key unlocked,
+/// so a pre-undo as-of query could observe the in-flight row under its new
+/// key.
+fn locks_for(
+    rec_flags: u8,
+    object: ObjectId,
+    payload: &LogPayloadView<'_>,
+) -> (Option<LockKey>, Option<LockKey>) {
+    let (primary, secondary): (&[u8], Option<&[u8]>) = match *payload {
+        LogPayloadView::InsertRecord { bytes, .. } => (bytes, None),
+        LogPayloadView::DeleteRecord { old, .. } => (old, None),
+        LogPayloadView::UpdateRecord { old, new, .. } => (old, Some(new)),
+        _ => return (None, None),
+    };
+    if rec_flags & REC_FLAG_HEAP != 0 {
+        // Heap rows: coarsen to the table (insert-mostly heaps; cheap and
+        // safe — one lock covers both images).
+        return (Some(LockKey::table(object)), None);
+    }
+    let first = row_key(object, primary);
+    let second = secondary
+        .map(|new| row_key(object, new))
+        .filter(|k| *k != first);
+    (Some(first), second)
+}
+
+#[derive(Default)]
+struct TxnInfo {
+    first: Lsn,
+    last: Lsn,
+    locks: Vec<(LockKey, LockMode)>,
+}
+
+impl TxnInfo {
+    fn push_lock(&mut self, key: LockKey) {
+        if !self.locks.iter().any(|(k, _)| *k == key) {
+            self.locks.push((key, LockMode::X));
+        }
+    }
+}
+
+/// Record-at-a-time analysis state: seed from a checkpoint, feed every
+/// record of the forward scan through [`AnalysisBuilder::observe`], then
+/// [`AnalysisBuilder::finish`].
+///
+/// `observe` also answers the *online redo-qualification* question: for a
+/// page-op record it returns the page's recLSN as known at this point of
+/// the scan. Because the DPT keeps the **first** recLSN seen per page
+/// (checkpoint seed, else first scan sighting — `or_insert` semantics), the
+/// value returned for a record equals the page's recLSN in the *final* DPT:
+/// later sightings never change it. The classical two-pass test
+/// `lsn >= final_dpt[page]` can therefore be evaluated during the single
+/// forward scan, which is what lets the restart path dispatch redo work
+/// with no barrier after analysis.
+pub struct AnalysisBuilder {
+    att: HashMap<u64, TxnInfo>,
+    dpt: HashMap<PageId, Lsn>,
+    /// The checkpoint-seeded DPT alone (empty without a checkpoint): the
+    /// pages for which records *before* `scan_start` can still qualify for
+    /// redo. Pages first dirtied inside the scan window have
+    /// `recLSN >= scan_start` by construction.
+    ckpt_dpt: Vec<DptEntry>,
+    scan_start: Lsn,
+    max_txn: TxnId,
+    committed: u64,
+    records_scanned: u64,
+}
+
+impl AnalysisBuilder {
+    /// Locate the checkpoint governing `bound` and seed the ATT/DPT from
+    /// its end record. The forward scan must start at
+    /// [`AnalysisBuilder::scan_start`].
+    pub fn seed(log: &LogManager, bound: Lsn) -> Result<AnalysisBuilder> {
+        let checkpoint = log.checkpoint_before(bound);
+        let scan_start = match &checkpoint {
+            Some(c) => c.begin_lsn,
+            None => log.truncation_point(),
+        };
+        let mut b = AnalysisBuilder {
+            att: HashMap::new(),
+            dpt: HashMap::new(),
+            ckpt_dpt: Vec::new(),
+            scan_start,
+            max_txn: TxnId::NONE,
+            committed: 0,
+            records_scanned: 0,
+        };
+        if let Some(c) = &checkpoint {
+            let rec = log.get_record_deep(c.end_lsn)?;
+            if let LogPayload::CheckpointEnd(body) = rec.payload {
+                for e in body.att {
+                    b.att.insert(
+                        e.txn.0,
+                        TxnInfo {
+                            first: e.first_lsn,
+                            last: e.last_lsn,
+                            locks: Vec::new(),
+                        },
+                    );
+                    b.max_txn = b.max_txn.max(e.txn);
+                }
+                for e in &body.dpt {
+                    b.dpt.entry(e.page).or_insert(e.rec_lsn);
+                }
+                b.ckpt_dpt = body.dpt;
+            }
+        }
+        Ok(b)
+    }
+
+    /// Where the forward scan begins (checkpoint begin or truncation point).
+    pub fn scan_start(&self) -> Lsn {
+        self.scan_start
+    }
+
+    /// The checkpoint-seeded DPT entries (before any scanning).
+    pub fn checkpoint_dpt(&self) -> &[DptEntry] {
+        &self.ckpt_dpt
+    }
+
+    /// Feed one record of the forward scan (in LSN order, starting at
+    /// [`AnalysisBuilder::scan_start`]). For a page-op record, returns the
+    /// page's recLSN — final-DPT-equal, see the type docs — so the caller
+    /// can decide redo qualification (`header.lsn >= rec_lsn`) online.
+    pub fn observe(&mut self, header: &LogRecordHeader, view: &LogPayloadView<'_>) -> Option<Lsn> {
+        self.records_scanned += 1;
+        if header.txn.is_valid() {
+            self.max_txn = self.max_txn.max(header.txn);
+            match header.kind {
+                PayloadKind::Commit | PayloadKind::End => {
+                    if header.kind == PayloadKind::Commit {
+                        self.committed += 1;
+                    }
+                    self.att.remove(&header.txn.0);
+                }
+                _ => {
+                    let info = self.att.entry(header.txn.0).or_default();
+                    if info.first.is_null() {
+                        info.first = header.lsn;
+                    }
+                    info.last = header.lsn;
+                    // Lock reacquisition: user row changes only (system/SMO
+                    // records move rows without owning them).
+                    if header.flags & rewind_wal::REC_FLAG_SYSTEM == 0 {
+                        let (first, second) = locks_for(header.flags, header.object, view);
+                        if let Some(key) = first {
+                            info.push_lock(key);
+                        }
+                        if let Some(key) = second {
+                            info.push_lock(key);
+                        }
+                    }
+                }
+            }
+        }
+        if header.is_page_op() && header.page.is_valid() {
+            Some(*self.dpt.entry(header.page).or_insert(header.lsn))
+        } else {
+            None
+        }
+    }
+
+    /// Complete the pass: run the supplemental lock scan for losers whose
+    /// activity began before the checkpoint, sort, and assemble the result.
+    pub fn finish(self, log: &LogManager, bound: Lsn) -> Result<AnalysisResult> {
+        let AnalysisBuilder {
+            mut att,
+            dpt,
+            scan_start,
+            max_txn,
+            committed,
+            records_scanned,
+            ..
+        } = self;
+
+        // Supplemental lock scan for losers whose activity began before the
+        // checkpoint: ARIES reacquires locks from the transactions' first
+        // LSNs.
+        let earliest = att
+            .values()
+            .map(|t| t.first)
+            .filter(|l| l.is_valid() && *l < scan_start)
+            .min();
+        if let Some(from) = earliest {
+            let ids: Vec<u64> = att.keys().copied().collect();
+            log.scan_views_deep(from, scan_start, |header, view| {
+                if header.txn.is_valid()
+                    && ids.contains(&header.txn.0)
+                    && header.flags & rewind_wal::REC_FLAG_SYSTEM == 0
+                {
+                    let (first, second) = locks_for(header.flags, header.object, view);
+                    if let Some(info) = att.get_mut(&header.txn.0) {
+                        if let Some(key) = first {
+                            info.push_lock(key);
+                        }
+                        if let Some(key) = second {
+                            info.push_lock(key);
+                        }
+                    }
+                }
+                Ok(true)
+            })?;
+        }
+
+        let mut losers: Vec<LoserTxn> = att
+            .into_iter()
+            .filter(|(_, info)| info.last.is_valid())
+            .map(|(id, info)| LoserTxn {
+                id: TxnId(id),
+                first_lsn: info.first,
+                last_lsn: info.last,
+                locks: info.locks,
+            })
+            .collect();
+        losers.sort_by_key(|l| l.id);
+
+        let redo_start = dpt.values().copied().min().unwrap_or(if bound == Lsn::MAX {
+            log.tail_lsn()
+        } else {
+            bound
+        });
+        let mut dpt: Vec<DptEntry> = dpt
+            .into_iter()
+            .map(|(page, rec_lsn)| DptEntry { page, rec_lsn })
+            .collect();
+        dpt.sort_by_key(|e| e.page);
+
+        Ok(AnalysisResult {
+            losers,
+            dpt,
+            redo_start,
+            scan_start,
+            max_txn_id: max_txn,
+            committed,
+            records_scanned,
+        })
+    }
 }
 
 /// Run analysis over `[checkpoint-before(bound), bound)`.
@@ -84,143 +325,73 @@ fn lock_for(
 /// recovered state (matching the SplitLSN convention). Pass [`Lsn::MAX`] for
 /// crash restart.
 pub fn analyze(log: &LogManager, bound: Lsn) -> Result<AnalysisResult> {
-    #[derive(Default)]
-    struct TxnInfo {
-        first: Lsn,
-        last: Lsn,
-        locks: Vec<(LockKey, LockMode)>,
-    }
-    let mut att: HashMap<u64, TxnInfo> = HashMap::new();
-    let mut dpt: HashMap<PageId, Lsn> = HashMap::new();
-    let mut max_txn = TxnId::NONE;
-    let mut committed = 0u64;
-    let mut records_scanned = 0u64;
-
-    let checkpoint = log.checkpoint_before(bound);
-    let scan_start = match &checkpoint {
-        Some(c) => c.begin_lsn,
-        None => log.truncation_point(),
-    };
-
-    // Seed from the checkpoint.
-    if let Some(c) = &checkpoint {
-        let rec = log.get_record_deep(c.end_lsn)?;
-        if let LogPayload::CheckpointEnd(body) = rec.payload {
-            for e in body.att {
-                att.insert(
-                    e.txn.0,
-                    TxnInfo {
-                        first: e.first_lsn,
-                        last: e.last_lsn,
-                        locks: Vec::new(),
-                    },
-                );
-                max_txn = max_txn.max(e.txn);
-            }
-            for e in body.dpt {
-                dpt.entry(e.page).or_insert(e.rec_lsn);
-            }
-        }
-    }
-
+    let mut builder = AnalysisBuilder::seed(log, bound)?;
     // Forward scan: header-only navigation with borrowed payload views —
     // row bytes are inspected in place for lock keys, never copied.
-    let scan_to = if bound == Lsn::MAX {
-        Lsn::MAX
-    } else {
-        Lsn(bound.0 + 1)
-    };
-    log.scan_views_deep(scan_start, scan_to, |header, view| {
-        records_scanned += 1;
-        if header.txn.is_valid() {
-            max_txn = max_txn.max(header.txn);
-            match header.kind {
-                PayloadKind::Commit | PayloadKind::End => {
-                    if header.kind == PayloadKind::Commit {
-                        committed += 1;
-                    }
-                    att.remove(&header.txn.0);
-                }
-                _ => {
-                    let info = att.entry(header.txn.0).or_default();
-                    if info.first.is_null() {
-                        info.first = header.lsn;
-                    }
-                    info.last = header.lsn;
-                    // Lock reacquisition: user row changes only (system/SMO
-                    // records move rows without owning them).
-                    if header.flags & rewind_wal::REC_FLAG_SYSTEM == 0 {
-                        if let Some(key) = lock_for(header.flags, header.object, view) {
-                            if !info.locks.iter().any(|(k, _)| *k == key) {
-                                info.locks.push((key, LockMode::X));
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        if header.is_page_op() && header.page.is_valid() {
-            dpt.entry(header.page).or_insert(header.lsn);
-        }
+    // `scan_end()` saturates, so the `Lsn::MAX` crash-restart sentinel
+    // stays "to the end of the log" instead of overflowing to NULL.
+    log.scan_views_deep(builder.scan_start(), bound.scan_end(), |header, view| {
+        builder.observe(header, view);
         Ok(true)
     })?;
+    builder.finish(log, bound)
+}
 
-    // Supplemental lock scan for losers whose activity began before the
-    // checkpoint: ARIES reacquires locks from the transactions' first LSNs.
-    let earliest = att
-        .values()
-        .map(|t| t.first)
-        .filter(|l| l.is_valid() && *l < scan_start)
-        .min();
-    if let Some(from) = earliest {
-        let ids: Vec<u64> = att.keys().copied().collect();
-        log.scan_views_deep(from, scan_start, |header, view| {
-            if header.txn.is_valid()
-                && ids.contains(&header.txn.0)
-                && header.flags & rewind_wal::REC_FLAG_SYSTEM == 0
-            {
-                if let Some(key) = lock_for(header.flags, header.object, view) {
-                    if let Some(info) = att.get_mut(&header.txn.0) {
-                        if !info.locks.iter().any(|(k, _)| *k == key) {
-                            info.locks.push((key, LockMode::X));
-                        }
-                    }
-                }
-            }
-            Ok(true)
-        })?;
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rewind_wal::{LogConfig, LogRecord};
+    use std::sync::Arc;
+
+    fn row_bytes(key: &[u8]) -> Vec<u8> {
+        let mut v = (key.len() as u16).to_le_bytes().to_vec();
+        v.extend_from_slice(key);
+        v.extend_from_slice(b"-rest");
+        v
     }
 
-    let mut losers: Vec<LoserTxn> = att
-        .into_iter()
-        .filter(|(_, info)| info.last.is_valid())
-        .map(|(id, info)| LoserTxn {
-            id: TxnId(id),
-            first_lsn: info.first,
-            last_lsn: info.last,
-            locks: info.locks,
-        })
-        .collect();
-    losers.sort_by_key(|l| l.id);
+    fn update(txn: TxnId, old: Vec<u8>, new: Vec<u8>) -> LogRecord {
+        LogRecord {
+            lsn: Lsn::NULL,
+            txn,
+            prev_lsn: Lsn::NULL,
+            page: PageId(5),
+            prev_page_lsn: Lsn::NULL,
+            object: ObjectId(501),
+            undo_next: Lsn::NULL,
+            flags: 0,
+            payload: LogPayload::UpdateRecord { slot: 0, old, new },
+        }
+    }
 
-    let redo_start = dpt.values().copied().min().unwrap_or(if bound == Lsn::MAX {
-        log.tail_lsn()
-    } else {
-        bound
-    });
-    let mut dpt: Vec<DptEntry> = dpt
-        .into_iter()
-        .map(|(page, rec_lsn)| DptEntry { page, rec_lsn })
-        .collect();
-    dpt.sort_by_key(|e| e.page);
+    /// Regression: a key-changing update's *new* key was never reacquired
+    /// as a loser lock, so a pre-undo as-of query could observe the
+    /// in-flight row under its new key. Analysis must lock both keys — and
+    /// still deduplicate when the keys are equal.
+    #[test]
+    fn key_changing_update_locks_both_keys() {
+        let log = Arc::new(LogManager::new(LogConfig::default()));
+        log.append(&update(TxnId(7), row_bytes(b"alpha"), row_bytes(b"beta")));
+        log.append(&update(TxnId(8), row_bytes(b"same"), row_bytes(b"same")));
 
-    Ok(AnalysisResult {
-        losers,
-        dpt,
-        redo_start,
-        scan_start,
-        max_txn_id: max_txn,
-        committed,
-        records_scanned,
-    })
+        let analysis = analyze(&log, Lsn::MAX).unwrap();
+        assert_eq!(analysis.losers.len(), 2);
+
+        let obj = ObjectId(501);
+        let changer = &analysis.losers[0];
+        assert_eq!(changer.id, TxnId(7));
+        let keys: Vec<&LockKey> = changer.locks.iter().map(|(k, _)| k).collect();
+        assert!(keys.contains(&&LockKey::row(obj, b"alpha")));
+        assert!(
+            keys.contains(&&LockKey::row(obj, b"beta")),
+            "the NEW key of a key-changing update must be locked: {keys:?}"
+        );
+
+        let stable = &analysis.losers[1];
+        assert_eq!(
+            stable.locks,
+            vec![(LockKey::row(obj, b"same"), LockMode::X)],
+            "a same-key update acquires its key exactly once"
+        );
+    }
 }

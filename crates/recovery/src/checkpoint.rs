@@ -46,6 +46,33 @@ pub fn take_checkpoint(
     pool: &BufferPool,
     clock: &SimClock,
 ) -> Result<Lsn> {
+    checkpoint_impl(log, txns, pool, clock, Lsn::MAX)
+}
+
+/// Take a *fuzzy incremental* checkpoint: flush only pages first dirtied
+/// before `flush_before`, then capture the (now recLSN-bounded) dirty-page
+/// table. Crash redo after this checkpoint starts at min recLSN
+/// `>= flush_before`, so the background checkpoint cadence — which calls
+/// this with `tail - checkpoint_interval_bytes` — keeps restart time
+/// proportional to the interval rather than to total log size, without
+/// ever stalling commits behind a full `flush_all`.
+pub fn take_checkpoint_incremental(
+    log: &LogManager,
+    txns: &TxnManager,
+    pool: &BufferPool,
+    clock: &SimClock,
+    flush_before: Lsn,
+) -> Result<Lsn> {
+    checkpoint_impl(log, txns, pool, clock, flush_before)
+}
+
+fn checkpoint_impl(
+    log: &LogManager,
+    txns: &TxnManager,
+    pool: &BufferPool,
+    clock: &SimClock,
+    flush_before: Lsn,
+) -> Result<Lsn> {
     let obs = log.obs().clone();
     let started = obs.now_us();
     let mut begin = marker(LogPayload::CheckpointBegin {
@@ -53,7 +80,11 @@ pub fn take_checkpoint(
     });
     let begin_lsn = log.append_stamped(&mut begin, &|| clock.now()).start;
     obs.record(rewind_obs::EventKind::CheckpointBegin, begin_lsn.0, 0, 0);
-    pool.flush_all()?;
+    if flush_before == Lsn::MAX {
+        pool.flush_all()?;
+    } else {
+        pool.flush_older_than(flush_before)?;
+    }
     let att = txns.active_table();
     let dpt = pool.dirty_page_table();
     let mut end = marker(LogPayload::CheckpointEnd(CheckpointBody {
@@ -117,5 +148,35 @@ mod tests {
             other => panic!("unexpected payload {other:?}"),
         }
         assert!(pool.dirty_page_table().is_empty());
+    }
+
+    #[test]
+    fn incremental_checkpoint_flushes_only_old_dirt() {
+        let fm = Arc::new(MemFileManager::new());
+        let log = Arc::new(LogManager::new(LogConfig::default()));
+        let pool = BufferPool::new(fm, log.clone(), 8);
+        let txns = TxnManager::new();
+        for (pid, lsn) in [(3u64, 100u64), (4, 900)] {
+            pool.with_page_mut(rewind_common::PageId(pid), |v| {
+                v.page_mut().set_page_lsn(Lsn(lsn));
+                v.mark_dirty(Lsn(lsn));
+                Ok(())
+            })
+            .unwrap();
+        }
+        let clock = SimClock::starting_at(Timestamp::from_secs(1));
+        let end = take_checkpoint_incremental(&log, &txns, &pool, &clock, Lsn(500)).unwrap();
+        // Page 3 (recLSN 100 < 500) was flushed; page 4 stays dirty and is
+        // captured in the checkpoint's DPT, bounding redo to recLSN >= 500.
+        let rec = log.get_record(end).unwrap();
+        match rec.payload {
+            LogPayload::CheckpointEnd(body) => {
+                assert_eq!(body.dpt.len(), 1);
+                assert_eq!(body.dpt[0].page, rewind_common::PageId(4));
+                assert_eq!(body.dpt[0].rec_lsn, Lsn(900));
+            }
+            other => panic!("unexpected payload {other:?}"),
+        }
+        assert_eq!(pool.dirty_page_table().len(), 1);
     }
 }

@@ -6,10 +6,20 @@
 //!   target LSN, with the §6.1 full-page-image skip.
 //! * [`checkpoint::take_checkpoint`] — fuzzy checkpoints (begin/end records
 //!   carrying the ATT and DPT and a wall-clock stamp, which SplitLSN search
-//!   uses to narrow its scan, §5.1).
+//!   uses to narrow its scan, §5.1);
+//!   [`checkpoint::take_checkpoint_incremental`] — the background-cadence
+//!   variant that flushes only old dirt, bounding crash-redo work to the
+//!   checkpoint interval.
 //! * [`analysis`] / [`redo`] — the restart passes, shared between crash
 //!   recovery and as-of snapshot recovery (§5.2); analysis also collects the
 //!   row locks that snapshot recovery must reacquire.
+//! * [`restart`] — crash restart's pipelined form: one forward scan feeds
+//!   the incremental [`analysis::AnalysisBuilder`] *and* dispatches
+//!   qualifying page-ops to redo workers partitioned by `PageId`. Per-page
+//!   backward chains mean redo's only ordering constraint is per page, so
+//!   hash-partitioning pages across workers (each applying its pages'
+//!   records in LSN order) is exactly as correct as the serial pass — the
+//!   module docs carry the full argument.
 //! * [`rollback::rollback_chain`] — transaction rollback with CLRs that
 //!   carry undo information (§4.2-2), logical undo for B-Tree rows,
 //!   physical undo for heap rows, allocation bits and partial structure
@@ -23,12 +33,14 @@ pub mod analysis;
 pub mod checkpoint;
 pub mod prepare;
 pub mod redo;
+pub mod restart;
 pub mod rollback;
 pub mod store;
 
-pub use analysis::{analyze, AnalysisResult, LoserTxn};
-pub use checkpoint::take_checkpoint;
+pub use analysis::{analyze, AnalysisBuilder, AnalysisResult, LoserTxn};
+pub use checkpoint::{take_checkpoint, take_checkpoint_incremental};
 pub use prepare::{prepare_page_as_of, PrepareStats};
 pub use redo::redo_pass;
+pub use restart::{pipelined_restart, PartitionedRedo, RestartOutcome};
 pub use rollback::{rollback_chain, AccessKind};
 pub use store::{CowSink, EngineParts, EngineStore};

@@ -1,4 +1,10 @@
 //! The redo pass: repeat history from the dirty-page table forward.
+//!
+//! This is the serial reference implementation; crash restart normally runs
+//! the pipelined, partitioned equivalent in [`crate::restart`], which must
+//! stay bit-exact with this pass's accounting (the crash-torture tests
+//! compare them). As-of snapshot recovery and targeted rebuilds still call
+//! this directly.
 
 use rewind_buffer::BufferPool;
 use rewind_common::{Lsn, PageId, Result};
@@ -9,9 +15,10 @@ use std::collections::HashMap;
 /// in `dpt` with `recLSN <= lsn`, applying a record only when the on-page
 /// LSN shows it missing. Returns the number of records applied.
 ///
-/// Used by crash restart (`bound = Lsn::MAX`). As-of snapshot recovery does
-/// *not* call this: its creation-time checkpoint flushed every page, so "no
-/// page reads are done" during its redo (§5.2) — it only needs analysis.
+/// Used with `bound = Lsn::MAX` for "to the end of the log". As-of snapshot
+/// recovery does *not* call this: its creation-time checkpoint flushed
+/// every page, so "no page reads are done" during its redo (§5.2) — it
+/// only needs analysis.
 pub fn redo_pass(
     log: &LogManager,
     pool: &BufferPool,
@@ -21,12 +28,9 @@ pub fn redo_pass(
 ) -> Result<u64> {
     let rec_lsns: HashMap<PageId, Lsn> = dpt.iter().map(|e| (e.page, e.rec_lsn)).collect();
     let mut applied = 0u64;
-    let scan_to = if bound == Lsn::MAX {
-        Lsn::MAX
-    } else {
-        Lsn(bound.0 + 1)
-    };
-    log.scan(redo_start, scan_to, |rec| {
+    // `scan_end()` saturates: a bound adjacent to (or at) `Lsn::MAX` stays
+    // an end-of-log scan instead of wrapping to an empty one.
+    log.scan(redo_start, bound.scan_end(), |rec| {
         if rec.payload.is_page_op() && rec.page.is_valid() {
             if let Some(&rec_lsn) = rec_lsns.get(&rec.page) {
                 if rec.lsn >= rec_lsn {
@@ -44,4 +48,27 @@ pub fn redo_pass(
         Ok(true)
     })?;
     Ok(applied)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rewind_pagestore::MemFileManager;
+    use rewind_wal::LogConfig;
+    use std::sync::Arc;
+
+    /// `bound` values adjacent to `Lsn::MAX` used to compute `bound.0 + 1`,
+    /// which overflows (wrapping the scan end to `Lsn::NULL` and silently
+    /// redoing nothing). The saturating scan end must keep these bounds
+    /// meaning "to the end of the log".
+    #[test]
+    fn redo_bound_adjacent_to_max_does_not_overflow() {
+        let fm = Arc::new(MemFileManager::new());
+        let log = Arc::new(LogManager::new(LogConfig::default()));
+        let pool = BufferPool::new(fm, log.clone(), 8);
+        for bound in [Lsn::MAX, Lsn(u64::MAX - 1)] {
+            let applied = redo_pass(&log, &pool, &[], Lsn::FIRST, bound).unwrap();
+            assert_eq!(applied, 0);
+        }
+    }
 }

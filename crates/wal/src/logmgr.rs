@@ -447,6 +447,11 @@ impl ReadCache {
 /// Holds the containing segment's `Arc<[u8]>`, so the bytes stay valid (and
 /// the record readable) even if the log truncates or seals concurrently —
 /// this is the reader-side half of the snapshot-isolation contract.
+///
+/// `Clone` bumps the segment `Arc` only; no record bytes are copied. A
+/// clone is `Send`, which is what lets the partitioned-redo dispatcher
+/// hand records to worker threads without materializing them.
+#[derive(Clone)]
 pub struct RecordRef {
     data: Arc<[u8]>,
     off: usize,
@@ -1297,6 +1302,29 @@ impl LogManager {
             let (header, view) = rec_ref.view()?;
             f(&header, &view)
         })
+    }
+
+    /// Like [`LogManager::scan_views`] but yielding the zero-copy
+    /// [`RecordRef`] itself, so the callback can `clone` it (an `Arc` bump)
+    /// and ship it to another thread. The fan-out primitive of partitioned
+    /// redo: the dispatcher scans once, workers decode in parallel.
+    pub fn scan_refs(
+        &self,
+        from: Lsn,
+        to: Lsn,
+        mut f: impl FnMut(&RecordRef) -> Result<bool>,
+    ) -> Result<Lsn> {
+        self.scan_impl(from, to, false, &mut f)
+    }
+
+    /// Like [`LogManager::scan_refs`] but reading archived history too.
+    pub fn scan_refs_deep(
+        &self,
+        from: Lsn,
+        to: Lsn,
+        mut f: impl FnMut(&RecordRef) -> Result<bool>,
+    ) -> Result<Lsn> {
+        self.scan_impl(from, to, true, &mut f)
     }
 
     /// Discard everything after the flushed LSN — what a crash does to the

@@ -429,8 +429,9 @@ fn salvage_fails_typed_when_log_chain_damaged() {
     assert_eq!(db.data_io().page_salvages, 0, "no fabricated salvage");
 }
 
-/// Media errors hit by *background* maintenance (post-commit checkpoints)
-/// are deferred and surface through `take_background_errors`, typed.
+/// Media errors hit by *background* maintenance (the checkpoint daemon
+/// kicked by commits) are deferred and surface through
+/// `take_background_errors`, typed.
 #[test]
 fn background_checkpoint_media_errors_surface_typed() {
     let fi = Arc::new(FaultInjector::new(SEEDS[1]));
@@ -446,13 +447,17 @@ fn background_checkpoint_media_errors_surface_typed() {
     .unwrap();
     db.with_txn(|txn| db.create_table(txn, "t", schema()))
         .unwrap();
+    // Let the checkpoint kicked by the healthy commit finish before the
+    // faults arm, so the outage hits exactly the next one.
+    db.quiesce_checkpoints();
     assert!(db.take_background_errors().is_empty());
 
-    // A persistent write outage: the post-commit checkpoint exhausts its
-    // retry budget, but the commit itself (log-only) succeeds.
+    // A persistent write outage: the kicked checkpoint exhausts its retry
+    // budget, but the commit itself (log-only) succeeds.
     fi.arm_eio_writes(1_000);
     db.with_txn(|txn| db.insert(txn, "t", &[Value::U64(1), Value::str("v")]))
         .unwrap();
+    db.quiesce_checkpoints();
     let errs = db.take_background_errors();
     assert!(
         errs.iter()

@@ -115,6 +115,7 @@ fn failing_checkpoint_does_not_fail_a_durable_commit() {
         let r = db.with_txn(|txn| db.insert(txn, "t", &row(i)));
         assert!(r.is_ok(), "durable commit {i} reported as failed: {r:?}");
     }
+    db.quiesce_checkpoints();
     let errs = db.take_background_errors();
     assert!(
         !errs.is_empty(),
@@ -130,6 +131,7 @@ fn failing_checkpoint_does_not_fail_a_durable_commit() {
     let rows = db.with_txn(|txn| db.scan_all(txn, "t")).unwrap();
     assert_eq!(rows.len(), 64);
     db.checkpoint().unwrap();
+    db.quiesce_checkpoints();
     assert!(db.take_background_errors().is_empty());
 }
 

@@ -11,7 +11,8 @@
 //!   accounting, records nothing, and exposes `obs_enabled 0`.
 //! * **Recovery phases are reported** — `Database::recover` leaves a
 //!   [`RecoveryReport`] with per-phase durations and record counts, and
-//!   the ring carries the three recovery events.
+//!   the ring carries the three recovery events. Durations come from the
+//!   monotonic timebase, so they are real even with obs disabled.
 
 use rewind_core::{Column, DataType, Database, DbConfig, Schema, Value};
 use rewind_obs::{EventKind, MetricsSnapshot};
@@ -196,6 +197,15 @@ fn recovery_reports_phase_timings_and_events() {
         "undo compensated the loser's writes (got {})",
         report.records_undone
     );
+    assert!(report.analysis_us > 0, "analysis duration is real");
+    assert!(report.redo_us > 0, "redo duration is real");
+    assert!(report.redo_workers >= 1, "restart used at least one worker");
+    assert_eq!(
+        report.redone_per_worker.iter().sum::<u64>(),
+        report.records_redone,
+        "per-worker redo counts sum to the total"
+    );
+    assert_eq!(report.loser_txns.len() as u64, report.losers);
     // A fresh instance (no recovery) reports None.
     assert!(build(true).last_recovery().is_none());
 
@@ -223,4 +233,30 @@ fn recovery_reports_phase_timings_and_events() {
     db2.with_txn(|txn| db2.insert(txn, "t", &[Value::U64(999), Value::str("post")]))
         .unwrap();
     assert_eq!(db2.obs().commit_latency().count, c0 + 1);
+}
+
+/// Regression: phase durations used to come from `Obs::now_us`, which is
+/// pinned to 0 on a disabled-obs engine — `last_recovery()` then displayed
+/// "0.000ms" for every phase. Durations now come from the monotonic
+/// timebase and must be real regardless of obs state.
+#[test]
+fn recovery_timings_are_real_with_obs_disabled() {
+    let db = build(false);
+    workload(&db);
+    let loser = db.begin();
+    for i in 100..110u64 {
+        db.insert(&loser, "t", &[Value::U64(i), Value::str("loser")])
+            .unwrap();
+    }
+    db.log().flush_to(db.log().tail_lsn());
+    std::mem::forget(loser);
+
+    let db2 = Database::recover(db.simulate_crash()).unwrap();
+    assert!(!db2.obs().is_enabled());
+    let report = db2.last_recovery().expect("recover() leaves a report");
+    assert!(report.records_scanned > 0);
+    assert!(report.analysis_us > 0, "real analysis duration without obs");
+    assert!(report.redo_us > 0, "real redo duration without obs");
+    // The Display form monitoring logs must not claim instant phases.
+    assert!(!format!("{report}").contains("analysis 0.000ms"));
 }
