@@ -350,6 +350,133 @@ fn pids_warm_hits(pids: &[PageId], threads: usize) -> u64 {
     (pids.len() * threads) as u64
 }
 
+// ---------------------------------------------------------------------------
+// Batched-I/O gate: cold as-of scan, scalar vs vectored backend
+// ---------------------------------------------------------------------------
+
+/// Per-page classification and device-op counts of one cold serial as-of
+/// scan (see [`cold_scan_counts`]).
+struct ColdScan {
+    hits: u64,
+    misses: u64,
+    page_reads: u64,
+    vectored_ops: u64,
+    pages: u64,
+    pool_frames: usize,
+    secs: f64,
+}
+
+/// Build a table larger than the buffer pool, snapshot it, drop the cache,
+/// and run one *serial* cold as-of preparation over every page. Everything
+/// counted is deterministic: one worker, no losers (so no background undo
+/// pre-populates the side file), every page exactly one miss.
+fn cold_scan_counts(rows: u64, io_batch: usize, workers: usize) -> ColdScan {
+    let db = Database::create(DbConfig {
+        buffer_pages: 64,
+        checkpoint_interval_bytes: 0,
+        io_batch_pages: io_batch,
+        writeback_workers: workers,
+        ..DbConfig::default()
+    })
+    .unwrap();
+    db.with_txn(|txn| db.create_table(txn, "t", schema()))
+        .unwrap();
+    let pad = "x".repeat(80);
+    for chunk in (0..rows).collect::<Vec<_>>().chunks(512) {
+        db.with_txn(|txn| {
+            for &i in chunk {
+                db.insert(txn, "t", &[Value::U64(i), Value::Str(format!("g0-{pad}"))])?;
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+    db.clock().advance_secs(10);
+    db.checkpoint().unwrap();
+    let t0 = db.clock().now();
+    db.clock().advance_secs(10);
+    let snap = db.create_snapshot_asof("io-gate", t0).unwrap();
+    snap.wait_undo_complete();
+    let pages = db.parts().pool.file_manager().page_count();
+    let pids: Vec<PageId> = (1..pages).map(PageId).collect();
+    db.parts().pool.drop_cache();
+
+    let io0 = db.data_io();
+    let s0 = db.pool_stats();
+    let start = Instant::now();
+    snap.raw().prepare_pages(&pids, 1).unwrap();
+    let secs = start.elapsed().as_secs_f64();
+    let io = db.data_io().delta(io0);
+    let s1 = db.pool_stats();
+    ColdScan {
+        hits: s1.hits - s0.hits,
+        misses: s1.misses - s0.misses,
+        page_reads: io.page_reads,
+        vectored_ops: io.vectored_read_ops,
+        pages: pids.len() as u64,
+        pool_frames: db.parts().pool.capacity(),
+        secs,
+    }
+}
+
+/// The deterministic batched-I/O gate: the vectored backend must classify
+/// the cold scan bit-identically to the scalar backend (same hits, misses
+/// and per-page reads) while issuing exactly `ceil(pages / batch)` vectored
+/// device ops. Returns the vectored-op count for the bench JSON; exits the
+/// process on any mismatch — counts, not wall clock, so this gate is hard
+/// on every runner (the elapsed ratio is printed as information only).
+fn batched_io_gate(rows: u64) -> u64 {
+    const BATCH: u64 = 16; // DbConfig::default().io_batch_pages
+    let scalar = cold_scan_counts(rows, 1, 0);
+    let batched = cold_scan_counts(rows, BATCH as usize, 2);
+    println!("\n# batched I/O backend: cold serial as-of scan, scalar vs vectored");
+    println!(
+        "{} pages over a {}-frame pool: scalar {} reads / {} vec ops, \
+         batched {} reads / {} vec ops ({:.2}x elapsed)",
+        batched.pages,
+        batched.pool_frames,
+        scalar.page_reads,
+        scalar.vectored_ops,
+        batched.page_reads,
+        batched.vectored_ops,
+        scalar.secs / batched.secs.max(f64::EPSILON),
+    );
+    assert!(
+        batched.pages > batched.pool_frames as u64,
+        "gate table must exceed the buffer pool ({} pages <= {} frames)",
+        batched.pages,
+        batched.pool_frames
+    );
+    let expect_ops = batched.pages.div_ceil(BATCH);
+    let classification_ok = batched.hits == scalar.hits
+        && batched.misses == scalar.misses
+        && batched.page_reads == scalar.page_reads
+        && batched.misses == batched.pages;
+    if !classification_ok || scalar.vectored_ops != 0 || batched.vectored_ops != expect_ops {
+        println!(
+            "FAIL: batched backend drifted — hits {}/{}, misses {}/{} (pages {}), \
+             reads {}/{}, vec ops {} (expected {}) / {} (expected 0)",
+            batched.hits,
+            scalar.hits,
+            batched.misses,
+            scalar.misses,
+            batched.pages,
+            batched.page_reads,
+            scalar.page_reads,
+            batched.vectored_ops,
+            expect_ops,
+            scalar.vectored_ops,
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "PASS: {} vectored ops for {} pages (= ceil(pages/{BATCH})), classification \
+         bit-identical to scalar ({} misses, {} hits, {} reads)",
+        batched.vectored_ops, batched.pages, batched.misses, batched.hits, batched.page_reads
+    );
+    batched.vectored_ops
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (rows, live_reads) = if quick {
@@ -462,6 +589,11 @@ fn main() {
         w.db.pool_stats().map_contended - contended0
     );
 
+    // Deterministic batched-I/O gate (hard on every runner — counts, not
+    // wall clock): vectored device-op arithmetic and scalar-identical
+    // classification for a cold serial as-of scan over a >pool-size table.
+    let vectored_ops = batched_io_gate(rows / 2);
+
     match rewind_bench::report::write_bench_json(
         "snapbench",
         &[
@@ -470,6 +602,7 @@ fn main() {
                 "warm_clones_per_hit",
                 new_warm_clones_total as f64 / new_warm_hits_total.max(1) as f64,
             ),
+            ("vectored_ops", vectored_ops as f64),
         ],
         &w.db.metrics(),
     ) {

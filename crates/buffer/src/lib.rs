@@ -108,7 +108,7 @@ pub mod salvage;
 use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 use rewind_common::{CorruptionKind, Error, Lsn, PageId, Result, StripedCounters};
 use rewind_obs::{EventKind, Obs};
-use rewind_pagestore::{FileManager, Page, PageImage};
+use rewind_pagestore::{IoBackend, Page, PageImage, WritebackPool};
 use rewind_wal::{DptEntry, LogManager};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
@@ -389,6 +389,45 @@ impl PageRead<'_> {
     }
 }
 
+/// Batched-I/O knobs for a [`BufferPool`] — how misses are vector-read and
+/// how flushes are written back. The default is fully scalar (batch size 1,
+/// no writeback threads), so a plain `BufferPool::new` pool behaves — and
+/// accounts — exactly as before the batched backend existed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolIoConfig {
+    /// Maximum pages per staged vectored read (`IoBackend::read_pages`) and
+    /// per writeback batch. `0` or `1` means scalar.
+    pub io_batch_pages: usize,
+    /// Background writeback threads for `flush_all`/`flush_older_than`.
+    /// `0` keeps flushes synchronous per-page (the scalar path).
+    pub writeback_workers: usize,
+    /// Bound of the writeback queue, in batches; `submit` applies
+    /// backpressure beyond it.
+    pub writeback_queue_batches: usize,
+}
+
+impl Default for PoolIoConfig {
+    fn default() -> Self {
+        PoolIoConfig {
+            io_batch_pages: 1,
+            writeback_workers: 0,
+            writeback_queue_batches: 64,
+        }
+    }
+}
+
+impl PoolIoConfig {
+    /// A batched configuration: vectored reads of up to `batch` pages and
+    /// `workers` background writeback threads.
+    pub fn batched(batch: usize, workers: usize) -> Self {
+        PoolIoConfig {
+            io_batch_pages: batch.max(1),
+            writeback_workers: workers,
+            writeback_queue_batches: 64,
+        }
+    }
+}
+
 /// The buffer pool. Thread-safe; shared via `Arc`.
 pub struct BufferPool {
     frames: Vec<Frame>,
@@ -396,16 +435,23 @@ pub struct BufferPool {
     shard_mask: usize,
     hand: AtomicUsize,
     stats: PoolStats,
-    fm: Arc<dyn FileManager>,
+    fm: Arc<dyn IoBackend>,
     log: Arc<LogManager>,
     /// The engine's observability handle, shared from the log manager.
     obs: Arc<Obs>,
+    io: PoolIoConfig,
+    /// Background writeback workers (batched flush mode only).
+    writeback: Option<WritebackPool>,
+    /// Serializes batched flushes so one flush's drained outcomes can never
+    /// be consumed by a concurrent flush (per-page outcomes decide which
+    /// dirty bits clear).
+    flush_gate: Mutex<()>,
 }
 
 impl BufferPool {
     /// A pool of `capacity` frames over `fm`, flushing through `log` (WAL
     /// rule), with the default shard count.
-    pub fn new(fm: Arc<dyn FileManager>, log: Arc<LogManager>, capacity: usize) -> Self {
+    pub fn new(fm: Arc<dyn IoBackend>, log: Arc<LogManager>, capacity: usize) -> Self {
         Self::with_shards(fm, log, capacity, DEFAULT_SHARDS)
     }
 
@@ -414,13 +460,29 @@ impl BufferPool {
     /// as a baseline; accounting is identical for serial traces at *every*
     /// shard count.
     pub fn with_shards(
-        fm: Arc<dyn FileManager>,
+        fm: Arc<dyn IoBackend>,
         log: Arc<LogManager>,
         capacity: usize,
         shards: usize,
     ) -> Self {
+        Self::with_io(fm, log, capacity, shards, PoolIoConfig::default())
+    }
+
+    /// A pool with explicit shard count *and* batched-I/O configuration.
+    /// Per-page hit/miss/eviction accounting of any serial trace is
+    /// bit-identical at every `io` setting; only device-op counts (and
+    /// which thread performs flush writes) change.
+    pub fn with_io(
+        fm: Arc<dyn IoBackend>,
+        log: Arc<LogManager>,
+        capacity: usize,
+        shards: usize,
+        io: PoolIoConfig,
+    ) -> Self {
         assert!(capacity >= 4, "buffer pool needs at least 4 frames");
-        let shards = shards.clamp(1, 1024).next_power_of_two();
+        let shards = if shards == 0 { DEFAULT_SHARDS } else { shards }
+            .clamp(1, 1024)
+            .next_power_of_two();
         let frames = (0..capacity)
             .map(|_| Frame {
                 state: RwLock::new(FrameState {
@@ -435,6 +497,15 @@ impl BufferPool {
                 tag: AtomicU64::new(TAG_FREE),
             })
             .collect();
+        let writeback = if io.writeback_workers > 0 {
+            Some(WritebackPool::new(
+                Arc::clone(&fm),
+                io.writeback_workers,
+                io.writeback_queue_batches.max(1),
+            ))
+        } else {
+            None
+        };
         BufferPool {
             frames,
             shards: (0..shards)
@@ -448,6 +519,9 @@ impl BufferPool {
             fm,
             obs: log.obs().clone(),
             log,
+            io,
+            writeback,
+            flush_gate: Mutex::new(()),
         }
     }
 
@@ -461,9 +535,36 @@ impl BufferPool {
         self.shards.len()
     }
 
-    /// The underlying file manager.
-    pub fn file_manager(&self) -> &Arc<dyn FileManager> {
+    /// The underlying I/O backend (a [`rewind_pagestore::FileManager`] with
+    /// vectored extensions; upcast freely where only the scalar surface is
+    /// needed).
+    pub fn file_manager(&self) -> &Arc<dyn IoBackend> {
         &self.fm
+    }
+
+    /// The configured read/writeback batch size (`>= 1`).
+    pub fn io_batch_pages(&self) -> usize {
+        self.io.io_batch_pages.max(1)
+    }
+
+    /// Whether flushes run through the background writeback pool.
+    pub fn has_writeback(&self) -> bool {
+        self.writeback.is_some()
+    }
+
+    /// Wait until no background writeback work is queued or in flight.
+    /// Every flush drains its own submissions before returning, so this is
+    /// a cheap no-op unless a flush is concurrently mid-submit; crash
+    /// simulation calls it (after stopping the checkpointer) to guarantee
+    /// no background write lands after the crash point.
+    pub fn quiesce_writeback(&self) {
+        if let Some(wb) = &self.writeback {
+            // Taking the flush gate first means an in-flight batched flush
+            // finishes (and consumes its own outcomes) before we drain, so
+            // quiescing can never steal a flush's per-page results.
+            let _gate = self.flush_gate.lock();
+            let _ = wb.drain();
+        }
     }
 
     /// The log manager used for WAL-rule flushes.
@@ -508,29 +609,46 @@ impl BufferPool {
         }
     }
 
-    /// Run `op`, retrying transient I/O failures ([`Error::is_transient`])
-    /// up to [`MAX_IO_RETRIES`] times with exponential backoff. Each retry
-    /// is counted in the I/O stats; corruption and structural errors are
-    /// never retried — re-reading bad bytes returns the same bad bytes.
-    fn with_io_retry<T>(&self, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+    /// Continue a bounded transient-retry loop from an already-obtained
+    /// `first` attempt: while the result is transient
+    /// ([`Error::is_transient`]) and attempts remain, count an I/O retry,
+    /// back off exponentially, and re-run `op`. Corruption and structural
+    /// errors are never retried — re-reading bad bytes returns the same bad
+    /// bytes. Seeding the loop with an external first attempt is what lets
+    /// a page's slot of a *vectored* batch resume the retry protocol with
+    /// accounting bit-identical to a fully scalar access.
+    fn retry_from<T>(&self, first: Result<T>, mut op: impl FnMut() -> Result<T>) -> Result<T> {
         let mut attempt = 0u32;
+        let mut res = first;
         loop {
-            match op() {
+            match res {
                 Err(e) if e.is_transient() && attempt < MAX_IO_RETRIES => {
                     attempt += 1;
                     self.fm.io_stats().add_io_retry();
                     std::thread::sleep(std::time::Duration::from_micros(10u64 << attempt.min(6)));
+                    res = op();
                 }
                 other => return other,
             }
         }
     }
 
-    /// Miss-read with media hardening: transient errors are retried, and a
-    /// checksum/torn-write failure triggers salvage from the per-page log
-    /// chain plus a repair-on-read write-back of the rebuilt image.
-    fn read_page_hardened(&self, pid: PageId) -> Result<Page> {
-        match self.with_io_retry(|| self.fm.read_page(pid)) {
+    /// Run `op`, retrying transient I/O failures up to [`MAX_IO_RETRIES`]
+    /// times (see [`BufferPool::retry_from`]).
+    fn with_io_retry<T>(&self, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+        let first = op();
+        self.retry_from(first, &mut op)
+    }
+
+    /// The hardening protocol, resumed from an already-obtained first read
+    /// attempt — either a scalar `read_page` or this page's slot of a
+    /// vectored `read_pages` batch. Transient failures retry (scalar, the
+    /// page is alone at fault), then checksum/torn failures salvage from the
+    /// per-page log chain with a repair-on-read write-back. Every counter
+    /// (`page_reads`, `io_retries`, `page_salvages`) moves exactly as it
+    /// would on the fully scalar path.
+    fn hardened_from(&self, pid: PageId, first: Result<Page>) -> Result<Page> {
+        match self.retry_from(first, || self.fm.read_page(pid)) {
             Ok(page) => Ok(page),
             Err(cause)
                 if matches!(
@@ -555,18 +673,21 @@ impl BufferPool {
     }
 
     /// Pin the frame holding `pid`, loading (and possibly evicting) as
-    /// needed. The caller must unpin, and must revalidate the frame's pid
-    /// under the latch (`drop_cache` may invalidate concurrently).
-    fn fetch_pin(&self, pid: PageId) -> Result<usize> {
-        self.fetch_pin_in(pid, None)
-    }
-
-    /// [`BufferPool::fetch_pin`], optionally routing the *miss* path
-    /// through a [`ScanPartition`]. The hit path is identical either way: a
-    /// resident page is pinned and referenced exactly like any other
-    /// access, so partitioned reads change which frames cold pages land in,
-    /// never what counts as a hit.
-    fn fetch_pin_in(&self, pid: PageId, scan: Option<&ScanPartition>) -> Result<usize> {
+    /// needed — optionally routing the *miss* path through a
+    /// [`ScanPartition`] and/or consuming a *staged* first read
+    /// attempt — this page's slot of an earlier vectored batch
+    /// ([`BufferPool::stage_read_run`]). A miss consumes the staged result
+    /// in place of its device read; hit/miss classification, victim choice
+    /// and eviction order are untouched, because staging replaces only the
+    /// *read* inside the miss protocol, never the protocol itself. The
+    /// staged result is consumed at most once; claim-race retries fall back
+    /// to scalar reads.
+    fn fetch_pin_staged_in(
+        &self,
+        pid: PageId,
+        scan: Option<&ScanPartition>,
+        mut staged: Option<Result<Page>>,
+    ) -> Result<usize> {
         if !pid.is_valid() {
             return Err(Error::InvalidPage(pid));
         }
@@ -592,7 +713,7 @@ impl BufferPool {
                     return Ok(idx);
                 }
             }
-            if let Some(idx) = self.load_miss_in(pid, scan)? {
+            if let Some(idx) = self.load_miss_in(pid, scan, staged.take())? {
                 return Ok(idx);
             }
             // Lost a race; retry from the fast path.
@@ -795,7 +916,12 @@ impl BufferPool {
     /// ring once it is at budget, and the loaded frame is published with
     /// the reference bit **clear** — cold scan pages are the global clock's
     /// preferred victims, never its protected residents.
-    fn load_miss_in(&self, pid: PageId, scan: Option<&ScanPartition>) -> Result<Option<usize>> {
+    fn load_miss_in(
+        &self,
+        pid: PageId,
+        scan: Option<&ScanPartition>,
+        staged: Option<Result<Page>>,
+    ) -> Result<Option<usize>> {
         let (idx, charged) = match scan {
             Some(part) => match self.claim_from_ring(part)? {
                 RingClaim::Reused(i) => (i, true),
@@ -836,7 +962,15 @@ impl BufferPool {
             // Exclusive by construction: the frame is claimed and unmapped,
             // so only crash simulation can race this latch.
             let mut st = f.state.write();
-            match self.read_page_hardened(pid) {
+            let first = match staged {
+                // The staged slot of a vectored batch replaces the device
+                // read; hardening (retry, salvage) resumes from it exactly
+                // as if `fm.read_page` had just returned it.
+                Some(r) => r,
+                // tidy: allow(lock-across-io) -- miss fill reads under the claimed frame's latch; no pool-level locks are held
+                None => self.fm.read_page(pid),
+            };
+            match self.hardened_from(pid, first) {
                 Ok(page) => st.page = page,
                 Err(e) => {
                     drop(st);
@@ -940,8 +1074,23 @@ impl BufferPool {
         pid: PageId,
         scan: Option<&ScanPartition>,
     ) -> Result<PageReadGuard<'_>> {
+        self.read_page_staged_in(pid, scan, None)
+    }
+
+    /// [`BufferPool::read_page_in`] with an optional staged first read
+    /// attempt from [`BufferPool::stage_read_run`]. A cold miss consumes
+    /// the staged result instead of issuing its own device read; everything
+    /// else — hit classification, victim choice, eviction accounting,
+    /// retry/salvage hardening — is bit-identical to the unstaged path.
+    pub fn read_page_staged_in(
+        &self,
+        pid: PageId,
+        scan: Option<&ScanPartition>,
+        staged: Option<Result<Page>>,
+    ) -> Result<PageReadGuard<'_>> {
+        let mut staged = staged;
         loop {
-            let idx = self.fetch_pin_in(pid, scan)?;
+            let idx = self.fetch_pin_staged_in(pid, scan, staged.take())?;
             let st = self.frames[idx].state.read();
             if st.pid == pid {
                 return Ok(PageReadGuard {
@@ -957,6 +1106,37 @@ impl BufferPool {
         }
     }
 
+    /// Vector-read the non-resident pages of `pids` through the backend's
+    /// [`IoBackend::read_pages`], in chunks of at most
+    /// [`BufferPool::io_batch_pages`] pages, and return the staged per-page
+    /// results for consumption by [`BufferPool::read_page_staged_in`].
+    ///
+    /// Resident pages are skipped (a scalar trace would not have read them
+    /// — it would have *hit*), so for a serial trace every staged read
+    /// corresponds to exactly one subsequent miss and per-page accounting
+    /// stays bit-identical to the scalar backend; contiguous ids inside a
+    /// chunk coalesce into single device ops. With batch size 1 (or an
+    /// empty filter result) this degenerates to exactly the scalar path.
+    pub fn stage_read_run(&self, pids: &[PageId]) -> Vec<(PageId, Result<Page>)> {
+        let batch = self.io_batch_pages();
+        if batch <= 1 {
+            // Scalar configuration: nothing to stage; callers fall through
+            // to plain per-page reads.
+            return Vec::new();
+        }
+        let wanted: Vec<PageId> = pids
+            .iter()
+            .copied()
+            .filter(|&pid| pid.is_valid() && !self.contains(pid))
+            .collect();
+        let mut out = Vec::with_capacity(wanted.len());
+        for chunk in wanted.chunks(batch) {
+            let results = self.fm.read_pages(chunk);
+            out.extend(chunk.iter().copied().zip(results));
+        }
+        out
+    }
+
     /// Run `f` with a shared latch on page `pid` (sugar over
     /// [`BufferPool::read_page`]).
     pub fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&Page) -> Result<R>) -> Result<R> {
@@ -970,8 +1150,25 @@ impl BufferPool {
         pid: PageId,
         f: impl FnOnce(&mut FrameView<'_>) -> Result<R>,
     ) -> Result<R> {
+        self.with_page_mut_staged(pid, None, f)
+    }
+
+    /// [`BufferPool::with_page_mut`] with an optional staged first read for
+    /// `pid` (one slot of a [`BufferPool::stage_read_run`] batch). A miss
+    /// consumes the staged result instead of issuing its own device read;
+    /// classification and accounting are untouched. Callers must ensure the
+    /// staged bytes are still current — i.e. nothing can have written `pid`
+    /// since the batch was staged (restart's redo partitioning guarantees
+    /// this: one worker owns all records of a page).
+    pub fn with_page_mut_staged<R>(
+        &self,
+        pid: PageId,
+        staged: Option<Result<Page>>,
+        f: impl FnOnce(&mut FrameView<'_>) -> Result<R>,
+    ) -> Result<R> {
+        let mut staged = staged;
         loop {
-            let idx = self.fetch_pin(pid)?;
+            let idx = self.fetch_pin_staged_in(pid, None, staged.take())?;
             let frame = &self.frames[idx];
             let mut st = frame.state.write();
             if st.pid == pid {
@@ -1020,9 +1217,33 @@ impl BufferPool {
     /// every logged change up to the flush point is durable in the file —
     /// the property as-of snapshot creation needs (§5.1).
     pub fn flush_all(&self) -> Result<()> {
+        self.flush_matching(Lsn::MAX)
+    }
+
+    /// Flush dirty pages whose recLSN is older than `before` (blocking on
+    /// in-flight latches). The incremental half of fuzzy checkpointing:
+    /// after this, every page first dirtied before `before` is durable, so
+    /// the dirty-page table a subsequent checkpoint captures has
+    /// `recLSN >= before` — which is what bounds the crash-redo window to
+    /// the checkpoint cadence instead of the whole log.
+    pub fn flush_older_than(&self, before: Lsn) -> Result<()> {
+        self.flush_matching(before)
+    }
+
+    /// Flush dirty pages with `recLSN < before` (`Lsn::MAX` = all), scalar
+    /// or through the background writeback pool per the pool's
+    /// [`PoolIoConfig`].
+    fn flush_matching(&self, before: Lsn) -> Result<()> {
+        match &self.writeback {
+            Some(wb) => self.flush_matching_batched(wb, before),
+            None => self.flush_matching_scalar(before),
+        }
+    }
+
+    fn flush_matching_scalar(&self, before: Lsn) -> Result<()> {
         for frame in &self.frames {
             let mut st = frame.state.write();
-            if st.pid.is_valid() && st.dirty {
+            if st.pid.is_valid() && st.dirty && st.rec_lsn < before {
                 // tidy: allow(lock-across-io) -- frame latch must cover WAL-first flush of this page
                 self.log.flush_to(st.page.page_lsn());
                 // tidy: allow(lock-across-io) -- writeback under the frame latch; pool-level locks are not held
@@ -1034,23 +1255,73 @@ impl BufferPool {
         Ok(())
     }
 
-    /// Flush dirty pages whose recLSN is older than `before` (blocking on
-    /// in-flight latches). The incremental half of fuzzy checkpointing:
-    /// after this, every page first dirtied before `before` is durable, so
-    /// the dirty-page table a subsequent checkpoint captures has
-    /// `recLSN >= before` — which is what bounds the crash-redo window to
-    /// the checkpoint cadence instead of the whole log.
-    pub fn flush_older_than(&self, before: Lsn) -> Result<()> {
+    /// Batched flush: clone qualifying dirty pages under their (shared)
+    /// latches, force the log once per submitted batch (WAL rule — the log
+    /// is ahead of every clone before its batch can be written), hand
+    /// contiguous runs to the writeback pool, and only after draining clear
+    /// the dirty bit of pages whose write landed *and* whose content is
+    /// unchanged since the clone. Pages that failed — or were re-dirtied
+    /// mid-flight — stay dirty, so a deferred writeback error can degrade
+    /// checkpoint progress but never durability. The checkpointer daemon
+    /// thereby stops serializing on per-page `write_page`: it pays clone
+    /// cost up front and the device time lands on writeback threads.
+    fn flush_matching_batched(&self, wb: &WritebackPool, before: Lsn) -> Result<()> {
+        // One batched flush at a time: drained per-page outcomes belong to
+        // exactly one flush.
+        let _gate = self.flush_gate.lock();
+        // Pass 1: snapshot qualifying dirty pages (pid, clone, pageLSN).
+        let mut candidates: Vec<(PageId, Page, Lsn)> = Vec::new();
         for frame in &self.frames {
-            let mut st = frame.state.write();
+            let st = frame.state.read();
             if st.pid.is_valid() && st.dirty && st.rec_lsn < before {
-                // tidy: allow(lock-across-io) -- frame latch must cover WAL-first flush of this page
-                self.log.flush_to(st.page.page_lsn());
-                // tidy: allow(lock-across-io) -- writeback under the frame latch; pool-level locks are not held
-                self.with_io_retry(|| self.fm.write_page(st.pid, &st.page))?;
+                candidates.push((st.pid, st.page.clone(), st.page.page_lsn()));
+            }
+        }
+        if candidates.is_empty() {
+            return Ok(());
+        }
+        // Sort by pid so physically adjacent pages land in the same batch
+        // and coalesce into single device ops.
+        candidates.sort_by_key(|(pid, _, _)| *pid);
+        let batch = self.io_batch_pages();
+        for chunk in candidates.chunks(batch) {
+            let mut high = Lsn::NULL;
+            for (_, _, lsn) in chunk {
+                high = high.max(*lsn);
+            }
+            // WAL rule, once per batch: the log covers every clone in the
+            // batch before any of its pages can reach the device.
+            // tidy: allow(lock-across-io) -- flush serialization gate, not a data lock; WAL-first ordering requires it held
+            self.log.flush_to(high);
+            wb.submit(chunk.iter().map(|(p, pg, _)| (*p, pg.clone())).collect());
+        }
+        let (succeeded, failed) = wb.drain();
+        // Pass 2: clear dirty bits only for pages that landed unchanged.
+        for pid in succeeded {
+            let idx = {
+                let map = self.read_map(self.shard_of_raw(pid.0));
+                match map.get(&pid.0) {
+                    Some(&i) => i,
+                    None => continue, // evicted mid-flight (already clean)
+                }
+            };
+            let cloned_lsn = candidates
+                .binary_search_by_key(&pid, |(p, _, _)| *p)
+                .ok()
+                .map(|i| candidates[i].2);
+            let mut st = self.frames[idx].state.write();
+            if st.pid == pid && st.dirty && Some(st.page.page_lsn()) == cloned_lsn {
                 st.dirty = false;
                 st.rec_lsn = Lsn::NULL;
             }
+            // A page re-dirtied since its clone keeps its dirty bit and
+            // recLSN: the clone that landed is consistent but stale, and
+            // the next flush owes the device the newer version.
+        }
+        if let Some((_pid, e)) = failed.into_iter().next() {
+            // Surface one failure (the page stays dirty and reachable);
+            // the checkpointer defers it like any background error.
+            return Err(e);
         }
         Ok(())
     }
@@ -1099,7 +1370,7 @@ impl BufferPool {
 mod tests {
     use super::*;
     use rewind_common::{ObjectId, TxnId};
-    use rewind_pagestore::{MemFileManager, PageType};
+    use rewind_pagestore::{FileManager, MemFileManager, PageType};
     use rewind_wal::{LogConfig, LogPayload, LogRecord};
 
     fn setup(cap: usize) -> (Arc<MemFileManager>, Arc<LogManager>, BufferPool) {
@@ -1431,6 +1702,9 @@ mod tests {
             self.inner.io_stats()
         }
     }
+
+    // Default (scalar-delegating) batched methods suffice for these tests.
+    impl rewind_pagestore::IoBackend for FaultyFm {}
 
     #[test]
     fn read_fault_on_miss_releases_claim_and_pool_recovers() {

@@ -54,7 +54,11 @@ pub fn salvage_page(log: &LogManager, pid: PageId, cause: &Error) -> Result<Page
         return Err(fail("no log history for page in retention window".into()));
     }
 
-    // 2. Walk backward to the rebuild origin, collecting the chain.
+    // 2. Walk backward to the rebuild origin, retaining each record ref —
+    // the forward pass replays the retained refs instead of re-fetching
+    // every chain LSN from the log (one log read per chain record, not
+    // two; the refs pin their frames' bytes, so the rebuild window is read
+    // in a single batch-shaped pass).
     let mut chain = Vec::new();
     let mut cur = tip;
     loop {
@@ -70,28 +74,25 @@ pub fn salvage_page(log: &LogManager, pid: PageId, cause: &Error) -> Result<Page
                 header.page
             )));
         }
-        chain.push(cur);
-        if matches!(view, LogPayloadView::FullPageImage { .. }) {
-            break; // newest FPI: everything older is redundant
+        let origin = matches!(view, LogPayloadView::FullPageImage { .. }) // newest FPI: everything older is redundant
+            || !header.prev_page_lsn.is_valid(); // page birth: complete from a zeroed frame
+        let prev = header.prev_page_lsn;
+        chain.push((cur, rec));
+        if origin {
+            break;
         }
-        if !header.prev_page_lsn.is_valid() {
-            break; // page birth: chain is complete from a zeroed frame
-        }
-        cur = header.prev_page_lsn;
+        cur = prev;
     }
 
     // 3. Redo forward from a zeroed frame (or the FPI, which is itself
     // restored by its own redo).
     let mut page = Page::zeroed();
-    for &lsn in chain.iter().rev() {
-        let rec = log
-            .get_record_ref(lsn)
-            .map_err(|e| fail(format!("page chain damaged at {lsn}: {e}")))?;
+    for (lsn, rec) in chain.iter().rev() {
         let view = rec
             .view()
             .map_err(|e| fail(format!("page chain damaged at {lsn}: {e}")))?
             .1;
-        view.redo(&mut page, pid, lsn)
+        view.redo(&mut page, pid, *lsn)
             .map_err(|e| fail(format!("redo of {lsn} failed: {e}")))?;
     }
     Ok(page)

@@ -7,10 +7,10 @@ use crate::snapdb::SnapshotDb;
 use parking_lot::{Condvar, Mutex, RwLock};
 use rewind_access::store::{ModKind, Store};
 use rewind_access::{BTree, Heap, Schema};
-use rewind_buffer::BufferPool;
+use rewind_buffer::{BufferPool, PoolIoConfig};
 use rewind_common::{Error, IoSnapshot, Lsn, ObjectId, PageId, Result, SimClock, Timestamp, TxnId};
 use rewind_obs::{EventKind, FnSource, IoStatsSource, MetricsRegistry, MetricsSnapshot, Obs};
-use rewind_pagestore::{FileManager, MemFileManager, PageType};
+use rewind_pagestore::{IoBackend, MemFileManager, PageType};
 use rewind_recovery::{
     pipelined_restart, rollback::undo_record, take_checkpoint, take_checkpoint_incremental,
     AccessKind, EngineParts, EngineStore, RestartOutcome,
@@ -64,6 +64,14 @@ pub struct DbConfig {
     /// Initial retention period in microseconds (paper §4.3); 0 retains
     /// everything until configured otherwise.
     pub retention_micros: u64,
+    /// Pages per vectored read / batched write device op (1 = fully scalar
+    /// I/O). Batching changes only the device-op count, never accounting:
+    /// per-page hit/miss/eviction classification is bit-identical at every
+    /// batch size.
+    pub io_batch_pages: usize,
+    /// Background writeback threads for checkpoint/flush page writes
+    /// (0 = synchronous scalar flushing).
+    pub writeback_workers: usize,
 }
 
 impl Default for DbConfig {
@@ -78,6 +86,8 @@ impl Default for DbConfig {
             redo_workers: 0,
             log: LogConfig::default(),
             retention_micros: 0,
+            io_batch_pages: 16,
+            writeback_workers: 2,
         }
     }
 }
@@ -170,7 +180,7 @@ impl std::fmt::Display for RecoveryReport {
 /// What survives a crash: the database file, the durable log, and the clock.
 pub struct CrashArtifacts {
     /// The database file.
-    pub fm: Arc<dyn FileManager>,
+    pub fm: Arc<dyn IoBackend>,
     /// In-memory backend handle, when applicable (backup support).
     pub fm_mem: Option<Arc<MemFileManager>>,
     /// The write-ahead log (its unflushed tail is discarded by recovery).
@@ -217,17 +227,17 @@ impl Database {
     /// Create a fresh in-memory database sharing an external clock.
     pub fn create_with_clock(config: DbConfig, clock: SimClock) -> Result<Database> {
         let fm_mem = Arc::new(MemFileManager::new());
-        let fm: Arc<dyn FileManager> = fm_mem.clone();
+        let fm: Arc<dyn IoBackend> = fm_mem.clone();
         let log = Arc::new(LogManager::new(config.log.clone()));
         let db = Self::assemble(fm, Some(fm_mem), log, clock, config, true)?;
         Ok(db)
     }
 
-    /// Create a fresh database over an arbitrary [`FileManager`] backend
+    /// Create a fresh database over an arbitrary [`IoBackend`] backend
     /// (fault-injection harnesses, alternative storage). Backends that are
     /// not [`MemFileManager`] have no backup support.
     pub fn create_on(
-        fm: Arc<dyn FileManager>,
+        fm: Arc<dyn IoBackend>,
         config: DbConfig,
         clock: SimClock,
     ) -> Result<Database> {
@@ -243,25 +253,23 @@ impl Database {
         clock: SimClock,
         config: DbConfig,
     ) -> Result<Database> {
-        let fm: Arc<dyn FileManager> = fm_mem.clone();
+        let fm: Arc<dyn IoBackend> = fm_mem.clone();
         Self::assemble(fm, Some(fm_mem), log, clock, config, false)
     }
 
     fn make_parts(
-        fm: Arc<dyn FileManager>,
+        fm: Arc<dyn IoBackend>,
         log: Arc<LogManager>,
         config: &DbConfig,
     ) -> Arc<EngineParts> {
-        let pool = if config.buffer_shards > 0 {
-            Arc::new(BufferPool::with_shards(
-                fm,
-                log.clone(),
-                config.buffer_pages,
-                config.buffer_shards,
-            ))
-        } else {
-            Arc::new(BufferPool::new(fm, log.clone(), config.buffer_pages))
-        };
+        let io = PoolIoConfig::batched(config.io_batch_pages, config.writeback_workers);
+        let pool = Arc::new(BufferPool::with_io(
+            fm,
+            log.clone(),
+            config.buffer_pages,
+            config.buffer_shards,
+            io,
+        ));
         Arc::new(EngineParts {
             pool,
             log,
@@ -275,7 +283,7 @@ impl Database {
     }
 
     fn assemble(
-        fm: Arc<dyn FileManager>,
+        fm: Arc<dyn IoBackend>,
         fm_mem: Option<Arc<MemFileManager>>,
         log: Arc<LogManager>,
         clock: SimClock,
@@ -1097,6 +1105,10 @@ impl Database {
         if let Some(c) = &self.checkpointer {
             c.stop();
         }
+        // Settle background writeback before declaring the crash point:
+        // every queued batch either lands now or never — no page write can
+        // race the artifacts after this returns.
+        self.parts.pool.quiesce_writeback();
         self.parts.pool.drop_cache();
         self.parts.log.discard_unflushed();
         CrashArtifacts {
@@ -1240,6 +1252,10 @@ impl Drop for Database {
         if let Some(c) = &self.checkpointer {
             c.stop();
         }
+        // Then settle writeback: with the daemon joined no new batches can
+        // be submitted, so after the drain the queue is empty and the
+        // pool's worker threads park until the pool itself drops.
+        self.parts.pool.quiesce_writeback();
     }
 }
 

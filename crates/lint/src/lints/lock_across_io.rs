@@ -41,8 +41,10 @@ const GUARD_METHODS: &[&str] = &[
 const IO_CALLS: &[&str] = &[
     "read_page",
     "read_page_seq",
+    "read_pages",
     "write_page",
     "write_page_seq",
+    "write_pages",
     "flush",
     "flush_to",
     "flush_up_to",

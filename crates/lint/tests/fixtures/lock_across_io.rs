@@ -1,5 +1,5 @@
 // Fixture: guard-across-I/O shapes.
-// Expected: exactly 2 `lock-across-io` findings (lines 9 and 31).
+// Expected: exactly 4 `lock-across-io` findings (lines 9, 31, 43, 50).
 
 pub fn bad_read_under_lock(&self) -> Result<Page> {
     let shard = self.shards[idx].lock();
@@ -36,4 +36,26 @@ pub fn good_temporary(&self) -> u64 {
     let n = self.map.read().len(); // temporary guard dies at `;`
     self.file.sync().ok();
     n
+}
+
+pub fn bad_vectored_read_under_lock(&self) -> Result<Vec<Page>> {
+    let st = self.state.lock();
+    let results = self.backend.read_pages(&st.pids); // finding: `st` live
+    Ok(results)
+}
+
+pub fn bad_batched_write_under_lock(&self) -> Result<()> {
+    let batch = collect_batch();
+    let g = self.gate.write();
+    self.backend.write_pages(&batch); // finding: `g` live
+    Ok(())
+}
+
+pub fn good_vectored_after_release(&self) -> Result<()> {
+    let batch = {
+        let st = self.state.lock();
+        st.batch.clone()
+    };
+    self.backend.write_pages(&batch)?; // ok: guard scope closed
+    Ok(())
 }

@@ -73,10 +73,10 @@ fn lock_across_io_exact_findings() {
     let (findings, _) = lint_fixture("lock_across_io.rs");
     assert_eq!(
         lines_of(&findings, "lock-across-io"),
-        vec![9, 31],
+        vec![9, 31, 43, 50],
         "{findings:#?}"
     );
-    assert_eq!(findings.len(), 2);
+    assert_eq!(findings.len(), 4);
 }
 
 #[test]

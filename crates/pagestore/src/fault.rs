@@ -28,6 +28,7 @@
 //! property the corruption-torture suite and its CI gate rely on.
 
 use crate::file::{FileManager, MemFileManager};
+use crate::io::IoBackend;
 use crate::page::{Page, PAGE_SIZE, TRAILER_SIZE};
 use crate::HEADER_SIZE;
 use parking_lot::Mutex;
@@ -198,25 +199,27 @@ impl FaultInjector {
             _ => None,
         }
     }
-}
 
-impl FileManager for FaultInjector {
-    fn read_page(&self, pid: PageId) -> Result<Page> {
+    /// The one fault gate for random reads: consume an EIO token (failing
+    /// *before* any accounting, so an injected EIO never counts as a page
+    /// read) or delegate. Scalar `read_page` and each page of a vectored
+    /// batch route through identical token consumption.
+    fn read_faulted(&self, pid: PageId) -> Option<Error> {
         if self.take_eio_read() {
-            return Err(Error::Io(format!("injected transient read error on {pid}")));
+            Some(Error::Io(format!("injected transient read error on {pid}")))
+        } else {
+            None
         }
-        self.inner.read_page(pid)
     }
 
-    fn read_page_seq(&self, pid: PageId) -> Result<Page> {
-        self.inner.read_page_seq(pid)
-    }
-
-    fn write_page(&self, pid: PageId, page: &Page) -> Result<()> {
+    /// The one fault gate for random writes: an EIO token fails the write
+    /// outright; an armed tear persists only a sector prefix. Returns
+    /// `None` when the write should pass through clean.
+    fn write_faulted(&self, pid: PageId, page: &Page) -> Option<Result<()>> {
         if self.take_eio_write() {
-            return Err(Error::Io(format!(
+            return Some(Err(Error::Io(format!(
                 "injected transient write error on {pid}"
-            )));
+            ))));
         }
         if let Some(cut) = self.take_torn(pid) {
             // Persist only the prefix of the fully stamped new image; the
@@ -232,7 +235,27 @@ impl FileManager for FaultInjector {
             img[..cut].copy_from_slice(&stamped.image()[..cut]);
             self.inner.io_stats().add_page_writes(1);
             self.inner.store_raw(pid, img);
-            return Ok(());
+            return Some(Ok(()));
+        }
+        None
+    }
+}
+
+impl FileManager for FaultInjector {
+    fn read_page(&self, pid: PageId) -> Result<Page> {
+        if let Some(e) = self.read_faulted(pid) {
+            return Err(e);
+        }
+        self.inner.read_page(pid)
+    }
+
+    fn read_page_seq(&self, pid: PageId) -> Result<Page> {
+        self.inner.read_page_seq(pid)
+    }
+
+    fn write_page(&self, pid: PageId, page: &Page) -> Result<()> {
+        if let Some(res) = self.write_faulted(pid, page) {
+            return res;
         }
         self.inner.write_page(pid, page)
     }
@@ -255,6 +278,48 @@ impl FileManager for FaultInjector {
 
     fn io_stats(&self) -> &Arc<IoStats> {
         self.inner.io_stats()
+    }
+}
+
+impl IoBackend for FaultInjector {
+    fn read_pages(&self, pids: &[PageId]) -> Vec<Result<Page>> {
+        // Consume fault tokens page by page, exactly as N scalar reads
+        // would, and hand the maximal clean segments to the inner backend
+        // so run coalescing (and vectored-op accounting) survives fault
+        // injection. A faulted page fails only its own slot.
+        let mut out: Vec<Result<Page>> = Vec::with_capacity(pids.len());
+        let mut seg_start = 0;
+        for (i, &pid) in pids.iter().enumerate() {
+            if let Some(e) = self.read_faulted(pid) {
+                if seg_start < i {
+                    out.extend(self.inner.read_pages(&pids[seg_start..i]));
+                }
+                out.push(Err(e));
+                seg_start = i + 1;
+            }
+        }
+        if seg_start < pids.len() {
+            out.extend(self.inner.read_pages(&pids[seg_start..]));
+        }
+        out
+    }
+
+    fn write_pages(&self, batch: &[(PageId, Page)]) -> Vec<Result<()>> {
+        let mut out: Vec<Result<()>> = Vec::with_capacity(batch.len());
+        let mut seg_start = 0;
+        for (i, (pid, page)) in batch.iter().enumerate() {
+            if let Some(res) = self.write_faulted(*pid, page) {
+                if seg_start < i {
+                    out.extend(self.inner.write_pages(&batch[seg_start..i]));
+                }
+                out.push(res);
+                seg_start = i + 1;
+            }
+        }
+        if seg_start < batch.len() {
+            out.extend(self.inner.write_pages(&batch[seg_start..]));
+        }
+        out
     }
 }
 

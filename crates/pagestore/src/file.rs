@@ -24,6 +24,7 @@
 //! deterministic fault injection against either backend, wrap it in
 //! [`crate::FaultInjector`].
 
+use crate::io::{contiguous_runs, contiguous_runs_by, IoBackend};
 use crate::page::{Page, PAGE_SIZE};
 use parking_lot::RwLock;
 use rewind_common::{Error, IoStats, PageId, Result};
@@ -69,6 +70,13 @@ pub trait FileManager: Send + Sync {
 pub struct MemFileManager {
     pages: RwLock<Vec<Option<Box<[u8; PAGE_SIZE]>>>>,
     stats: Arc<IoStats>,
+    /// Endured (not just modeled) per-device-op latency in microseconds —
+    /// the page-side analogue of `LogConfig::flush_delay_us`. Zero (the
+    /// default) sleeps nowhere. When set, each random device op — one
+    /// scalar `read_page`/`write_page`, or one *contiguous run* of a
+    /// vectored batch — stalls exactly once, which is what makes batching
+    /// visible in wall-clock benches without touching any counter.
+    device_delay_us: AtomicU64,
 }
 
 impl MemFileManager {
@@ -82,7 +90,45 @@ impl MemFileManager {
         MemFileManager {
             pages: RwLock::new(Vec::new()),
             stats,
+            device_delay_us: AtomicU64::new(0),
         }
+    }
+
+    /// Set the endured per-device-op latency (see the field docs). Benches
+    /// use this to make the one-stall-per-batch model measurable.
+    pub fn set_device_delay_us(&self, us: u64) {
+        self.device_delay_us.store(us, Ordering::Relaxed);
+    }
+
+    /// One device round trip: sleep the configured delay, if any.
+    fn device_stall(&self) {
+        let us = self.device_delay_us.load(Ordering::Relaxed);
+        if us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(us));
+        }
+    }
+
+    /// The one accounting funnel for reads: random reads count one page
+    /// read, sequential reads count page-sized sequential bytes; both then
+    /// share `read_impl`. Every trait entry point (scalar and vectored)
+    /// routes through here.
+    fn read_counted(&self, pid: PageId, seq: bool) -> Result<Page> {
+        if seq {
+            self.stats.add_seq_data_bytes(PAGE_SIZE as u64);
+        } else {
+            self.stats.add_page_reads(1);
+        }
+        self.read_impl(pid)
+    }
+
+    /// Write-side accounting funnel, mirror of [`MemFileManager::read_counted`].
+    fn write_counted(&self, pid: PageId, page: &Page, seq: bool) -> Result<()> {
+        if seq {
+            self.stats.add_seq_data_bytes(PAGE_SIZE as u64);
+        } else {
+            self.stats.add_page_writes(1);
+        }
+        self.write_impl(pid, page)
     }
 
     fn read_impl(&self, pid: PageId) -> Result<Page> {
@@ -157,23 +203,22 @@ impl Default for MemFileManager {
 
 impl FileManager for MemFileManager {
     fn read_page(&self, pid: PageId) -> Result<Page> {
-        self.stats.add_page_reads(1);
-        self.read_impl(pid)
+        self.device_stall();
+        self.read_counted(pid, false)
     }
 
     fn read_page_seq(&self, pid: PageId) -> Result<Page> {
-        self.stats.add_seq_data_bytes(PAGE_SIZE as u64);
-        self.read_impl(pid)
+        // Sequential passes model bandwidth, not seeks: no per-op stall.
+        self.read_counted(pid, true)
     }
 
     fn write_page(&self, pid: PageId, page: &Page) -> Result<()> {
-        self.stats.add_page_writes(1);
-        self.write_impl(pid, page)
+        self.device_stall();
+        self.write_counted(pid, page, false)
     }
 
     fn write_page_seq(&self, pid: PageId, page: &Page) -> Result<()> {
-        self.stats.add_seq_data_bytes(PAGE_SIZE as u64);
-        self.write_impl(pid, page)
+        self.write_counted(pid, page, true)
     }
 
     fn page_count(&self) -> u64 {
@@ -194,6 +239,34 @@ impl FileManager for MemFileManager {
 
     fn io_stats(&self) -> &Arc<IoStats> {
         &self.stats
+    }
+}
+
+impl IoBackend for MemFileManager {
+    fn read_pages(&self, pids: &[PageId]) -> Vec<Result<Page>> {
+        let mut out = Vec::with_capacity(pids.len());
+        for run in contiguous_runs(pids) {
+            // One device op per contiguous run: one vectored-op count, one
+            // modeled stall — then per-page accounting exactly as scalar.
+            self.stats.add_vectored_read_ops(1);
+            self.device_stall();
+            for &pid in run {
+                out.push(self.read_counted(pid, false));
+            }
+        }
+        out
+    }
+
+    fn write_pages(&self, batch: &[(PageId, Page)]) -> Vec<Result<()>> {
+        let mut out = Vec::with_capacity(batch.len());
+        for run in contiguous_runs_by(batch, |(pid, _)| *pid) {
+            self.stats.add_batched_write_ops(1);
+            self.device_stall();
+            for (pid, page) in run {
+                out.push(self.write_counted(*pid, page, false));
+            }
+        }
+        out
     }
 }
 
@@ -221,25 +294,43 @@ impl DiskFileManager {
         })
     }
 
-    fn read_impl(&self, pid: PageId) -> Result<Page> {
-        if !pid.is_valid() {
-            return Err(Error::InvalidPage(pid));
-        }
-        let mut buf = [0u8; PAGE_SIZE];
-        let off = pid.0 * PAGE_SIZE as u64;
-        if pid.0 < self.page_count.load(Ordering::Acquire) {
-            match self.file.read_exact_at(&mut buf, off) {
-                Ok(()) => {}
-                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {}
-                Err(e) => return Err(e.into()),
-            }
-        }
-        let p = Page::from_image(&buf)?;
+    /// Parse one page image and verify its checksum, counting a detection
+    /// on mismatch — shared by the scalar and vectored read paths.
+    fn parse_verified(&self, buf: &[u8]) -> Result<Page> {
+        let p = Page::from_image(buf)?;
         if let Err(e) = p.verify_checksum() {
             self.stats.add_corruption_detected();
             return Err(e);
         }
         Ok(p)
+    }
+
+    /// Read page-aligned bytes at `off`, tolerating EOF (the unread tail
+    /// stays zeroed, matching never-written-pages-read-back-zeroed).
+    fn read_raw_at(&self, mut buf: &mut [u8], mut off: u64) -> Result<()> {
+        while !buf.is_empty() {
+            match self.file.read_at(buf, off) {
+                Ok(0) => break,
+                Ok(n) => {
+                    buf = &mut buf[n..];
+                    off += n as u64;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
+    }
+
+    fn read_impl(&self, pid: PageId) -> Result<Page> {
+        if !pid.is_valid() {
+            return Err(Error::InvalidPage(pid));
+        }
+        let mut buf = [0u8; PAGE_SIZE];
+        if pid.0 < self.page_count.load(Ordering::Acquire) {
+            self.read_raw_at(&mut buf, pid.0 * PAGE_SIZE as u64)?;
+        }
+        self.parse_verified(&buf)
     }
 
     fn write_impl(&self, pid: PageId, page: &Page) -> Result<()> {
@@ -254,27 +345,43 @@ impl DiskFileManager {
         self.page_count.fetch_max(pid.0 + 1, Ordering::AcqRel);
         Ok(())
     }
+
+    /// Accounting funnel for reads; see `MemFileManager::read_counted`.
+    fn read_counted(&self, pid: PageId, seq: bool) -> Result<Page> {
+        if seq {
+            self.stats.add_seq_data_bytes(PAGE_SIZE as u64);
+        } else {
+            self.stats.add_page_reads(1);
+        }
+        self.read_impl(pid)
+    }
+
+    /// Accounting funnel for writes; see `MemFileManager::write_counted`.
+    fn write_counted(&self, pid: PageId, page: &Page, seq: bool) -> Result<()> {
+        if seq {
+            self.stats.add_seq_data_bytes(PAGE_SIZE as u64);
+        } else {
+            self.stats.add_page_writes(1);
+        }
+        self.write_impl(pid, page)
+    }
 }
 
 impl FileManager for DiskFileManager {
     fn read_page(&self, pid: PageId) -> Result<Page> {
-        self.stats.add_page_reads(1);
-        self.read_impl(pid)
+        self.read_counted(pid, false)
     }
 
     fn read_page_seq(&self, pid: PageId) -> Result<Page> {
-        self.stats.add_seq_data_bytes(PAGE_SIZE as u64);
-        self.read_impl(pid)
+        self.read_counted(pid, true)
     }
 
     fn write_page(&self, pid: PageId, page: &Page) -> Result<()> {
-        self.stats.add_page_writes(1);
-        self.write_impl(pid, page)
+        self.write_counted(pid, page, false)
     }
 
     fn write_page_seq(&self, pid: PageId, page: &Page) -> Result<()> {
-        self.stats.add_seq_data_bytes(PAGE_SIZE as u64);
-        self.write_impl(pid, page)
+        self.write_counted(pid, page, true)
     }
 
     fn page_count(&self) -> u64 {
@@ -297,6 +404,84 @@ impl FileManager for DiskFileManager {
 
     fn io_stats(&self) -> &Arc<IoStats> {
         &self.stats
+    }
+}
+
+impl IoBackend for DiskFileManager {
+    fn read_pages(&self, pids: &[PageId]) -> Vec<Result<Page>> {
+        let mut out = Vec::with_capacity(pids.len());
+        for run in contiguous_runs(pids) {
+            if run.iter().any(|p| !p.is_valid()) {
+                // Invalid ids have no device offset; take the scalar path so
+                // each page gets its own typed error.
+                for &pid in run {
+                    out.push(self.read_counted(pid, false));
+                }
+                continue;
+            }
+            self.stats.add_vectored_read_ops(1);
+            // One pread for the whole run; the tail past EOF stays zeroed,
+            // exactly like a scalar read of a never-written page.
+            let mut buf = vec![0u8; run.len() * PAGE_SIZE];
+            let bulk = if run[0].0 < self.page_count.load(Ordering::Acquire) {
+                self.read_raw_at(&mut buf, run[0].0 * PAGE_SIZE as u64)
+            } else {
+                Ok(())
+            };
+            match bulk {
+                Ok(()) => {
+                    for (i, _) in run.iter().enumerate() {
+                        self.stats.add_page_reads(1);
+                        out.push(self.parse_verified(&buf[i * PAGE_SIZE..(i + 1) * PAGE_SIZE]));
+                    }
+                }
+                Err(_) => {
+                    // The bulk pread failed as a unit; retry page-by-page so
+                    // errors (and any salvageable pages) stay per-page.
+                    for &pid in run {
+                        out.push(self.read_counted(pid, false));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn write_pages(&self, batch: &[(PageId, Page)]) -> Vec<Result<()>> {
+        let mut out = Vec::with_capacity(batch.len());
+        for run in contiguous_runs_by(batch, |(pid, _)| *pid) {
+            let first = run[0].0;
+            if !first.is_valid() {
+                for (pid, page) in run {
+                    out.push(self.write_counted(*pid, page, false));
+                }
+                continue;
+            }
+            self.stats.add_batched_write_ops(1);
+            let mut buf = vec![0u8; run.len() * PAGE_SIZE];
+            for (i, (_, page)) in run.iter().enumerate() {
+                let mut stamped = page.clone();
+                stamped.stamp_trailer();
+                stamped.stamp_checksum();
+                buf[i * PAGE_SIZE..(i + 1) * PAGE_SIZE].copy_from_slice(&stamped.image()[..]);
+            }
+            match self.file.write_all_at(&buf, first.0 * PAGE_SIZE as u64) {
+                Ok(()) => {
+                    self.page_count
+                        .fetch_max(first.0 + run.len() as u64, Ordering::AcqRel);
+                    for _ in run {
+                        self.stats.add_page_writes(1);
+                        out.push(Ok(()));
+                    }
+                }
+                Err(_) => {
+                    for (pid, page) in run {
+                        out.push(self.write_counted(*pid, page, false));
+                    }
+                }
+            }
+        }
+        out
     }
 }
 

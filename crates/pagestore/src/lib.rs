@@ -10,6 +10,9 @@
 //!   logging, §4.2),
 //! * [`FileManager`] — random page I/O with accounting, in-memory and on-disk
 //!   implementations,
+//! * [`IoBackend`] — the batched extension of [`FileManager`]: vectored
+//!   multi-page reads, batched writes, and the background [`WritebackPool`]
+//!   (see the [`io`] module docs for the batching cost model),
 //! * [`PageImage`] — an immutable, `Arc`-shared page image: the zero-copy
 //!   currency of the snapshot read path,
 //! * [`SideFile`] — the NTFS-sparse-file substitute backing database
@@ -19,12 +22,14 @@ pub mod alloc;
 pub mod fault;
 pub mod file;
 pub mod image;
+pub mod io;
 pub mod page;
 pub mod side;
 
 pub use fault::FaultInjector;
 pub use file::{DiskFileManager, FileManager, MemFileManager};
 pub use image::PageImage;
+pub use io::{contiguous_runs, contiguous_runs_by, IoBackend, WritebackPool};
 pub use page::{Page, PageType, HEADER_SIZE, PAGE_SIZE};
 pub use side::SideFile;
 

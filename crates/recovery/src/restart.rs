@@ -44,6 +44,7 @@
 use crate::analysis::{AnalysisBuilder, AnalysisResult};
 use rewind_buffer::BufferPool;
 use rewind_common::{Error, Lsn, PageId, Result};
+use rewind_pagestore::Page;
 use rewind_wal::{LogManager, RecordRef};
 use std::collections::HashMap;
 use std::sync::mpsc::{sync_channel, SyncSender};
@@ -96,10 +97,13 @@ fn partition_of(page: PageId, workers: usize) -> usize {
 }
 
 /// Apply one dispatched record to its page; returns whether the page image
-/// actually advanced (the serial pass's `applied` criterion).
-fn apply_one(pool: &BufferPool, rec: &RecordRef) -> Result<bool> {
+/// actually advanced (the serial pass's `applied` criterion). `staged`
+/// optionally carries the page's slot of a vectored batch read — safe here
+/// because redo partitioning gives one worker all records of a page, so
+/// nothing can have written the page since its batch was staged.
+fn apply_one(pool: &BufferPool, rec: &RecordRef, staged: Option<Result<Page>>) -> Result<bool> {
     let (header, view) = rec.view()?;
-    pool.with_page_mut(header.page, |v| {
+    pool.with_page_mut_staged(header.page, staged, |v| {
         if v.page().page_lsn() < header.lsn {
             view.redo(v.page_mut(), header.page, header.lsn)?;
             v.mark_dirty(header.lsn);
@@ -108,6 +112,22 @@ fn apply_one(pool: &BufferPool, rec: &RecordRef) -> Result<bool> {
             Ok(false)
         }
     })
+}
+
+/// Vector-read a redo batch's cold first-touch pages: the distinct pids of
+/// the batch, sorted so physically adjacent pages coalesce into single
+/// device ops ([`BufferPool::stage_read_run`] skips resident pages and
+/// returns nothing in scalar mode). Pure read-ahead — each staged result is
+/// consumed by that page's first miss in the batch, so apply decisions and
+/// per-page accounting are unchanged.
+fn stage_batch(pool: &BufferPool, batch: &[RecordRef]) -> Result<Vec<(PageId, Result<Page>)>> {
+    let mut wanted: Vec<PageId> = Vec::with_capacity(batch.len());
+    for rec in batch {
+        wanted.push(rec.header()?.page);
+    }
+    wanted.sort_unstable();
+    wanted.dedup();
+    Ok(pool.stage_read_run(&wanted))
 }
 
 /// The single forward pass: the prefix scan dispatching checkpoint-DPT
@@ -180,7 +200,7 @@ pub fn pipelined_restart(
         let mut busy = 0u64;
         scan_and_dispatch(log, &mut builder, bound, |rec, _page| {
             let t0 = obs.now_us();
-            if apply_one(pool, rec)? {
+            if apply_one(pool, rec, None)? {
                 applied += 1;
             }
             busy += obs.now_us().saturating_sub(t0);
@@ -203,8 +223,14 @@ pub fn pipelined_restart(
                     let mut busy = 0u64;
                     while let Ok(batch) = rx.recv() {
                         let t0 = obs.now_us();
+                        let mut staged = stage_batch(pool, &batch)?;
                         for rec in &batch {
-                            if apply_one(pool, rec)? {
+                            let page = rec.header()?.page;
+                            let pre = staged
+                                .iter()
+                                .position(|(p, _)| *p == page)
+                                .map(|i| staged.remove(i).1);
+                            if apply_one(pool, rec, pre)? {
                                 applied += 1;
                             }
                         }

@@ -358,13 +358,16 @@ impl AsOfSnapshot {
     /// Pages already resident in the side file are counted as hits and cost
     /// nothing.
     ///
-    /// Work is split by static interleave: worker `w` prepares pids
-    /// `w, w+N, w+2N, …`. On stall-dominated media a dynamic queue would
-    /// converge to the same even split (every fetch blocks its worker for a
-    /// media round-trip, so claims alternate); the static partition gives
-    /// identical balance deterministically — including on machines whose
-    /// core count would let one worker drain a shared queue before the
-    /// others are scheduled.
+    /// Work is split by static interleave over chunks of the pool's I/O
+    /// batch size: worker `w` prepares chunks `w, w+N, w+2N, …` (at batch
+    /// size 1, pids `w, w+N, …` — the historical stride). On
+    /// stall-dominated media a dynamic queue would converge to the same
+    /// even split (every fetch blocks its worker for a media round-trip, so
+    /// claims alternate); the static partition gives identical balance
+    /// deterministically — including on machines whose core count would let
+    /// one worker drain a shared queue before the others are scheduled.
+    /// Owning whole chunks also lets each worker vector-read its cold
+    /// primaries: one `read_pages` device op per contiguous run per chunk.
     ///
     /// Returns per-worker aggregates so callers (repairbench) can model the
     /// parallel stall time as the max over workers rather than the sum.
@@ -418,19 +421,44 @@ impl AsOfSnapshot {
             return Ok(PrefetchOutcome::default());
         }
         let inner = &self.inner;
+        // Work is split by static interleave over *chunks* of the pool's
+        // I/O batch size: worker `w` prepares chunks `w, w+N, w+2N, …`. At
+        // batch size 1 this is exactly the historical per-page stride; at
+        // larger sizes a worker owns whole pid runs, so its step-(b) misses
+        // coalesce into vectored device reads (one `read_pages` per chunk).
+        let chunk = inner.pool.io_batch_pages();
         let results: Vec<Result<PrefetchWorkerStats>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     scope.spawn(move || {
                         let batch_started = inner.obs.now_us();
                         let mut stats = PrefetchWorkerStats::default();
-                        for &pid in pids.iter().skip(w).step_by(workers) {
-                            let (_, prep) = inner.fetch_traced_in(pid, Some(part))?;
-                            stats.pages += 1;
-                            if let Some(p) = prep {
-                                stats.prepared += 1;
-                                stats.records_undone += p.records_undone;
-                                stats.fpi_chain_reads += p.fpi_chain_reads;
+                        for run in pids.chunks(chunk).skip(w).step_by(workers) {
+                            // Vector-read this chunk's cold primaries up
+                            // front: only side-file misses can reach step
+                            // (b), and `stage_read_run` skips pool-resident
+                            // pids (those would have been hits). Serially
+                            // this stages exactly the pages the loop below
+                            // would read one by one.
+                            let wanted: Vec<PageId> = run
+                                .iter()
+                                .copied()
+                                .filter(|&pid| inner.side.get(pid).is_none())
+                                .collect();
+                            let mut staged = inner.pool.stage_read_run(&wanted);
+                            for &pid in run {
+                                let pre = staged
+                                    .iter()
+                                    .position(|(p, _)| *p == pid)
+                                    .map(|i| staged.remove(i).1);
+                                let (_, prep) =
+                                    inner.fetch_traced_staged_in(pid, Some(part), pre)?;
+                                stats.pages += 1;
+                                if let Some(p) = prep {
+                                    stats.prepared += 1;
+                                    stats.records_undone += p.records_undone;
+                                    stats.fpi_chain_reads += p.fpi_chain_reads;
+                                }
                             }
                         }
                         // One scan batch per worker: its whole stride of

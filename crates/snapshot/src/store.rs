@@ -177,6 +177,21 @@ impl SnapInner {
         pid: PageId,
         scan: Option<&ScanPartition>,
     ) -> Result<(PageImage, Option<rewind_recovery::PrepareStats>)> {
+        self.fetch_traced_staged_in(pid, scan, None)
+    }
+
+    /// [`SnapInner::fetch_traced_in`] with an optional pre-fetched primary
+    /// read for `pid` — one slot of a vectored `read_pages` batch issued by
+    /// the bulk prepare fan-out. The staged result is consumed only if this
+    /// call reaches step (b) itself (side miss, gate won); otherwise it is
+    /// dropped, exactly like the pool's own staged misses.
+    pub(crate) fn fetch_traced_staged_in(
+        &self,
+        pid: PageId,
+        scan: Option<&ScanPartition>,
+        staged: Option<Result<Page>>,
+    ) -> Result<(PageImage, Option<rewind_recovery::PrepareStats>)> {
+        let mut staged = staged;
         if let Some(img) = self.side.get(pid) {
             self.stats.side_hits.fetch_add(1, Ordering::Relaxed);
             return Ok((img, None));
@@ -192,7 +207,7 @@ impl SnapInner {
                 drop(guard);
                 continue;
             }
-            let result = self.prepare_gated(pid, scan);
+            let result = self.prepare_gated(pid, scan, staged.take());
             // Retire the table entry *before* releasing the gate mutex: a
             // waiter woken by the unlock must observe `is_current == false`
             // and loop back through the table. Releasing first would open a
@@ -206,10 +221,12 @@ impl SnapInner {
     }
 
     /// The miss path of the §5.3 protocol, run under `pid`'s prepare gate.
+    /// `staged` carries an optional vectored pre-read of the primary page.
     fn prepare_gated(
         &self,
         pid: PageId,
         scan: Option<&ScanPartition>,
+        staged: Option<Result<Page>>,
     ) -> Result<(PageImage, Option<rewind_recovery::PrepareStats>)> {
         if let Some(img) = self.side.get(pid) {
             self.stats.side_hits.fetch_add(1, Ordering::Relaxed);
@@ -225,7 +242,7 @@ impl SnapInner {
         // 8 KiB copy a cold miss pays; the latch is released before the
         // backward log walk so no frame latch is ever held across log I/O.
         let mut page = {
-            let primary = self.pool.read_page_in(pid, scan)?;
+            let primary = self.pool.read_page_staged_in(pid, scan, staged)?;
             Page::clone(&primary)
         };
         let st =

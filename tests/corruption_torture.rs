@@ -471,3 +471,67 @@ fn background_checkpoint_media_errors_surface_typed() {
     assert!(scan_map(&db).contains_key(&1));
     db.check_consistency().unwrap();
 }
+
+/// Fault class: transient EIO striking individual pages *inside* vectored
+/// batches. A per-page fault must fail only its own slot — the batch's
+/// clean segments still coalesce and succeed — and the pool's per-page
+/// retry protocol absorbs each faulted slot with exactly one counted
+/// retry, on both the batched read path (restart's staged redo prefetch)
+/// and the batched write path (the checkpoint writeback pool).
+#[test]
+fn mid_batch_faults_fail_only_their_page() {
+    for seed in SEEDS {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (fi, db) = faulty_db(seed);
+        let mut model = BTreeMap::new();
+        for round in 0..4 {
+            commit_batch(&db, &mut rng, &mut model, round);
+        }
+
+        // Batched writes: faults land mid-batch inside the writeback
+        // pool's `write_pages`; only the faulted slots retry (scalar), the
+        // checkpoint still succeeds, and each fault costs exactly one
+        // retry.
+        let before = db.data_io();
+        fi.arm_eio_writes(3);
+        db.checkpoint().unwrap();
+        let after = db.data_io();
+        assert_eq!(
+            after.io_retries - before.io_retries,
+            3,
+            "each faulted write slot retries exactly once (seed {seed:#x})"
+        );
+        assert!(
+            after.batched_write_ops > before.batched_write_ops,
+            "checkpoint flush must go through batched writes (seed {seed:#x})"
+        );
+
+        // Batched reads: more committed work, then crash. Restart's redo
+        // prefetch stages page runs through `read_pages`; the armed faults
+        // fail individual slots mid-batch, each resuming the scalar retry
+        // protocol at its own miss.
+        for round in 4..6 {
+            commit_batch(&db, &mut rng, &mut model, round);
+        }
+        let arts = db.simulate_crash();
+        fi.arm_eio_reads(3);
+        let db = Database::recover(arts).unwrap();
+        let io = db.data_io();
+        assert_eq!(
+            io.io_retries - after.io_retries,
+            3,
+            "each faulted read slot retries exactly once (seed {seed:#x})"
+        );
+        assert_eq!(
+            scan_map(&db),
+            model,
+            "every committed row survives mid-batch faults (seed {seed:#x})"
+        );
+        assert_eq!(
+            db.data_io().corruptions_detected,
+            0,
+            "transient EIO is not corruption"
+        );
+        db.check_consistency().unwrap();
+    }
+}

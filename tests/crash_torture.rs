@@ -470,3 +470,61 @@ fn shortened_segment_truncates_to_last_valid_frame() {
         .is_some());
     db.check_consistency().unwrap();
 }
+
+/// The crash point is a *point*: `simulate_crash` settles the background
+/// writeback pool (drain or cancel, deterministically) before returning, so
+/// no page write can land on the surviving file afterwards — the artifacts
+/// a restart recovers from are frozen the moment the call returns.
+#[test]
+fn no_background_write_lands_after_simulate_crash() {
+    use rewind::common::{SimClock, Timestamp};
+    use rewind::pagestore::{FileManager, MemFileManager};
+
+    let fm = Arc::new(MemFileManager::new());
+    let db = Database::create_on(
+        fm.clone(),
+        DbConfig {
+            buffer_pages: 128,
+            // Aggressive daemon checkpoints: the writeback pool is busy
+            // flushing page batches while commits are still arriving, so
+            // the crash lands with writes genuinely in flight.
+            checkpoint_interval_bytes: 32 << 10,
+            ..DbConfig::default()
+        },
+        SimClock::starting_at(Timestamp::from_secs(1)),
+    )
+    .unwrap();
+    db.with_txn(|txn| db.create_table(txn, "t", schema()))
+        .unwrap();
+    let mut model = BTreeMap::new();
+    for i in 0..1_500u64 {
+        let row = vec![Value::U64(i), Value::Str(format!("v-{i}"))];
+        db.with_txn(|txn| db.insert(txn, "t", &row)).unwrap();
+        model.insert(i, row);
+    }
+
+    let arts = db.simulate_crash();
+    let frozen = fm.io_stats().snapshot();
+    // Any straggler writeback thread would land its batch within this
+    // window; the shutdown contract says there is none left to land.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let after = fm.io_stats().snapshot();
+    assert_eq!(
+        after.page_writes, frozen.page_writes,
+        "page write landed after simulate_crash returned"
+    );
+    assert_eq!(
+        after.batched_write_ops, frozen.batched_write_ops,
+        "batched write landed after simulate_crash returned"
+    );
+
+    let db = Database::recover(arts).unwrap();
+    let got: BTreeMap<u64, Row> = db
+        .with_txn(|txn| db.scan_all(txn, "t"))
+        .unwrap()
+        .into_iter()
+        .map(|r| (r[0].as_u64().unwrap(), r))
+        .collect();
+    assert_eq!(got, model);
+    db.check_consistency().unwrap();
+}
